@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! Baseline B+-tree concurrency protocols, for the experiments that
+//! reproduce the paper's comparative claims.
+//!
+//! The paper argues (§1, citing Srinivasan & Carey \[18\]) that B-link-style
+//! approaches out-scale both classic **lock coupling** \[Bayer & Schkolnick\]
+//! and designs with **serial structure changes** (ARIES/IM \[14\]: "complete
+//! structural changes are *serial*"). These two baselines implement those
+//! protocols over the *same* page/latch substrate as the Π-tree so that
+//! experiment E1 compares protocols, not storage engines.
+//!
+//! Neither baseline logs: this biases the comparison *against* the Π-tree
+//! (which pays full WAL costs), making the Π-tree's concurrency win
+//! conservative.
+//!
+//! Simplifications (documented in DESIGN.md): baselines support insert /
+//! get / scan and delete-without-rebalancing; nodes never merge.
+
+pub mod lock_coupling;
+pub mod node;
+pub mod optimistic;
+pub mod serial_smo;
+
+pub use lock_coupling::LockCouplingTree;
+pub use optimistic::OptimisticCouplingTree;
+pub use serial_smo::SerialSmoTree;
+
+/// The uniform surface the concurrency experiments drive.
+pub trait ConcurrentIndex: Send + Sync {
+    /// Insert or replace.
+    fn insert(&self, key: &[u8], value: &[u8]);
+    /// Point lookup.
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>>;
+    /// Remove; returns whether the key existed.
+    fn delete(&self, key: &[u8]) -> bool;
+    /// Protocol name for report tables.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,3 @@
+//! Benchmark support crate. The Criterion benches live in `benches/paper.rs`
+//! — one group per experiment id in `EXPERIMENTS.md`; the corresponding
+//! table-producing drivers are the `exp*` binaries in `pitree-harness`.

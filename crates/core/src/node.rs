@@ -1,0 +1,281 @@
+//! B-link node layout over slotted pages.
+//!
+//! Slot 0 holds the **node header**: level, side pointer, and the bounds of
+//! the directly-contained space (§2.1.1). Slots 1.. hold keyed entries:
+//!
+//! * leaf (level 0): `[klen][key][value]` — data records;
+//! * index: `[klen][key][child pid u64][flags u8]` — index terms; the flags
+//!   byte carries the multi-parent marker of §3.3 (always clear in B-link
+//!   trees, used by the multiattribute instantiations).
+//!
+//! A **sibling term** is the header's side pointer plus the `high` bound:
+//! "a key space for which a sibling node is responsible and ... a side
+//! pointer to the sibling" — the sibling is responsible for `[high, …)`.
+
+use crate::bound::KeyBound;
+use pitree_pagestore::latch::{SGuard, UGuard, XGuard};
+use pitree_pagestore::page::Page;
+use pitree_pagestore::{PageId, StoreError, StoreResult};
+
+/// Decoded node header (slot 0 of a node page).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeHeader {
+    /// Level: 0 for data nodes, parents one higher than children (§2.1.2).
+    pub level: u8,
+    /// Side pointer to the sibling this node delegated space to, or
+    /// `PageId::INVALID`.
+    pub side: PageId,
+    /// Inclusive low bound of the directly-contained space.
+    pub low: KeyBound,
+    /// Exclusive high bound; when a side pointer exists, the sibling is
+    /// responsible for the space at and above this bound.
+    pub high: KeyBound,
+}
+
+impl NodeHeader {
+    /// Header of a fresh root: a data node directly containing everything.
+    pub fn new_root_leaf() -> NodeHeader {
+        NodeHeader { level: 0, side: PageId::INVALID, low: KeyBound::NegInf, high: KeyBound::PosInf }
+    }
+
+    /// Whether `key` lies in the directly-contained space.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.low.le_key(key) && self.high.gt_key(key)
+    }
+
+    /// Whether this is a data node.
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Encode into slot-0 record bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(16);
+        v.push(self.level);
+        v.extend_from_slice(&self.side.0.to_le_bytes());
+        self.low.encode(&mut v);
+        self.high.encode(&mut v);
+        v
+    }
+
+    /// Decode from slot-0 record bytes.
+    pub fn decode(bytes: &[u8]) -> StoreResult<NodeHeader> {
+        if bytes.len() < 9 {
+            return Err(StoreError::Corrupt("node header too short".into()));
+        }
+        let level = bytes[0];
+        let side = PageId(u64::from_le_bytes(bytes[1..9].try_into().unwrap()));
+        let mut pos = 9;
+        let low = KeyBound::decode(bytes, &mut pos)?;
+        let high = KeyBound::decode(bytes, &mut pos)?;
+        if pos != bytes.len() {
+            return Err(StoreError::Corrupt("trailing bytes in node header".into()));
+        }
+        Ok(NodeHeader { level, side, low, high })
+    }
+
+    /// Read the header of a node page.
+    pub fn read(page: &Page) -> StoreResult<NodeHeader> {
+        NodeHeader::decode(page.get(0)?)
+    }
+}
+
+/// A decoded index term (§2.1.2): child pointer plus the key from which the
+/// child is responsible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexTerm {
+    /// Low key of the child's described subspace.
+    pub key: Vec<u8>,
+    /// The child node.
+    pub child: PageId,
+    /// Multi-parent marker (§3.3): set when the term was clipped, meaning
+    /// the child may be referenced by more than one parent and must not be
+    /// consolidated.
+    pub multi_parent: bool,
+}
+
+impl IndexTerm {
+    /// Encode as a keyed entry.
+    pub fn to_entry(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(9);
+        payload.extend_from_slice(&self.child.0.to_le_bytes());
+        payload.push(self.multi_parent as u8);
+        Page::make_entry(&self.key, &payload)
+    }
+
+    /// Decode from a keyed entry.
+    pub fn from_entry(entry: &[u8]) -> StoreResult<IndexTerm> {
+        let key = Page::entry_key(entry).to_vec();
+        let payload = Page::entry_payload(entry);
+        if payload.len() != 9 {
+            return Err(StoreError::Corrupt(format!(
+                "index term payload has {} bytes, expected 9",
+                payload.len()
+            )));
+        }
+        Ok(IndexTerm {
+            key,
+            child: PageId(u64::from_le_bytes(payload[0..8].try_into().unwrap())),
+            multi_parent: payload[8] != 0,
+        })
+    }
+
+    /// Decode the index term at `slot` of an index node.
+    pub fn read(page: &Page, slot: u16) -> StoreResult<IndexTerm> {
+        IndexTerm::from_entry(page.get(slot)?)
+    }
+}
+
+/// A latch guard in any of the three modes, with uniform read access.
+/// Traversal code descends in S or U and promotes U→X only at the node it
+/// will write (§4.1.1: "Whenever a node might be written, a U latch is
+/// used").
+pub enum Guarded<'a> {
+    /// Shared.
+    S(SGuard<'a, Page>),
+    /// Update.
+    U(UGuard<'a, Page>),
+    /// Exclusive.
+    X(XGuard<'a, Page>),
+}
+
+impl<'a> Guarded<'a> {
+    /// Read access to the page, whatever the mode.
+    pub fn page(&self) -> &Page {
+        match self {
+            Guarded::S(g) => g,
+            Guarded::U(g) => g,
+            Guarded::X(g) => g,
+        }
+    }
+
+    /// Promote to X. S-mode promotion is forbidden (the paper's promotion
+    /// deadlock); callers must descend in U when they might write.
+    pub fn promote(self) -> Guarded<'a> {
+        match self {
+            Guarded::U(g) => Guarded::X(g.promote()),
+            x @ Guarded::X(_) => x,
+            Guarded::S(_) => panic!("promotion from S is forbidden (§4.1.1)"),
+        }
+    }
+
+    /// The X guard, if in X mode.
+    pub fn as_x(&mut self) -> Option<&mut XGuard<'a, Page>> {
+        match self {
+            Guarded::X(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// Unwrap into the X guard (panics otherwise).
+    pub fn into_x(self) -> XGuard<'a, Page> {
+        match self {
+            Guarded::X(g) => g,
+            _ => panic!("not an X guard"),
+        }
+    }
+}
+
+/// Whether a node page is "full" for an additional entry of `entry_len`
+/// bytes, under an entry-count cap.
+pub fn node_full(page: &Page, entry_len: usize, max_entries: usize) -> bool {
+    page.entry_count() as usize >= max_entries || page.free_space() < entry_len + 4
+}
+
+/// Entry-count-based utilization (consolidation trigger, §3.3).
+pub fn utilization(page: &Page, max_entries: usize) -> f64 {
+    if max_entries == usize::MAX {
+        // Byte-based when no artificial cap is set.
+        let cap = pitree_pagestore::PAGE_SIZE - pitree_pagestore::page::HEADER_SIZE;
+        page.used_space() as f64 / cap as f64
+    } else {
+        page.entry_count() as f64 / max_entries as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitree_pagestore::page::PageType;
+
+    #[test]
+    fn header_codec_roundtrip() {
+        for h in [
+            NodeHeader::new_root_leaf(),
+            NodeHeader {
+                level: 3,
+                side: PageId(42),
+                low: KeyBound::Key(b"m".to_vec()),
+                high: KeyBound::Key(b"r".to_vec()),
+            },
+            NodeHeader {
+                level: 1,
+                side: PageId::INVALID,
+                low: KeyBound::Key(b"x".to_vec()),
+                high: KeyBound::PosInf,
+            },
+        ] {
+            assert_eq!(NodeHeader::decode(&h.encode()).unwrap(), h);
+        }
+    }
+
+    #[test]
+    fn header_contains() {
+        let h = NodeHeader {
+            level: 0,
+            side: PageId(9),
+            low: KeyBound::Key(b"b".to_vec()),
+            high: KeyBound::Key(b"m".to_vec()),
+        };
+        assert!(h.contains(b"b"));
+        assert!(h.contains(b"g"));
+        assert!(!h.contains(b"m"));
+        assert!(!h.contains(b"a"));
+        assert!(h.is_leaf());
+    }
+
+    #[test]
+    fn index_term_codec() {
+        let t = IndexTerm { key: b"sep".to_vec(), child: PageId(77), multi_parent: true };
+        let e = t.to_entry();
+        assert_eq!(IndexTerm::from_entry(&e).unwrap(), t);
+        let t2 = IndexTerm { key: vec![], child: PageId(1), multi_parent: false };
+        assert_eq!(IndexTerm::from_entry(&t2.to_entry()).unwrap(), t2);
+    }
+
+    #[test]
+    fn header_roundtrip_through_page() {
+        let mut p = Page::new(PageType::Node);
+        let h = NodeHeader::new_root_leaf();
+        p.insert(0, &h.encode()).unwrap();
+        assert_eq!(NodeHeader::read(&p).unwrap(), h);
+    }
+
+    #[test]
+    fn fullness_by_count_and_bytes() {
+        let mut p = Page::new(PageType::Node);
+        p.insert(0, &NodeHeader::new_root_leaf().encode()).unwrap();
+        p.keyed_insert(&Page::make_entry(b"a", b"v")).unwrap();
+        p.keyed_insert(&Page::make_entry(b"b", b"v")).unwrap();
+        assert!(node_full(&p, 8, 2), "count cap reached");
+        assert!(!node_full(&p, 8, 100));
+        assert!(node_full(&p, 1 << 13, 100), "byte cap reached");
+    }
+
+    #[test]
+    fn utilization_by_count() {
+        let mut p = Page::new(PageType::Node);
+        p.insert(0, &NodeHeader::new_root_leaf().encode()).unwrap();
+        p.keyed_insert(&Page::make_entry(b"a", b"v")).unwrap();
+        assert!((utilization(&p, 4) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_headers() {
+        assert!(NodeHeader::decode(&[1, 2, 3]).is_err());
+        let mut ok = NodeHeader::new_root_leaf().encode();
+        ok.push(0xaa);
+        assert!(NodeHeader::decode(&ok).is_err());
+        assert!(IndexTerm::from_entry(&Page::make_entry(b"k", b"short")).is_err());
+    }
+}

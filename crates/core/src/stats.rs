@@ -1,0 +1,110 @@
+//! Operation counters feeding the experiments in `EXPERIMENTS.md`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free counters; one instance per tree, shared by all threads.
+#[derive(Debug, Default)]
+pub struct TreeStats {
+    /// Node splits performed (leaf + index), excluding root growth.
+    pub splits: AtomicU64,
+    /// Root-growth events (tree height increase).
+    pub root_grows: AtomicU64,
+    /// Index-term postings scheduled (by splits or by traversals that
+    /// followed a side pointer).
+    pub postings_scheduled: AtomicU64,
+    /// Postings that inserted a term.
+    pub postings_done: AtomicU64,
+    /// Postings that found the term already present (idempotent no-op).
+    pub postings_noop: AtomicU64,
+    /// Postings abandoned because the described node was consolidated away.
+    pub postings_node_gone: AtomicU64,
+    /// Postings deferred because a move lock was seen (§4.2.2).
+    pub postings_move_deferred: AtomicU64,
+    /// Consolidations performed.
+    pub consolidations: AtomicU64,
+    /// Consolidations abandoned by the testable-state check.
+    pub consolidations_noop: AtomicU64,
+    /// Side pointers followed during traversals ("intermediate state seen").
+    pub side_traversals: AtomicU64,
+    /// Operation restarts forced by the No-Wait Rule (latch released to wait
+    /// for a database lock).
+    pub no_wait_restarts: AtomicU64,
+    /// Leaf splits executed inside a user transaction (page-oriented UNDO
+    /// with updated-and-moved records, §4.2.1).
+    pub splits_in_txn: AtomicU64,
+    /// Leaf splits executed as independent atomic actions.
+    pub splits_independent: AtomicU64,
+    /// Nodes latched during posting re-traversals (saved-path effectiveness,
+    /// experiment E6).
+    pub posting_nodes_touched: AtomicU64,
+    /// Saved-path entries reused without a fresh in-node search.
+    pub saved_path_hits: AtomicU64,
+    /// Saved-path entries invalidated by a changed state identifier.
+    pub saved_path_misses: AtomicU64,
+    /// Exclusive (X) latch acquisitions on nodes *above* the data level —
+    /// the paper's §1(3) footprint: in the Π-tree these happen only inside
+    /// short independent atomic actions (postings, index splits,
+    /// consolidations), never inside user transactions.
+    pub upper_exclusive: AtomicU64,
+}
+
+impl TreeStats {
+    /// Increment helper.
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add helper.
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot all counters as (name, value) pairs, for table printing.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        vec![
+            ("splits", g(&self.splits)),
+            ("root_grows", g(&self.root_grows)),
+            ("postings_scheduled", g(&self.postings_scheduled)),
+            ("postings_done", g(&self.postings_done)),
+            ("postings_noop", g(&self.postings_noop)),
+            ("postings_node_gone", g(&self.postings_node_gone)),
+            ("postings_move_deferred", g(&self.postings_move_deferred)),
+            ("consolidations", g(&self.consolidations)),
+            ("consolidations_noop", g(&self.consolidations_noop)),
+            ("side_traversals", g(&self.side_traversals)),
+            ("no_wait_restarts", g(&self.no_wait_restarts)),
+            ("splits_in_txn", g(&self.splits_in_txn)),
+            ("splits_independent", g(&self.splits_independent)),
+            ("posting_nodes_touched", g(&self.posting_nodes_touched)),
+            ("saved_path_hits", g(&self.saved_path_hits)),
+            ("saved_path_misses", g(&self.saved_path_misses)),
+            ("upper_exclusive", g(&self.upper_exclusive)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = TreeStats::default();
+        TreeStats::bump(&s.splits);
+        TreeStats::add(&s.splits, 2);
+        assert_eq!(s.splits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn snapshot_names_are_unique() {
+        let s = TreeStats::default();
+        let snap = s.snapshot();
+        let mut names: Vec<_> = snap.iter().map(|(n, _)| n).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), snap.len());
+    }
+}

@@ -1,0 +1,154 @@
+//! Store assembly: disk + buffer pool + log + lock manager + space map.
+//!
+//! [`Store`] wires the substrate crates together. [`CrashableStore`] adds
+//! the crash-simulation loop used by the recovery tests and experiment E3:
+//! `crash()` keeps exactly what is durable (the disk image and the forced
+//! log prefix — optionally truncated mid-force) and rebuilds everything
+//! volatile from it, after which the caller runs recovery.
+
+use pitree_pagestore::buffer::BufferPool;
+use pitree_pagestore::disk::{DiskManager, FileDisk, MemDisk};
+use pitree_pagestore::space::SpaceMap;
+use pitree_pagestore::StoreResult;
+use pitree_txnlock::TxnManager;
+use pitree_wal::log::{FileLogStore, LogManager, LogStore, MemLogStore};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A fully wired store.
+pub struct Store {
+    /// Buffer pool over the durable disk.
+    pub pool: Arc<BufferPool>,
+    /// Write-ahead log.
+    pub log: Arc<LogManager>,
+    /// Transactions + database locks + active-action registry.
+    pub txns: TxnManager,
+    /// Page allocation state.
+    pub space: SpaceMap,
+}
+
+impl Store {
+    /// Assemble a store over the given disk and log storage. `fresh` decides
+    /// whether the space map is initialized (mkfs) or opened.
+    pub fn assemble(
+        disk: Arc<dyn DiskManager>,
+        log_store: Arc<dyn LogStore>,
+        pool_frames: usize,
+        max_pages: u64,
+        fresh: bool,
+    ) -> StoreResult<Arc<Store>> {
+        let pool = Arc::new(BufferPool::new(disk, pool_frames));
+        let log = Arc::new(LogManager::open(log_store)?);
+        pool.set_wal_hook(Arc::clone(&log) as Arc<_>);
+        let space = if fresh {
+            SpaceMap::init(&pool, max_pages)?
+        } else {
+            SpaceMap::open(&pool)?
+        };
+        let txns = TxnManager::new(Arc::clone(&log), Arc::clone(&pool), Duration::from_secs(10));
+        Ok(Arc::new(Store { pool, log, txns, space }))
+    }
+}
+
+impl Store {
+    /// Open (or create) a file-backed store in `dir`: pages in `store.db`,
+    /// the log in `store.log` (+ `store.master`). The store is fresh iff
+    /// `store.db` does not exist yet.
+    pub fn open_file(dir: &Path, pool_frames: usize, max_pages: u64) -> StoreResult<Arc<Store>> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| pitree_pagestore::StoreError::Corrupt(format!("mkdir {dir:?}: {e}")))?;
+        let db_path = dir.join("store.db");
+        let fresh = !db_path.exists();
+        let disk = Arc::new(FileDisk::open(&db_path)?);
+        let log_store = Arc::new(FileLogStore::open(&dir.join("store.log"))?);
+        Store::assemble(disk, log_store, pool_frames, max_pages, fresh)
+    }
+}
+
+/// An in-memory store whose volatile/durable boundary can be "crashed".
+pub struct CrashableStore {
+    disk: Arc<MemDisk>,
+    log_store: Arc<MemLogStore>,
+    /// The live store built over the durable state.
+    pub store: Arc<Store>,
+    pool_frames: usize,
+}
+
+impl CrashableStore {
+    /// A brand-new in-memory store.
+    pub fn create(pool_frames: usize, max_pages: u64) -> StoreResult<CrashableStore> {
+        let disk = Arc::new(MemDisk::new());
+        let log_store = Arc::new(MemLogStore::new());
+        let store = Store::assemble(
+            Arc::clone(&disk) as Arc<dyn DiskManager>,
+            Arc::clone(&log_store) as Arc<dyn LogStore>,
+            pool_frames,
+            max_pages,
+            true,
+        )?;
+        Ok(CrashableStore { disk, log_store, store, pool_frames })
+    }
+
+    /// Simulate a crash: drop all volatile state (buffer pool contents,
+    /// unforced log tail) and rebuild over the durable image. Recovery has
+    /// **not** been run on the result; call `pitree_wal::recover` (or
+    /// [`crate::PiTree::recover`]) next.
+    pub fn crash(&self) -> StoreResult<CrashableStore> {
+        self.crash_with_log_prefix(u64::MAX)
+    }
+
+    /// Crash, additionally truncating the durable log to `log_bytes` bytes
+    /// (simulating a force cut short mid-record). Used for log-prefix
+    /// crash-point sweeps.
+    pub fn crash_with_log_prefix(&self, log_bytes: u64) -> StoreResult<CrashableStore> {
+        let disk = Arc::new(self.disk.snapshot());
+        let log_store = Arc::new(self.log_store.snapshot_truncated(log_bytes));
+        let store = Store::assemble(
+            Arc::clone(&disk) as Arc<dyn DiskManager>,
+            Arc::clone(&log_store) as Arc<dyn LogStore>,
+            self.pool_frames,
+            0,
+            false,
+        )?;
+        Ok(CrashableStore { disk, log_store, store, pool_frames: self.pool_frames })
+    }
+
+    /// Current durable log length in bytes (crash-point sweep upper bound).
+    pub fn durable_log_len(&self) -> u64 {
+        self.log_store.durable_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitree_pagestore::PageId;
+
+    #[test]
+    fn create_initializes_space_map() {
+        let cs = CrashableStore::create(64, 10_000).unwrap();
+        assert!(cs.store.space.is_allocated(&cs.store.pool, PageId(0)).unwrap());
+        assert!(!cs.store.space.is_allocated(&cs.store.pool, PageId(5)).unwrap());
+    }
+
+    #[test]
+    fn crash_rebuilds_from_durable_state() {
+        let cs = CrashableStore::create(64, 10_000).unwrap();
+        // mkfs flushed the meta/bitmap pages, so a crash immediately after
+        // creation still opens.
+        let cs2 = cs.crash().unwrap();
+        assert_eq!(cs2.store.space.bitmap_pages(), cs.store.space.bitmap_pages());
+    }
+
+    #[test]
+    fn crash_truncates_log() {
+        let cs = CrashableStore::create(64, 10_000).unwrap();
+        let t = cs.store.txns.begin(pitree_wal::ActionIdentity::Transaction);
+        t.commit().unwrap();
+        assert!(cs.durable_log_len() > 0);
+        let cs2 = cs.crash_with_log_prefix(0).unwrap();
+        assert_eq!(cs2.durable_log_len(), 0);
+        assert!(cs2.store.log.scan(None).is_empty());
+    }
+}

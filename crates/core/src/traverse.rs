@@ -1,0 +1,236 @@
+//! Tree traversal (§3.1) with the latching discipline of §4.1/§5.2, and the
+//! saved-path machinery of §5.2.
+//!
+//! The traversal descends from the root following index terms; when a node's
+//! directly-contained space does not include the search key, it follows side
+//! pointers (§3.1). Following a side pointer is how intermediate states are
+//! *detected* (§5.1): descents schedule an index-term posting whenever they
+//! traverse one — unless the delegating node is move-locked (§4.2.2).
+//!
+//! Latching depends on the consolidation policy:
+//! * **CNS** (no consolidation): nodes are immortal; one latch at a time.
+//! * **CP**: latch coupling — the latch on the referenced node is acquired
+//!   before the latch on the referencing node is released.
+
+use crate::completion::Completion;
+use crate::node::{Guarded, IndexTerm, NodeHeader};
+use crate::stats::TreeStats;
+use crate::tree::PiTree;
+use pitree_pagestore::buffer::PinnedPage;
+use pitree_pagestore::{Lsn, PageId, StoreError, StoreResult};
+
+/// One remembered step of a traversal: node, its state identifier at visit
+/// time, and its level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathEntry {
+    /// The visited node.
+    pub pid: PageId,
+    /// Its state identifier (page LSN) when visited.
+    pub lsn: Lsn,
+    /// Its level.
+    pub level: u8,
+}
+
+/// The saved information of §5.2: "search key, nodes traversed on the path
+/// from root to data node, and the location of the relevant index terms."
+/// (We re-find in-node locations by binary search; saving slots buys little
+/// at our node sizes.)
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SavedPath {
+    /// Entries ordered root-first.
+    pub entries: Vec<PathEntry>,
+}
+
+impl SavedPath {
+    /// The saved entry at `level`, if any.
+    pub fn at_level(&self, level: u8) -> Option<&PathEntry> {
+        self.entries.iter().find(|e| e.level == level)
+    }
+
+    /// Entries strictly above `level` (for scheduling postings one level up).
+    pub fn above(&self, level: u8) -> SavedPath {
+        SavedPath { entries: self.entries.iter().filter(|e| e.level > level).cloned().collect() }
+    }
+}
+
+/// Result of a descent: the target node pinned and latched, its header, and
+/// the saved path of the levels above it.
+pub struct DescentTarget<'a> {
+    /// Pin on the target node.
+    pub page: PinnedPage<'a>,
+    /// Latch guard (S, or U when `update_at_target` was requested).
+    pub guard: Guarded<'a>,
+    /// Decoded header of the target node.
+    pub hdr: NodeHeader,
+    /// Saved path (levels above the target).
+    pub path: SavedPath,
+}
+
+/// Latch `page` in S or U mode.
+fn latch<'a>(page: &PinnedPage<'a>, update: bool) -> Guarded<'a> {
+    if update {
+        Guarded::U(page.u())
+    } else {
+        Guarded::S(page.s())
+    }
+}
+
+impl PiTree {
+    /// Descend from the root to the node at `target_level` whose directly
+    /// contained space includes `key`, following side pointers as needed.
+    ///
+    /// With `update_at_target`, the target node is U-latched (§5.3: "When
+    /// the LEVEL is reached, U-latches are used, possibly traversing side
+    /// pointers until the correct NODE is U-latched"); otherwise S.
+    ///
+    /// `schedule` controls whether side-pointer traversals enqueue
+    /// completing postings (§5.1); completing actions themselves pass
+    /// `false`.
+    pub(crate) fn descend(
+        &self,
+        key: &[u8],
+        target_level: u8,
+        update_at_target: bool,
+        schedule: bool,
+    ) -> StoreResult<DescentTarget<'_>> {
+        self.descend_from(self.root_pid(), key, target_level, update_at_target, schedule)
+    }
+
+    /// [`PiTree::descend`] starting from `start` instead of the root — the
+    /// §5.2 saved-path re-traversal. The caller asserts that `start` was on
+    /// a path for `key` (so `start.low ≤ key`; low bounds never change) and,
+    /// under the CP invariant, that it has verified `start` is still
+    /// allocated. A start node that nonetheless turns out freed or re-used
+    /// falls back to a root traversal.
+    pub(crate) fn descend_from(
+        &self,
+        start: PageId,
+        key: &[u8],
+        target_level: u8,
+        update_at_target: bool,
+        schedule: bool,
+    ) -> StoreResult<DescentTarget<'_>> {
+        let coupling = self.config().consolidation.couples_latches();
+        let pool = &self.store().pool;
+
+        let mut path = SavedPath::default();
+        let mut cur = pool.fetch(start)?;
+        let mut g = latch(&cur, false);
+        if g.page().page_type()? != pitree_pagestore::PageType::Node || g.page().is_freed() {
+            // The remembered node was de-allocated after verification; only
+            // the root is immortal (§5.2.2).
+            drop(g);
+            return self.descend_from(self.root_pid(), key, target_level, update_at_target, schedule);
+        }
+        let mut hdr = NodeHeader::read(g.page())?;
+        if hdr.level < target_level {
+            return Err(StoreError::Corrupt(format!(
+                "descend target level {target_level} above start level {}",
+                hdr.level
+            )));
+        }
+        // Re-latch the root in U mode if the root itself is the target of an
+        // update descent. (Promotion from S is forbidden.)
+        if hdr.level == target_level && update_at_target {
+            drop(g);
+            g = latch(&cur, true);
+            hdr = NodeHeader::read(g.page())?;
+        }
+
+        loop {
+            // ---- side traversals at the current level -----------------------
+            while !hdr.contains(key) {
+                if !hdr.high.gt_key(key) {
+                    // key ≥ high: delegated to the sibling.
+                    let from = cur.id();
+                    let side = hdr.side;
+                    if !side.is_valid() {
+                        return Err(StoreError::Corrupt(format!(
+                            "node {from} lacks side pointer but does not contain key"
+                        )));
+                    }
+                    let want_u = update_at_target && hdr.level == target_level;
+                    let sib = pool.fetch(side)?;
+                    let sg = if coupling {
+                        let t = latch(&sib, want_u);
+                        drop(g);
+                        t
+                    } else {
+                        drop(g);
+                        latch(&sib, want_u)
+                    };
+                    let sib_hdr = NodeHeader::read(sg.page())?;
+                    TreeStats::bump(&self.stats().side_traversals);
+                    if schedule {
+                        self.schedule_posting_for(from, side, &sib_hdr, &path);
+                    }
+                    cur = sib;
+                    g = sg;
+                    hdr = sib_hdr;
+                } else {
+                    // key < low: routing raced far ahead; restart from root.
+                    // (Possible only transiently under CP consolidation.)
+                    drop(g);
+                    return self.descend(key, target_level, update_at_target, schedule);
+                }
+            }
+
+            if hdr.level == target_level {
+                return Ok(DescentTarget { page: cur, guard: g, hdr, path });
+            }
+
+            // ---- descend one level ------------------------------------------
+            let slot = g.page().keyed_floor(key)?.ok_or_else(|| {
+                StoreError::Corrupt(format!(
+                    "index node {} contains {key:02x?} but has no routable term",
+                    cur.id()
+                ))
+            })?;
+            let term = IndexTerm::read(g.page(), slot)?;
+            path.entries.push(PathEntry { pid: cur.id(), lsn: g.page().lsn(), level: hdr.level });
+
+            let want_u = update_at_target && hdr.level - 1 == target_level;
+            let child = pool.fetch(term.child)?;
+            let cg = if coupling {
+                let t = latch(&child, want_u);
+                drop(g);
+                t
+            } else {
+                drop(g);
+                latch(&child, want_u)
+            };
+            let child_hdr = NodeHeader::read(cg.page())?;
+            cur = child;
+            g = cg;
+            hdr = child_hdr;
+        }
+    }
+
+    /// Schedule the completing index-term posting for a side traversal from
+    /// `from` to the sibling `node` — unless the delegating node is move
+    /// locked, in which case the split's transaction is still in doubt and
+    /// "a transaction encountering a move lock on a sibling traversal does
+    /// not schedule an index posting" (§4.2.2).
+    pub(crate) fn schedule_posting_for(
+        &self,
+        from: PageId,
+        node: PageId,
+        node_hdr: &NodeHeader,
+        path: &SavedPath,
+    ) {
+        if self.store().txns.locks().is_move_locked(&self.page_lock(from)) {
+            TreeStats::bump(&self.stats().postings_move_deferred);
+            return;
+        }
+        let key = node_hdr.low.as_entry_key().to_vec();
+        let level = node_hdr.level + 1;
+        if self.completions().push(Completion::Post {
+            level,
+            key,
+            node,
+            path: path.above(node_hdr.level),
+        }) {
+            TreeStats::bump(&self.stats().postings_scheduled);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Edge-case tests: variable-length string keys, byte-limited (full-page)
+//! nodes, space exhaustion, buffer-pressure operation, and codec fuzzing at
+//! the tree level.
+
+use pitree::{CrashableStore, PiTree, PiTreeConfig};
+use std::sync::Arc;
+
+#[test]
+fn variable_length_string_keys_sort_correctly() {
+    let (_cs, tree) = {
+        let cs = CrashableStore::create(512, 100_000).unwrap();
+        let tree =
+            PiTree::create(Arc::clone(&cs.store), 1, PiTreeConfig::small_nodes(6, 6)).unwrap();
+        (cs, tree)
+    };
+    // Keys with prefix relationships and mixed lengths.
+    let words = [
+        "a", "aa", "aaa", "ab", "abc", "b", "ba", "banana", "band", "bandit", "z", "zz",
+        "apple", "applesauce", "app", "ap", "zebra", "zeb", "",
+    ];
+    let mut txn = tree.begin();
+    for (i, w) in words.iter().enumerate() {
+        // Skip the empty key: it is reserved as the -inf index-term key.
+        if w.is_empty() {
+            continue;
+        }
+        tree.insert(&mut txn, w.as_bytes(), format!("{i}").as_bytes()).unwrap();
+    }
+    txn.commit().unwrap();
+    for (i, w) in words.iter().enumerate() {
+        if w.is_empty() {
+            continue;
+        }
+        assert_eq!(
+            tree.get_unlocked(w.as_bytes()).unwrap(),
+            Some(format!("{i}").into_bytes()),
+            "word {w:?}"
+        );
+    }
+    // Scans respect byte order (prefixes first).
+    let out = tree.scan(b"a", b"b").unwrap();
+    let keys: Vec<String> =
+        out.iter().map(|(k, _)| String::from_utf8(k.clone()).unwrap()).collect();
+    let mut expected: Vec<String> = words
+        .iter()
+        .filter(|w| !w.is_empty() && w.starts_with('a'))
+        .map(|w| w.to_string())
+        .collect();
+    expected.sort();
+    assert_eq!(keys, expected);
+    assert!(tree.validate().unwrap().is_well_formed());
+}
+
+#[test]
+fn byte_limited_nodes_split_on_page_space() {
+    // No artificial entry cap: splits trigger on actual 4 KiB page space.
+    let cs = CrashableStore::create(2048, 200_000).unwrap();
+    let tree = PiTree::create(Arc::clone(&cs.store), 1, PiTreeConfig::default()).unwrap();
+    let value = vec![0xabu8; 512]; // ~7 records per 4 KiB leaf
+    let mut txn = tree.begin();
+    for i in 0..200u64 {
+        tree.insert(&mut txn, &i.to_be_bytes(), &value).unwrap();
+    }
+    txn.commit().unwrap();
+    tree.run_completions().unwrap();
+    let report = tree.validate().unwrap();
+    assert!(report.is_well_formed(), "{:?}", report.violations);
+    assert_eq!(report.records, 200);
+    assert!(tree.height().unwrap() >= 2, "512-byte values must split 4 KiB leaves");
+    for i in 0..200u64 {
+        assert_eq!(tree.get_unlocked(&i.to_be_bytes()).unwrap().unwrap().len(), 512);
+    }
+}
+
+#[test]
+fn tiny_buffer_pool_still_works() {
+    // A pool of 24 frames over a tree of hundreds of pages: constant
+    // eviction with WAL-protocol write-backs.
+    let cs = CrashableStore::create(24, 200_000).unwrap();
+    let tree =
+        PiTree::create(Arc::clone(&cs.store), 1, PiTreeConfig::small_nodes(8, 8)).unwrap();
+    for i in 0..600u64 {
+        let mut txn = tree.begin();
+        tree.insert(&mut txn, &i.to_be_bytes(), b"evict-me").unwrap();
+        txn.commit().unwrap();
+    }
+    tree.run_completions().unwrap();
+    let report = tree.validate().unwrap();
+    assert!(report.is_well_formed(), "{:?}", report.violations);
+    assert_eq!(report.records, 600);
+    assert!(
+        cs.store.pool.stats().dirty_evictions.load(std::sync::atomic::Ordering::Relaxed) > 50,
+        "the workload must actually evict dirty pages"
+    );
+    // And it all survives a crash (pages partially on disk from evictions).
+    drop(tree);
+    let cs2 = cs.crash().unwrap();
+    let (tree2, _) =
+        PiTree::recover(Arc::clone(&cs2.store), 1, PiTreeConfig::small_nodes(8, 8)).unwrap();
+    assert_eq!(tree2.validate().unwrap().records, 600);
+}
+
+#[test]
+fn space_exhaustion_is_a_clean_error() {
+    // A store with room for very few pages: growth must fail with
+    // OutOfSpace, not corrupt anything.
+    let cs = CrashableStore::create(64, 16).unwrap();
+    let tree =
+        PiTree::create(Arc::clone(&cs.store), 1, PiTreeConfig::small_nodes(4, 4)).unwrap();
+    let mut txn = tree.begin();
+    let mut hit_oos = false;
+    for i in 0..10_000u64 {
+        match tree.insert(&mut txn, &i.to_be_bytes(), &[0u8; 64]) {
+            Ok(_) => {}
+            Err(pitree_pagestore::StoreError::OutOfSpace) => {
+                hit_oos = true;
+                break;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(hit_oos, "a 16-page store must run out of space");
+}
+
+#[test]
+fn oversized_records_split_until_they_fit() {
+    let cs = CrashableStore::create(1024, 200_000).unwrap();
+    let tree = PiTree::create(Arc::clone(&cs.store), 1, PiTreeConfig::default()).unwrap();
+    // ~1.3 KiB values: 2-3 per page.
+    let value = vec![7u8; 1300];
+    let mut txn = tree.begin();
+    for i in 0..30u64 {
+        tree.insert(&mut txn, &i.to_be_bytes(), &value).unwrap();
+    }
+    txn.commit().unwrap();
+    tree.run_completions().unwrap();
+    let report = tree.validate().unwrap();
+    assert!(report.is_well_formed(), "{:?}", report.violations);
+    assert_eq!(report.records, 30);
+}
+
+#[test]
+fn empty_tree_scan_and_delete() {
+    let cs = CrashableStore::create(64, 10_000).unwrap();
+    let tree =
+        PiTree::create(Arc::clone(&cs.store), 1, PiTreeConfig::small_nodes(4, 4)).unwrap();
+    assert!(tree.scan(b"", b"\xff").unwrap().is_empty());
+    let mut txn = tree.begin();
+    assert!(!tree.delete(&mut txn, b"nothing").unwrap());
+    txn.commit().unwrap();
+    assert!(tree.validate().unwrap().is_well_formed());
+}

@@ -1,0 +1,152 @@
+//! Property-based testing: arbitrary operation sequences against a
+//! `BTreeMap` reference model, across every policy combination, with
+//! crash/recover and completion-draining steps mixed in. After every
+//! sequence the tree must be well-formed and agree exactly with the model.
+
+use pitree::{
+    ConsolidationPolicy, CrashableStore, DeallocPolicy, PiTree, PiTreeConfig, UndoPolicy,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u8),
+    Delete(u16),
+    Get(u16),
+    Scan(u16, u16),
+    /// Insert a batch in one transaction, then abort it.
+    AbortedBatch(Vec<(u16, u8)>),
+    RunCompletions,
+    CrashRecover,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Insert(k % 512, v)),
+        3 => any::<u16>().prop_map(|k| Op::Delete(k % 512)),
+        2 => any::<u16>().prop_map(|k| Op::Get(k % 512)),
+        1 => (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::Scan(a % 512, b % 512)),
+        1 => proptest::collection::vec((any::<u16>(), any::<u8>()), 1..8)
+            .prop_map(|v| Op::AbortedBatch(v.into_iter().map(|(k, x)| (k % 512, x)).collect())),
+        1 => Just(Op::RunCompletions),
+        1 => Just(Op::CrashRecover),
+    ]
+}
+
+fn key(k: u16) -> Vec<u8> {
+    k.to_be_bytes().to_vec()
+}
+
+fn val(v: u8) -> Vec<u8> {
+    vec![v; (v as usize % 13) + 1]
+}
+
+fn run_model(cfg: PiTreeConfig, ops: Vec<Op>) {
+    let mut cs = CrashableStore::create(512, 200_000).unwrap();
+    let mut tree = PiTree::create(Arc::clone(&cs.store), 1, cfg).unwrap();
+    let mut model: BTreeMap<u16, u8> = BTreeMap::new();
+
+    for op in ops {
+        match op {
+            Op::Insert(k, v) => {
+                let mut t = tree.begin();
+                tree.insert(&mut t, &key(k), &val(v)).unwrap();
+                t.commit().unwrap();
+                model.insert(k, v);
+            }
+            Op::Delete(k) => {
+                let mut t = tree.begin();
+                let existed = tree.delete(&mut t, &key(k)).unwrap();
+                t.commit().unwrap();
+                assert_eq!(existed, model.remove(&k).is_some(), "delete {k}");
+            }
+            Op::Get(k) => {
+                let got = tree.get_unlocked(&key(k)).unwrap();
+                assert_eq!(got, model.get(&k).map(|&v| val(v)), "get {k}");
+            }
+            Op::Scan(a, b) => {
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                let got = tree.scan(&key(lo), &key(hi)).unwrap();
+                let expected: Vec<(Vec<u8>, Vec<u8>)> = model
+                    .range(lo..hi)
+                    .map(|(&k, &v)| (key(k), val(v)))
+                    .collect();
+                assert_eq!(got, expected, "scan [{lo}, {hi})");
+            }
+            Op::AbortedBatch(batch) => {
+                let mut t = tree.begin();
+                for &(k, v) in &batch {
+                    tree.insert(&mut t, &key(k), &val(v)).unwrap();
+                }
+                match cfg.undo {
+                    UndoPolicy::Logical => t.abort(Some(&tree.undo_handler())).unwrap(),
+                    UndoPolicy::PageOriented => t.abort(None).unwrap(),
+                }
+                // Model unchanged.
+            }
+            Op::RunCompletions => {
+                tree.run_completions().unwrap();
+            }
+            Op::CrashRecover => {
+                drop(tree);
+                let cs2 = cs.crash().unwrap();
+                let (t2, _) = PiTree::recover(Arc::clone(&cs2.store), 1, cfg).unwrap();
+                cs = cs2;
+                tree = t2;
+            }
+        }
+    }
+
+    let report = tree.validate().unwrap();
+    prop_assert_eq_hack(report.is_well_formed(), &report.violations);
+    assert_eq!(report.records, model.len());
+    for (&k, &v) in &model {
+        assert_eq!(tree.get_unlocked(&key(k)).unwrap(), Some(val(v)), "final get {k}");
+    }
+}
+
+fn prop_assert_eq_hack(ok: bool, violations: &[String]) {
+    assert!(ok, "violations: {violations:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn model_cp_logical(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut cfg = PiTreeConfig::small_nodes(5, 5);
+        cfg.min_utilization = 0.4;
+        run_model(cfg, ops);
+    }
+
+    #[test]
+    fn model_cns_logical(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut cfg = PiTreeConfig::small_nodes(5, 5);
+        cfg.consolidation = ConsolidationPolicy::Disabled;
+        run_model(cfg, ops);
+    }
+
+    #[test]
+    fn model_cp_page_oriented(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut cfg = PiTreeConfig::small_nodes(5, 5).page_oriented();
+        cfg.min_utilization = 0.4;
+        run_model(cfg, ops);
+    }
+
+    #[test]
+    fn model_dealloc_not_update(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut cfg = PiTreeConfig::small_nodes(5, 5);
+        cfg.consolidation = ConsolidationPolicy::Enabled { dealloc: DeallocPolicy::NotAnUpdate };
+        cfg.min_utilization = 0.4;
+        run_model(cfg, ops);
+    }
+
+    #[test]
+    fn model_manual_completion(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut cfg = PiTreeConfig::small_nodes(5, 5);
+        cfg.auto_complete = false;
+        run_model(cfg, ops);
+    }
+}

@@ -1,0 +1,86 @@
+//! The §4.2.2 move-lock granule options: page-level (default) vs a lock on
+//! the whole relation. Both must be correct; the relation granule trades
+//! concurrency for simplicity ("once granted, no update activity can alter
+//! the locking required").
+
+use pitree::{CrashableStore, MoveGranule, PiTree, PiTreeConfig};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+fn key(i: u64) -> Vec<u8> {
+    i.to_be_bytes().to_vec()
+}
+
+fn run_batches(granule: MoveGranule) -> (CrashableStore, PiTree) {
+    let mut cfg = PiTreeConfig::small_nodes(6, 6).page_oriented();
+    cfg.move_granule = granule;
+    let cs = CrashableStore::create(1024, 200_000).unwrap();
+    let tree = PiTree::create(Arc::clone(&cs.store), 1, cfg).unwrap();
+    for batch in 0..8u64 {
+        let mut t = tree.begin();
+        for j in 0..10 {
+            tree.insert(&mut t, &key(batch * 10 + j), b"v").unwrap();
+        }
+        t.commit().unwrap();
+    }
+    (cs, tree)
+}
+
+#[test]
+fn relation_granule_is_correct() {
+    let (_cs, tree) = run_batches(MoveGranule::Relation);
+    for _ in 0..4 {
+        tree.run_completions().unwrap();
+    }
+    let report = tree.validate().unwrap();
+    assert!(report.is_well_formed(), "{:?}", report.violations);
+    assert_eq!(report.records, 80);
+    for i in 0..80u64 {
+        assert_eq!(tree.get_unlocked(&key(i)).unwrap(), Some(b"v".to_vec()));
+    }
+    // In-transaction splits happened under the single relation lock too.
+    assert!(tree.stats().splits_in_txn.load(Ordering::Relaxed) > 0);
+}
+
+#[test]
+fn relation_granule_defers_more_postings_than_page_granule() {
+    // Coarser move locks defer MORE postings: while any transaction holds
+    // the relation move lock, no posting anywhere in the tree may proceed.
+    let (_cs, page_tree) = run_batches(MoveGranule::Page);
+    let (_cs2, rel_tree) = run_batches(MoveGranule::Relation);
+    let page_deferred =
+        page_tree.stats().postings_move_deferred.load(Ordering::Relaxed);
+    let rel_deferred = rel_tree.stats().postings_move_deferred.load(Ordering::Relaxed);
+    assert!(
+        rel_deferred >= page_deferred,
+        "relation granule must defer at least as many postings: page={page_deferred} \
+         relation={rel_deferred}"
+    );
+}
+
+#[test]
+fn relation_granule_rollback_and_recovery() {
+    let mut cfg = PiTreeConfig::small_nodes(6, 6).page_oriented();
+    cfg.move_granule = MoveGranule::Relation;
+    let cs = CrashableStore::create(1024, 200_000).unwrap();
+    let tree = PiTree::create(Arc::clone(&cs.store), 1, cfg).unwrap();
+    for i in 0..20u64 {
+        let mut t = tree.begin();
+        tree.insert(&mut t, &key(i), b"keep").unwrap();
+        t.commit().unwrap();
+    }
+    // In-transaction splits under the relation lock, then abort.
+    let mut t = tree.begin();
+    for i in 100..140u64 {
+        tree.insert(&mut t, &key(i), b"doomed").unwrap();
+    }
+    t.abort(None).unwrap();
+    let report = tree.validate().unwrap();
+    assert!(report.is_well_formed(), "{:?}", report.violations);
+    assert_eq!(report.records, 20);
+    // And across a crash.
+    drop(tree);
+    let cs2 = cs.crash().unwrap();
+    let (tree2, _) = PiTree::recover(Arc::clone(&cs2.store), 1, cfg).unwrap();
+    assert_eq!(tree2.validate().unwrap().records, 20);
+}

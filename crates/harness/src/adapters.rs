@@ -1,0 +1,86 @@
+//! Adapters exposing the Π-tree through the baseline [`ConcurrentIndex`]
+//! surface, so experiment E1 drives all three protocols identically.
+
+use pitree::{CrashableStore, PiTree, PiTreeConfig};
+use pitree_baselines::ConcurrentIndex;
+use std::sync::Arc;
+
+/// A Π-tree with its store, autocommitting one transaction per operation
+/// (the same per-operation cost model the baselines have — minus their
+/// missing WAL, which biases *against* the Π-tree; see DESIGN.md).
+pub struct PiTreeIndex {
+    _store: CrashableStore,
+    tree: PiTree,
+}
+
+impl PiTreeIndex {
+    /// Build over a fresh in-memory store.
+    pub fn new(pool_frames: usize, cfg: PiTreeConfig) -> PiTreeIndex {
+        let store = CrashableStore::create(pool_frames, 1 << 20).expect("store");
+        let tree = PiTree::create(Arc::clone(&store.store), 1, cfg).expect("tree");
+        PiTreeIndex { _store: store, tree }
+    }
+
+    /// The wrapped tree (for stats and validation).
+    pub fn tree(&self) -> &PiTree {
+        &self.tree
+    }
+}
+
+impl ConcurrentIndex for PiTreeIndex {
+    fn insert(&self, key: &[u8], value: &[u8]) {
+        loop {
+            let mut txn = self.tree.begin();
+            match self.tree.insert(&mut txn, key, value) {
+                Ok(_) => {
+                    txn.commit().expect("commit");
+                    return;
+                }
+                Err(pitree_pagestore::StoreError::LockFailed { .. }) => {
+                    // Deadlock victim: abort and retry, like any client.
+                    let _ = txn.abort(Some(&self.tree.undo_handler()));
+                }
+                Err(e) => panic!("insert failed: {e}"),
+            }
+        }
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.tree.get_unlocked(key).expect("get")
+    }
+
+    fn delete(&self, key: &[u8]) -> bool {
+        loop {
+            let mut txn = self.tree.begin();
+            match self.tree.delete(&mut txn, key) {
+                Ok(hit) => {
+                    txn.commit().expect("commit");
+                    return hit;
+                }
+                Err(pitree_pagestore::StoreError::LockFailed { .. }) => {
+                    let _ = txn.abort(Some(&self.tree.undo_handler()));
+                }
+                Err(e) => panic!("delete failed: {e}"),
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "pi-tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adapter_roundtrip() {
+        let idx = PiTreeIndex::new(256, PiTreeConfig::small_nodes(8, 8));
+        idx.insert(b"k", b"v");
+        assert_eq!(idx.get(b"k"), Some(b"v".to_vec()));
+        assert!(idx.delete(b"k"));
+        assert!(!idx.delete(b"k"));
+        assert_eq!(idx.name(), "pi-tree");
+    }
+}

@@ -1,0 +1,81 @@
+//! A background completion worker: drains a Π-tree's completion queue on an
+//! interval, the way a production system would run lazy structure-change
+//! completion off the critical path (§5.1).
+
+use pitree::PiTree;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handle to a background completion thread; stops (and drains once more)
+/// on drop.
+pub struct CompletionWorker {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl CompletionWorker {
+    /// Spawn a worker draining `tree`'s queue every `interval`.
+    pub fn spawn(tree: Arc<PiTree>, interval: Duration) -> CompletionWorker {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !stop2.load(Ordering::SeqCst) {
+                tree.run_completions().expect("completion action failed");
+                std::thread::park_timeout(interval);
+            }
+            // Final drain so nothing queued is left behind.
+            for _ in 0..4 {
+                tree.run_completions().expect("completion action failed");
+            }
+        });
+        CompletionWorker { stop, handle: Some(handle) }
+    }
+
+    /// Stop the worker and wait for its final drain.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            h.thread().unpark();
+            h.join().expect("completion worker panicked");
+        }
+    }
+}
+
+impl Drop for CompletionWorker {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitree::{CrashableStore, PiTreeConfig};
+
+    #[test]
+    fn worker_completes_postings_in_background() {
+        let mut cfg = PiTreeConfig::small_nodes(6, 6);
+        cfg.auto_complete = false; // the worker is the only completer
+        let cs = CrashableStore::create(1024, 200_000).unwrap();
+        let tree =
+            Arc::new(PiTree::create(Arc::clone(&cs.store), 1, cfg).unwrap());
+        let worker = CompletionWorker::spawn(Arc::clone(&tree), Duration::from_millis(1));
+        for i in 0..300u64 {
+            let mut t = tree.begin();
+            tree.insert(&mut t, &i.to_be_bytes(), b"v").unwrap();
+            t.commit().unwrap();
+        }
+        worker.stop();
+        let report = tree.validate().unwrap();
+        assert!(report.is_well_formed(), "{:?}", report.violations);
+        assert_eq!(report.records, 300);
+        assert_eq!(report.unposted_nodes, 0, "the worker must have drained all postings");
+        assert!(tree.completions().is_empty());
+    }
+}

@@ -1,0 +1,14 @@
+#![warn(missing_docs)]
+//! Experiment harness: workload generators, index adapters, and the table
+//! printer used by the `exp*` and `fig*` binaries that regenerate every
+//! entry in `EXPERIMENTS.md`.
+
+pub mod adapters;
+pub mod completer;
+pub mod table;
+pub mod workload;
+
+pub use adapters::PiTreeIndex;
+pub use completer::CompletionWorker;
+pub use table::Table;
+pub use workload::{KeyDist, Workload};

@@ -1,0 +1,111 @@
+//! Synthetic keyed workloads — the stand-in for the multi-user OLTP drivers
+//! of Srinivasan & Carey \[18\] that motivate the paper's concurrency claims
+//! (substitution documented in DESIGN.md §2.7).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Key distribution shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyDist {
+    /// Uniform over the key domain.
+    Uniform,
+    /// Skewed: ~80% of accesses hit ~20% of the domain (approximate Zipf via
+    /// nested uniform ranges).
+    Skewed,
+    /// Monotonically increasing (append-heavy; maximizes rightmost-node
+    /// contention).
+    Sequential,
+}
+
+/// A reproducible stream of keys.
+pub struct Workload {
+    dist: KeyDist,
+    domain: u64,
+    rng: StdRng,
+    next_seq: u64,
+}
+
+impl Workload {
+    /// A workload over keys `0..domain` with a fixed seed.
+    pub fn new(dist: KeyDist, domain: u64, seed: u64) -> Workload {
+        Workload { dist, domain, rng: StdRng::seed_from_u64(seed), next_seq: 0 }
+    }
+
+    /// The next key, as a u64.
+    pub fn next_key_u64(&mut self) -> u64 {
+        match self.dist {
+            KeyDist::Uniform => self.rng.gen_range(0..self.domain),
+            KeyDist::Skewed => {
+                let mut span = self.domain;
+                // 80/20 nesting, three levels deep.
+                for _ in 0..3 {
+                    if self.rng.gen_bool(0.8) {
+                        span = (span / 5).max(1);
+                    } else {
+                        break;
+                    }
+                }
+                self.rng.gen_range(0..span.max(1))
+            }
+            KeyDist::Sequential => {
+                let k = self.next_seq;
+                self.next_seq += 1;
+                k
+            }
+        }
+    }
+
+    /// The next key, encoded big-endian (the byte order the trees sort by).
+    pub fn next_key(&mut self) -> Vec<u8> {
+        self.next_key_u64().to_be_bytes().to_vec()
+    }
+
+    /// Whether the next operation is a read, for a given read fraction.
+    pub fn is_read(&mut self, read_fraction: f64) -> bool {
+        self.rng.gen_bool(read_fraction)
+    }
+}
+
+/// Encode a u64 key the way the harness does everywhere.
+pub fn key(i: u64) -> Vec<u8> {
+    i.to_be_bytes().to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_reproducible() {
+        let mut a = Workload::new(KeyDist::Uniform, 1000, 42);
+        let mut b = Workload::new(KeyDist::Uniform, 1000, 42);
+        for _ in 0..50 {
+            assert_eq!(a.next_key_u64(), b.next_key_u64());
+        }
+    }
+
+    #[test]
+    fn sequential_is_monotonic() {
+        let mut w = Workload::new(KeyDist::Sequential, u64::MAX, 0);
+        let ks: Vec<u64> = (0..10).map(|_| w.next_key_u64()).collect();
+        assert!(ks.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn skew_concentrates_mass() {
+        let mut w = Workload::new(KeyDist::Skewed, 100_000, 7);
+        let hits = (0..10_000).filter(|_| w.next_key_u64() < 20_000).count();
+        assert!(hits > 6_000, "skewed hits in the hot fifth: {hits}/10000");
+    }
+
+    #[test]
+    fn keys_are_in_domain() {
+        for dist in [KeyDist::Uniform, KeyDist::Skewed] {
+            let mut w = Workload::new(dist, 500, 3);
+            for _ in 0..1000 {
+                assert!(w.next_key_u64() < 500);
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! hB-tree concurrency: threads inserting and querying point data while
+//! hyperplane splits and fragment postings run between them (CNS: one latch
+//! at a time, immortal nodes).
+
+use pitree::store::CrashableStore;
+use pitree_hb::{HbConfig, HbTree, Point, Rect};
+use std::sync::Arc;
+
+#[test]
+fn concurrent_point_inserts() {
+    let cs = CrashableStore::create(4096, 500_000).unwrap();
+    let tree = Arc::new(
+        HbTree::create(Arc::clone(&cs.store), 1, HbConfig::small_nodes(6, 12)).unwrap(),
+    );
+    let threads = 6u64;
+    let per = 150u64;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let tree = Arc::clone(&tree);
+            s.spawn(move || {
+                for i in 0..per {
+                    // Disjoint lattices per thread, interleaved in space.
+                    let p: Point = [(i * 97) % 10_000 * threads + t, (i * 193) % 10_000];
+                    let mut txn = tree.begin();
+                    tree.insert(&mut txn, &p, b"c").unwrap();
+                    txn.commit().unwrap();
+                }
+            });
+        }
+    });
+    for _ in 0..8 {
+        tree.run_completions().unwrap();
+    }
+    let report = tree.validate().unwrap();
+    assert!(report.is_well_formed(), "{:?}", report.violations);
+    for t in 0..threads {
+        for i in 0..per {
+            let p: Point = [(i * 97) % 10_000 * threads + t, (i * 193) % 10_000];
+            assert_eq!(tree.get(&p).unwrap(), Some(b"c".to_vec()), "point {p:?}");
+        }
+    }
+}
+
+#[test]
+fn readers_and_window_queries_during_split_storm() {
+    let cs = CrashableStore::create(4096, 500_000).unwrap();
+    let tree = Arc::new(
+        HbTree::create(Arc::clone(&cs.store), 1, HbConfig::small_nodes(5, 10)).unwrap(),
+    );
+    // Preload a stable lattice the readers check.
+    for x in 0..12u64 {
+        for y in 0..12u64 {
+            let mut txn = tree.begin();
+            tree.insert(&mut txn, &[x * 100 + 5, y * 100 + 5], b"stable").unwrap();
+            txn.commit().unwrap();
+        }
+    }
+    std::thread::scope(|s| {
+        // Writers extend into fresh space, forcing splits + postings.
+        for t in 0..3u64 {
+            let tree = Arc::clone(&tree);
+            s.spawn(move || {
+                for i in 0..200u64 {
+                    let p: Point = [50_000 + i * 3 + t, 50_000 + (i * 7 + t) % 900];
+                    let mut txn = tree.begin();
+                    tree.insert(&mut txn, &p, b"new").unwrap();
+                    txn.commit().unwrap();
+                }
+            });
+        }
+        // Readers: every stable point always visible; windows always
+        // complete over the stable region.
+        for _ in 0..3 {
+            let tree = Arc::clone(&tree);
+            s.spawn(move || {
+                for round in 0..20u64 {
+                    for x in 0..12u64 {
+                        let p: Point = [x * 100 + 5, (round % 12) * 100 + 5];
+                        assert_eq!(tree.get(&p).unwrap(), Some(b"stable".to_vec()));
+                    }
+                    let window = Rect { lo: [0, 0], hi: [1_200, 1_200] };
+                    let hits = tree.window_query(&window).unwrap();
+                    assert_eq!(hits.len(), 144, "stable lattice must stay complete");
+                }
+            });
+        }
+    });
+    assert!(tree.validate().unwrap().is_well_formed());
+}

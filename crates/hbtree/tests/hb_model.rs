@@ -1,0 +1,111 @@
+//! Property-based model checking of the hB-tree: arbitrary point inserts,
+//! updates, deletes, aborted batches, crash/recover cycles, and completion
+//! passes, checked against a `BTreeMap<Point, value>` model — including
+//! exhaustive window queries and the exact geometric partition validator.
+
+use pitree::store::CrashableStore;
+use pitree_hb::{HbConfig, HbTree, Point, Rect};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u8, u8, u8),
+    Delete(u8, u8),
+    AbortedBatch(Vec<(u8, u8)>),
+    Window(u8, u8, u8, u8),
+    RunCompletions,
+    CrashRecover,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(x, y, v)| Op::Insert(x % 32, y % 32, v)),
+        2 => (any::<u8>(), any::<u8>()).prop_map(|(x, y)| Op::Delete(x % 32, y % 32)),
+        1 => proptest::collection::vec((any::<u8>(), any::<u8>()), 1..5)
+            .prop_map(|v| Op::AbortedBatch(v.into_iter().map(|(x, y)| (x % 32, y % 32)).collect())),
+        2 => (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(a, b, c, d)| Op::Window(a % 32, b % 32, c % 8 + 1, d % 8 + 1)),
+        1 => Just(Op::RunCompletions),
+        1 => Just(Op::CrashRecover),
+    ]
+}
+
+fn pt(x: u8, y: u8) -> Point {
+    // Spread over a wide domain so kd cuts have room.
+    [x as u64 * 1000, y as u64 * 1000]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn hb_matches_point_map_model(ops in proptest::collection::vec(op_strategy(), 1..100)) {
+        let cfg = HbConfig::small_nodes(5, 10);
+        let mut cs = CrashableStore::create(1024, 200_000).unwrap();
+        let mut tree = HbTree::create(Arc::clone(&cs.store), 1, cfg).unwrap();
+        let mut model: BTreeMap<Point, Vec<u8>> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(x, y, v) => {
+                    let p = pt(x, y);
+                    let value = vec![v; 3];
+                    let mut txn = tree.begin();
+                    tree.insert(&mut txn, &p, &value).unwrap();
+                    txn.commit().unwrap();
+                    model.insert(p, value);
+                }
+                Op::Delete(x, y) => {
+                    let p = pt(x, y);
+                    let mut txn = tree.begin();
+                    let hit = tree.delete(&mut txn, &p).unwrap();
+                    txn.commit().unwrap();
+                    prop_assert_eq!(hit, model.remove(&p).is_some());
+                }
+                Op::AbortedBatch(batch) => {
+                    let mut txn = tree.begin();
+                    for &(x, y) in &batch {
+                        tree.insert(&mut txn, &pt(x, y), b"doomed").unwrap();
+                    }
+                    txn.abort(Some(&tree.undo_handler())).unwrap();
+                    // Model unchanged.
+                }
+                Op::Window(x, y, w, h) => {
+                    let window = Rect {
+                        lo: pt(x, y),
+                        hi: [pt(x, y)[0] + w as u64 * 1000, pt(x, y)[1] + h as u64 * 1000],
+                    };
+                    let got = tree.window_query(&window).unwrap();
+                    let want: Vec<(Point, Vec<u8>)> = model
+                        .iter()
+                        .filter(|(p, _)| window.contains(p))
+                        .map(|(p, v)| (*p, v.clone()))
+                        .collect();
+                    prop_assert_eq!(got, want, "window {:?}", window);
+                }
+                Op::RunCompletions => {
+                    tree.run_completions().unwrap();
+                }
+                Op::CrashRecover => {
+                    drop(tree);
+                    let cs2 = cs.crash().unwrap();
+                    let (t2, _) = HbTree::recover(Arc::clone(&cs2.store), 1, cfg).unwrap();
+                    cs = cs2;
+                    tree = t2;
+                }
+            }
+        }
+
+        let report = tree.validate().unwrap();
+        prop_assert!(report.is_well_formed(), "violations: {:?}", report.violations);
+        prop_assert_eq!(report.records, model.len());
+        for (p, v) in &model {
+            let got = tree.get(p).unwrap();
+            prop_assert_eq!(got.as_deref(), Some(v.as_slice()), "point {:?}", p);
+        }
+        // A point never inserted must be absent.
+        prop_assert_eq!(tree.get(&[999_999, 999_999]).unwrap(), None);
+    }
+}

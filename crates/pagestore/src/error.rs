@@ -1,0 +1,73 @@
+//! Error types for the page store.
+
+use crate::ids::PageId;
+use std::fmt;
+
+/// Errors surfaced by the page-store layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The requested page id does not exist on the durable medium.
+    PageNotFound(PageId),
+    /// The buffer pool has no evictable frame (everything is pinned).
+    PoolExhausted,
+    /// A slotted-page operation was given an out-of-range slot index.
+    BadSlot {
+        /// The page (INVALID when unknown at this layer).
+        page: PageId,
+        /// The offending slot index.
+        slot: u16,
+    },
+    /// A record does not fit in the page even after compaction.
+    PageFull {
+        /// The page (INVALID when unknown at this layer).
+        page: PageId,
+        /// Bytes the record requires (including its slot entry).
+        need: usize,
+        /// Bytes available.
+        free: usize,
+    },
+    /// The space map has no free page left in its managed extent.
+    OutOfSpace,
+    /// A page's stored type differs from what the caller expected.
+    WrongPageType {
+        /// The page in question.
+        page: PageId,
+        /// The expected type name.
+        expected: &'static str,
+    },
+    /// Corrupt on-disk or in-log bytes.
+    Corrupt(String),
+    /// A database-lock acquisition failed; `deadlock` distinguishes a
+    /// waits-for cycle (victim should abort and retry) from a wait timeout.
+    LockFailed {
+        /// Whether the failure was a detected deadlock.
+        deadlock: bool,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::PageNotFound(p) => write!(f, "page {p} not found"),
+            StoreError::PoolExhausted => write!(f, "buffer pool exhausted (all frames pinned)"),
+            StoreError::BadSlot { page, slot } => write!(f, "bad slot {slot} on page {page}"),
+            StoreError::PageFull { page, need, free } => {
+                write!(f, "page {page} full: need {need} bytes, {free} free")
+            }
+            StoreError::OutOfSpace => write!(f, "space map exhausted"),
+            StoreError::WrongPageType { page, expected } => {
+                write!(f, "page {page} is not a {expected} page")
+            }
+            StoreError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            StoreError::LockFailed { deadlock: true } => {
+                write!(f, "deadlock detected; requester chosen as victim")
+            }
+            StoreError::LockFailed { deadlock: false } => write!(f, "lock wait timed out"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Convenience alias used across the crate.
+pub type StoreResult<T> = Result<T, StoreError>;

@@ -1,0 +1,79 @@
+//! Identifier newtypes shared by the whole workspace.
+
+use std::fmt;
+
+/// Identifier of a page on durable storage.
+///
+/// Page ids are dense indexes into the backing file. Page 0 is the store meta
+/// page, pages `1..=n` are space-map bitmap pages, and the remainder are
+/// available for allocation (see [`crate::space`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// Sentinel meaning "no page" (used for absent side pointers and the
+    /// like). Page 0 is the meta page, which is never a tree node, so 0 is a
+    /// safe sentinel for tree-level pointers.
+    pub const INVALID: PageId = PageId(0);
+
+    /// Whether this id refers to an actual page (not the sentinel).
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Log sequence number.
+///
+/// LSNs are byte offsets into the log, so they are totally ordered and
+/// monotonically increasing. The LSN stored in a page header is the paper's
+/// *state identifier* (§5.2): "Log sequence numbers are used for state
+/// identifiers in many commercial systems."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Lsn(pub u64);
+
+impl Lsn {
+    /// LSN smaller than every real LSN; the state id of a freshly formatted
+    /// page that has never been logged against.
+    pub const ZERO: Lsn = Lsn(0);
+
+    /// Largest possible LSN; useful as an upper bound when flushing.
+    pub const MAX: Lsn = Lsn(u64::MAX);
+}
+
+impl fmt::Display for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_id_sentinel() {
+        assert!(!PageId::INVALID.is_valid());
+        assert!(PageId(1).is_valid());
+        assert_eq!(PageId::INVALID, PageId(0));
+    }
+
+    #[test]
+    fn lsn_ordering() {
+        assert!(Lsn::ZERO < Lsn(1));
+        assert!(Lsn(1) < Lsn::MAX);
+        assert_eq!(Lsn::default(), Lsn::ZERO);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PageId(7).to_string(), "P7");
+        assert_eq!(Lsn(42).to_string(), "L42");
+    }
+}

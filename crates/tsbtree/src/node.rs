@@ -1,0 +1,279 @@
+//! TSB-tree node layout (§2.2.2, Figure 1).
+//!
+//! A TSB node is responsible for a rectangle of (key × time) space. A
+//! **current node** covers `[key_low, key_high) × [t_lo, now)` and carries
+//! two kinds of sibling terms: a *key* side pointer delegating the key space
+//! at and above `key_high` (exactly the B-link sibling term), and a
+//! *history* side pointer delegating the time space before `t_lo` (Figure 1:
+//! "Current nodes are responsible for all previous time through their
+//! historical pointers and all higher key ranges through their key (side)
+//! pointers"). A **history node** covers `[key_low, key_high) × [t_lo,
+//! t_hi)`, never splits again, and chains further back through its own
+//! history pointer (a copy of its creator's, per Figure 1).
+//!
+//! Leaf entries are *versions*: entry key = `user key ⧺ 8-byte big-endian
+//! start time`, payload = `[flags][value]` (bit 0 of flags marks a deletion
+//! tombstone). Bytewise entry order gives a consistent total order with all
+//! versions of one key contiguous and time-ascending.
+
+use pitree::bound::KeyBound;
+use pitree_pagestore::page::Page;
+use pitree_pagestore::{PageId, StoreError, StoreResult};
+
+/// Version timestamps (logical clock ticks).
+pub type Time = u64;
+
+/// Kind of a TSB node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum TsbKind {
+    /// Mutable node covering current time.
+    Current = 0,
+    /// Immutable node covering a closed time interval.
+    History = 1,
+    /// Index node (routes by key over current nodes).
+    Index = 2,
+}
+
+impl TsbKind {
+    fn from_u8(b: u8) -> StoreResult<TsbKind> {
+        match b {
+            0 => Ok(TsbKind::Current),
+            1 => Ok(TsbKind::History),
+            2 => Ok(TsbKind::Index),
+            x => Err(StoreError::Corrupt(format!("bad TSB node kind {x}"))),
+        }
+    }
+}
+
+/// Decoded TSB node header (slot 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TsbHeader {
+    /// What this node is.
+    pub kind: TsbKind,
+    /// Level: 0 for data nodes, parents one higher.
+    pub level: u8,
+    /// Inclusive low key bound of the directly-contained key space.
+    pub key_low: KeyBound,
+    /// Exclusive high key bound (key-delegation boundary when `key_side` is
+    /// set).
+    pub key_high: KeyBound,
+    /// Key sibling (current/index nodes; the B-link side pointer).
+    pub key_side: PageId,
+    /// History sibling: the node responsible for this key space before
+    /// `t_lo` (data nodes only).
+    pub hist_side: PageId,
+    /// Inclusive start of the covered time interval.
+    pub t_lo: Time,
+    /// Exclusive end of the covered time interval (`Time::MAX` = open, for
+    /// current and index nodes).
+    pub t_hi: Time,
+}
+
+impl TsbHeader {
+    /// Header for a brand-new root (a current data node covering all of key
+    /// space and all time).
+    pub fn new_root_leaf() -> TsbHeader {
+        TsbHeader {
+            kind: TsbKind::Current,
+            level: 0,
+            key_low: KeyBound::NegInf,
+            key_high: KeyBound::PosInf,
+            key_side: PageId::INVALID,
+            hist_side: PageId::INVALID,
+            t_lo: 0,
+            t_hi: Time::MAX,
+        }
+    }
+
+    /// Whether `key` lies in the directly-contained key space.
+    pub fn contains_key(&self, key: &[u8]) -> bool {
+        self.key_low.le_key(key) && self.key_high.gt_key(key)
+    }
+
+    /// Whether `t` lies in the covered time interval.
+    pub fn contains_time(&self, t: Time) -> bool {
+        self.t_lo <= t && t < self.t_hi
+    }
+
+    /// Encode as the slot-0 record.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(40);
+        v.push(self.kind as u8);
+        v.push(self.level);
+        v.extend_from_slice(&self.key_side.0.to_le_bytes());
+        v.extend_from_slice(&self.hist_side.0.to_le_bytes());
+        v.extend_from_slice(&self.t_lo.to_le_bytes());
+        v.extend_from_slice(&self.t_hi.to_le_bytes());
+        self.key_low.encode(&mut v);
+        self.key_high.encode(&mut v);
+        v
+    }
+
+    /// Decode from the slot-0 record.
+    pub fn decode(bytes: &[u8]) -> StoreResult<TsbHeader> {
+        if bytes.len() < 34 {
+            return Err(StoreError::Corrupt("TSB header too short".into()));
+        }
+        let kind = TsbKind::from_u8(bytes[0])?;
+        let level = bytes[1];
+        let key_side = PageId(u64::from_le_bytes(bytes[2..10].try_into().unwrap()));
+        let hist_side = PageId(u64::from_le_bytes(bytes[10..18].try_into().unwrap()));
+        let t_lo = u64::from_le_bytes(bytes[18..26].try_into().unwrap());
+        let t_hi = u64::from_le_bytes(bytes[26..34].try_into().unwrap());
+        let mut pos = 34;
+        let key_low = KeyBound::decode(bytes, &mut pos)?;
+        let key_high = KeyBound::decode(bytes, &mut pos)?;
+        Ok(TsbHeader { kind, level, key_low, key_high, key_side, hist_side, t_lo, t_hi })
+    }
+
+    /// Read from a node page.
+    pub fn read(page: &Page) -> StoreResult<TsbHeader> {
+        TsbHeader::decode(page.get(0)?)
+    }
+}
+
+// ---- version entries --------------------------------------------------------
+
+/// Flag bit marking a deletion tombstone version.
+pub const FLAG_TOMBSTONE: u8 = 0b0000_0001;
+
+/// Build the composite entry key `user key ⧺ start time`.
+pub fn version_key(key: &[u8], t: Time) -> Vec<u8> {
+    let mut v = Vec::with_capacity(key.len() + 8);
+    v.extend_from_slice(key);
+    v.extend_from_slice(&t.to_be_bytes());
+    v
+}
+
+/// Split a composite entry key back into `(user key, start time)`.
+pub fn split_version_key(vkey: &[u8]) -> (&[u8], Time) {
+    let n = vkey.len() - 8;
+    (&vkey[..n], u64::from_be_bytes(vkey[n..].try_into().unwrap()))
+}
+
+/// Build a full version entry.
+pub fn version_entry(key: &[u8], t: Time, value: Option<&[u8]>) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(1 + value.map_or(0, |v| v.len()));
+    match value {
+        Some(v) => {
+            payload.push(0);
+            payload.extend_from_slice(v);
+        }
+        None => payload.push(FLAG_TOMBSTONE),
+    }
+    Page::make_entry(&version_key(key, t), &payload)
+}
+
+/// Decode a version entry's payload into `Some(value)` or `None` for a
+/// tombstone.
+pub fn version_value(payload: &[u8]) -> Option<&[u8]> {
+    if payload[0] & FLAG_TOMBSTONE != 0 {
+        None
+    } else {
+        Some(&payload[1..])
+    }
+}
+
+/// Find, within a data node, the slot of the version of `key` valid at `t`
+/// (the greatest start time ≤ `t`). Returns `None` if no version of `key`
+/// starts at or before `t` in this node.
+pub fn find_version_at(page: &Page, key: &[u8], t: Time) -> StoreResult<Option<u16>> {
+    let probe = version_key(key, t);
+    let slot = match page.keyed_find(&probe)? {
+        Ok(s) => s,
+        Err(ins) if ins > 1 => ins - 1,
+        Err(_) => return Ok(None),
+    };
+    let (k, _) = split_version_key(Page::entry_key(page.get(slot)?));
+    Ok(if k == key { Some(slot) } else { None })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitree_pagestore::page::PageType;
+
+    #[test]
+    fn header_codec_roundtrip() {
+        for h in [
+            TsbHeader::new_root_leaf(),
+            TsbHeader {
+                kind: TsbKind::History,
+                level: 0,
+                key_low: KeyBound::Key(b"m".to_vec()),
+                key_high: KeyBound::PosInf,
+                key_side: PageId(7),
+                hist_side: PageId(9),
+                t_lo: 100,
+                t_hi: 200,
+            },
+            TsbHeader {
+                kind: TsbKind::Index,
+                level: 2,
+                key_low: KeyBound::NegInf,
+                key_high: KeyBound::Key(b"q".to_vec()),
+                key_side: PageId(3),
+                hist_side: PageId::INVALID,
+                t_lo: 0,
+                t_hi: Time::MAX,
+            },
+        ] {
+            assert_eq!(TsbHeader::decode(&h.encode()).unwrap(), h);
+        }
+    }
+
+    #[test]
+    fn rectangle_membership() {
+        let h = TsbHeader {
+            kind: TsbKind::History,
+            level: 0,
+            key_low: KeyBound::Key(b"b".to_vec()),
+            key_high: KeyBound::Key(b"m".to_vec()),
+            key_side: PageId::INVALID,
+            hist_side: PageId::INVALID,
+            t_lo: 10,
+            t_hi: 20,
+        };
+        assert!(h.contains_key(b"c") && !h.contains_key(b"m") && !h.contains_key(b"a"));
+        assert!(h.contains_time(10) && h.contains_time(19));
+        assert!(!h.contains_time(20) && !h.contains_time(9));
+    }
+
+    #[test]
+    fn version_key_order_is_time_ascending_per_key() {
+        let a1 = version_key(b"aa", 1);
+        let a2 = version_key(b"aa", 2);
+        let b1 = version_key(b"ab", 1);
+        assert!(a1 < a2 && a2 < b1);
+        let (k, t) = split_version_key(&a2);
+        assert_eq!((k, t), (&b"aa"[..], 2));
+    }
+
+    #[test]
+    fn version_entry_tombstones() {
+        let live = version_entry(b"k", 5, Some(b"val"));
+        assert_eq!(version_value(Page::entry_payload(&live)), Some(&b"val"[..]));
+        let dead = version_entry(b"k", 6, None);
+        assert_eq!(version_value(Page::entry_payload(&dead)), None);
+    }
+
+    #[test]
+    fn find_version_at_picks_floor() {
+        let mut p = Page::new(PageType::Node);
+        p.insert(0, &TsbHeader::new_root_leaf().encode()).unwrap();
+        for t in [10u64, 20, 30] {
+            p.keyed_insert(&version_entry(b"k", t, Some(b"v"))).unwrap();
+        }
+        p.keyed_insert(&version_entry(b"m", 15, Some(b"v"))).unwrap();
+        let slot = find_version_at(&p, b"k", 25).unwrap().unwrap();
+        let (k, t) = split_version_key(Page::entry_key(p.get(slot).unwrap()));
+        assert_eq!((k, t), (&b"k"[..], 20));
+        assert!(find_version_at(&p, b"k", 5).unwrap().is_none(), "before first version");
+        let slot = find_version_at(&p, b"k", 30).unwrap().unwrap();
+        assert_eq!(split_version_key(Page::entry_key(p.get(slot).unwrap())).1, 30);
+        assert!(find_version_at(&p, b"zz", 50).unwrap().is_none());
+        // A key that is a prefix of another must not match it.
+        assert!(find_version_at(&p, b"", 50).unwrap().is_none());
+    }
+}

@@ -1,0 +1,126 @@
+//! Logical undo for TSB version writes.
+//!
+//! Undo of `put`/`delete` removes the version `(key, t)` wherever structure
+//! changes have taken it — the current node, or (after a time split) the
+//! history chain, or (after a key split) a sibling. Time splits duplicate
+//! alive-at-T versions, so undo removes **every** copy. The compensation is
+//! testable and idempotent: absent copies are skipped.
+
+use crate::node::{split_version_key, TsbHeader};
+use crate::tree::{TsbConfig, TsbTree};
+use parking_lot::Mutex;
+use pitree::store::Store;
+use pitree_pagestore::{PageOp, StoreError, StoreResult};
+use pitree_wal::recovery::LogicalUndoHandler;
+use pitree_wal::ActionIdentity;
+use std::sync::Arc;
+
+/// Logical-undo tag: payload is the composite version key `key ⧺ t`.
+pub const TAG_TSB_REMOVE_VERSION: u8 = 16;
+
+impl TsbTree {
+    /// A handler borrowing this tree, for live-transaction rollback.
+    pub fn undo_handler(&self) -> TsbUndoHandler<'_> {
+        TsbUndoHandler(self)
+    }
+
+    /// Remove every copy of the version with composite key `vkey`.
+    pub(crate) fn compensate_remove_version(&self, vkey: &[u8]) -> StoreResult<()> {
+        let (key, _t) = split_version_key(vkey);
+        let key = key.to_vec();
+        // Current node first.
+        {
+            let d = self.descend(&key, 0, true, false)?;
+            if d.guard.page().keyed_find(vkey)?.is_err() {
+                // Not in the current node; walk the history chain below.
+                let mut hist = d.hdr.hist_side;
+                drop(d);
+                while hist.is_valid() {
+                    let pin = self.store().pool.fetch(hist)?;
+                    let mut g = pin.x();
+                    let hdr = TsbHeader::read(&g)?;
+                    if g.keyed_find(vkey)?.is_ok() {
+                        let mut act =
+                            self.store().txns.begin(ActionIdentity::SystemTransaction);
+                        act.apply(&pin, &mut g, PageOp::KeyedRemove { key: vkey.to_vec() })?;
+                        drop(g);
+                        drop(pin);
+                        act.commit()?;
+                    } else {
+                        drop(g);
+                        drop(pin);
+                    }
+                    hist = hdr.hist_side;
+                }
+                return Ok(());
+            }
+            let mut act = self.store().txns.begin(ActionIdentity::SystemTransaction);
+            let mut g = d.guard.promote().into_x();
+            act.apply(&d.page, &mut g, PageOp::KeyedRemove { key: vkey.to_vec() })?;
+            // Continue into the history chain — a time split may have left a
+            // copy there too.
+            let hist = TsbHeader::read(&g)?.hist_side;
+            drop(g);
+            drop(d.page);
+            act.commit()?;
+            let mut hist = hist;
+            while hist.is_valid() {
+                let pin = self.store().pool.fetch(hist)?;
+                let mut g = pin.x();
+                let hdr = TsbHeader::read(&g)?;
+                if g.keyed_find(vkey)?.is_ok() {
+                    let mut act = self.store().txns.begin(ActionIdentity::SystemTransaction);
+                    act.apply(&pin, &mut g, PageOp::KeyedRemove { key: vkey.to_vec() })?;
+                    drop(g);
+                    drop(pin);
+                    act.commit()?;
+                } else {
+                    drop(g);
+                    drop(pin);
+                }
+                hist = hdr.hist_side;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// [`LogicalUndoHandler`] over a live TSB-tree.
+pub struct TsbUndoHandler<'a>(&'a TsbTree);
+
+impl LogicalUndoHandler for TsbUndoHandler<'_> {
+    fn undo(&self, tag: u8, payload: &[u8]) -> StoreResult<()> {
+        match tag {
+            TAG_TSB_REMOVE_VERSION => self.0.compensate_remove_version(payload),
+            t => Err(StoreError::Corrupt(format!("unknown TSB undo tag {t}"))),
+        }
+    }
+}
+
+/// Lazily-opened handler for restart recovery.
+pub struct TsbDeferredHandler {
+    store: Arc<Store>,
+    tree_id: u32,
+    cfg: TsbConfig,
+    tree: Mutex<Option<TsbTree>>,
+}
+
+impl TsbDeferredHandler {
+    /// Build a handler for `tree_id` over `store`.
+    pub fn new(store: Arc<Store>, tree_id: u32, cfg: TsbConfig) -> TsbDeferredHandler {
+        TsbDeferredHandler { store, tree_id, cfg, tree: Mutex::new(None) }
+    }
+}
+
+impl LogicalUndoHandler for TsbDeferredHandler {
+    fn undo(&self, tag: u8, payload: &[u8]) -> StoreResult<()> {
+        let mut guard = self.tree.lock();
+        if guard.is_none() {
+            *guard = Some(TsbTree::open(Arc::clone(&self.store), self.tree_id, self.cfg)?);
+        }
+        match tag {
+            TAG_TSB_REMOVE_VERSION => guard.as_ref().unwrap().compensate_remove_version(payload),
+            t => Err(StoreError::Corrupt(format!("unknown TSB undo tag {t}"))),
+        }
+    }
+}

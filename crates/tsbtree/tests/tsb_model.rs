@@ -1,0 +1,128 @@
+//! Property-based model checking of the TSB-tree: arbitrary interleavings
+//! of versioned puts, deletes, aborted batches, crash/recover cycles, and
+//! completion passes, checked against a full multiversion reference model
+//! (`BTreeMap<key, BTreeMap<time, Option<value>>>`). Every as-of read at
+//! every historical timestamp must agree with the model.
+
+use pitree::store::CrashableStore;
+use pitree_tsb::{TsbConfig, TsbTree};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, u8),
+    Delete(u8),
+    AbortedBatch(Vec<(u8, u8)>),
+    RunCompletions,
+    CrashRecover,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Op::Put(k % 24, v)),
+        2 => any::<u8>().prop_map(|k| Op::Delete(k % 24)),
+        1 => proptest::collection::vec((any::<u8>(), any::<u8>()), 1..5)
+            .prop_map(|v| Op::AbortedBatch(v.into_iter().map(|(k, x)| (k % 24, x)).collect())),
+        1 => Just(Op::RunCompletions),
+        1 => Just(Op::CrashRecover),
+    ]
+}
+
+fn key(k: u8) -> Vec<u8> {
+    vec![b'k', k]
+}
+
+fn val(v: u8) -> Vec<u8> {
+    vec![v; (v as usize % 7) + 1]
+}
+
+type Model = BTreeMap<u8, BTreeMap<u64, Option<Vec<u8>>>>;
+
+fn model_as_of(model: &Model, k: u8, t: u64) -> Option<Vec<u8>> {
+    model
+        .get(&k)
+        .and_then(|versions| versions.range(..=t).next_back())
+        .and_then(|(_, v)| v.clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn tsb_matches_multiversion_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let cfg = TsbConfig::small_nodes(6, 6);
+        let mut cs = CrashableStore::create(512, 200_000).unwrap();
+        let mut tree = TsbTree::create(Arc::clone(&cs.store), 1, cfg).unwrap();
+        let mut model: Model = BTreeMap::new();
+        let mut max_t = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Put(k, v) => {
+                    let mut txn = tree.begin();
+                    let t = tree.put(&mut txn, &key(k), &val(v)).unwrap();
+                    txn.commit().unwrap();
+                    model.entry(k).or_default().insert(t, Some(val(v)));
+                    max_t = max_t.max(t);
+                }
+                Op::Delete(k) => {
+                    let mut txn = tree.begin();
+                    let t = tree.delete(&mut txn, &key(k)).unwrap();
+                    txn.commit().unwrap();
+                    model.entry(k).or_default().insert(t, None);
+                    max_t = max_t.max(t);
+                }
+                Op::AbortedBatch(batch) => {
+                    let mut txn = tree.begin();
+                    for &(k, v) in &batch {
+                        let t = tree.put(&mut txn, &key(k), &val(v)).unwrap();
+                        max_t = max_t.max(t);
+                    }
+                    txn.abort(Some(&tree.undo_handler())).unwrap();
+                    // Model unchanged — but the clock advanced.
+                }
+                Op::RunCompletions => {
+                    tree.run_completions().unwrap();
+                }
+                Op::CrashRecover => {
+                    drop(tree);
+                    let cs2 = cs.crash().unwrap();
+                    let (t2, _) = TsbTree::recover(Arc::clone(&cs2.store), 1, cfg).unwrap();
+                    cs = cs2;
+                    tree = t2;
+                }
+            }
+        }
+
+        let report = tree.validate().unwrap();
+        prop_assert!(report.is_well_formed(), "violations: {:?}", report.violations);
+
+        // Current reads.
+        for k in 0..24u8 {
+            prop_assert_eq!(
+                tree.get_current(&key(k)).unwrap(),
+                model_as_of(&model, k, u64::MAX - 1),
+                "current read of key {}", k
+            );
+        }
+        // As-of reads at every historical timestamp (and a few beyond).
+        for t in 0..=max_t + 1 {
+            for k in 0..24u8 {
+                prop_assert_eq!(
+                    tree.get_as_of(&key(k), t).unwrap(),
+                    model_as_of(&model, k, t),
+                    "as-of read of key {} at t{}", k, t
+                );
+            }
+        }
+        // Histories agree with the model exactly.
+        for (k, versions) in &model {
+            let got = tree.history(&key(*k)).unwrap();
+            let want: Vec<(u64, Option<Vec<u8>>)> =
+                versions.iter().map(|(&t, v)| (t, v.clone())).collect();
+            prop_assert_eq!(got, want, "history of key {}", k);
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! TSB-tree functional, structural (Figure 1), and recovery tests.
+
+use pitree::store::CrashableStore;
+use pitree_tsb::{TsbConfig, TsbHeader, TsbKind, TsbTree};
+use std::sync::Arc;
+
+fn key(i: u64) -> Vec<u8> {
+    i.to_be_bytes().to_vec()
+}
+
+fn setup(cfg: TsbConfig) -> (CrashableStore, TsbTree) {
+    let cs = CrashableStore::create(512, 100_000).unwrap();
+    let tree = TsbTree::create(Arc::clone(&cs.store), 1, cfg).unwrap();
+    (cs, tree)
+}
+
+fn put(tree: &TsbTree, k: &[u8], v: &[u8]) -> u64 {
+    let mut t = tree.begin();
+    let ts = tree.put(&mut t, k, v).unwrap();
+    t.commit().unwrap();
+    ts
+}
+
+fn del(tree: &TsbTree, k: &[u8]) -> u64 {
+    let mut t = tree.begin();
+    let ts = tree.delete(&mut t, k).unwrap();
+    t.commit().unwrap();
+    ts
+}
+
+#[test]
+fn current_reads_see_latest_version() {
+    let (_cs, tree) = setup(TsbConfig::default());
+    put(&tree, b"k", b"v1");
+    put(&tree, b"k", b"v2");
+    put(&tree, b"k", b"v3");
+    assert_eq!(tree.get_current(b"k").unwrap(), Some(b"v3".to_vec()));
+    assert_eq!(tree.get_current(b"absent").unwrap(), None);
+}
+
+#[test]
+fn as_of_reads_travel_back_in_time() {
+    let (_cs, tree) = setup(TsbConfig::default());
+    let t1 = put(&tree, b"k", b"v1");
+    let t2 = put(&tree, b"k", b"v2");
+    let t3 = del(&tree, b"k");
+    let t4 = put(&tree, b"k", b"v4");
+    assert_eq!(tree.get_as_of(b"k", t1).unwrap(), Some(b"v1".to_vec()));
+    assert_eq!(tree.get_as_of(b"k", t2).unwrap(), Some(b"v2".to_vec()));
+    assert_eq!(tree.get_as_of(b"k", t2).unwrap(), Some(b"v2".to_vec()));
+    assert_eq!(tree.get_as_of(b"k", t3).unwrap(), None, "tombstone visible at t3");
+    assert_eq!(tree.get_as_of(b"k", t4).unwrap(), Some(b"v4".to_vec()));
+    assert_eq!(tree.get_as_of(b"k", t1 - 1).unwrap(), None, "before first version");
+    assert_eq!(tree.get_current(b"k").unwrap(), Some(b"v4".to_vec()));
+}
+
+#[test]
+fn history_lists_all_versions() {
+    let (_cs, tree) = setup(TsbConfig::default());
+    let t1 = put(&tree, b"k", b"a");
+    let t2 = put(&tree, b"k", b"b");
+    let t3 = del(&tree, b"k");
+    let h = tree.history(b"k").unwrap();
+    assert_eq!(
+        h,
+        vec![
+            (t1, Some(b"a".to_vec())),
+            (t2, Some(b"b".to_vec())),
+            (t3, None),
+        ]
+    );
+}
+
+#[test]
+fn time_splits_preserve_full_history() {
+    // Small nodes + many versions of few keys force TIME splits.
+    let (_cs, tree) = setup(TsbConfig::small_nodes(8, 8));
+    let mut stamps = Vec::new();
+    for round in 0..40u64 {
+        for k in 0..3u64 {
+            let ts = put(&tree, &key(k), format!("r{round}-k{k}").as_bytes());
+            stamps.push((k, round, ts));
+        }
+    }
+    let report = tree.validate().unwrap();
+    assert!(report.is_well_formed(), "{:?}", report.violations);
+    assert!(report.history_nodes > 0, "version churn must have time-split");
+    // Every historical version is still reachable as-of its write time.
+    for &(k, round, ts) in &stamps {
+        assert_eq!(
+            tree.get_as_of(&key(k), ts).unwrap(),
+            Some(format!("r{round}-k{k}").into_bytes()),
+            "key {k} round {round} at t{ts}"
+        );
+    }
+    // Current reads see the last round.
+    for k in 0..3u64 {
+        assert_eq!(
+            tree.get_current(&key(k)).unwrap(),
+            Some(format!("r39-k{k}").into_bytes())
+        );
+    }
+}
+
+#[test]
+fn key_splits_preserve_history_access() {
+    // Figure 1's key-split rule: the new current node copies the history
+    // pointer, staying responsible for the entire history of its key space.
+    let (_cs, tree) = setup(TsbConfig::small_nodes(8, 8));
+    // Interleave: version churn (causing time splits) then key spread
+    // (causing key splits).
+    let mut stamps = Vec::new();
+    for round in 0..6u64 {
+        for k in 0..20u64 {
+            let ts = put(&tree, &key(k), format!("r{round}-k{k}").as_bytes());
+            stamps.push((k, round, ts));
+        }
+    }
+    tree.run_completions().unwrap();
+    let report = tree.validate().unwrap();
+    assert!(report.is_well_formed(), "{:?}", report.violations);
+    assert!(report.current_nodes > 1, "key spread must have key-split");
+    assert!(report.history_nodes > 0, "churn must have time-split");
+    for &(k, round, ts) in &stamps {
+        assert_eq!(
+            tree.get_as_of(&key(k), ts).unwrap(),
+            Some(format!("r{round}-k{k}").into_bytes()),
+            "key {k} round {round}"
+        );
+    }
+}
+
+#[test]
+fn figure_1_topology() {
+    // Reproduce the Figure 1 sequence on a single node: a time split, then a
+    // key split, then another time split — and verify the pointer copies the
+    // figure shows.
+    let (cs, tree) = setup(TsbConfig::small_nodes(6, 8));
+    // Fill with versions of two keys → time split (history node H1).
+    for round in 0..3u64 {
+        for k in [1u64, 2] {
+            put(&tree, &key(k), format!("r{round}").as_bytes());
+        }
+    }
+    // Spread keys → key split (new current node).
+    for k in 3..12u64 {
+        put(&tree, &key(k), b"spread");
+    }
+    tree.run_completions().unwrap();
+    let report = tree.validate().unwrap();
+    assert!(report.is_well_formed(), "{:?}", report.violations);
+    assert!(report.current_nodes >= 2 && report.history_nodes >= 1);
+
+    // Structural assertions: walk the current chain; every current node
+    // whose key space intersects the original (time-split) range must reach
+    // H-nodes through its history pointer — i.e. key splits copied it.
+    let pool = &cs.store.pool;
+    let mut cur = {
+        // leftmost data node via the validator's счёт — re-derive by descent
+        let mut pid = tree.root_pid();
+        loop {
+            let pin = pool.fetch(pid).unwrap();
+            let g = pin.s();
+            let hdr = TsbHeader::read(&g).unwrap();
+            if hdr.level == 0 {
+                break pid;
+            }
+            pid = pitree::node::IndexTerm::read(&g, 1).unwrap().child;
+        }
+    };
+    let mut with_history = 0;
+    loop {
+        let pin = pool.fetch(cur).unwrap();
+        let g = pin.s();
+        let hdr = TsbHeader::read(&g).unwrap();
+        assert_eq!(hdr.kind, TsbKind::Current);
+        if hdr.hist_side.is_valid() {
+            with_history += 1;
+            let hp = pool.fetch(hdr.hist_side).unwrap();
+            let hg = hp.s();
+            let hh = TsbHeader::read(&hg).unwrap();
+            assert_eq!(hh.kind, TsbKind::History);
+            assert_eq!(hh.t_hi, hdr.t_lo, "history node ends where current begins");
+        }
+        if !hdr.key_side.is_valid() {
+            break;
+        }
+        cur = hdr.key_side;
+    }
+    assert!(
+        with_history >= 2,
+        "after a key split of a time-split node, BOTH current nodes must hold \
+         history pointers (Figure 1), found {with_history}"
+    );
+    // And old versions remain reachable through them.
+    assert_eq!(tree.get_as_of(&key(1), 1).unwrap(), Some(b"r0".to_vec()));
+}
+
+#[test]
+fn aborted_transaction_leaves_no_versions() {
+    let (_cs, tree) = setup(TsbConfig::small_nodes(8, 8));
+    put(&tree, b"k", b"committed");
+    let mut t = tree.begin();
+    tree.put(&mut t, b"k", b"doomed").unwrap();
+    tree.put(&mut t, b"other", b"doomed").unwrap();
+    t.abort(Some(&tree.undo_handler())).unwrap();
+    assert_eq!(tree.get_current(b"k").unwrap(), Some(b"committed".to_vec()));
+    assert_eq!(tree.get_current(b"other").unwrap(), None);
+    let h = tree.history(b"k").unwrap();
+    assert_eq!(h.len(), 1);
+    assert!(tree.validate().unwrap().is_well_formed());
+}
+
+#[test]
+fn abort_after_time_split_removes_all_copies() {
+    // An uncommitted version that a time split duplicated into a history
+    // node must vanish from BOTH copies on abort.
+    let (_cs, tree) = setup(TsbConfig::small_nodes(6, 8));
+    for round in 0..2u64 {
+        put(&tree, b"k", format!("c{round}").as_bytes());
+    }
+    let mut t = tree.begin();
+    tree.put(&mut t, b"k", b"doomed").unwrap();
+    // Force time splits while the version is uncommitted.
+    for round in 0..4u64 {
+        put(&tree, b"j", format!("x{round}").as_bytes());
+        put(&tree, b"l", format!("y{round}").as_bytes());
+    }
+    t.abort(Some(&tree.undo_handler())).unwrap();
+    assert_eq!(tree.get_current(b"k").unwrap(), Some(b"c1".to_vec()));
+    let h = tree.history(b"k").unwrap();
+    assert_eq!(h.len(), 2, "only the two committed versions remain: {h:?}");
+    assert!(tree.validate().unwrap().is_well_formed());
+}
+
+#[test]
+fn crash_recovery_preserves_committed_versions() {
+    let cfg = TsbConfig::small_nodes(8, 8);
+    let (cs, tree) = setup(cfg);
+    let mut stamps = Vec::new();
+    for round in 0..10u64 {
+        for k in 0..6u64 {
+            let ts = put(&tree, &key(k), format!("r{round}").as_bytes());
+            stamps.push((k, round, ts));
+        }
+    }
+    drop(tree);
+    let cs2 = cs.crash().unwrap();
+    let (tree2, _stats) = TsbTree::recover(Arc::clone(&cs2.store), 1, cfg).unwrap();
+    let report = tree2.validate().unwrap();
+    assert!(report.is_well_formed(), "{:?}", report.violations);
+    for &(k, round, ts) in &stamps {
+        assert_eq!(
+            tree2.get_as_of(&key(k), ts).unwrap(),
+            Some(format!("r{round}").into_bytes())
+        );
+    }
+    // The clock resumes above every recovered timestamp.
+    let t_new = put(&tree2, b"post-crash", b"v");
+    assert!(t_new > stamps.last().unwrap().2);
+}
+
+#[test]
+fn crash_log_prefix_sweep() {
+    let cfg = TsbConfig::small_nodes(6, 6);
+    let (cs, tree) = setup(cfg);
+    for round in 0..4u64 {
+        for k in 0..8u64 {
+            put(&tree, &key(k), format!("r{round}").as_bytes());
+        }
+    }
+    drop(tree);
+    cs.store.log.force_all().unwrap();
+    let records = cs.store.log.scan(None);
+    for (idx, rec) in records.iter().enumerate() {
+        if idx % 4 != 0 {
+            continue;
+        }
+        let cut = rec.lsn.0 - 1;
+        let cs2 = cs.crash_with_log_prefix(cut).unwrap();
+        let Ok((tree2, _)) = TsbTree::recover(Arc::clone(&cs2.store), 1, cfg) else {
+            continue;
+        };
+        let report = tree2.validate().unwrap();
+        assert!(report.is_well_formed(), "cut={cut}: {:?}", report.violations);
+    }
+}
+
+#[test]
+fn scan_as_of_snapshots() {
+    let (_cs, tree) = setup(TsbConfig::small_nodes(8, 8));
+    for k in 0..10u64 {
+        put(&tree, &key(k), b"old");
+    }
+    let t_snap = tree.now();
+    for k in 0..10u64 {
+        if k % 2 == 0 {
+            del(&tree, &key(k));
+        } else {
+            put(&tree, &key(k), b"new");
+        }
+    }
+    // Snapshot at t_snap: everything alive with the old value.
+    let snap = tree.scan_as_of(&key(0), &key(100), t_snap).unwrap();
+    assert_eq!(snap.len(), 10);
+    assert!(snap.iter().all(|(_, v)| v == b"old"));
+    // Now: evens deleted, odds updated.
+    let now = tree.scan_as_of(&key(0), &key(100), tree.now()).unwrap();
+    assert_eq!(now.len(), 5);
+    assert!(now.iter().all(|(_, v)| v == b"new"));
+}
+
+#[test]
+fn unposted_key_splits_complete_lazily() {
+    let mut cfg = TsbConfig::small_nodes(6, 6);
+    cfg.auto_complete = false;
+    let (_cs, tree) = setup(cfg);
+    for k in 0..40u64 {
+        put(&tree, &key(k), b"v");
+    }
+    let report = tree.validate().unwrap();
+    assert!(report.is_well_formed(), "{:?}", report.violations);
+    // Searches work through side pointers regardless.
+    for k in 0..40u64 {
+        assert_eq!(tree.get_current(&key(k)).unwrap(), Some(b"v".to_vec()));
+    }
+    tree.run_completions().unwrap();
+    tree.run_completions().unwrap();
+    let report2 = tree.validate().unwrap();
+    assert!(report2.is_well_formed(), "{:?}", report2.violations);
+    assert!(report2.unposted_nodes <= report.unposted_nodes);
+}

@@ -1,0 +1,147 @@
+//! Lock modes and their compatibility, including the paper's **move lock**.
+//!
+//! §4.2.2: "For page-oriented undo, a move lock is required that conflicts
+//! with non-commutative updates. ... Since reads do not require undo,
+//! concurrent reads can be tolerated. Hence, move locks are compatible with
+//! share mode locks. ... a move lock must be distinguished from a share
+//! lock" (a sibling-traverser that sees one must not schedule an index-term
+//! posting).
+//!
+//! The intention modes let a page-granule move lock conflict with key-granule
+//! updaters: updaters take `IX` on the data page before `X` on the key,
+//! readers take `IS` on the page before `S` on the key, and the move lock is
+//! taken on the page itself.
+
+/// Database lock modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockMode {
+    /// Intention shared (page-level, by key readers).
+    IS,
+    /// Intention exclusive (page-level, by key updaters).
+    IX,
+    /// Shared.
+    S,
+    /// Update: read now, intent to convert to X; compatible with S only.
+    U,
+    /// Exclusive.
+    X,
+    /// Move lock (§4.2.2): blocks non-commutative updates while records are
+    /// moved by a structure change; compatible with readers.
+    Move,
+}
+
+impl LockMode {
+    /// Whether a holder of `self` and a holder of `other` may coexist.
+    pub fn compatible(self, other: LockMode) -> bool {
+        use LockMode::*;
+        match (self, other) {
+            (IS, IS) | (IS, IX) | (IS, S) | (IS, U) | (IS, Move) => true,
+            (IX, IS) | (IX, IX) => true,
+            (S, IS) | (S, S) | (S, U) | (S, Move) => true,
+            // U admits readers but no other updater (asymmetric in classic
+            // treatments; we use the symmetric-safe version: U grants new S,
+            // existing S tolerates U).
+            (U, IS) | (U, S) => true,
+            (Move, IS) | (Move, S) => true,
+            _ => false,
+        }
+    }
+
+    /// Least mode covering both (used for lock conversion). Falls back to
+    /// `X` when no proper supremum exists in this lattice (e.g. `S` ∨ `IX`,
+    /// which classically would be `SIX`).
+    pub fn supremum(self, other: LockMode) -> LockMode {
+        use LockMode::*;
+        if self == other {
+            return self;
+        }
+        match (self, other) {
+            (IS, m) | (m, IS) if m != X => m.supremum_is(),
+            (IX, U) | (U, IX) => X,
+            (IX, Move) | (Move, IX) => X,
+            (S, U) | (U, S) => U,
+            (S, Move) | (Move, S) => Move,
+            (U, Move) | (Move, U) => X,
+            _ => X,
+        }
+    }
+
+    fn supremum_is(self) -> LockMode {
+        // sup(IS, m) = m for every m above IS in the lattice.
+        self
+    }
+
+    /// Whether this mode is strong enough to cover a request for `req`
+    /// (already-held check).
+    pub fn covers(self, req: LockMode) -> bool {
+        self.supremum(req) == self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::LockMode::*;
+
+    #[test]
+    fn share_modes_are_compatible() {
+        assert!(S.compatible(S));
+        assert!(S.compatible(IS));
+        assert!(IS.compatible(IX));
+        assert!(IX.compatible(IX));
+    }
+
+    #[test]
+    fn x_conflicts_with_everything() {
+        for m in [IS, IX, S, U, X, Move] {
+            assert!(!X.compatible(m));
+            assert!(!m.compatible(X));
+        }
+    }
+
+    #[test]
+    fn move_lock_matrix() {
+        // §4.2.2: compatible with readers...
+        assert!(Move.compatible(S));
+        assert!(Move.compatible(IS));
+        assert!(S.compatible(Move));
+        // ...but conflicts with updaters and other movers.
+        assert!(!Move.compatible(IX));
+        assert!(!Move.compatible(U));
+        assert!(!Move.compatible(X));
+        assert!(!Move.compatible(Move));
+        assert!(!IX.compatible(Move));
+    }
+
+    #[test]
+    fn u_mode_asymmetry_is_symmetrized() {
+        assert!(S.compatible(U));
+        assert!(U.compatible(S));
+        assert!(!U.compatible(U));
+        assert!(!U.compatible(X));
+    }
+
+    #[test]
+    fn supremum_lattice() {
+        assert_eq!(S.supremum(U), U);
+        assert_eq!(S.supremum(Move), Move);
+        assert_eq!(U.supremum(Move), X);
+        assert_eq!(IS.supremum(S), S);
+        assert_eq!(IS.supremum(IX), IX);
+        assert_eq!(S.supremum(IX), X, "SIX collapses to X in this lattice");
+        assert_eq!(X.supremum(IS), X);
+        for m in [IS, IX, S, U, X, Move] {
+            assert_eq!(m.supremum(m), m);
+        }
+    }
+
+    #[test]
+    fn covers_reflexive_and_ordered() {
+        assert!(X.covers(S));
+        assert!(U.covers(S));
+        assert!(!S.covers(U));
+        assert!(Move.covers(S));
+        for m in [IS, IX, S, U, X, Move] {
+            assert!(m.covers(m));
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Transactions and tracked atomic actions.
+//!
+//! [`TxnManager::begin`] starts either a user **database transaction**
+//! (identity [`ActionIdentity::Transaction`]: forced commit, database locks
+//! released at end — strict 2PL) or an independent **atomic action**
+//! (identities of §4.3.2: unforced, relatively durable commit). Both are
+//! registered in an active-action table so fuzzy checkpoints can log them.
+//!
+//! Commit hooks implement the paper's deferred index-term posting: "The
+//! posting of the index term for splits cannot occur until and unless T
+//! commits" (§4.2.2) — a split performed inside a transaction queues its
+//! posting as a commit hook.
+
+use crate::table::{LockError, LockName, LockTable};
+use crate::modes::LockMode;
+use parking_lot::Mutex;
+use pitree_pagestore::buffer::{BufferPool, PinnedPage};
+use pitree_pagestore::latch::XGuard;
+use pitree_pagestore::page::Page;
+use pitree_pagestore::{Lsn, PageOp, StoreResult};
+use pitree_wal::recovery::LogicalUndoHandler;
+use pitree_wal::{take_checkpoint, ActionId, ActionIdentity, AtomicAction, LogManager};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Table of live actions/transactions, feeding fuzzy checkpoints.
+#[derive(Default)]
+pub struct ActiveRegistry {
+    inner: Mutex<HashMap<ActionId, (ActionIdentity, Arc<AtomicU64>)>>,
+}
+
+impl ActiveRegistry {
+    fn register(&self, id: ActionId, identity: ActionIdentity) -> Arc<AtomicU64> {
+        let cell = Arc::new(AtomicU64::new(0));
+        self.inner.lock().insert(id, (identity, Arc::clone(&cell)));
+        cell
+    }
+
+    fn deregister(&self, id: ActionId) {
+        self.inner.lock().remove(&id);
+    }
+
+    /// Snapshot `(id, identity, last LSN)` of every live action.
+    pub fn snapshot(&self) -> Vec<(ActionId, ActionIdentity, Lsn)> {
+        self.inner
+            .lock()
+            .iter()
+            .map(|(&id, (ident, cell))| (id, *ident, Lsn(cell.load(Ordering::SeqCst))))
+            .collect()
+    }
+
+    /// Number of live actions.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether no action is live.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+/// Shared per-store transaction infrastructure: log, buffer pool, lock
+/// table, active-action registry.
+pub struct TxnManager {
+    log: Arc<LogManager>,
+    pool: Arc<BufferPool>,
+    locks: LockTable,
+    registry: ActiveRegistry,
+}
+
+impl TxnManager {
+    /// Build a manager over the store's log and pool. `lock_timeout` is the
+    /// lock table's wait safety net.
+    pub fn new(log: Arc<LogManager>, pool: Arc<BufferPool>, lock_timeout: Duration) -> TxnManager {
+        TxnManager { log, pool, locks: LockTable::new(lock_timeout), registry: ActiveRegistry::default() }
+    }
+
+    /// The write-ahead log.
+    pub fn log(&self) -> &Arc<LogManager> {
+        &self.log
+    }
+
+    /// The buffer pool.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// The database lock table.
+    pub fn locks(&self) -> &LockTable {
+        &self.locks
+    }
+
+    /// The active-action registry (for checkpoints and tests).
+    pub fn registry(&self) -> &ActiveRegistry {
+        &self.registry
+    }
+
+    /// Begin a transaction or atomic action with the given recovery
+    /// identity.
+    pub fn begin(&self, identity: ActionIdentity) -> Txn<'_> {
+        let inner = AtomicAction::begin(&self.log, identity);
+        let cell = self.registry.register(inner.id(), identity);
+        cell.store(inner.last_lsn().0, Ordering::SeqCst);
+        Txn { mgr: self, inner, cell, hooks: Vec::new() }
+    }
+
+    /// Take a fuzzy checkpoint including the live-action table.
+    pub fn checkpoint(&self) -> StoreResult<Lsn> {
+        take_checkpoint(&self.pool, &self.log, self.registry.snapshot())
+    }
+}
+
+/// A live transaction or tracked atomic action.
+pub struct Txn<'a> {
+    mgr: &'a TxnManager,
+    inner: AtomicAction<'a>,
+    cell: Arc<AtomicU64>,
+    hooks: Vec<Box<dyn FnOnce() + Send + 'a>>,
+}
+
+impl<'a> Txn<'a> {
+    /// The action id (also the lock owner id).
+    pub fn id(&self) -> ActionId {
+        self.inner.id()
+    }
+
+    /// The recovery identity this action was begun with.
+    pub fn identity(&self) -> ActionIdentity {
+        self.inner.identity()
+    }
+
+    /// LSN of the most recent record logged by this action.
+    pub fn last_lsn(&self) -> Lsn {
+        self.inner.last_lsn()
+    }
+
+    /// Acquire a database lock, blocking; deadlock makes this fail.
+    pub fn lock(&self, name: &LockName, mode: LockMode) -> Result<(), LockError> {
+        self.mgr.locks.acquire(self.id(), name, mode)
+    }
+
+    /// Acquire a database lock without waiting (No-Wait Rule, §4.1.2).
+    pub fn try_lock(&self, name: &LockName, mode: LockMode) -> Result<(), LockError> {
+        self.mgr.locks.try_acquire(self.id(), name, mode)
+    }
+
+    /// Release one hold on a lock early (used for instant-duration locks;
+    /// 2PL-sensitive callers should prefer end-of-action release).
+    pub fn unlock(&self, name: &LockName) {
+        self.mgr.locks.release(self.id(), name);
+    }
+
+    /// Log and apply a page operation with page-oriented undo.
+    pub fn apply(
+        &mut self,
+        page: &PinnedPage<'_>,
+        g: &mut XGuard<'_, Page>,
+        op: PageOp,
+    ) -> StoreResult<Lsn> {
+        let lsn = self.inner.apply(page, g, op)?;
+        self.cell.store(lsn.0, Ordering::SeqCst);
+        Ok(lsn)
+    }
+
+    /// Log and apply a page operation with logical undo.
+    pub fn apply_logical(
+        &mut self,
+        page: &PinnedPage<'_>,
+        g: &mut XGuard<'_, Page>,
+        op: PageOp,
+        tag: u8,
+        payload: Vec<u8>,
+    ) -> StoreResult<Lsn> {
+        let lsn = self.inner.apply_logical(page, g, op, tag, payload)?;
+        self.cell.store(lsn.0, Ordering::SeqCst);
+        Ok(lsn)
+    }
+
+    /// Log and apply a redo-only page operation.
+    pub fn apply_redo_only(
+        &mut self,
+        page: &PinnedPage<'_>,
+        g: &mut XGuard<'_, Page>,
+        op: PageOp,
+    ) -> StoreResult<Lsn> {
+        let lsn = self.inner.apply_redo_only(page, g, op)?;
+        self.cell.store(lsn.0, Ordering::SeqCst);
+        Ok(lsn)
+    }
+
+    /// Defer `hook` until (and unless) this action commits — the deferred
+    /// index-posting mechanism of §4.2.2. Hooks run after locks are
+    /// released.
+    pub fn on_commit(&mut self, hook: impl FnOnce() + Send + 'a) {
+        self.hooks.push(Box::new(hook));
+    }
+
+    /// Commit. User transactions force the log; atomic actions rely on
+    /// relative durability (§4.3.1). Locks are released, then commit hooks
+    /// run.
+    pub fn commit(self) -> StoreResult<Lsn> {
+        let Txn { mgr, inner, cell: _, hooks } = self;
+        let id = inner.id();
+        let lsn = match inner.identity() {
+            ActionIdentity::Transaction => inner.commit_force()?,
+            _ => inner.commit(),
+        };
+        mgr.locks.release_all(id);
+        mgr.registry.deregister(id);
+        for hook in hooks {
+            hook();
+        }
+        Ok(lsn)
+    }
+
+    /// Roll back: undo every logged update (page-oriented or via `handler`
+    /// for logical undo), release locks, drop commit hooks unrun.
+    pub fn abort(self, handler: Option<&dyn LogicalUndoHandler>) -> StoreResult<()> {
+        let Txn { mgr, inner, cell: _, hooks } = self;
+        let id = inner.id();
+        inner.rollback(&mgr.pool, handler)?;
+        mgr.locks.release_all(id);
+        mgr.registry.deregister(id);
+        drop(hooks);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitree_pagestore::page::PageType;
+    use pitree_pagestore::{MemDisk, PageId};
+    use pitree_wal::{LogStore, MemLogStore};
+    use std::sync::atomic::AtomicBool;
+
+    fn mgr() -> TxnManager {
+        let disk = Arc::new(MemDisk::new());
+        let pool = Arc::new(BufferPool::new(disk, 32));
+        let log =
+            Arc::new(LogManager::open(Arc::new(MemLogStore::new()) as Arc<dyn LogStore>).unwrap());
+        pool.set_wal_hook(Arc::clone(&log) as Arc<_>);
+        TxnManager::new(log, pool, Duration::from_secs(2))
+    }
+
+    #[test]
+    fn commit_releases_locks_and_runs_hooks() {
+        let m = mgr();
+        let ran = Arc::new(AtomicBool::new(false));
+        let r2 = Arc::clone(&ran);
+        let mut t = m.begin(ActionIdentity::Transaction);
+        t.lock(&LockName::Key(b"k".to_vec()), LockMode::X).unwrap();
+        t.on_commit(move || r2.store(true, Ordering::SeqCst));
+        assert_eq!(m.registry().len(), 1);
+        t.commit().unwrap();
+        assert!(ran.load(Ordering::SeqCst));
+        assert!(m.registry().is_empty());
+        // Lock is free again.
+        let t2 = m.begin(ActionIdentity::Transaction);
+        t2.try_lock(&LockName::Key(b"k".to_vec()), LockMode::X).unwrap();
+        t2.commit().unwrap();
+    }
+
+    #[test]
+    fn abort_undoes_and_skips_hooks() {
+        let m = mgr();
+        let ran = Arc::new(AtomicBool::new(false));
+        let r2 = Arc::clone(&ran);
+        let page = m.pool().fetch_or_create(PageId(5), PageType::Node).unwrap();
+        let mut t = m.begin(ActionIdentity::Transaction);
+        {
+            let mut g = page.x();
+            t.apply(&page, &mut g, PageOp::InsertSlot { slot: 0, bytes: b"z".to_vec() })
+                .unwrap();
+        }
+        t.on_commit(move || r2.store(true, Ordering::SeqCst));
+        t.abort(None).unwrap();
+        assert!(!ran.load(Ordering::SeqCst), "hooks must not run on abort");
+        assert_eq!(page.s().slot_count(), 0);
+        assert!(m.registry().is_empty());
+    }
+
+    #[test]
+    fn transaction_commit_forces_log() {
+        let m = mgr();
+        let page = m.pool().fetch_or_create(PageId(5), PageType::Node).unwrap();
+        let mut t = m.begin(ActionIdentity::Transaction);
+        {
+            let mut g = page.x();
+            t.apply(&page, &mut g, PageOp::InsertSlot { slot: 0, bytes: b"d".to_vec() })
+                .unwrap();
+        }
+        let lsn = t.commit().unwrap();
+        assert!(m.log().flushed_lsn() >= lsn);
+    }
+
+    #[test]
+    fn system_action_commit_does_not_force() {
+        let m = mgr();
+        let page = m.pool().fetch_or_create(PageId(5), PageType::Node).unwrap();
+        let mut t = m.begin(ActionIdentity::SystemTransaction);
+        {
+            let mut g = page.x();
+            t.apply(&page, &mut g, PageOp::InsertSlot { slot: 0, bytes: b"d".to_vec() })
+                .unwrap();
+        }
+        t.commit().unwrap();
+        assert_eq!(m.log().flushed_lsn(), Lsn(0));
+    }
+
+    #[test]
+    fn registry_snapshot_carries_last_lsn() {
+        let m = mgr();
+        let page = m.pool().fetch_or_create(PageId(5), PageType::Node).unwrap();
+        let mut t = m.begin(ActionIdentity::Transaction);
+        {
+            let mut g = page.x();
+            t.apply(&page, &mut g, PageOp::InsertSlot { slot: 0, bytes: b"d".to_vec() })
+                .unwrap();
+        }
+        let snap = m.registry().snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].0, t.id());
+        assert_eq!(snap[0].2, t.last_lsn());
+        t.commit().unwrap();
+    }
+
+    #[test]
+    fn checkpoint_includes_active_actions() {
+        let m = mgr();
+        let t = m.begin(ActionIdentity::Transaction);
+        let ckpt = m.checkpoint().unwrap();
+        let rec = m.log().read(ckpt).unwrap();
+        match rec.kind {
+            pitree_wal::RecordKind::Checkpoint { active, .. } => {
+                assert_eq!(active.len(), 1);
+                assert_eq!(active[0].0, t.id());
+            }
+            other => panic!("expected checkpoint, got {other:?}"),
+        }
+        t.commit().unwrap();
+    }
+
+    #[test]
+    fn no_wait_rule_try_lock_path() {
+        let m = mgr();
+        let t1 = m.begin(ActionIdentity::Transaction);
+        let t2 = m.begin(ActionIdentity::Transaction);
+        let name = LockName::Key(b"hot".to_vec());
+        t1.lock(&name, LockMode::X).unwrap();
+        // t2, notionally holding a latch, must use try_lock and see
+        // WouldBlock instead of waiting.
+        assert_eq!(t2.try_lock(&name, LockMode::S), Err(LockError::WouldBlock));
+        t1.commit().unwrap();
+        t2.try_lock(&name, LockMode::S).unwrap();
+        t2.commit().unwrap();
+    }
+}

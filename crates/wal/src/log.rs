@@ -1,0 +1,431 @@
+//! The log manager: append, force, and scan.
+//!
+//! LSNs are `offset + 1` where `offset` is the record frame's byte position,
+//! so `Lsn::ZERO` stays free as the null LSN. Frames are
+//! `[len u32][checksum u32][body]`; the checksum lets recovery stop cleanly
+//! at a torn tail, which the crash harness exploits by truncating the durable
+//! log at arbitrary byte positions.
+//!
+//! Durability is split between the in-memory tail (`buf`) and a [`LogStore`]
+//! holding what has been *forced*. Atomic-action commits are **not** forced
+//! (§4.3.1, "relative durability"); forces happen at user-transaction commit
+//! and through the buffer pool's WAL hook before a dirty page write.
+
+use crate::record::{ActionId, LogRecord, RecordKind};
+use crate::codec::checksum;
+use parking_lot::Mutex;
+use pitree_pagestore::buffer::WalFlush;
+use pitree_pagestore::{Lsn, StoreError, StoreResult};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Durable log storage.
+pub trait LogStore: Send + Sync {
+    /// Durably append bytes.
+    fn append(&self, bytes: &[u8]) -> StoreResult<()>;
+    /// The full durable contents (recovery input).
+    fn durable_bytes(&self) -> StoreResult<Vec<u8>>;
+    /// Durable length in bytes.
+    fn durable_len(&self) -> u64;
+    /// Record the master LSN (last checkpoint).
+    fn set_master(&self, lsn: Lsn);
+    /// The recorded master LSN.
+    fn master(&self) -> Lsn;
+}
+
+/// In-memory durable log used by tests and the crash harness.
+pub struct MemLogStore {
+    durable: Mutex<Vec<u8>>,
+    master: AtomicU64,
+}
+
+impl MemLogStore {
+    /// Empty store.
+    pub fn new() -> MemLogStore {
+        MemLogStore { durable: Mutex::new(Vec::new()), master: AtomicU64::new(0) }
+    }
+
+    /// A copy of the durable contents truncated to `len` bytes — the
+    /// survivor of a crash whose final force was cut short.
+    pub fn snapshot_truncated(&self, len: u64) -> MemLogStore {
+        let durable = self.durable.lock();
+        let cut = (len as usize).min(durable.len());
+        MemLogStore {
+            durable: Mutex::new(durable[..cut].to_vec()),
+            master: AtomicU64::new(self.master.load(Ordering::SeqCst)),
+        }
+    }
+
+    /// A copy of the full durable contents (a crash right after a force).
+    pub fn snapshot(&self) -> MemLogStore {
+        self.snapshot_truncated(u64::MAX)
+    }
+}
+
+impl Default for MemLogStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogStore for MemLogStore {
+    fn append(&self, bytes: &[u8]) -> StoreResult<()> {
+        self.durable.lock().extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn durable_bytes(&self) -> StoreResult<Vec<u8>> {
+        Ok(self.durable.lock().clone())
+    }
+
+    fn durable_len(&self) -> u64 {
+        self.durable.lock().len() as u64
+    }
+
+    fn set_master(&self, lsn: Lsn) {
+        self.master.store(lsn.0, Ordering::SeqCst);
+    }
+
+    fn master(&self) -> Lsn {
+        Lsn(self.master.load(Ordering::SeqCst))
+    }
+}
+
+/// File-backed log store for benchmarks. The master LSN lives in a sibling
+/// `.master` file.
+pub struct FileLogStore {
+    file: Mutex<File>,
+    master_path: std::path::PathBuf,
+    master: AtomicU64,
+}
+
+impl FileLogStore {
+    /// Open (or create) the log file at `path`.
+    pub fn open(path: &Path) -> StoreResult<FileLogStore> {
+        let file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(path)
+            .map_err(|e| StoreError::Corrupt(format!("open log {path:?}: {e}")))?;
+        let master_path = path.with_extension("master");
+        let master = std::fs::read(&master_path)
+            .ok()
+            .and_then(|b| b.try_into().ok().map(u64::from_le_bytes))
+            .unwrap_or(0);
+        Ok(FileLogStore { file: Mutex::new(file), master_path, master: AtomicU64::new(master) })
+    }
+}
+
+impl LogStore for FileLogStore {
+    fn append(&self, bytes: &[u8]) -> StoreResult<()> {
+        let mut f = self.file.lock();
+        f.write_all(bytes)
+            .and_then(|_| f.sync_data())
+            .map_err(|e| StoreError::Corrupt(format!("log append: {e}")))
+    }
+
+    fn durable_bytes(&self) -> StoreResult<Vec<u8>> {
+        let mut f = self.file.lock();
+        let mut out = Vec::new();
+        f.seek(SeekFrom::Start(0))
+            .and_then(|_| f.read_to_end(&mut out))
+            .map_err(|e| StoreError::Corrupt(format!("log read: {e}")))?;
+        Ok(out)
+    }
+
+    fn durable_len(&self) -> u64 {
+        self.file.lock().metadata().map(|m| m.len()).unwrap_or(0)
+    }
+
+    fn set_master(&self, lsn: Lsn) {
+        self.master.store(lsn.0, Ordering::SeqCst);
+        let _ = std::fs::write(&self.master_path, lsn.0.to_le_bytes());
+    }
+
+    fn master(&self) -> Lsn {
+        Lsn(self.master.load(Ordering::SeqCst))
+    }
+}
+
+struct LogInner {
+    /// The whole log, durable prefix + volatile tail.
+    buf: Vec<u8>,
+    /// Bytes already in the durable store.
+    flushed: u64,
+}
+
+/// The log manager. Shared via `Arc`; also registered as the buffer pool's
+/// [`WalFlush`] hook.
+pub struct LogManager {
+    inner: Mutex<LogInner>,
+    store: Arc<dyn LogStore>,
+    next_action: AtomicU64,
+}
+
+impl LogManager {
+    /// A log manager over `store`, reading back any existing durable
+    /// contents (recovery will scan them).
+    pub fn open(store: Arc<dyn LogStore>) -> StoreResult<LogManager> {
+        let buf = store.durable_bytes()?;
+        let flushed = buf.len() as u64;
+        Ok(LogManager {
+            inner: Mutex::new(LogInner { buf, flushed }),
+            store,
+            next_action: AtomicU64::new(1),
+        })
+    }
+
+    /// The durable store (for crash snapshots and the master record).
+    pub fn store(&self) -> &Arc<dyn LogStore> {
+        &self.store
+    }
+
+    /// Allocate a fresh action id.
+    pub fn next_action_id(&self) -> ActionId {
+        ActionId(self.next_action.fetch_add(1, Ordering::SeqCst))
+    }
+
+    /// Bump the action-id counter past `floor` (recovery calls this with the
+    /// highest id seen in the log).
+    pub fn reserve_action_ids(&self, floor: u64) {
+        self.next_action.fetch_max(floor + 1, Ordering::SeqCst);
+    }
+
+    /// Append a record, returning its LSN. Does not force.
+    pub fn append(&self, action: ActionId, prev: Lsn, kind: RecordKind) -> Lsn {
+        let rec = LogRecord { lsn: Lsn::ZERO, prev, action, kind };
+        let body = rec.encode_body();
+        let mut inner = self.inner.lock();
+        let lsn = Lsn(inner.buf.len() as u64 + 1);
+        inner.buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        inner.buf.extend_from_slice(&checksum(&body).to_le_bytes());
+        inner.buf.extend_from_slice(&body);
+        lsn
+    }
+
+    /// Read the record at `lsn` (from the in-memory image, which includes
+    /// the volatile tail).
+    pub fn read(&self, lsn: Lsn) -> StoreResult<LogRecord> {
+        let inner = self.inner.lock();
+        read_at(&inner.buf, lsn)
+    }
+
+    /// Current end of log (the LSN the *next* record will get).
+    pub fn tail_lsn(&self) -> Lsn {
+        Lsn(self.inner.lock().buf.len() as u64 + 1)
+    }
+
+    /// LSN up to which the log is durable.
+    pub fn flushed_lsn(&self) -> Lsn {
+        Lsn(self.inner.lock().flushed)
+    }
+
+    /// Force the log through the record that *starts* at `lsn`.
+    pub fn force_to(&self, lsn: Lsn) -> StoreResult<()> {
+        let mut inner = self.inner.lock();
+        if lsn == Lsn::ZERO {
+            return Ok(());
+        }
+        let off = (lsn.0 - 1) as usize;
+        if off as u64 >= inner.flushed && off < inner.buf.len() {
+            let len = u32::from_le_bytes(inner.buf[off..off + 4].try_into().unwrap()) as usize;
+            let end = (off + 8 + len) as u64;
+            let start = inner.flushed as usize;
+            self.store.append(&inner.buf[start..end as usize])?;
+            inner.flushed = end;
+        }
+        Ok(())
+    }
+
+    /// Force the entire log.
+    pub fn force_all(&self) -> StoreResult<()> {
+        let mut inner = self.inner.lock();
+        let start = inner.flushed as usize;
+        if start < inner.buf.len() {
+            self.store.append(&inner.buf[start..])?;
+            inner.flushed = inner.buf.len() as u64;
+        }
+        Ok(())
+    }
+
+    /// Scan all records in the in-memory image from `from` (or the start).
+    /// Stops at the first torn/corrupt frame.
+    pub fn scan(&self, from: Option<Lsn>) -> Vec<LogRecord> {
+        let inner = self.inner.lock();
+        scan_bytes(&inner.buf, from)
+    }
+}
+
+impl WalFlush for LogManager {
+    fn flush_to(&self, lsn: Lsn) -> StoreResult<()> {
+        self.force_to(lsn)
+    }
+}
+
+/// Decode the record whose frame starts at `lsn` within `buf`.
+pub fn read_at(buf: &[u8], lsn: Lsn) -> StoreResult<LogRecord> {
+    let off = (lsn.0.checked_sub(1).ok_or_else(|| StoreError::Corrupt("null lsn".into()))?) as usize;
+    if off + 8 > buf.len() {
+        return Err(StoreError::Corrupt(format!("lsn {lsn} beyond log end")));
+    }
+    let len = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
+    let sum = u32::from_le_bytes(buf[off + 4..off + 8].try_into().unwrap());
+    if off + 8 + len > buf.len() {
+        return Err(StoreError::Corrupt(format!("torn record at {lsn}")));
+    }
+    let body = &buf[off + 8..off + 8 + len];
+    if checksum(body) != sum {
+        return Err(StoreError::Corrupt(format!("bad checksum at {lsn}")));
+    }
+    LogRecord::decode_body(lsn, body)
+}
+
+/// Decode every complete record in `buf` starting at `from`; stops cleanly
+/// at a torn tail.
+pub fn scan_bytes(buf: &[u8], from: Option<Lsn>) -> Vec<LogRecord> {
+    let mut out = Vec::new();
+    let mut lsn = from.unwrap_or(Lsn(1));
+    while let Ok(rec) = read_at(buf, lsn) {
+        let len = {
+            let off = (lsn.0 - 1) as usize;
+            u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize
+        };
+        lsn = Lsn(lsn.0 + 8 + len as u64);
+        out.push(rec);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{ActionIdentity, UndoInfo};
+    use pitree_pagestore::{PageId, PageOp};
+
+    fn mgr() -> (Arc<MemLogStore>, LogManager) {
+        let store = Arc::new(MemLogStore::new());
+        let log = LogManager::open(Arc::clone(&store) as Arc<dyn LogStore>).unwrap();
+        (store, log)
+    }
+
+    #[test]
+    fn append_read_roundtrip() {
+        let (_s, log) = mgr();
+        let a = log.next_action_id();
+        let l1 = log.append(a, Lsn::ZERO, RecordKind::Begin { identity: ActionIdentity::Transaction });
+        let l2 = log.append(a, l1, RecordKind::Commit);
+        assert!(l1 < l2);
+        let r1 = log.read(l1).unwrap();
+        assert_eq!(r1.action, a);
+        assert!(matches!(r1.kind, RecordKind::Begin { .. }));
+        let r2 = log.read(l2).unwrap();
+        assert_eq!(r2.prev, l1);
+        assert!(matches!(r2.kind, RecordKind::Commit));
+    }
+
+    #[test]
+    fn nothing_durable_until_forced() {
+        let (store, log) = mgr();
+        let a = log.next_action_id();
+        log.append(a, Lsn::ZERO, RecordKind::Commit);
+        assert_eq!(store.durable_len(), 0);
+        log.force_all().unwrap();
+        assert!(store.durable_len() > 0);
+    }
+
+    #[test]
+    fn force_to_is_partial() {
+        let (store, log) = mgr();
+        let a = log.next_action_id();
+        let l1 = log.append(a, Lsn::ZERO, RecordKind::Commit);
+        let _l2 = log.append(a, l1, RecordKind::End);
+        log.force_to(l1).unwrap();
+        let durable = store.durable_bytes().unwrap();
+        let recs = scan_bytes(&durable, None);
+        assert_eq!(recs.len(), 1);
+        assert!(matches!(recs[0].kind, RecordKind::Commit));
+    }
+
+    #[test]
+    fn scan_recovers_all_records() {
+        let (_s, log) = mgr();
+        let a = log.next_action_id();
+        let mut prev = Lsn::ZERO;
+        prev = log.append(a, prev, RecordKind::Begin { identity: ActionIdentity::SystemTransaction });
+        for slot in 0..5u16 {
+            prev = log.append(
+                a,
+                prev,
+                RecordKind::Update {
+                    pid: PageId(2),
+                    redo: PageOp::InsertSlot { slot, bytes: vec![slot as u8] },
+                    undo: UndoInfo::Physiological(PageOp::RemoveSlot { slot }),
+                },
+            );
+        }
+        log.append(a, prev, RecordKind::Commit);
+        let recs = log.scan(None);
+        assert_eq!(recs.len(), 7);
+        // Chain integrity.
+        for w in recs.windows(2) {
+            assert_eq!(w[1].prev, w[0].lsn);
+        }
+    }
+
+    #[test]
+    fn torn_tail_stops_scan() {
+        let (store, log) = mgr();
+        let a = log.next_action_id();
+        log.append(a, Lsn::ZERO, RecordKind::Commit);
+        log.append(a, Lsn::ZERO, RecordKind::End);
+        log.force_all().unwrap();
+        let full = store.durable_len();
+        // Truncate mid-way through the second record.
+        let torn = store.snapshot_truncated(full - 3);
+        let recs = scan_bytes(&torn.durable_bytes().unwrap(), None);
+        assert_eq!(recs.len(), 1);
+    }
+
+    #[test]
+    fn corrupt_checksum_stops_scan() {
+        let (store, log) = mgr();
+        let a = log.next_action_id();
+        log.append(a, Lsn::ZERO, RecordKind::Commit);
+        log.force_all().unwrap();
+        let mut bytes = store.durable_bytes().unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        assert!(scan_bytes(&bytes, None).is_empty());
+    }
+
+    #[test]
+    fn reopen_sees_durable_records() {
+        let (store, log) = mgr();
+        let a = log.next_action_id();
+        log.append(a, Lsn::ZERO, RecordKind::Commit);
+        log.force_all().unwrap();
+        let log2 = LogManager::open(Arc::clone(&store) as Arc<dyn LogStore>).unwrap();
+        assert_eq!(log2.scan(None).len(), 1);
+        assert_eq!(log2.flushed_lsn().0, store.durable_len());
+    }
+
+    #[test]
+    fn master_record_roundtrip() {
+        let (store, _log) = mgr();
+        store.set_master(Lsn(42));
+        assert_eq!(store.master(), Lsn(42));
+        let snap = store.snapshot();
+        assert_eq!(snap.master(), Lsn(42));
+    }
+
+    #[test]
+    fn action_id_reservation() {
+        let (_s, log) = mgr();
+        log.reserve_action_ids(100);
+        assert_eq!(log.next_action_id(), ActionId(101));
+    }
+}

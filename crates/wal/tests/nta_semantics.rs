@@ -1,0 +1,116 @@
+//! Nested-top-action semantics (§4.3.2 option iii): an atomic action that
+//! runs on behalf of a transaction but whose committed effects survive the
+//! transaction's rollback — exactly how a split performed "independent of
+//! and before T" must behave.
+
+use pitree_pagestore::buffer::BufferPool;
+use pitree_pagestore::page::PageType;
+use pitree_pagestore::{MemDisk, PageId, PageOp};
+use pitree_wal::{
+    recover, ActionIdentity, AtomicAction, LogManager, LogStore, MemLogStore,
+};
+use std::sync::Arc;
+
+struct World {
+    disk: Arc<MemDisk>,
+    store: Arc<MemLogStore>,
+    pool: Arc<BufferPool>,
+    log: Arc<LogManager>,
+}
+
+fn world() -> World {
+    let disk = Arc::new(MemDisk::new());
+    let store = Arc::new(MemLogStore::new());
+    let pool = Arc::new(BufferPool::new(Arc::clone(&disk) as Arc<_>, 32));
+    let log = Arc::new(LogManager::open(Arc::clone(&store) as Arc<dyn LogStore>).unwrap());
+    pool.set_wal_hook(Arc::clone(&log) as Arc<_>);
+    World { disk, store, pool, log }
+}
+
+#[test]
+fn committed_nta_survives_parent_rollback() {
+    let w = world();
+    let page = w.pool.fetch_or_create(PageId(5), PageType::Node).unwrap();
+
+    // Parent transaction writes slot 0.
+    let mut parent = AtomicAction::begin(&w.log, ActionIdentity::Transaction);
+    {
+        let mut g = page.x();
+        parent
+            .apply(&page, &mut g, PageOp::InsertSlot { slot: 0, bytes: b"parent".to_vec() })
+            .unwrap();
+    }
+
+    // A nested top action (e.g. a structure change on the parent's behalf)
+    // writes slot 1 and commits.
+    let mut nta =
+        AtomicAction::begin(&w.log, ActionIdentity::NestedTopAction { parent: parent.id() });
+    {
+        let mut g = page.x();
+        nta.apply(&page, &mut g, PageOp::InsertSlot { slot: 1, bytes: b"nta".to_vec() })
+            .unwrap();
+    }
+    nta.commit();
+
+    // Parent writes more, then rolls back.
+    {
+        let mut g = page.x();
+        parent
+            .apply(&page, &mut g, PageOp::InsertSlot { slot: 2, bytes: b"more".to_vec() })
+            .unwrap();
+    }
+    parent.rollback(&w.pool, None).unwrap();
+
+    // The NTA's effect persists; the parent's own writes are gone.
+    let g = page.s();
+    assert_eq!(g.slot_count(), 1);
+    assert_eq!(g.get(0).unwrap(), b"nta");
+}
+
+#[test]
+fn committed_nta_survives_crash_that_loses_the_parent() {
+    let w = world();
+    {
+        let page = w.pool.fetch_or_create(PageId(5), PageType::Free).unwrap();
+        let mut setup = AtomicAction::begin(&w.log, ActionIdentity::SystemTransaction);
+        {
+            let mut g = page.x();
+            setup.apply(&page, &mut g, PageOp::Format { ty: PageType::Node }).unwrap();
+        }
+        setup.commit();
+
+        let mut parent = AtomicAction::begin(&w.log, ActionIdentity::Transaction);
+        {
+            let mut g = page.x();
+            parent
+                .apply(&page, &mut g, PageOp::InsertSlot { slot: 0, bytes: b"parent".to_vec() })
+                .unwrap();
+        }
+        let mut nta =
+            AtomicAction::begin(&w.log, ActionIdentity::NestedTopAction { parent: parent.id() });
+        {
+            let mut g = page.x();
+            nta.apply(&page, &mut g, PageOp::InsertSlot { slot: 1, bytes: b"nta".to_vec() })
+                .unwrap();
+        }
+        nta.commit();
+        // Make everything so far durable, then "crash" with the parent still
+        // in flight (commit never written).
+        w.log.force_all().unwrap();
+        w.pool.flush_all().unwrap();
+        std::mem::forget(parent);
+    }
+    let disk2 = Arc::new(w.disk.snapshot());
+    let store2 = Arc::new(w.store.snapshot());
+    let pool2 = Arc::new(BufferPool::new(Arc::clone(&disk2) as Arc<_>, 32));
+    let log2 = Arc::new(LogManager::open(Arc::clone(&store2) as Arc<dyn LogStore>).unwrap());
+    pool2.set_wal_hook(Arc::clone(&log2) as Arc<_>);
+    let stats = recover(&pool2, &log2, None).unwrap();
+    // The parent is the only loser; the NTA's committed chain is not.
+    assert_eq!(stats.losers.len(), 1);
+    assert!(matches!(stats.losers[0].1, ActionIdentity::Transaction));
+    let page = pool2.fetch(PageId(5)).unwrap();
+    let g = page.s();
+    assert_eq!(g.slot_count(), 1, "parent's write undone, NTA's preserved");
+    assert_eq!(g.get(0).unwrap(), b"nta");
+}

@@ -1,0 +1,88 @@
+//! Integration tests of the harness utilities plus end-to-end protocol
+//! comparisons: the Π-tree and both baselines produce identical results on
+//! identical workloads.
+
+use pitree::PiTreeConfig;
+use pitree_baselines::{ConcurrentIndex, LockCouplingTree, SerialSmoTree};
+use pitree_harness::{KeyDist, PiTreeIndex, Workload};
+use std::sync::Arc;
+
+fn run_workload(idx: &dyn ConcurrentIndex, dist: KeyDist, n: u64) -> Vec<Option<Vec<u8>>> {
+    let mut w = Workload::new(dist, 1000, 99);
+    for i in 0..n {
+        let k = w.next_key();
+        idx.insert(&k, format!("v{i}").as_bytes());
+    }
+    (0..1000u64).map(|i| idx.get(&i.to_be_bytes())).collect()
+}
+
+#[test]
+fn all_protocols_agree_on_uniform_workload() {
+    let pi = PiTreeIndex::new(1024, PiTreeConfig::small_nodes(8, 8));
+    let lc = LockCouplingTree::new(1024, 8);
+    let ss = SerialSmoTree::new(1024, 8);
+    let a = run_workload(&pi, KeyDist::Uniform, 800);
+    let b = run_workload(&lc, KeyDist::Uniform, 800);
+    let c = run_workload(&ss, KeyDist::Uniform, 800);
+    assert_eq!(a, b, "pi-tree vs lock-coupling");
+    assert_eq!(a, c, "pi-tree vs serial-smo");
+    assert!(pi.tree().validate().unwrap().is_well_formed());
+}
+
+#[test]
+fn all_protocols_agree_on_sequential_workload() {
+    let pi = PiTreeIndex::new(1024, PiTreeConfig::small_nodes(8, 8));
+    let lc = LockCouplingTree::new(1024, 8);
+    let a = run_workload(&pi, KeyDist::Sequential, 600);
+    let b = run_workload(&lc, KeyDist::Sequential, 600);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn protocols_agree_under_concurrency() {
+    let pi = Arc::new(PiTreeIndex::new(2048, PiTreeConfig::small_nodes(8, 8)));
+    let lc = Arc::new(LockCouplingTree::new(2048, 8));
+    for idx_run in 0..2 {
+        let run = |idx: Arc<dyn ConcurrentIndex>| {
+            std::thread::scope(|s| {
+                for t in 0..4u64 {
+                    let idx = Arc::clone(&idx);
+                    s.spawn(move || {
+                        for i in 0..150u64 {
+                            let k = (i * 4 + t).to_be_bytes();
+                            idx.insert(&k, b"v");
+                        }
+                    });
+                }
+            });
+        };
+        if idx_run == 0 {
+            run(Arc::clone(&pi) as Arc<dyn ConcurrentIndex>);
+        } else {
+            run(Arc::clone(&lc) as Arc<dyn ConcurrentIndex>);
+        }
+    }
+    for i in 0..600u64 {
+        let k = i.to_be_bytes();
+        assert_eq!(pi.get(&k), lc.get(&k), "key {i}");
+    }
+    assert!(pi.tree().validate().unwrap().is_well_formed());
+}
+
+#[test]
+fn pitree_adapter_handles_deletes() {
+    let pi = PiTreeIndex::new(512, PiTreeConfig::small_nodes(8, 8));
+    for i in 0..100u64 {
+        pi.insert(&i.to_be_bytes(), b"x");
+    }
+    for i in 0..50u64 {
+        assert!(pi.delete(&i.to_be_bytes()), "key {i}");
+    }
+    for i in 0..50u64 {
+        assert_eq!(pi.get(&i.to_be_bytes()), None);
+    }
+    for i in 50..100u64 {
+        assert_eq!(pi.get(&i.to_be_bytes()), Some(b"x".to_vec()));
+    }
+    assert!(pi.tree().validate().unwrap().is_well_formed());
+}
