@@ -8,7 +8,9 @@
 //! it — the behaviour the Π-tree's side pointers eliminate, and exactly what
 //! experiment E1 measures.
 
-use crate::node::{format_node, grow_root, index_entry, is_full, level, route, split_node, BaseStore};
+use crate::node::{
+    format_node, grow_root, index_entry, is_full, level, route, split_node, BaseStore,
+};
 use crate::ConcurrentIndex;
 use pitree_pagestore::buffer::PinnedPage;
 use pitree_pagestore::latch::XGuard;
@@ -43,7 +45,6 @@ impl LockCouplingTree {
             upper_x: std::sync::atomic::AtomicU64::new(0),
         }
     }
-
 }
 
 impl LockCouplingTree {
@@ -69,7 +70,8 @@ impl LockCouplingTree {
 
     fn note_upper(&self, g: &XGuard<'_, Page>) {
         if level(g) > 0 {
-            self.upper_x.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.upper_x
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
     }
 }
@@ -216,7 +218,11 @@ mod tests {
             t.insert(&key(i), format!("v{i}").as_bytes());
         }
         for i in 0..200u64 {
-            assert_eq!(t.get(&key(i)), Some(format!("v{i}").into_bytes()), "key {i}");
+            assert_eq!(
+                t.get(&key(i)),
+                Some(format!("v{i}").into_bytes()),
+                "key {i}"
+            );
         }
         assert_eq!(t.get(&key(999)), None);
     }
@@ -234,10 +240,9 @@ mod tests {
 
     #[test]
     fn reverse_and_random_orders() {
-        use rand::seq::SliceRandom;
         let t = LockCouplingTree::new(512, 5);
         let mut keys: Vec<u64> = (0..400).collect();
-        keys.shuffle(&mut rand::thread_rng());
+        pitree_sim::SimRng::new(0xBA5E1).shuffle(&mut keys);
         for &i in &keys {
             t.insert(&key(i), b"x");
         }

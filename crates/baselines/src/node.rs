@@ -24,7 +24,10 @@ impl BaseStore {
     /// A store over an in-memory disk with `frames` buffer frames.
     pub fn new_mem(frames: usize) -> BaseStore {
         let disk = Arc::new(pitree_pagestore::MemDisk::new());
-        BaseStore { pool: Arc::new(BufferPool::new(disk, frames)), next_page: AtomicU64::new(1) }
+        BaseStore {
+            pool: Arc::new(BufferPool::new(disk, frames)),
+            next_page: AtomicU64::new(1),
+        }
     }
 
     /// Allocate a fresh page id.
@@ -41,12 +44,15 @@ pub fn level(page: &Page) -> u8 {
 /// Format `page` as an empty node of `level`.
 pub fn format_node(page: &mut Page, lvl: u8) {
     page.format(PageType::Node);
-    page.insert(0, &[lvl]).expect("fresh page has room for the header");
+    page.insert(0, &[lvl])
+        .expect("fresh page has room for the header");
 }
 
 /// Decode an index entry's child pointer.
 pub fn child_of(entry: &[u8]) -> PageId {
-    PageId(u64::from_le_bytes(Page::entry_payload(entry).try_into().expect("8-byte child")))
+    PageId(u64::from_le_bytes(
+        Page::entry_payload(entry).try_into().expect("8-byte child"),
+    ))
 }
 
 /// Build an index entry.
@@ -107,7 +113,10 @@ pub fn grow_root(
 ) {
     let lvl = level(g);
     let child_pid = store.alloc();
-    let child = store.pool.fetch_or_create(child_pid, PageType::Free).unwrap();
+    let child = store
+        .pool
+        .fetch_or_create(child_pid, PageType::Free)
+        .unwrap();
     {
         let mut cg = child.x();
         format_node(&mut cg, lvl);

@@ -19,7 +19,9 @@ pub struct OptimisticCouplingTree {
 impl OptimisticCouplingTree {
     /// Create an empty tree with at most `max_entries` entries per node.
     pub fn new(frames: usize, max_entries: usize) -> OptimisticCouplingTree {
-        OptimisticCouplingTree { inner: LockCouplingTree::new(frames, max_entries) }
+        OptimisticCouplingTree {
+            inner: LockCouplingTree::new(frames, max_entries),
+        }
     }
 
     /// Exclusive latchings of non-leaf nodes (E1's footprint metric): only
@@ -105,7 +107,11 @@ mod tests {
             t.insert(&key(i), format!("v{i}").as_bytes());
         }
         for i in 0..300u64 {
-            assert_eq!(t.get(&key(i)), Some(format!("v{i}").into_bytes()), "key {i}");
+            assert_eq!(
+                t.get(&key(i)),
+                Some(format!("v{i}").into_bytes()),
+                "key {i}"
+            );
         }
         assert_eq!(t.get(&key(999)), None);
     }

@@ -137,7 +137,8 @@ impl ConcurrentIndex for SerialSmoTree {
         }
         // Structure change required: quiesce the whole tree.
         let _exclusive = self.smo.x();
-        self.tree_x.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.tree_x
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.insert_serial_smo(key, &entry);
     }
 
@@ -204,7 +205,11 @@ mod tests {
             t.insert(&key(i), format!("v{i}").as_bytes());
         }
         for i in 0..300u64 {
-            assert_eq!(t.get(&key(i)), Some(format!("v{i}").into_bytes()), "key {i}");
+            assert_eq!(
+                t.get(&key(i)),
+                Some(format!("v{i}").into_bytes()),
+                "key {i}"
+            );
         }
         assert_eq!(t.get(&key(999)), None);
     }
@@ -221,10 +226,9 @@ mod tests {
 
     #[test]
     fn random_order_inserts() {
-        use rand::seq::SliceRandom;
         let t = SerialSmoTree::new(512, 5);
         let mut keys: Vec<u64> = (0..400).collect();
-        keys.shuffle(&mut rand::thread_rng());
+        pitree_sim::SimRng::new(0xBA5E2).shuffle(&mut keys);
         for &i in &keys {
             t.insert(&key(i), b"x");
         }

@@ -1,13 +1,14 @@
-//! Criterion benchmarks — one group per experiment in `EXPERIMENTS.md`.
-//! The `exp*` binaries in `pitree-harness` print the corresponding tables;
-//! these benches give statistically characterized timings of each
-//! experiment's core operation.
+//! Timing benches — one group per experiment in `EXPERIMENTS.md`, on the
+//! dependency-free mini-harness in `pitree_bench` (the `exp*` binaries in
+//! `pitree-harness` print the corresponding deterministic tables).
+//!
+//! Run with: `cargo bench -p pitree-bench --features bench-ext`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pitree::{
     ConsolidationPolicy, CrashableStore, DeallocPolicy, PiTree, PiTreeConfig, UndoPolicy,
 };
 use pitree_baselines::{ConcurrentIndex, LockCouplingTree, SerialSmoTree};
+use pitree_bench::{bench, bench_custom};
 use pitree_harness::PiTreeIndex;
 use pitree_hb::{HbConfig, HbTree};
 use pitree_tsb::{TsbConfig, TsbTree};
@@ -20,73 +21,66 @@ fn key(i: u64) -> Vec<u8> {
 
 /// E1 — per-operation cost of each protocol (single-threaded; the
 /// concurrency footprint itself is deterministic and printed by `exp1`).
-fn bench_e1_smo_concurrency(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e1_insert_cost");
-    g.sample_size(10).measurement_time(Duration::from_secs(3));
-    g.bench_function("pi-tree", |b| {
+fn bench_e1_smo_concurrency() {
+    let g = "e1_insert_cost";
+    {
         let idx = PiTreeIndex::new(4096, PiTreeConfig::small_nodes(24, 24));
         let mut i = 0u64;
-        b.iter(|| {
+        bench(g, "pi-tree", || {
             idx.insert(&key(i), b"value");
             i += 1;
         });
-    });
-    g.bench_function("lock-coupling", |b| {
+    }
+    {
         let idx = LockCouplingTree::new(4096, 24);
         let mut i = 0u64;
-        b.iter(|| {
+        bench(g, "lock-coupling", || {
             idx.insert(&key(i), b"value");
             i += 1;
         });
-    });
-    g.bench_function("serial-smo", |b| {
+    }
+    {
         let idx = SerialSmoTree::new(4096, 24);
         let mut i = 0u64;
-        b.iter(|| {
+        bench(g, "serial-smo", || {
             idx.insert(&key(i), b"value");
             i += 1;
         });
-    });
-    g.finish();
+    }
 }
 
 /// E2 — the cost of one decomposed structure change: an insert that
 /// triggers a leaf split plus the posting it schedules, vs a plain insert.
-fn bench_e2_action_latency(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e2_action_latency");
-    g.sample_size(10).measurement_time(Duration::from_secs(3));
-    g.bench_function("insert_no_split", |b| {
+fn bench_e2_action_latency() {
+    let g = "e2_action_latency";
+    {
         let cs = CrashableStore::create(4096, 1 << 20).unwrap();
-        let tree =
-            PiTree::create(Arc::clone(&cs.store), 1, PiTreeConfig::default()).unwrap();
+        let tree = PiTree::create(Arc::clone(&cs.store), 1, PiTreeConfig::default()).unwrap();
         let mut i = 0u64;
-        b.iter(|| {
+        bench(g, "insert_no_split", || {
             let mut t = tree.begin();
             tree.insert(&mut t, &key(i), b"v").unwrap();
             t.commit().unwrap();
             i += 1;
         });
-    });
-    g.bench_function("insert_with_split_storm", |b| {
+    }
+    {
         // Fanout 4: roughly every other insert splits and posts.
         let cs = CrashableStore::create(8192, 1 << 20).unwrap();
         let tree =
             PiTree::create(Arc::clone(&cs.store), 1, PiTreeConfig::small_nodes(4, 4)).unwrap();
         let mut i = 0u64;
-        b.iter(|| {
+        bench(g, "insert_with_split_storm", || {
             let mut t = tree.begin();
             tree.insert(&mut t, &key(i), b"v").unwrap();
             t.commit().unwrap();
             i += 1;
         });
-    });
-    g.finish();
+    }
 }
 
 /// E3 — crash recovery time as a function of the durable log size.
-fn bench_e3_recovery(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e3_recovery");
-    g.sample_size(10).measurement_time(Duration::from_secs(5));
+fn bench_e3_recovery() {
     for keys in [500u64, 2_000] {
         let cfg = PiTreeConfig::small_nodes(8, 8);
         let cs = CrashableStore::create(2048, 1 << 20).unwrap();
@@ -97,57 +91,55 @@ fn bench_e3_recovery(c: &mut Criterion) {
             t.commit().unwrap();
         }
         drop(tree);
-        g.bench_with_input(BenchmarkId::new("recover", keys), &keys, |b, _| {
-            b.iter_custom(|iters| {
-                let mut total = Duration::ZERO;
-                for _ in 0..iters {
-                    let cs2 = cs.crash().unwrap();
-                    let t0 = Instant::now();
-                    let (t, _) = PiTree::recover(Arc::clone(&cs2.store), 1, cfg).unwrap();
-                    total += t0.elapsed();
-                    drop(t);
-                }
-                total
-            });
+        bench_custom("e3_recovery", &format!("recover/{keys}"), 10, |iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let cs2 = cs.crash().unwrap();
+                let t0 = Instant::now();
+                let (t, _) = PiTree::recover(Arc::clone(&cs2.store), 1, cfg).unwrap();
+                total += t0.elapsed();
+                drop(t);
+            }
+            total
         });
     }
-    g.finish();
 }
 
 /// E4 — undo-policy cost: transactional batch insert then abort.
-fn bench_e4_undo_policy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e4_undo_policy");
-    g.sample_size(10).measurement_time(Duration::from_secs(3));
-    for (name, undo) in [("logical", UndoPolicy::Logical), ("page_oriented", UndoPolicy::PageOriented)] {
-        g.bench_function(BenchmarkId::new("batch10_abort", name), |b| {
-            let mut cfg = PiTreeConfig::small_nodes(16, 16);
-            cfg.undo = undo;
-            let cs = CrashableStore::create(4096, 1 << 20).unwrap();
-            let tree = PiTree::create(Arc::clone(&cs.store), 1, cfg).unwrap();
-            let mut i = 0u64;
-            b.iter(|| {
-                let mut t = tree.begin();
-                for j in 0..10 {
-                    tree.insert(&mut t, &key(i * 10 + j), b"v").unwrap();
-                }
-                match undo {
-                    UndoPolicy::Logical => t.abort(Some(&tree.undo_handler())).unwrap(),
-                    UndoPolicy::PageOriented => t.abort(None).unwrap(),
-                }
-                i += 1;
-            });
+fn bench_e4_undo_policy() {
+    for (name, undo) in [
+        ("logical", UndoPolicy::Logical),
+        ("page_oriented", UndoPolicy::PageOriented),
+    ] {
+        let mut cfg = PiTreeConfig::small_nodes(16, 16);
+        cfg.undo = undo;
+        let cs = CrashableStore::create(4096, 1 << 20).unwrap();
+        let tree = PiTree::create(Arc::clone(&cs.store), 1, cfg).unwrap();
+        let mut i = 0u64;
+        bench("e4_undo_policy", &format!("batch10_abort/{name}"), || {
+            let mut t = tree.begin();
+            for j in 0..10 {
+                tree.insert(&mut t, &key(i * 10 + j), b"v").unwrap();
+            }
+            match undo {
+                UndoPolicy::Logical => t.abort(Some(&tree.undo_handler())).unwrap(),
+                UndoPolicy::PageOriented => t.abort(None).unwrap(),
+            }
+            i += 1;
         });
     }
-    g.finish();
 }
 
 /// E5 — traversal cost: CNS (one latch) vs CP (latch coupling).
-fn bench_e5_traversal(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e5_traversal");
-    g.sample_size(10).measurement_time(Duration::from_secs(3));
+fn bench_e5_traversal() {
     for (name, pol) in [
         ("cns", ConsolidationPolicy::Disabled),
-        ("cp", ConsolidationPolicy::Enabled { dealloc: DeallocPolicy::IsAnUpdate }),
+        (
+            "cp",
+            ConsolidationPolicy::Enabled {
+                dealloc: DeallocPolicy::IsAnUpdate,
+            },
+        ),
     ] {
         let mut cfg = PiTreeConfig::small_nodes(32, 32);
         cfg.consolidation = pol;
@@ -158,104 +150,100 @@ fn bench_e5_traversal(c: &mut Criterion) {
             tree.insert(&mut t, &key(i), b"v").unwrap();
             t.commit().unwrap();
         }
-        g.bench_function(BenchmarkId::new("search", name), |b| {
-            let mut i = 0u64;
-            b.iter(|| {
-                let _ = tree.get_unlocked(&key((i * 7919) % 20_000)).unwrap();
-                i += 1;
-            });
+        let mut i = 0u64;
+        bench("e5_traversal", &format!("search/{name}"), || {
+            let _ = tree.get_unlocked(&key((i * 7919) % 20_000)).unwrap();
+            i += 1;
         });
     }
-    g.finish();
 }
 
 /// E6 — posting with a valid saved path vs root re-traversal, via the two
 /// CP de-allocation regimes, on a deep tree.
-fn bench_e6_saved_path(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e6_saved_path");
-    g.sample_size(10).measurement_time(Duration::from_secs(3));
+fn bench_e6_saved_path() {
     for (name, pol) in [
-        ("saved_path", ConsolidationPolicy::Enabled { dealloc: DeallocPolicy::IsAnUpdate }),
-        ("root_retraversal", ConsolidationPolicy::Enabled { dealloc: DeallocPolicy::NotAnUpdate }),
+        (
+            "saved_path",
+            ConsolidationPolicy::Enabled {
+                dealloc: DeallocPolicy::IsAnUpdate,
+            },
+        ),
+        (
+            "root_retraversal",
+            ConsolidationPolicy::Enabled {
+                dealloc: DeallocPolicy::NotAnUpdate,
+            },
+        ),
     ] {
-        g.bench_function(BenchmarkId::new("insert_deep", name), |b| {
-            let mut cfg = PiTreeConfig::small_nodes(8, 8);
-            cfg.consolidation = pol;
-            let cs = CrashableStore::create(8192, 1 << 20).unwrap();
-            let tree = PiTree::create(Arc::clone(&cs.store), 1, cfg).unwrap();
-            for i in 0..10_000u64 {
-                let mut t = tree.begin();
-                tree.insert(&mut t, &key(i), b"v").unwrap();
-                t.commit().unwrap();
-            }
-            let mut i = 10_000u64;
-            b.iter(|| {
-                let mut t = tree.begin();
-                tree.insert(&mut t, &key(i), b"v").unwrap();
-                t.commit().unwrap();
-                i += 1;
-            });
+        let mut cfg = PiTreeConfig::small_nodes(8, 8);
+        cfg.consolidation = pol;
+        let cs = CrashableStore::create(8192, 1 << 20).unwrap();
+        let tree = PiTree::create(Arc::clone(&cs.store), 1, cfg).unwrap();
+        for i in 0..10_000u64 {
+            let mut t = tree.begin();
+            tree.insert(&mut t, &key(i), b"v").unwrap();
+            t.commit().unwrap();
+        }
+        let mut i = 10_000u64;
+        bench("e6_saved_path", &format!("insert_deep/{name}"), || {
+            let mut t = tree.begin();
+            tree.insert(&mut t, &key(i), b"v").unwrap();
+            t.commit().unwrap();
+            i += 1;
         });
     }
-    g.finish();
 }
 
 /// E7 — the consolidation action itself: churn a range, then time the
 /// completion pass that merges it.
-fn bench_e7_consolidate(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e7_consolidate");
-    g.sample_size(10).measurement_time(Duration::from_secs(5));
-    g.bench_function("churn_and_consolidate_1000", |b| {
-        b.iter_custom(|iters| {
-            let mut total = Duration::ZERO;
-            for _ in 0..iters {
-                let mut cfg = PiTreeConfig::small_nodes(16, 16);
-                cfg.min_utilization = 0.4;
-                cfg.auto_complete = false;
-                let cs = CrashableStore::create(4096, 1 << 20).unwrap();
-                let tree = PiTree::create(Arc::clone(&cs.store), 1, cfg).unwrap();
-                for i in 0..1_000u64 {
+fn bench_e7_consolidate() {
+    bench_custom("e7_consolidate", "churn_and_consolidate_1000", 5, |iters| {
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let mut cfg = PiTreeConfig::small_nodes(16, 16);
+            cfg.min_utilization = 0.4;
+            cfg.auto_complete = false;
+            let cs = CrashableStore::create(4096, 1 << 20).unwrap();
+            let tree = PiTree::create(Arc::clone(&cs.store), 1, cfg).unwrap();
+            for i in 0..1_000u64 {
+                let mut t = tree.begin();
+                tree.insert(&mut t, &key(i), b"v").unwrap();
+                t.commit().unwrap();
+            }
+            tree.run_completions().unwrap();
+            for i in 0..1_000u64 {
+                if i % 8 != 0 {
                     let mut t = tree.begin();
-                    tree.insert(&mut t, &key(i), b"v").unwrap();
+                    tree.delete(&mut t, &key(i)).unwrap();
                     t.commit().unwrap();
                 }
-                tree.run_completions().unwrap();
-                for i in 0..1_000u64 {
-                    if i % 8 != 0 {
-                        let mut t = tree.begin();
-                        tree.delete(&mut t, &key(i)).unwrap();
-                        t.commit().unwrap();
-                    }
-                }
-                let t0 = Instant::now();
-                for _ in 0..6 {
-                    tree.run_completions().unwrap();
-                }
-                total += t0.elapsed();
             }
-            total
-        });
+            let t0 = Instant::now();
+            for _ in 0..6 {
+                tree.run_completions().unwrap();
+            }
+            total += t0.elapsed();
+        }
+        total
     });
-    g.finish();
 }
 
 /// F1 — TSB-tree versioned write and as-of read costs.
-fn bench_f1_tsb(c: &mut Criterion) {
-    let mut g = c.benchmark_group("f1_tsb");
-    g.sample_size(10).measurement_time(Duration::from_secs(3));
-    g.bench_function("put_version", |b| {
+fn bench_f1_tsb() {
+    let g = "f1_tsb";
+    {
         let cs = CrashableStore::create(4096, 1 << 20).unwrap();
         let tree =
             TsbTree::create(Arc::clone(&cs.store), 1, TsbConfig::small_nodes(32, 32)).unwrap();
         let mut i = 0u64;
-        b.iter(|| {
+        bench(g, "put_version", || {
             let mut t = tree.begin();
             tree.put(&mut t, &key(i % 64), b"v").unwrap();
             t.commit().unwrap();
             i += 1;
         });
-    });
-    g.bench_function("get_as_of_deep_history", |b| {
+    }
+    {
         let cs = CrashableStore::create(4096, 1 << 20).unwrap();
         let tree =
             TsbTree::create(Arc::clone(&cs.store), 1, TsbConfig::small_nodes(16, 16)).unwrap();
@@ -266,63 +254,68 @@ fn bench_f1_tsb(c: &mut Criterion) {
             t.commit().unwrap();
         }
         let mut i = 0usize;
-        b.iter(|| {
+        bench(g, "get_as_of_deep_history", || {
             let ts = stamps[(i * 31) % stamps.len()];
             let _ = tree.get_as_of(&key((i as u64 * 31) % 4), ts).unwrap();
             i += 1;
         });
-    });
-    g.finish();
+    }
 }
 
 /// F2 — hB-tree point insert and window-query costs.
-fn bench_f2_hb(c: &mut Criterion) {
-    let mut g = c.benchmark_group("f2_hb");
-    g.sample_size(10).measurement_time(Duration::from_secs(3));
-    g.bench_function("insert_point", |b| {
+fn bench_f2_hb() {
+    let g = "f2_hb";
+    {
         let cs = CrashableStore::create(4096, 1 << 20).unwrap();
-        let tree =
-            HbTree::create(Arc::clone(&cs.store), 1, HbConfig::small_nodes(32, 32)).unwrap();
+        let tree = HbTree::create(Arc::clone(&cs.store), 1, HbConfig::small_nodes(32, 32)).unwrap();
         let mut i = 0u64;
-        b.iter(|| {
+        bench(g, "insert_point", || {
             let mut t = tree.begin();
-            tree.insert(&mut t, &[(i * 7919) % 100_000, (i * 104729) % 100_000], b"v")
-                .unwrap();
+            tree.insert(
+                &mut t,
+                &[(i * 7919) % 100_000, (i * 104729) % 100_000],
+                b"v",
+            )
+            .unwrap();
             t.commit().unwrap();
             i += 1;
         });
-    });
-    g.bench_function("window_query", |b| {
+    }
+    {
         let cs = CrashableStore::create(4096, 1 << 20).unwrap();
-        let tree =
-            HbTree::create(Arc::clone(&cs.store), 1, HbConfig::small_nodes(16, 24)).unwrap();
+        let tree = HbTree::create(Arc::clone(&cs.store), 1, HbConfig::small_nodes(16, 24)).unwrap();
         for i in 0..2_000u64 {
             let mut t = tree.begin();
-            tree.insert(&mut t, &[(i * 7919) % 100_000, (i * 104729) % 100_000], b"v")
-                .unwrap();
+            tree.insert(
+                &mut t,
+                &[(i * 7919) % 100_000, (i * 104729) % 100_000],
+                b"v",
+            )
+            .unwrap();
             t.commit().unwrap();
         }
         let mut i = 0u64;
-        b.iter(|| {
+        bench(g, "window_query", || {
             let lo = [(i * 13) % 80_000, (i * 17) % 80_000];
-            let window = pitree_hb::Rect { lo, hi: [lo[0] + 20_000, lo[1] + 20_000] };
+            let window = pitree_hb::Rect {
+                lo,
+                hi: [lo[0] + 20_000, lo[1] + 20_000],
+            };
             let _ = tree.window_query(&window).unwrap();
             i += 1;
         });
-    });
-    g.finish();
+    }
 }
 
-criterion_group!(
-    benches,
-    bench_e1_smo_concurrency,
-    bench_e2_action_latency,
-    bench_e3_recovery,
-    bench_e4_undo_policy,
-    bench_e5_traversal,
-    bench_e6_saved_path,
-    bench_e7_consolidate,
-    bench_f1_tsb,
-    bench_f2_hb,
-);
-criterion_main!(benches);
+fn main() {
+    println!("{:<20} {:<36} {:>14}", "group", "bench", "time");
+    bench_e1_smo_concurrency();
+    bench_e2_action_latency();
+    bench_e3_recovery();
+    bench_e4_undo_policy();
+    bench_e5_traversal();
+    bench_e6_saved_path();
+    bench_e7_consolidate();
+    bench_f1_tsb();
+    bench_f2_hb();
+}

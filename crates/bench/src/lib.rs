@@ -1,3 +1,80 @@
-//! Benchmark support crate. The Criterion benches live in `benches/paper.rs`
-//! — one group per experiment id in `EXPERIMENTS.md`; the corresponding
+//! Benchmark support crate. The benches live in `benches/paper.rs` — one
+//! group per experiment id in `EXPERIMENTS.md`; the corresponding
 //! table-producing drivers are the `exp*` binaries in `pitree-harness`.
+//!
+//! The workspace is dependency-free by design (see DESIGN.md), so this crate
+//! ships its own miniature timing harness instead of Criterion: each bench
+//! auto-calibrates an iteration count to a minimum sample duration, takes
+//! the best of three samples (the usual minimum-is-signal argument: noise
+//! only ever adds time), and prints one `ns/op` line. The bench target is
+//! opt-in behind the non-default `bench-ext` feature:
+//!
+//! ```text
+//! cargo bench -p pitree-bench --features bench-ext
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Minimum wall time a sample must cover before we trust it.
+const MIN_SAMPLE: Duration = Duration::from_millis(50);
+/// Samples taken after calibration; the best (lowest) is reported.
+const SAMPLES: u32 = 3;
+
+/// Print one result line, aligned for scanning.
+pub fn report(group: &str, name: &str, ns_per_op: f64) {
+    println!("{group:<20} {name:<36} {ns_per_op:>14.0} ns/op");
+}
+
+/// Time `f` per call: calibrate an iteration count until one sample covers
+/// [`MIN_SAMPLE`], then report the best of [`SAMPLES`] samples.
+pub fn bench(group: &str, name: &str, mut f: impl FnMut()) {
+    let mut iters = 1u64;
+    let mut elapsed;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        elapsed = t0.elapsed();
+        if elapsed >= MIN_SAMPLE || iters >= 1 << 22 {
+            break;
+        }
+        iters = iters.saturating_mul(4);
+    }
+    let mut best = elapsed;
+    for _ in 1..SAMPLES {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t0.elapsed());
+    }
+    report(group, name, best.as_nanos() as f64 / iters as f64);
+}
+
+/// For benches whose setup must not be timed (recovery, consolidation):
+/// `f(iters)` runs `iters` repetitions and returns only the time spent in
+/// the measured region.
+pub fn bench_custom(group: &str, name: &str, iters: u64, mut f: impl FnMut(u64) -> Duration) {
+    let mut best = f(iters);
+    for _ in 1..SAMPLES {
+        best = best.min(f(iters));
+    }
+    report(group, name, best.as_nanos() as f64 / iters as f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_plausible_time() {
+        // Smoke: a no-op body calibrates and completes quickly.
+        bench("test", "noop", || std::hint::black_box(()));
+    }
+
+    #[test]
+    fn bench_custom_uses_reported_duration() {
+        bench_custom("test", "fixed", 10, Duration::from_micros);
+    }
+}

@@ -145,7 +145,12 @@ mod tests {
 
     #[test]
     fn codec_roundtrip() {
-        for b in [KeyBound::NegInf, KeyBound::PosInf, KeyBound::Key(b"hello".to_vec()), KeyBound::Key(vec![])] {
+        for b in [
+            KeyBound::NegInf,
+            KeyBound::PosInf,
+            KeyBound::Key(b"hello".to_vec()),
+            KeyBound::Key(vec![]),
+        ] {
             let mut buf = Vec::new();
             b.encode(&mut buf);
             let mut pos = 0;

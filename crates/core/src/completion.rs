@@ -13,7 +13,7 @@
 //! protocol is built to tolerate.
 
 use crate::traverse::SavedPath;
-use parking_lot::Mutex;
+use pitree_pagestore::sync::Mutex;
 use pitree_pagestore::PageId;
 use std::collections::VecDeque;
 
@@ -56,9 +56,18 @@ impl CompletionQueue {
     pub fn push(&self, c: Completion) -> bool {
         let mut q = self.q.lock();
         let dup = q.iter().any(|e| match (e, &c) {
-            (Completion::Post { level: l1, node: n1, .. }, Completion::Post { level: l2, node: n2, .. }) => {
-                l1 == l2 && n1 == n2
-            }
+            (
+                Completion::Post {
+                    level: l1,
+                    node: n1,
+                    ..
+                },
+                Completion::Post {
+                    level: l2,
+                    node: n2,
+                    ..
+                },
+            ) => l1 == l2 && n1 == n2,
             (
                 Completion::Consolidate { level: l1, key: k1 },
                 Completion::Consolidate { level: l2, key: k2 },
@@ -93,7 +102,12 @@ mod tests {
     use super::*;
 
     fn post(level: u8, node: u64) -> Completion {
-        Completion::Post { level, key: vec![node as u8], node: PageId(node), path: SavedPath::default() }
+        Completion::Post {
+            level,
+            key: vec![node as u8],
+            node: PageId(node),
+            path: SavedPath::default(),
+        }
     }
 
     #[test]
@@ -101,8 +115,20 @@ mod tests {
         let q = CompletionQueue::default();
         assert!(q.push(post(1, 10)));
         assert!(q.push(post(1, 11)));
-        assert!(matches!(q.pop(), Some(Completion::Post { node: PageId(10), .. })));
-        assert!(matches!(q.pop(), Some(Completion::Post { node: PageId(11), .. })));
+        assert!(matches!(
+            q.pop(),
+            Some(Completion::Post {
+                node: PageId(10),
+                ..
+            })
+        ));
+        assert!(matches!(
+            q.pop(),
+            Some(Completion::Post {
+                node: PageId(11),
+                ..
+            })
+        ));
         assert!(q.pop().is_none());
     }
 
@@ -118,17 +144,26 @@ mod tests {
     #[test]
     fn duplicate_consolidations_suppressed() {
         let q = CompletionQueue::default();
-        let c = Completion::Consolidate { level: 0, key: b"k".to_vec() };
+        let c = Completion::Consolidate {
+            level: 0,
+            key: b"k".to_vec(),
+        };
         assert!(q.push(c.clone()));
         assert!(!q.push(c));
-        assert!(q.push(Completion::Consolidate { level: 0, key: b"other".to_vec() }));
+        assert!(q.push(Completion::Consolidate {
+            level: 0,
+            key: b"other".to_vec()
+        }));
     }
 
     #[test]
     fn mixed_kinds_do_not_collide() {
         let q = CompletionQueue::default();
         assert!(q.push(post(0, 5)));
-        assert!(q.push(Completion::Consolidate { level: 0, key: vec![5] }));
+        assert!(q.push(Completion::Consolidate {
+            level: 0,
+            key: vec![5]
+        }));
         assert_eq!(q.len(), 2);
         assert!(!q.is_empty());
     }

@@ -106,7 +106,9 @@ pub struct PiTreeConfig {
 impl Default for PiTreeConfig {
     fn default() -> Self {
         PiTreeConfig {
-            consolidation: ConsolidationPolicy::Enabled { dealloc: DeallocPolicy::IsAnUpdate },
+            consolidation: ConsolidationPolicy::Enabled {
+                dealloc: DeallocPolicy::IsAnUpdate,
+            },
             undo: UndoPolicy::Logical,
             smo_identity: ActionIdentity::SystemTransaction,
             move_granule: MoveGranule::Page,
@@ -122,12 +124,19 @@ impl PiTreeConfig {
     /// A configuration with small nodes, for tests that want deep trees
     /// from few keys.
     pub fn small_nodes(leaf: usize, index: usize) -> PiTreeConfig {
-        PiTreeConfig { max_leaf_entries: leaf, max_index_entries: index, ..Default::default() }
+        PiTreeConfig {
+            max_leaf_entries: leaf,
+            max_index_entries: index,
+            ..Default::default()
+        }
     }
 
     /// The classic B-link configuration: no consolidation (CNS).
     pub fn cns() -> PiTreeConfig {
-        PiTreeConfig { consolidation: ConsolidationPolicy::Disabled, ..Default::default() }
+        PiTreeConfig {
+            consolidation: ConsolidationPolicy::Disabled,
+            ..Default::default()
+        }
     }
 
     /// Page-oriented UNDO (move locks, possible in-transaction splits).

@@ -125,8 +125,8 @@ pub fn consolidate(tree: &PiTree, level: u8, key: &[u8]) -> StoreResult<Consolid
     let move_bytes: usize = (1..ng.slot_count())
         .map(|s| ng.get(s).map(|e| e.len() + 4))
         .sum::<StoreResult<usize>>()?;
-    let fits = move_bytes <= cg.free_space()
-        && (cg.entry_count() + ng.entry_count()) as usize <= max;
+    let fits =
+        move_bytes <= cg.free_space() && (cg.entry_count() + ng.entry_count()) as usize <= max;
     if !still_sparse || !fits {
         TreeStats::bump(&stats.consolidations_noop);
         act.commit()?;
@@ -149,10 +149,11 @@ pub fn consolidate(tree: &PiTree, level: u8, key: &[u8]) -> StoreResult<Consolid
                 drop(cg);
                 drop(pg);
                 act.commit()?; // empty action; locks released
-                tree.completions().push(crate::completion::Completion::Consolidate {
-                    level,
-                    key: key.to_vec(),
-                });
+                tree.completions()
+                    .push(crate::completion::Completion::Consolidate {
+                        level,
+                        key: key.to_vec(),
+                    });
                 return Ok(ConsolidateOutcome::MoveDeferred);
             }
             Err(e) => return Err(crate::tree::lock_err(e)),
@@ -172,9 +173,20 @@ pub fn consolidate(tree: &PiTree, level: u8, key: &[u8]) -> StoreResult<Consolid
         low: c_hdr.low.clone(),
         high: n_hdr.high.clone(),
     };
-    act.apply(&c_pin, &mut cg, PageOp::UpdateSlot { slot: 0, bytes: merged_hdr.encode() })?;
+    act.apply(
+        &c_pin,
+        &mut cg,
+        PageOp::UpdateSlot {
+            slot: 0,
+            bytes: merged_hdr.encode(),
+        },
+    )?;
     // Delete the contained node's index term.
-    act.apply(&parent_pin, &mut pg, PageOp::KeyedRemove { key: key.to_vec() })?;
+    act.apply(
+        &parent_pin,
+        &mut pg,
+        PageOp::KeyedRemove { key: key.to_vec() },
+    )?;
     // De-allocate the contained node, per the configured policy (§5.2.2).
     match dealloc {
         DeallocPolicy::IsAnUpdate => {
@@ -200,8 +212,8 @@ pub fn consolidate(tree: &PiTree, level: u8, key: &[u8]) -> StoreResult<Consolid
     // Escalation check before releasing the parent: consolidating index
     // terms can make the parent itself sparse (§5: "Consolidation of index
     // terms can lead to further node consolidation").
-    let parent_sparse = utilization(&pg, tree.config().max_index_entries)
-        < tree.config().min_utilization;
+    let parent_sparse =
+        utilization(&pg, tree.config().max_index_entries) < tree.config().min_utilization;
     let parent_low = NodeHeader::read(&pg)?.low.as_entry_key().to_vec();
     let parent_level = level + 1;
 
@@ -215,7 +227,10 @@ pub fn consolidate(tree: &PiTree, level: u8, key: &[u8]) -> StoreResult<Consolid
     TreeStats::bump(&stats.consolidations);
     if parent_sparse && parent_level < root_level {
         tree.completions()
-            .push(crate::completion::Completion::Consolidate { level: parent_level, key: parent_low });
+            .push(crate::completion::Completion::Consolidate {
+                level: parent_level,
+                key: parent_low,
+            });
     }
     Ok(ConsolidateOutcome::Done)
 }

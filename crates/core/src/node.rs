@@ -35,7 +35,12 @@ pub struct NodeHeader {
 impl NodeHeader {
     /// Header of a fresh root: a data node directly containing everything.
     pub fn new_root_leaf() -> NodeHeader {
-        NodeHeader { level: 0, side: PageId::INVALID, low: KeyBound::NegInf, high: KeyBound::PosInf }
+        NodeHeader {
+            level: 0,
+            side: PageId::INVALID,
+            low: KeyBound::NegInf,
+            high: KeyBound::PosInf,
+        }
     }
 
     /// Whether `key` lies in the directly-contained space.
@@ -71,7 +76,12 @@ impl NodeHeader {
         if pos != bytes.len() {
             return Err(StoreError::Corrupt("trailing bytes in node header".into()));
         }
-        Ok(NodeHeader { level, side, low, high })
+        Ok(NodeHeader {
+            level,
+            side,
+            low,
+            high,
+        })
     }
 
     /// Read the header of a node page.
@@ -236,10 +246,18 @@ mod tests {
 
     #[test]
     fn index_term_codec() {
-        let t = IndexTerm { key: b"sep".to_vec(), child: PageId(77), multi_parent: true };
+        let t = IndexTerm {
+            key: b"sep".to_vec(),
+            child: PageId(77),
+            multi_parent: true,
+        };
         let e = t.to_entry();
         assert_eq!(IndexTerm::from_entry(&e).unwrap(), t);
-        let t2 = IndexTerm { key: vec![], child: PageId(1), multi_parent: false };
+        let t2 = IndexTerm {
+            key: vec![],
+            child: PageId(1),
+            multi_parent: false,
+        };
         assert_eq!(IndexTerm::from_entry(&t2.to_entry()).unwrap(), t2);
     }
 

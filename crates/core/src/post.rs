@@ -55,7 +55,9 @@ fn locate_parent<'a>(
         }
         // §5.2.2(b): de-allocation bumps the state id, so climb the saved
         // path from the deepest entry whose state id is unchanged.
-        ConsolidationPolicy::Enabled { dealloc: DeallocPolicy::IsAnUpdate } => {
+        ConsolidationPolicy::Enabled {
+            dealloc: DeallocPolicy::IsAnUpdate,
+        } => {
             let mut start = None;
             for e in path.entries.iter().rev().filter(|e| e.level >= level) {
                 // Climbing *up* the path violates the latch order, so only
@@ -87,10 +89,16 @@ fn locate_parent<'a>(
         // root-anchored traversals are safe. The saved path still pays: a
         // node whose state id is unchanged needs no fresh in-node search —
         // we account hits for the experiment's benefit.
-        ConsolidationPolicy::Enabled { dealloc: DeallocPolicy::NotAnUpdate } => {
+        ConsolidationPolicy::Enabled {
+            dealloc: DeallocPolicy::NotAnUpdate,
+        } => {
             let d = tree.descend(key, level, true, false)?;
             for e in &d.path.entries {
-                if path.entries.iter().any(|p| p.pid == e.pid && p.lsn == e.lsn) {
+                if path
+                    .entries
+                    .iter()
+                    .any(|p| p.pid == e.pid && p.lsn == e.lsn)
+                {
                     TreeStats::bump(&stats.saved_path_hits);
                 } else {
                     TreeStats::bump(&stats.saved_path_misses);
@@ -99,7 +107,10 @@ fn locate_parent<'a>(
             d
         }
     };
-    TreeStats::add(&stats.posting_nodes_touched, d.path.entries.len() as u64 + 1);
+    TreeStats::add(
+        &stats.posting_nodes_touched,
+        d.path.entries.len() as u64 + 1,
+    );
     Ok(d)
 }
 
@@ -124,7 +135,12 @@ pub fn post_index_term(
     // undecided transaction's structure change (an in-transaction root
     // growth): updating it now would break that transaction's page-oriented
     // undo. Defer — normal traversals will re-detect the unposted split.
-    if tree.store().txns.locks().is_move_locked(&tree.page_lock(parent_pin.id())) {
+    if tree
+        .store()
+        .txns
+        .locks()
+        .is_move_locked(&tree.page_lock(parent_pin.id()))
+    {
         TreeStats::bump(&stats.postings_move_deferred);
         act.commit()?;
         return Ok(PostOutcome::MoveDeferred);
@@ -169,7 +185,12 @@ pub fn post_index_term(
             }
             // Crossing this node's side pointer: §4.2.2 — a move lock means
             // the split is by an undecided transaction; do not post.
-            if tree.store().txns.locks().is_move_locked(&tree.page_lock(pin.id())) {
+            if tree
+                .store()
+                .txns
+                .locks()
+                .is_move_locked(&tree.page_lock(pin.id()))
+            {
                 TreeStats::bump(&stats.postings_move_deferred);
                 act.commit()?;
                 return Ok(PostOutcome::MoveDeferred);
@@ -208,13 +229,23 @@ pub fn post_index_term(
     TreeStats::bump(&stats.upper_exclusive);
 
     // ---- Space Test + Update Node ---------------------------------------------
-    let term = IndexTerm { key: post_key, child: post_pid, multi_parent: false };
+    let term = IndexTerm {
+        key: post_key,
+        child: post_pid,
+        multi_parent: false,
+    };
     let entry = term.to_entry();
     let mut cur_pin: PinnedPage<'_> = parent_pin;
     let mut cur_guard = pg;
     loop {
         if !node_full(&cur_guard, entry.len(), tree.config().max_index_entries) {
-            act.apply(&cur_pin, &mut cur_guard, PageOp::KeyedInsert { bytes: entry.clone() })?;
+            act.apply(
+                &cur_pin,
+                &mut cur_guard,
+                PageOp::KeyedInsert {
+                    bytes: entry.clone(),
+                },
+            )?;
             break;
         }
         // Split NODE within this action; "an index posting operation is
@@ -223,13 +254,21 @@ pub fn post_index_term(
         let cur_level = NodeHeader::read(&cur_guard)?.level;
         TreeStats::bump(&stats.upper_exclusive); // the split's new node
         match split_node(tree, &mut act, &cur_pin, &mut cur_guard)? {
-            SplitCandidates::Normal { new_pin, new_guard, split_key, new_pid } => {
-                if tree.completions().push(crate::completion::Completion::Post {
-                    level: cur_level + 1,
-                    key: split_key.clone(),
-                    node: new_pid,
-                    path: path.above(cur_level),
-                }) {
+            SplitCandidates::Normal {
+                new_pin,
+                new_guard,
+                split_key,
+                new_pid,
+            } => {
+                if tree
+                    .completions()
+                    .push(crate::completion::Completion::Post {
+                        level: cur_level + 1,
+                        key: split_key.clone(),
+                        node: new_pid,
+                        path: path.above(cur_level),
+                    })
+                {
                     TreeStats::bump(&stats.postings_scheduled);
                 }
                 // "Then check which resulting node has a directly contained

@@ -15,9 +15,9 @@
 //!   runs *inside* the transaction, the move lock is held to end of
 //!   transaction, and the posting is deferred to commit (§4.2.2).
 
+use crate::bound::KeyBound;
 use crate::completion::Completion;
 use crate::node::{IndexTerm, NodeHeader};
-use crate::bound::KeyBound;
 use crate::stats::TreeStats;
 use crate::traverse::DescentTarget;
 use crate::tree::{lock_err, PiTree};
@@ -60,10 +60,7 @@ pub(crate) enum SplitCandidates<'a> {
 /// Allocate a fresh page through `chain`, logging the space-map bit. The
 /// allocation latch is ordered last (§4.1.1) and is held only across the
 /// find + logged set.
-pub(crate) fn alloc_page<'a>(
-    tree: &'a PiTree,
-    chain: &mut Txn<'_>,
-) -> StoreResult<PinnedPage<'a>> {
+pub(crate) fn alloc_page<'a>(tree: &'a PiTree, chain: &mut Txn<'_>) -> StoreResult<PinnedPage<'a>> {
     let store = tree.store();
     let pid = {
         let mut alloc = store.space.lock_alloc();
@@ -108,15 +105,30 @@ fn raw_split<'a>(
         low: KeyBound::Key(split_key.clone()),
         high: hdr.high.clone(),
     };
-    chain.apply(&new_pin, &mut ng, PageOp::InsertSlot { slot: 0, bytes: new_hdr.encode() })?;
+    chain.apply(
+        &new_pin,
+        &mut ng,
+        PageOp::InsertSlot {
+            slot: 0,
+            bytes: new_hdr.encode(),
+        },
+    )?;
 
     // Steps 3/4: move the delegated entries (records or index terms alike).
-    let moved: Vec<Vec<u8>> = (mid_slot..=n).map(|s| g.get(s).map(|e| e.to_vec())).collect::<StoreResult<_>>()?;
+    let moved: Vec<Vec<u8>> = (mid_slot..=n)
+        .map(|s| g.get(s).map(|e| e.to_vec()))
+        .collect::<StoreResult<_>>()?;
     for e in &moved {
         chain.apply(&new_pin, &mut ng, PageOp::KeyedInsert { bytes: e.clone() })?;
     }
     for e in &moved {
-        chain.apply(page, g, PageOp::KeyedRemove { key: Page::entry_key(e).to_vec() })?;
+        chain.apply(
+            page,
+            g,
+            PageOp::KeyedRemove {
+                key: Page::entry_key(e).to_vec(),
+            },
+        )?;
     }
 
     // Step 5: the sibling term — side pointer plus delegation boundary.
@@ -126,7 +138,14 @@ fn raw_split<'a>(
         low: hdr.low,
         high: KeyBound::Key(split_key.clone()),
     };
-    chain.apply(page, g, PageOp::UpdateSlot { slot: 0, bytes: old_hdr.encode() })?;
+    chain.apply(
+        page,
+        g,
+        PageOp::UpdateSlot {
+            slot: 0,
+            bytes: old_hdr.encode(),
+        },
+    )?;
     TreeStats::bump(&tree.stats().splits);
     Ok((new_pin, ng, split_key, new_pid))
 }
@@ -143,7 +162,12 @@ pub(crate) fn split_node<'a>(
 ) -> StoreResult<SplitCandidates<'a>> {
     if page.id() != tree.root_pid() {
         let (new_pin, new_guard, split_key, new_pid) = raw_split(tree, chain, page, g)?;
-        return Ok(SplitCandidates::Normal { new_pin, new_guard, split_key, new_pid });
+        return Ok(SplitCandidates::Normal {
+            new_pin,
+            new_guard,
+            split_key,
+            new_pid,
+        });
     }
 
     // ---- root growth ---------------------------------------------------------
@@ -159,16 +183,30 @@ pub(crate) fn split_node<'a>(
         low: KeyBound::NegInf,
         high: KeyBound::PosInf,
     };
-    chain.apply(&n1_pin, &mut n1g, PageOp::InsertSlot { slot: 0, bytes: n1_hdr.encode() })?;
+    chain.apply(
+        &n1_pin,
+        &mut n1g,
+        PageOp::InsertSlot {
+            slot: 0,
+            bytes: n1_hdr.encode(),
+        },
+    )?;
 
     // Move the root's contents wholesale into n1.
-    let all: Vec<Vec<u8>> =
-        (1..g.slot_count()).map(|s| g.get(s).map(|e| e.to_vec())).collect::<StoreResult<_>>()?;
+    let all: Vec<Vec<u8>> = (1..g.slot_count())
+        .map(|s| g.get(s).map(|e| e.to_vec()))
+        .collect::<StoreResult<_>>()?;
     for e in &all {
         chain.apply(&n1_pin, &mut n1g, PageOp::KeyedInsert { bytes: e.clone() })?;
     }
     for e in &all {
-        chain.apply(page, g, PageOp::KeyedRemove { key: Page::entry_key(e).to_vec() })?;
+        chain.apply(
+            page,
+            g,
+            PageOp::KeyedRemove {
+                key: Page::entry_key(e).to_vec(),
+            },
+        )?;
     }
     // The root rises one level and indexes n1 for the whole space.
     let root_hdr = NodeHeader {
@@ -177,16 +215,47 @@ pub(crate) fn split_node<'a>(
         low: KeyBound::NegInf,
         high: KeyBound::PosInf,
     };
-    chain.apply(page, g, PageOp::UpdateSlot { slot: 0, bytes: root_hdr.encode() })?;
-    let n1_term = IndexTerm { key: Vec::new(), child: n1_pid, multi_parent: false };
-    chain.apply(page, g, PageOp::KeyedInsert { bytes: n1_term.to_entry() })?;
+    chain.apply(
+        page,
+        g,
+        PageOp::UpdateSlot {
+            slot: 0,
+            bytes: root_hdr.encode(),
+        },
+    )?;
+    let n1_term = IndexTerm {
+        key: Vec::new(),
+        child: n1_pid,
+        multi_parent: false,
+    };
+    chain.apply(
+        page,
+        g,
+        PageOp::KeyedInsert {
+            bytes: n1_term.to_entry(),
+        },
+    )?;
 
     // n1 is as full as the root was: split it now and post the pair.
     let (n2_pin, n2g, split_key, n2_pid) = raw_split(tree, chain, &n1_pin, &mut n1g)?;
-    let n2_term = IndexTerm { key: split_key.clone(), child: n2_pid, multi_parent: false };
-    chain.apply(page, g, PageOp::KeyedInsert { bytes: n2_term.to_entry() })?;
+    let n2_term = IndexTerm {
+        key: split_key.clone(),
+        child: n2_pid,
+        multi_parent: false,
+    };
+    chain.apply(
+        page,
+        g,
+        PageOp::KeyedInsert {
+            bytes: n2_term.to_entry(),
+        },
+    )?;
     TreeStats::bump(&tree.stats().root_grows);
-    Ok(SplitCandidates::Grew { n1: (n1_pin, n1g), n2: (n2_pin, n2g), split_key })
+    Ok(SplitCandidates::Grew {
+        n1: (n1_pin, n1g),
+        n2: (n2_pin, n2g),
+        split_key,
+    })
 }
 
 /// Split the leaf a blocked insert needs room in, under the policy matrix of
@@ -231,7 +300,10 @@ pub(crate) fn split_leaf_for_insert<'t>(
     // end of transaction (§4.2.2).
     let mut took_move = false;
     if tree.config().undo == UndoPolicy::PageOriented
-        && !matches!(tree.store().txns.locks().holds(txn.id(), &page_name), Some(LockMode::Move) | Some(LockMode::X))
+        && !matches!(
+            tree.store().txns.locks().holds(txn.id(), &page_name),
+            Some(LockMode::Move) | Some(LockMode::X)
+        )
     {
         match txn.try_lock(&page_name, LockMode::Move) {
             Ok(()) => took_move = true,
@@ -283,7 +355,10 @@ pub(crate) fn split_leaf_for_insert<'t>(
                 lock_new(n2.0.id());
             }
         }
-        if let SplitCandidates::Normal { split_key, new_pid, .. } = cands {
+        if let SplitCandidates::Normal {
+            split_key, new_pid, ..
+        } = cands
+        {
             // "The posting of the index term for splits cannot occur until
             // and unless T commits" (§4.2.2) — defer via commit hook.
             let q = tree.completions_arc();
@@ -322,7 +397,9 @@ pub(crate) fn independent_split(tree: &PiTree, d: DescentTarget<'_>) -> StoreRes
     };
     TreeStats::bump(&tree.stats().splits_independent);
     let schedule = match &cands {
-        SplitCandidates::Normal { split_key, new_pid, .. } => Some((split_key.clone(), *new_pid)),
+        SplitCandidates::Normal {
+            split_key, new_pid, ..
+        } => Some((split_key.clone(), *new_pid)),
         SplitCandidates::Grew { .. } => None,
     };
     drop(cands);

@@ -47,7 +47,12 @@ impl Store {
             SpaceMap::open(&pool)?
         };
         let txns = TxnManager::new(Arc::clone(&log), Arc::clone(&pool), Duration::from_secs(10));
-        Ok(Arc::new(Store { pool, log, txns, space }))
+        Ok(Arc::new(Store {
+            pool,
+            log,
+            txns,
+            space,
+        }))
     }
 }
 
@@ -87,7 +92,38 @@ impl CrashableStore {
             max_pages,
             true,
         )?;
-        Ok(CrashableStore { disk, log_store, store, pool_frames })
+        Ok(CrashableStore {
+            disk,
+            log_store,
+            store,
+            pool_frames,
+        })
+    }
+
+    /// A brand-new in-memory store whose durable-write boundaries (page
+    /// writes and log forces) consult `injector` — the simulation kit's
+    /// crash-point hook. A subsequent [`CrashableStore::crash`] yields an
+    /// injector-free survivor on which recovery runs unimpeded.
+    pub fn create_with_injector(
+        pool_frames: usize,
+        max_pages: u64,
+        injector: pitree_pagestore::fault::InjectorHandle,
+    ) -> StoreResult<CrashableStore> {
+        let disk = Arc::new(MemDisk::with_injector(Arc::clone(&injector)));
+        let log_store = Arc::new(MemLogStore::with_injector(injector));
+        let store = Store::assemble(
+            Arc::clone(&disk) as Arc<dyn DiskManager>,
+            Arc::clone(&log_store) as Arc<dyn LogStore>,
+            pool_frames,
+            max_pages,
+            true,
+        )?;
+        Ok(CrashableStore {
+            disk,
+            log_store,
+            store,
+            pool_frames,
+        })
     }
 
     /// Simulate a crash: drop all volatile state (buffer pool contents,
@@ -111,7 +147,12 @@ impl CrashableStore {
             0,
             false,
         )?;
-        Ok(CrashableStore { disk, log_store, store, pool_frames: self.pool_frames })
+        Ok(CrashableStore {
+            disk,
+            log_store,
+            store,
+            pool_frames: self.pool_frames,
+        })
     }
 
     /// Current durable log length in bytes (crash-point sweep upper bound).
@@ -128,8 +169,16 @@ mod tests {
     #[test]
     fn create_initializes_space_map() {
         let cs = CrashableStore::create(64, 10_000).unwrap();
-        assert!(cs.store.space.is_allocated(&cs.store.pool, PageId(0)).unwrap());
-        assert!(!cs.store.space.is_allocated(&cs.store.pool, PageId(5)).unwrap());
+        assert!(cs
+            .store
+            .space
+            .is_allocated(&cs.store.pool, PageId(0))
+            .unwrap());
+        assert!(!cs
+            .store
+            .space
+            .is_allocated(&cs.store.pool, PageId(5))
+            .unwrap());
     }
 
     #[test]
@@ -138,7 +187,10 @@ mod tests {
         // mkfs flushed the meta/bitmap pages, so a crash immediately after
         // creation still opens.
         let cs2 = cs.crash().unwrap();
-        assert_eq!(cs2.store.space.bitmap_pages(), cs.store.space.bitmap_pages());
+        assert_eq!(
+            cs2.store.space.bitmap_pages(),
+            cs.store.space.bitmap_pages()
+        );
     }
 
     #[test]

@@ -49,7 +49,14 @@ impl SavedPath {
 
     /// Entries strictly above `level` (for scheduling postings one level up).
     pub fn above(&self, level: u8) -> SavedPath {
-        SavedPath { entries: self.entries.iter().filter(|e| e.level > level).cloned().collect() }
+        SavedPath {
+            entries: self
+                .entries
+                .iter()
+                .filter(|e| e.level > level)
+                .cloned()
+                .collect(),
+        }
     }
 }
 
@@ -93,7 +100,13 @@ impl PiTree {
         update_at_target: bool,
         schedule: bool,
     ) -> StoreResult<DescentTarget<'_>> {
-        self.descend_from(self.root_pid(), key, target_level, update_at_target, schedule)
+        self.descend_from(
+            self.root_pid(),
+            key,
+            target_level,
+            update_at_target,
+            schedule,
+        )
     }
 
     /// [`PiTree::descend`] starting from `start` instead of the root — the
@@ -120,7 +133,13 @@ impl PiTree {
             // The remembered node was de-allocated after verification; only
             // the root is immortal (§5.2.2).
             drop(g);
-            return self.descend_from(self.root_pid(), key, target_level, update_at_target, schedule);
+            return self.descend_from(
+                self.root_pid(),
+                key,
+                target_level,
+                update_at_target,
+                schedule,
+            );
         }
         let mut hdr = NodeHeader::read(g.page())?;
         if hdr.level < target_level {
@@ -176,7 +195,12 @@ impl PiTree {
             }
 
             if hdr.level == target_level {
-                return Ok(DescentTarget { page: cur, guard: g, hdr, path });
+                return Ok(DescentTarget {
+                    page: cur,
+                    guard: g,
+                    hdr,
+                    path,
+                });
             }
 
             // ---- descend one level ------------------------------------------
@@ -187,7 +211,11 @@ impl PiTree {
                 ))
             })?;
             let term = IndexTerm::read(g.page(), slot)?;
-            path.entries.push(PathEntry { pid: cur.id(), lsn: g.page().lsn(), level: hdr.level });
+            path.entries.push(PathEntry {
+                pid: cur.id(),
+                lsn: g.page().lsn(),
+                level: hdr.level,
+            });
 
             let want_u = update_at_target && hdr.level - 1 == target_level;
             let child = pool.fetch(term.child)?;
@@ -218,7 +246,12 @@ impl PiTree {
         node_hdr: &NodeHeader,
         path: &SavedPath,
     ) {
-        if self.store().txns.locks().is_move_locked(&self.page_lock(from)) {
+        if self
+            .store()
+            .txns
+            .locks()
+            .is_move_locked(&self.page_lock(from))
+        {
             TreeStats::bump(&self.stats().postings_move_deferred);
             return;
         }

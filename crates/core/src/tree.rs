@@ -61,7 +61,10 @@ impl PiTree {
             act.apply(
                 &page,
                 &mut g,
-                PageOp::InsertSlot { slot: 0, bytes: NodeHeader::new_root_leaf().encode() },
+                PageOp::InsertSlot {
+                    slot: 0,
+                    bytes: NodeHeader::new_root_leaf().encode(),
+                },
             )?;
         }
         {
@@ -381,13 +384,19 @@ impl PiTree {
             let created = if exists {
                 let old = g.get(g.keyed_find(key)?.unwrap())?.to_vec();
                 match self.cfg.undo {
-                    UndoPolicy::PageOriented => {
-                        txn.apply(&d.page, &mut g, PageOp::KeyedUpdate { bytes: entry.clone() })?
-                    }
+                    UndoPolicy::PageOriented => txn.apply(
+                        &d.page,
+                        &mut g,
+                        PageOp::KeyedUpdate {
+                            bytes: entry.clone(),
+                        },
+                    )?,
                     UndoPolicy::Logical => txn.apply_logical(
                         &d.page,
                         &mut g,
-                        PageOp::KeyedUpdate { bytes: entry.clone() },
+                        PageOp::KeyedUpdate {
+                            bytes: entry.clone(),
+                        },
                         TAG_UNDO_UPDATE,
                         old,
                     )?,
@@ -395,13 +404,19 @@ impl PiTree {
                 false
             } else {
                 match self.cfg.undo {
-                    UndoPolicy::PageOriented => {
-                        txn.apply(&d.page, &mut g, PageOp::KeyedInsert { bytes: entry.clone() })?
-                    }
+                    UndoPolicy::PageOriented => txn.apply(
+                        &d.page,
+                        &mut g,
+                        PageOp::KeyedInsert {
+                            bytes: entry.clone(),
+                        },
+                    )?,
                     UndoPolicy::Logical => txn.apply_logical(
                         &d.page,
                         &mut g,
-                        PageOp::KeyedInsert { bytes: entry.clone() },
+                        PageOp::KeyedInsert {
+                            bytes: entry.clone(),
+                        },
                         TAG_UNDO_INSERT,
                         key.to_vec(),
                     )?,
@@ -458,13 +473,17 @@ impl PiTree {
             };
             // Consolidation trigger (§3.3): schedule when under-utilized.
             let low_key = NodeHeader::read(&g)?.low.as_entry_key().to_vec();
-            let underutilized = utilization(&g, self.cfg.max_leaf_entries)
-                < self.cfg.min_utilization;
+            let underutilized =
+                utilization(&g, self.cfg.max_leaf_entries) < self.cfg.min_utilization;
             drop(g);
             drop(d.page);
-            if underutilized && matches!(self.cfg.consolidation, ConsolidationPolicy::Enabled { .. })
+            if underutilized
+                && matches!(self.cfg.consolidation, ConsolidationPolicy::Enabled { .. })
             {
-                self.completions.push(Completion::Consolidate { level: 0, key: low_key });
+                self.completions.push(Completion::Consolidate {
+                    level: 0,
+                    key: low_key,
+                });
             }
             self.maybe_autocomplete()?;
             return Ok(true);
@@ -496,9 +515,16 @@ impl PiTree {
         // call — they run on a later pass, after the blocker resolves.
         let batch = self.completions.len();
         for _ in 0..batch {
-            let Some(c) = self.completions.pop() else { break };
+            let Some(c) = self.completions.pop() else {
+                break;
+            };
             match c {
-                Completion::Post { level, key, node, path } => {
+                Completion::Post {
+                    level,
+                    key,
+                    node,
+                    path,
+                } => {
                     crate::post::post_index_term(self, level, &key, node, &path)?;
                 }
                 Completion::Consolidate { level, key } => {

@@ -11,8 +11,8 @@ use crate::config::PiTreeConfig;
 use crate::node::node_full;
 use crate::store::Store;
 use crate::tree::PiTree;
-use parking_lot::Mutex;
 use pitree_pagestore::page::Page;
+use pitree_pagestore::sync::Mutex;
 use pitree_pagestore::{PageOp, StoreError, StoreResult};
 use pitree_wal::recovery::LogicalUndoHandler;
 use std::sync::Arc;
@@ -60,8 +60,7 @@ impl PiTree {
                     let bytes = entry.unwrap().to_vec();
                     let slot = d.guard.page().keyed_find(key)?.unwrap();
                     let old_len = d.guard.page().get(slot)?.len();
-                    if bytes.len() > old_len
-                        && bytes.len() - old_len > d.guard.page().free_space()
+                    if bytes.len() > old_len && bytes.len() - old_len > d.guard.page().free_space()
                     {
                         crate::split::independent_split(self, d)?;
                         continue;
@@ -110,7 +109,12 @@ pub struct DeferredHandler {
 impl DeferredHandler {
     /// Build a handler for `tree_id` over `store`.
     pub fn new(store: Arc<Store>, tree_id: u32, cfg: PiTreeConfig) -> DeferredHandler {
-        DeferredHandler { store, tree_id, cfg, tree: Mutex::new(None) }
+        DeferredHandler {
+            store,
+            tree_id,
+            cfg,
+            tree: Mutex::new(None),
+        }
     }
 }
 
@@ -118,7 +122,11 @@ impl LogicalUndoHandler for DeferredHandler {
     fn undo(&self, tag: u8, payload: &[u8]) -> StoreResult<()> {
         let mut guard = self.tree.lock();
         if guard.is_none() {
-            *guard = Some(PiTree::open(Arc::clone(&self.store), self.tree_id, self.cfg)?);
+            *guard = Some(PiTree::open(
+                Arc::clone(&self.store),
+                self.tree_id,
+                self.cfg,
+            )?);
         }
         guard.as_ref().unwrap().compensate(tag, payload)
     }

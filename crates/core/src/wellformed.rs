@@ -90,21 +90,30 @@ pub fn check(tree: &PiTree) -> StoreResult<WellFormedReport> {
         loop {
             steps += 1;
             if steps > node_budget {
-                violations.push(format!("side chain at level {level} exceeds node budget (cycle?)"));
+                violations.push(format!(
+                    "side chain at level {level} exceeds node budget (cycle?)"
+                ));
                 break;
             }
             let pin = pool.fetch(cur)?;
             let g = pin.s();
             if g.page_type()? != PageType::Node || g.is_freed() {
-                violations.push(format!("reachable node {cur} is not an allocated node page"));
+                violations.push(format!(
+                    "reachable node {cur} is not an allocated node page"
+                ));
                 break;
             }
             if !tree.store().space.is_allocated(pool, cur)? {
-                violations.push(format!("node {cur} reachable but not allocated in the space map"));
+                violations.push(format!(
+                    "node {cur} reachable but not allocated in the space map"
+                ));
             }
             let hdr = NodeHeader::read(&g)?;
             if hdr.level != level {
-                violations.push(format!("node {cur} has level {}, expected {level}", hdr.level));
+                violations.push(format!(
+                    "node {cur} has level {}, expected {level}",
+                    hdr.level
+                ));
             }
             // Invariant 1/2: bounds form a contiguous partition of the space.
             if hdr.low.cmp_bound(&prev_high) != std::cmp::Ordering::Equal && count > 0 {
@@ -114,10 +123,16 @@ pub fn check(tree: &PiTree) -> StoreResult<WellFormedReport> {
                 ));
             }
             if count == 0 && hdr.low != KeyBound::NegInf {
-                violations.push(format!("first node {cur} of level {level} has low {}", hdr.low));
+                violations.push(format!(
+                    "first node {cur} of level {level} has low {}",
+                    hdr.low
+                ));
             }
             if hdr.low.cmp_bound(&hdr.high) != std::cmp::Ordering::Less {
-                violations.push(format!("node {cur}: empty or inverted bounds [{}, {})", hdr.low, hdr.high));
+                violations.push(format!(
+                    "node {cur}: empty or inverted bounds [{}, {})",
+                    hdr.low, hdr.high
+                ));
             }
 
             // Entries sorted and within bounds.

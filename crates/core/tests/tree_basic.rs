@@ -1,9 +1,7 @@
 //! Functional tests of the Π-tree public API: CRUD, splits, lazy completion,
 //! consolidation, and well-formedness through every intermediate state.
 
-use pitree::{
-    ConsolidationPolicy, CrashableStore, DeallocPolicy, PiTree, PiTreeConfig,
-};
+use pitree::{ConsolidationPolicy, CrashableStore, DeallocPolicy, PiTree, PiTreeConfig};
 use std::sync::Arc;
 
 fn key(i: u64) -> Vec<u8> {
@@ -57,7 +55,10 @@ fn upsert_replaces_value() {
     let (_cs, tree) = small_tree();
     let mut t = tree.begin();
     assert!(tree.insert(&mut t, b"k", b"v1").unwrap());
-    assert!(!tree.insert(&mut t, b"k", b"v2").unwrap(), "second insert replaces");
+    assert!(
+        !tree.insert(&mut t, b"k", b"v2").unwrap(),
+        "second insert replaces"
+    );
     t.commit().unwrap();
     assert_eq!(tree.get_unlocked(b"k").unwrap(), Some(b"v2".to_vec()));
     let report = tree.validate().unwrap();
@@ -68,8 +69,16 @@ fn upsert_replaces_value() {
 fn inserts_split_and_grow_the_tree() {
     let (_cs, tree) = small_tree();
     insert_all(&tree, 0..200);
-    assert!(tree.height().unwrap() >= 3, "200 keys across 6-entry nodes must stack levels");
-    assert!(tree.stats().splits.load(std::sync::atomic::Ordering::Relaxed) > 10);
+    assert!(
+        tree.height().unwrap() >= 3,
+        "200 keys across 6-entry nodes must stack levels"
+    );
+    assert!(
+        tree.stats()
+            .splits
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 10
+    );
     let report = tree.validate().unwrap();
     assert!(report.is_well_formed(), "{:?}", report.violations);
     assert_eq!(report.records, 200);
@@ -92,10 +101,9 @@ fn descending_inserts_work_too() {
 
 #[test]
 fn random_order_inserts() {
-    use rand::seq::SliceRandom;
     let (_cs, tree) = small_tree();
     let mut keys: Vec<u64> = (0..500).collect();
-    keys.shuffle(&mut rand::thread_rng());
+    pitree_sim::SimRng::new(0x5EED).shuffle(&mut keys);
     insert_all(&tree, keys.iter().copied());
     let report = tree.validate().unwrap();
     assert!(report.is_well_formed(), "{:?}", report.violations);
@@ -120,7 +128,10 @@ fn intermediate_states_are_well_formed_and_searchable() {
         assert_eq!(tree.get_unlocked(&key(i)).unwrap(), Some(val(i)));
     }
     assert!(
-        tree.stats().side_traversals.load(std::sync::atomic::Ordering::Relaxed) > 0,
+        tree.stats()
+            .side_traversals
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0,
         "searches must have crossed side pointers"
     );
     // Now run the scheduled completions and verify the states resolve.
@@ -153,8 +164,14 @@ fn delete_and_reinsert() {
     insert_all(&tree, 0..50);
     let mut t = tree.begin();
     assert!(tree.delete(&mut t, &key(25)).unwrap());
-    assert!(!tree.delete(&mut t, &key(25)).unwrap(), "double delete is false");
-    assert!(!tree.delete(&mut t, &key(999)).unwrap(), "absent delete is false");
+    assert!(
+        !tree.delete(&mut t, &key(25)).unwrap(),
+        "double delete is false"
+    );
+    assert!(
+        !tree.delete(&mut t, &key(999)).unwrap(),
+        "absent delete is false"
+    );
     t.commit().unwrap();
     assert_eq!(tree.get_unlocked(&key(25)).unwrap(), None);
     insert_all(&tree, [25]);
@@ -169,7 +186,12 @@ fn consolidation_shrinks_node_count() {
     let (_cs, tree) = tree_with(cfg);
     insert_all(&tree, 0..300);
     let before = tree.validate().unwrap();
-    let leaves_before = before.nodes_per_level.iter().find(|(l, _)| *l == 0).unwrap().1;
+    let leaves_before = before
+        .nodes_per_level
+        .iter()
+        .find(|(l, _)| *l == 0)
+        .unwrap()
+        .1;
     // Delete most keys; consolidations are scheduled and auto-run.
     for i in 0..300 {
         if i % 10 != 0 {
@@ -185,12 +207,22 @@ fn consolidation_shrinks_node_count() {
     let after = tree.validate().unwrap();
     assert!(after.is_well_formed(), "{:?}", after.violations);
     assert_eq!(after.records, 30);
-    let leaves_after = after.nodes_per_level.iter().find(|(l, _)| *l == 0).unwrap().1;
+    let leaves_after = after
+        .nodes_per_level
+        .iter()
+        .find(|(l, _)| *l == 0)
+        .unwrap()
+        .1;
     assert!(
         leaves_after < leaves_before / 2,
         "consolidation must reclaim nodes: {leaves_before} -> {leaves_after}"
     );
-    assert!(tree.stats().consolidations.load(std::sync::atomic::Ordering::Relaxed) > 0);
+    assert!(
+        tree.stats()
+            .consolidations
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0
+    );
     // All remaining keys still reachable.
     for i in (0..300).step_by(10) {
         assert_eq!(tree.get_unlocked(&key(i)).unwrap(), Some(val(i)));
@@ -209,7 +241,12 @@ fn cns_policy_never_consolidates() {
         t.commit().unwrap();
     }
     tree.run_completions().unwrap();
-    assert_eq!(tree.stats().consolidations.load(std::sync::atomic::Ordering::Relaxed), 0);
+    assert_eq!(
+        tree.stats()
+            .consolidations
+            .load(std::sync::atomic::Ordering::Relaxed),
+        0
+    );
     let report = tree.validate().unwrap();
     assert!(report.is_well_formed(), "{:?}", report.violations);
     assert_eq!(report.records, 0);
@@ -254,8 +291,16 @@ fn abort_undoes_inserts_logical() {
     t.abort(Some(&tree.undo_handler())).unwrap();
     assert_eq!(tree.get_unlocked(&key(100)).unwrap(), None);
     assert_eq!(tree.get_unlocked(&key(101)).unwrap(), None);
-    assert_eq!(tree.get_unlocked(&key(5)).unwrap(), Some(val(5)), "delete undone");
-    assert_eq!(tree.get_unlocked(&key(6)).unwrap(), Some(val(6)), "update undone");
+    assert_eq!(
+        tree.get_unlocked(&key(5)).unwrap(),
+        Some(val(5)),
+        "delete undone"
+    );
+    assert_eq!(
+        tree.get_unlocked(&key(6)).unwrap(),
+        Some(val(6)),
+        "update undone"
+    );
     let report = tree.validate().unwrap();
     assert!(report.is_well_formed(), "{:?}", report.violations);
     assert_eq!(report.records, 20);
@@ -283,8 +328,14 @@ fn abort_after_structure_change_keeps_split_logical() {
     for i in 0..40 {
         tree.insert(&mut t, &key(i), &val(i)).unwrap();
     }
-    let splits_before = tree.stats().splits.load(std::sync::atomic::Ordering::Relaxed);
-    assert!(splits_before > 0, "40 inserts into 6-entry leaves must split");
+    let splits_before = tree
+        .stats()
+        .splits
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(
+        splits_before > 0,
+        "40 inserts into 6-entry leaves must split"
+    );
     t.abort(Some(&tree.undo_handler())).unwrap();
     let report = tree.validate().unwrap();
     assert!(report.is_well_formed(), "{:?}", report.violations);
@@ -319,8 +370,14 @@ fn in_txn_split_counting_page_oriented() {
         tree.insert(&mut t, &key(i), &val(i)).unwrap();
     }
     t.commit().unwrap();
-    let in_txn = tree.stats().splits_in_txn.load(std::sync::atomic::Ordering::Relaxed);
-    assert!(in_txn > 0, "same-transaction fill must trigger in-txn splits");
+    let in_txn = tree
+        .stats()
+        .splits_in_txn
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(
+        in_txn > 0,
+        "same-transaction fill must trigger in-txn splits"
+    );
     // Deferred postings ran at commit; tree is complete and well-formed.
     tree.run_completions().unwrap();
     assert!(tree.validate().unwrap().is_well_formed());
@@ -332,7 +389,9 @@ fn in_txn_split_counting_page_oriented() {
 #[test]
 fn dealloc_not_an_update_policy_works() {
     let mut cfg = PiTreeConfig::small_nodes(8, 8);
-    cfg.consolidation = ConsolidationPolicy::Enabled { dealloc: DeallocPolicy::NotAnUpdate };
+    cfg.consolidation = ConsolidationPolicy::Enabled {
+        dealloc: DeallocPolicy::NotAnUpdate,
+    };
     cfg.min_utilization = 0.4;
     let (_cs, tree) = tree_with(cfg);
     insert_all(&tree, 0..200);
@@ -432,6 +491,8 @@ fn scan_locked_holds_result_set_stable() {
     txn.commit().unwrap();
     // Now the lock is free.
     let writer2 = tree.begin();
-    writer2.try_lock(&name, pitree_txnlock::LockMode::X).unwrap();
+    writer2
+        .try_lock(&name, pitree_txnlock::LockMode::X)
+        .unwrap();
     writer2.commit().unwrap();
 }

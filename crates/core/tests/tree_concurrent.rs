@@ -241,7 +241,10 @@ fn record_deadlock_is_detected_and_recoverable() {
                     Err(e) => {
                         // Deadlock victim: abort and count.
                         assert!(
-                            matches!(e, pitree_pagestore::StoreError::LockFailed { deadlock: true }),
+                            matches!(
+                                e,
+                                pitree_pagestore::StoreError::LockFailed { deadlock: true }
+                            ),
                             "{e}"
                         );
                         deadlocks.fetch_add(1, Ordering::Relaxed);

@@ -15,8 +15,25 @@ fn variable_length_string_keys_sort_correctly() {
     };
     // Keys with prefix relationships and mixed lengths.
     let words = [
-        "a", "aa", "aaa", "ab", "abc", "b", "ba", "banana", "band", "bandit", "z", "zz",
-        "apple", "applesauce", "app", "ap", "zebra", "zeb", "",
+        "a",
+        "aa",
+        "aaa",
+        "ab",
+        "abc",
+        "b",
+        "ba",
+        "banana",
+        "band",
+        "bandit",
+        "z",
+        "zz",
+        "apple",
+        "applesauce",
+        "app",
+        "ap",
+        "zebra",
+        "zeb",
+        "",
     ];
     let mut txn = tree.begin();
     for (i, w) in words.iter().enumerate() {
@@ -24,7 +41,8 @@ fn variable_length_string_keys_sort_correctly() {
         if w.is_empty() {
             continue;
         }
-        tree.insert(&mut txn, w.as_bytes(), format!("{i}").as_bytes()).unwrap();
+        tree.insert(&mut txn, w.as_bytes(), format!("{i}").as_bytes())
+            .unwrap();
     }
     txn.commit().unwrap();
     for (i, w) in words.iter().enumerate() {
@@ -39,8 +57,10 @@ fn variable_length_string_keys_sort_correctly() {
     }
     // Scans respect byte order (prefixes first).
     let out = tree.scan(b"a", b"b").unwrap();
-    let keys: Vec<String> =
-        out.iter().map(|(k, _)| String::from_utf8(k.clone()).unwrap()).collect();
+    let keys: Vec<String> = out
+        .iter()
+        .map(|(k, _)| String::from_utf8(k.clone()).unwrap())
+        .collect();
     let mut expected: Vec<String> = words
         .iter()
         .filter(|w| !w.is_empty() && w.starts_with('a'))
@@ -66,9 +86,15 @@ fn byte_limited_nodes_split_on_page_space() {
     let report = tree.validate().unwrap();
     assert!(report.is_well_formed(), "{:?}", report.violations);
     assert_eq!(report.records, 200);
-    assert!(tree.height().unwrap() >= 2, "512-byte values must split 4 KiB leaves");
+    assert!(
+        tree.height().unwrap() >= 2,
+        "512-byte values must split 4 KiB leaves"
+    );
     for i in 0..200u64 {
-        assert_eq!(tree.get_unlocked(&i.to_be_bytes()).unwrap().unwrap().len(), 512);
+        assert_eq!(
+            tree.get_unlocked(&i.to_be_bytes()).unwrap().unwrap().len(),
+            512
+        );
     }
 }
 
@@ -77,11 +103,11 @@ fn tiny_buffer_pool_still_works() {
     // A pool of 24 frames over a tree of hundreds of pages: constant
     // eviction with WAL-protocol write-backs.
     let cs = CrashableStore::create(24, 200_000).unwrap();
-    let tree =
-        PiTree::create(Arc::clone(&cs.store), 1, PiTreeConfig::small_nodes(8, 8)).unwrap();
+    let tree = PiTree::create(Arc::clone(&cs.store), 1, PiTreeConfig::small_nodes(8, 8)).unwrap();
     for i in 0..600u64 {
         let mut txn = tree.begin();
-        tree.insert(&mut txn, &i.to_be_bytes(), b"evict-me").unwrap();
+        tree.insert(&mut txn, &i.to_be_bytes(), b"evict-me")
+            .unwrap();
         txn.commit().unwrap();
     }
     tree.run_completions().unwrap();
@@ -89,7 +115,12 @@ fn tiny_buffer_pool_still_works() {
     assert!(report.is_well_formed(), "{:?}", report.violations);
     assert_eq!(report.records, 600);
     assert!(
-        cs.store.pool.stats().dirty_evictions.load(std::sync::atomic::Ordering::Relaxed) > 50,
+        cs.store
+            .pool
+            .stats()
+            .dirty_evictions
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 50,
         "the workload must actually evict dirty pages"
     );
     // And it all survives a crash (pages partially on disk from evictions).
@@ -105,8 +136,7 @@ fn space_exhaustion_is_a_clean_error() {
     // A store with room for very few pages: growth must fail with
     // OutOfSpace, not corrupt anything.
     let cs = CrashableStore::create(64, 16).unwrap();
-    let tree =
-        PiTree::create(Arc::clone(&cs.store), 1, PiTreeConfig::small_nodes(4, 4)).unwrap();
+    let tree = PiTree::create(Arc::clone(&cs.store), 1, PiTreeConfig::small_nodes(4, 4)).unwrap();
     let mut txn = tree.begin();
     let mut hit_oos = false;
     for i in 0..10_000u64 {
@@ -142,8 +172,7 @@ fn oversized_records_split_until_they_fit() {
 #[test]
 fn empty_tree_scan_and_delete() {
     let cs = CrashableStore::create(64, 10_000).unwrap();
-    let tree =
-        PiTree::create(Arc::clone(&cs.store), 1, PiTreeConfig::small_nodes(4, 4)).unwrap();
+    let tree = PiTree::create(Arc::clone(&cs.store), 1, PiTreeConfig::small_nodes(4, 4)).unwrap();
     assert!(tree.scan(b"", b"\xff").unwrap().is_empty());
     let mut txn = tree.begin();
     assert!(!tree.delete(&mut txn, b"nothing").unwrap());

@@ -17,7 +17,9 @@ fn smo_identity_variants_all_work() {
     for identity in [
         ActionIdentity::SeparateTransaction,
         ActionIdentity::SystemTransaction,
-        ActionIdentity::NestedTopAction { parent: pitree_wal::ActionId(0) },
+        ActionIdentity::NestedTopAction {
+            parent: pitree_wal::ActionId(0),
+        },
     ] {
         let mut cfg = PiTreeConfig::small_nodes(6, 6);
         cfg.smo_identity = identity;
@@ -30,7 +32,11 @@ fn smo_identity_variants_all_work() {
         }
         tree.run_completions().unwrap();
         let report = tree.validate().unwrap();
-        assert!(report.is_well_formed(), "{identity:?}: {:?}", report.violations);
+        assert!(
+            report.is_well_formed(),
+            "{identity:?}: {:?}",
+            report.violations
+        );
         assert_eq!(report.records, 60);
         // The Begin records carry the configured identity.
         let smo_begins = cs
@@ -40,7 +46,10 @@ fn smo_identity_variants_all_work() {
             .into_iter()
             .filter(|r| matches!(r.kind, RecordKind::Begin { identity: id } if id == identity))
             .count();
-        assert!(smo_begins > 5, "{identity:?}: SMO actions must carry the identity");
+        assert!(
+            smo_begins > 5,
+            "{identity:?}: SMO actions must carry the identity"
+        );
         // And crash recovery treats them all the same.
         drop(tree);
         let cs2 = cs.crash().unwrap();
@@ -84,8 +93,7 @@ fn file_backed_store_persists_across_reopen() {
 fn file_backed_store_recovers_without_page_flush() {
     // Dirty pages never flushed: everything must come back from the file log
     // alone (redo from scratch).
-    let dir =
-        std::env::temp_dir().join(format!("pitree-filestore-dirty-{}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!("pitree-filestore-dirty-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let cfg = PiTreeConfig::small_nodes(8, 8);
     {

@@ -2,11 +2,14 @@
 //! `BTreeMap` reference model, across every policy combination, with
 //! crash/recover and completion-draining steps mixed in. After every
 //! sequence the tree must be well-formed and agree exactly with the model.
+//!
+//! Runs on the pitree-sim property runner: fixed seed corpus, replayable
+//! with `PITREE_SIM_SEED=<seed>`.
 
 use pitree::{
     ConsolidationPolicy, CrashableStore, DeallocPolicy, PiTree, PiTreeConfig, UndoPolicy,
 };
-use proptest::prelude::*;
+use pitree_sim::{prop, SimRng};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -22,17 +25,23 @@ enum Op {
     CrashRecover,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        5 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Insert(k % 512, v)),
-        3 => any::<u16>().prop_map(|k| Op::Delete(k % 512)),
-        2 => any::<u16>().prop_map(|k| Op::Get(k % 512)),
-        1 => (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::Scan(a % 512, b % 512)),
-        1 => proptest::collection::vec((any::<u16>(), any::<u8>()), 1..8)
-            .prop_map(|v| Op::AbortedBatch(v.into_iter().map(|(k, x)| (k % 512, x)).collect())),
-        1 => Just(Op::RunCompletions),
-        1 => Just(Op::CrashRecover),
-    ]
+fn gen_op(rng: &mut SimRng) -> Op {
+    match rng.below(14) {
+        0..=4 => Op::Insert(rng.below(512) as u16, rng.byte()),
+        5..=7 => Op::Delete(rng.below(512) as u16),
+        8..=9 => Op::Get(rng.below(512) as u16),
+        10 => Op::Scan(rng.below(512) as u16, rng.below(512) as u16),
+        11 => {
+            let n = rng.range_usize(1..8);
+            Op::AbortedBatch(
+                (0..n)
+                    .map(|_| (rng.below(512) as u16, rng.byte()))
+                    .collect(),
+            )
+        }
+        12 => Op::RunCompletions,
+        _ => Op::CrashRecover,
+    }
 }
 
 fn key(k: u16) -> Vec<u8> {
@@ -43,7 +52,9 @@ fn val(v: u8) -> Vec<u8> {
     vec![v; (v as usize % 13) + 1]
 }
 
-fn run_model(cfg: PiTreeConfig, ops: Vec<Op>) {
+fn run_model(cfg: PiTreeConfig, rng: &mut SimRng) {
+    let n_ops = rng.range_usize(1..120);
+    let ops: Vec<Op> = (0..n_ops).map(|_| gen_op(rng)).collect();
     let mut cs = CrashableStore::create(512, 200_000).unwrap();
     let mut tree = PiTree::create(Arc::clone(&cs.store), 1, cfg).unwrap();
     let mut model: BTreeMap<u16, u8> = BTreeMap::new();
@@ -100,53 +111,65 @@ fn run_model(cfg: PiTreeConfig, ops: Vec<Op>) {
     }
 
     let report = tree.validate().unwrap();
-    prop_assert_eq_hack(report.is_well_formed(), &report.violations);
+    assert!(
+        report.is_well_formed(),
+        "violations: {:?}",
+        report.violations
+    );
     assert_eq!(report.records, model.len());
     for (&k, &v) in &model {
-        assert_eq!(tree.get_unlocked(&key(k)).unwrap(), Some(val(v)), "final get {k}");
+        assert_eq!(
+            tree.get_unlocked(&key(k)).unwrap(),
+            Some(val(v)),
+            "final get {k}"
+        );
     }
 }
 
-fn prop_assert_eq_hack(ok: bool, violations: &[String]) {
-    assert!(ok, "violations: {violations:?}");
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    #[test]
-    fn model_cp_logical(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+#[test]
+fn model_cp_logical() {
+    prop::run_cases("model_cp_logical", 24, |rng| {
         let mut cfg = PiTreeConfig::small_nodes(5, 5);
         cfg.min_utilization = 0.4;
-        run_model(cfg, ops);
-    }
+        run_model(cfg, rng);
+    });
+}
 
-    #[test]
-    fn model_cns_logical(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+#[test]
+fn model_cns_logical() {
+    prop::run_cases("model_cns_logical", 24, |rng| {
         let mut cfg = PiTreeConfig::small_nodes(5, 5);
         cfg.consolidation = ConsolidationPolicy::Disabled;
-        run_model(cfg, ops);
-    }
+        run_model(cfg, rng);
+    });
+}
 
-    #[test]
-    fn model_cp_page_oriented(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+#[test]
+fn model_cp_page_oriented() {
+    prop::run_cases("model_cp_page_oriented", 24, |rng| {
         let mut cfg = PiTreeConfig::small_nodes(5, 5).page_oriented();
         cfg.min_utilization = 0.4;
-        run_model(cfg, ops);
-    }
+        run_model(cfg, rng);
+    });
+}
 
-    #[test]
-    fn model_dealloc_not_update(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+#[test]
+fn model_dealloc_not_update() {
+    prop::run_cases("model_dealloc_not_update", 24, |rng| {
         let mut cfg = PiTreeConfig::small_nodes(5, 5);
-        cfg.consolidation = ConsolidationPolicy::Enabled { dealloc: DeallocPolicy::NotAnUpdate };
+        cfg.consolidation = ConsolidationPolicy::Enabled {
+            dealloc: DeallocPolicy::NotAnUpdate,
+        };
         cfg.min_utilization = 0.4;
-        run_model(cfg, ops);
-    }
+        run_model(cfg, rng);
+    });
+}
 
-    #[test]
-    fn model_manual_completion(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+#[test]
+fn model_manual_completion() {
+    prop::run_cases("model_manual_completion", 24, |rng| {
         let mut cfg = PiTreeConfig::small_nodes(5, 5);
         cfg.auto_complete = false;
-        run_model(cfg, ops);
-    }
+        run_model(cfg, rng);
+    });
 }

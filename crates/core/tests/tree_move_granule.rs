@@ -48,9 +48,14 @@ fn relation_granule_defers_more_postings_than_page_granule() {
     // the relation move lock, no posting anywhere in the tree may proceed.
     let (_cs, page_tree) = run_batches(MoveGranule::Page);
     let (_cs2, rel_tree) = run_batches(MoveGranule::Relation);
-    let page_deferred =
-        page_tree.stats().postings_move_deferred.load(Ordering::Relaxed);
-    let rel_deferred = rel_tree.stats().postings_move_deferred.load(Ordering::Relaxed);
+    let page_deferred = page_tree
+        .stats()
+        .postings_move_deferred
+        .load(Ordering::Relaxed);
+    let rel_deferred = rel_tree
+        .stats()
+        .postings_move_deferred
+        .load(Ordering::Relaxed);
     assert!(
         rel_deferred >= page_deferred,
         "relation granule must defer at least as many postings: page={page_deferred} \

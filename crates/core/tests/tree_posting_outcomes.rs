@@ -49,7 +49,10 @@ fn stale_posting_for_posted_node_is_already_posted() {
     // Whatever boundary key(15) is, the outcome must be a clean noop-class
     // result, never a double insert.
     assert!(
-        matches!(d_outcome, PostOutcome::AlreadyPosted | PostOutcome::NodeGone),
+        matches!(
+            d_outcome,
+            PostOutcome::AlreadyPosted | PostOutcome::NodeGone
+        ),
         "{d_outcome:?}"
     );
     assert!(tree.validate().unwrap().is_well_formed());
@@ -74,7 +77,10 @@ fn posting_for_consolidated_node_terminates_node_gone() {
     // Record a real (node, low key) pair from the current structure by
     // probing leaf boundaries through the validator.
     let before = tree.validate().unwrap();
-    assert!(before.nodes_per_level.iter().any(|(l, n)| *l == 0 && *n > 2));
+    assert!(before
+        .nodes_per_level
+        .iter()
+        .any(|(l, n)| *l == 0 && *n > 2));
 
     // Delete most records so consolidations absorb leaves.
     for i in 0..30 {
@@ -90,9 +96,14 @@ fn posting_for_consolidated_node_terminates_node_gone() {
     }
     let after = tree.validate().unwrap();
     assert!(after.is_well_formed(), "{:?}", after.violations);
-    let consolidations =
-        tree.stats().consolidations.load(std::sync::atomic::Ordering::Relaxed);
-    assert!(consolidations > 0, "the churn must have consolidated something");
+    let consolidations = tree
+        .stats()
+        .consolidations
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(
+        consolidations > 0,
+        "the churn must have consolidated something"
+    );
 
     // Now fire stale postings for every historical boundary key: boundaries
     // whose nodes were absorbed must terminate as NodeGone/AlreadyPosted —
@@ -132,7 +143,10 @@ fn queued_completions_survive_being_stale_en_masse() {
     }
     // Queue a blanket of redundant consolidations and postings.
     for i in 0..60u64 {
-        tree.completions().push(Completion::Consolidate { level: 0, key: key(i) });
+        tree.completions().push(Completion::Consolidate {
+            level: 0,
+            key: key(i),
+        });
         tree.completions().push(Completion::Post {
             level: 1,
             key: key(i),
@@ -186,6 +200,9 @@ fn page_oriented_consolidation_under_concurrency() {
     // Consolidation under PageOriented takes move locks; it must still have
     // made progress (possibly with some deferred-and-retried attempts).
     assert!(
-        tree.stats().consolidations.load(std::sync::atomic::Ordering::Relaxed) > 0
+        tree.stats()
+            .consolidations
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0
     );
 }

@@ -49,7 +49,11 @@ fn committed_data_survives_crash() {
     assert!(report.is_well_formed(), "{:?}", report.violations);
     assert_eq!(report.records, 100);
     for i in 0..100 {
-        assert_eq!(tree2.get_unlocked(&key(i)).unwrap(), Some(val(i)), "key {i}");
+        assert_eq!(
+            tree2.get_unlocked(&key(i)).unwrap(),
+            Some(val(i)),
+            "key {i}"
+        );
     }
 }
 
@@ -74,7 +78,10 @@ fn uncommitted_transaction_rolled_back_logical() {
     let (_cs2, tree2) = crash_recover(&cs, cfg);
     let report = tree2.validate().unwrap();
     assert!(report.is_well_formed(), "{:?}", report.violations);
-    assert_eq!(report.records, 30, "uncommitted inserts undone, delete undone");
+    assert_eq!(
+        report.records, 30,
+        "uncommitted inserts undone, delete undone"
+    );
     for i in 100..110 {
         assert_eq!(tree2.get_unlocked(&key(i)).unwrap(), None);
     }
@@ -113,8 +120,10 @@ fn crash_between_split_and_posting_completes_lazily() {
         commit_insert(&tree, i);
     }
     assert!(!tree.completions().is_empty(), "postings must be pending");
-    let scheduled_before =
-        tree.stats().postings_scheduled.load(std::sync::atomic::Ordering::Relaxed);
+    let scheduled_before = tree
+        .stats()
+        .postings_scheduled
+        .load(std::sync::atomic::Ordering::Relaxed);
     assert!(scheduled_before > 0);
     drop(tree);
     // The completion queue is volatile — the crash loses it (§5.1: "we lose
@@ -122,7 +131,10 @@ fn crash_between_split_and_posting_completes_lazily() {
     let (_cs2, tree2) = crash_recover(&cs, cfg);
     let report = tree2.validate().unwrap();
     assert!(report.is_well_formed(), "{:?}", report.violations);
-    assert!(report.unposted_nodes > 0, "the intermediate state persisted across the crash");
+    assert!(
+        report.unposted_nodes > 0,
+        "the intermediate state persisted across the crash"
+    );
     assert_eq!(report.records, 40);
     // Normal processing detects the side pointers and schedules completion.
     for i in 0..40 {
@@ -177,8 +189,9 @@ fn log_prefix_sweep_during_split_storm() {
         );
         // Every commit is forced, so the set of surviving keys must be a
         // prefix 0..k of the inserted keys.
-        let present: Vec<bool> =
-            (0..48).map(|i| tree2.get_unlocked(&key(i)).unwrap().is_some()).collect();
+        let present: Vec<bool> = (0..48)
+            .map(|i| tree2.get_unlocked(&key(i)).unwrap().is_some())
+            .collect();
         let k = present.iter().take_while(|&&p| p).count();
         assert!(
             present[k..].iter().all(|&p| !p),
@@ -221,7 +234,11 @@ fn log_prefix_sweep_with_consolidation() {
             continue;
         };
         let report = tree2.validate().unwrap();
-        assert!(report.is_well_formed(), "cut={cut}: {:?}", report.violations);
+        assert!(
+            report.is_well_formed(),
+            "cut={cut}: {:?}",
+            report.violations
+        );
     }
 }
 
@@ -258,7 +275,10 @@ fn checkpoint_shortens_recovery() {
     drop(tree);
     let cs2 = cs.crash().unwrap();
     let (tree2, stats) = PiTree::recover(Arc::clone(&cs2.store), 1, cfg).unwrap();
-    assert!(stats.analysis_start.0 > 1, "analysis must start at the checkpoint");
+    assert!(
+        stats.analysis_start.0 > 1,
+        "analysis must start at the checkpoint"
+    );
     assert!(
         stats.scanned < 200,
         "checkpoint must bound the analysis scan, scanned {}",
@@ -311,9 +331,17 @@ fn page_oriented_log_prefix_sweep() {
             continue;
         };
         let report = tree2.validate().unwrap();
-        assert!(report.is_well_formed(), "cut={cut}: {:?}", report.violations);
+        assert!(
+            report.is_well_formed(),
+            "cut={cut}: {:?}",
+            report.violations
+        );
         // Transactions are atomic: records present in multiples of 8.
-        assert_eq!(report.records % 8, 0, "cut={cut}: partial transaction visible");
+        assert_eq!(
+            report.records % 8,
+            0,
+            "cut={cut}: partial transaction visible"
+        );
     }
 }
 
@@ -352,10 +380,15 @@ fn log_prefix_sweep_with_page_flushes_and_checkpoint() {
             "cut={cut}: analysis must start at the checkpoint"
         );
         let report = tree2.validate().unwrap();
-        assert!(report.is_well_formed(), "cut={cut}: {:?}", report.violations);
+        assert!(
+            report.is_well_formed(),
+            "cut={cut}: {:?}",
+            report.violations
+        );
         // Prefix property still holds.
-        let present: Vec<bool> =
-            (0..48).map(|i| tree2.get_unlocked(&key(i)).unwrap().is_some()).collect();
+        let present: Vec<bool> = (0..48)
+            .map(|i| tree2.get_unlocked(&key(i)).unwrap().is_some())
+            .collect();
         let k = present.iter().take_while(|&&p| p).count();
         assert!(present[k..].iter().all(|&p| !p), "cut={cut}");
         assert!(k >= 24, "cut={cut}: flushed data cannot be lost");

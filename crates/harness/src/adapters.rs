@@ -18,7 +18,10 @@ impl PiTreeIndex {
     pub fn new(pool_frames: usize, cfg: PiTreeConfig) -> PiTreeIndex {
         let store = CrashableStore::create(pool_frames, 1 << 20).expect("store");
         let tree = PiTree::create(Arc::clone(&store.store), 1, cfg).expect("tree");
-        PiTreeIndex { _store: store, tree }
+        PiTreeIndex {
+            _store: store,
+            tree,
+        }
     }
 
     /// The wrapped tree (for stats and validation).

@@ -53,8 +53,18 @@ fn main() {
     for (mix_name, read_frac, dist, fanout) in [
         ("insert-only / uniform", 0.0, KeyDist::Uniform, 24usize),
         ("50% read / uniform", 0.5, KeyDist::Uniform, 24),
-        ("insert-only / sequential (append storm)", 0.0, KeyDist::Sequential, 24),
-        ("insert-only / uniform, small fanout (split storm)", 0.0, KeyDist::Uniform, 8),
+        (
+            "insert-only / sequential (append storm)",
+            0.0,
+            KeyDist::Sequential,
+            24,
+        ),
+        (
+            "insert-only / uniform, small fanout (split storm)",
+            0.0,
+            KeyDist::Uniform,
+            8,
+        ),
     ] {
         println!("workload: {mix_name}");
         let mut table = Table::new(&[

@@ -31,12 +31,20 @@ fn main() {
 
     for (name, cfg, stride) in [
         ("CP + logical undo", PiTreeConfig::small_nodes(4, 4), 1usize),
-        ("CNS + logical undo", {
-            let mut c = PiTreeConfig::small_nodes(4, 4);
-            c.consolidation = pitree::ConsolidationPolicy::Disabled;
-            c
-        }, 2),
-        ("CP + page-oriented", PiTreeConfig::small_nodes(4, 4).page_oriented(), 2),
+        (
+            "CNS + logical undo",
+            {
+                let mut c = PiTreeConfig::small_nodes(4, 4);
+                c.consolidation = pitree::ConsolidationPolicy::Disabled;
+                c
+            },
+            2,
+        ),
+        (
+            "CP + page-oriented",
+            PiTreeConfig::small_nodes(4, 4).page_oriented(),
+            2,
+        ),
     ] {
         // Build the workload: enough inserts for several levels of splits,
         // with manual completion so intermediate states persist.
@@ -73,8 +81,7 @@ fn main() {
         for &cut in &cuts {
             let cs2 = cs.crash_with_log_prefix(cut).unwrap();
             let t0 = Instant::now();
-            let Ok((tree2, _stats)) = PiTree::recover(Arc::clone(&cs2.store), 1, build_cfg)
-            else {
+            let Ok((tree2, _stats)) = PiTree::recover(Arc::clone(&cs2.store), 1, build_cfg) else {
                 continue; // pre-creation prefix
             };
             total_ms += t0.elapsed().as_secs_f64() * 1e3;
@@ -95,10 +102,18 @@ fn main() {
         table.row(&[
             name.into(),
             tested.to_string(),
-            if all_wf { "all".into() } else { "VIOLATIONS".to_string() },
+            if all_wf {
+                "all".into()
+            } else {
+                "VIOLATIONS".to_string()
+            },
             format!("{:.2}", total_ms / tested as f64),
             max_intermediate.to_string(),
-            if all_completed { "all".into() } else { "INCOMPLETE".to_string() },
+            if all_completed {
+                "all".into()
+            } else {
+                "INCOMPLETE".to_string()
+            },
         ]);
     }
     table.print();

@@ -56,7 +56,10 @@ fn run(cfg: PiTreeConfig) -> (f64, Vec<(&'static str, u64)>, u64) {
     }
     let report = tree.validate().unwrap();
     assert!(report.is_well_formed(), "{:?}", report.violations);
-    assert_eq!(report.records as u64, THREADS * TXNS_PER_THREAD * INSERTS_PER_TXN);
+    assert_eq!(
+        report.records as u64,
+        THREADS * TXNS_PER_THREAD * INSERTS_PER_TXN
+    );
     (
         (THREADS * TXNS_PER_THREAD * INSERTS_PER_TXN) as f64 / wall,
         tree.stats().snapshot(),
@@ -80,7 +83,10 @@ fn main() {
     ]);
     for (name, cfg) in [
         ("logical undo", PiTreeConfig::small_nodes(16, 16)),
-        ("page-oriented", PiTreeConfig::small_nodes(16, 16).page_oriented()),
+        (
+            "page-oriented",
+            PiTreeConfig::small_nodes(16, 16).page_oriented(),
+        ),
     ] {
         let (tput, stats, deadlocks) = run(cfg);
         let get = |k: &str| stats.iter().find(|(n, _)| *n == k).unwrap().1;

@@ -8,9 +8,7 @@
 //!
 //! Run with: `cargo run --release -p pitree-harness --bin exp5`
 
-use pitree::{
-    ConsolidationPolicy, CrashableStore, DeallocPolicy, PiTree, PiTreeConfig,
-};
+use pitree::{ConsolidationPolicy, CrashableStore, DeallocPolicy, PiTree, PiTreeConfig};
 use pitree_harness::{KeyDist, Table, Workload};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -64,11 +62,15 @@ fn main() {
         ("CNS (no consolidation)", ConsolidationPolicy::Disabled),
         (
             "CP, dealloc=update",
-            ConsolidationPolicy::Enabled { dealloc: DeallocPolicy::IsAnUpdate },
+            ConsolidationPolicy::Enabled {
+                dealloc: DeallocPolicy::IsAnUpdate,
+            },
         ),
         (
             "CP, dealloc=not-update",
-            ConsolidationPolicy::Enabled { dealloc: DeallocPolicy::NotAnUpdate },
+            ConsolidationPolicy::Enabled {
+                dealloc: DeallocPolicy::NotAnUpdate,
+            },
         ),
     ] {
         let mut cfg = PiTreeConfig::small_nodes(32, 32);

@@ -61,11 +61,15 @@ fn main() {
             ("remembered parent (CNS)", ConsolidationPolicy::Disabled),
             (
                 "climb saved path (CP/upd)",
-                ConsolidationPolicy::Enabled { dealloc: DeallocPolicy::IsAnUpdate },
+                ConsolidationPolicy::Enabled {
+                    dealloc: DeallocPolicy::IsAnUpdate,
+                },
             ),
             (
                 "root re-traversal (CP/not)",
-                ConsolidationPolicy::Enabled { dealloc: DeallocPolicy::NotAnUpdate },
+                ConsolidationPolicy::Enabled {
+                    dealloc: DeallocPolicy::NotAnUpdate,
+                },
             ),
         ] {
             let (height, nodes, us, hits, misses) = run(keys, pol);

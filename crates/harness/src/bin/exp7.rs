@@ -83,7 +83,10 @@ fn main() {
     let noop_before = tree.stats().consolidations_noop.load(Ordering::Relaxed);
     for _ in 0..2 {
         for i in 0..KEYS {
-            tree.completions().push(Completion::Consolidate { level: 0, key: key(i) });
+            tree.completions().push(Completion::Consolidate {
+                level: 0,
+                key: key(i),
+            });
         }
         for _ in 0..8 {
             tree.run_completions().unwrap();
@@ -102,9 +105,7 @@ fn main() {
     for i in (0..KEYS).step_by(10) {
         assert_eq!(tree.get_unlocked(&key(i)).unwrap(), Some(b"v".to_vec()));
     }
-    println!(
-        "  tree unchanged and well-formed — completion is idempotent and testable.\n"
-    );
+    println!("  tree unchanged and well-formed — completion is idempotent and testable.\n");
     println!(
         "expected shape: leaf count and allocated pages drop by roughly the churn\n\
          factor; double-scheduled completions all hit the §5.1 state test."

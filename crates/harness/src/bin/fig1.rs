@@ -11,8 +11,8 @@
 //! Run with: `cargo run -p pitree-harness --bin fig1`
 
 use pitree::store::CrashableStore;
-use pitree_tsb::{TsbConfig, TsbHeader, TsbKind, TsbTree};
 use pitree_pagestore::PageId;
+use pitree_tsb::{TsbConfig, TsbHeader, TsbKind, TsbTree};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -23,14 +23,14 @@ fn key(i: u64) -> Vec<u8> {
 fn main() {
     println!("Figure 1: Time-Split B-tree split topology\n");
     let cs = CrashableStore::create(512, 100_000).unwrap();
-    let tree =
-        TsbTree::create(Arc::clone(&cs.store), 1, TsbConfig::small_nodes(6, 8)).unwrap();
+    let tree = TsbTree::create(Arc::clone(&cs.store), 1, TsbConfig::small_nodes(6, 8)).unwrap();
 
     // Phase 1: version churn on two keys → TIME split.
     for round in 0..3u64 {
         for k in [1u64, 2] {
             let mut t = tree.begin();
-            tree.put(&mut t, &key(k), format!("r{round}").as_bytes()).unwrap();
+            tree.put(&mut t, &key(k), format!("r{round}").as_bytes())
+                .unwrap();
             t.commit().unwrap();
         }
     }
@@ -44,7 +44,8 @@ fn main() {
     for round in 3..6u64 {
         for k in [1u64, 2] {
             let mut t = tree.begin();
-            tree.put(&mut t, &key(k), format!("r{round}").as_bytes()).unwrap();
+            tree.put(&mut t, &key(k), format!("r{round}").as_bytes())
+                .unwrap();
             t.commit().unwrap();
         }
     }
@@ -89,7 +90,11 @@ fn main() {
             h.key_low,
             h.key_high,
             h.t_lo,
-            if h.key_side.is_valid() { h.key_side.to_string() } else { "(none)".into() }
+            if h.key_side.is_valid() {
+                h.key_side.to_string()
+            } else {
+                "(none)".into()
+            }
         );
         let mut hist = h.hist_side;
         let mut depth = 1;
@@ -116,8 +121,10 @@ fn main() {
 
     // Caption claims, machine-checked.
     println!("\ncaption claims:");
-    let currents_with_history =
-        chain.iter().filter(|p| nodes[p].hist_side.is_valid()).count();
+    let currents_with_history = chain
+        .iter()
+        .filter(|p| nodes[p].hist_side.is_valid())
+        .count();
     let ok1 = currents_with_history >= 2;
     println!(
         "  [{}] new current nodes contain copies of old history node pointers \

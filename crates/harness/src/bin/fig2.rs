@@ -26,14 +26,22 @@ fn render(frag: &Frag, rect: &Rect, indent: usize, out: &mut String) {
             render(hi, &rect.half(*dim as usize, *val, true), indent + 1, out);
         }
         Frag::Local => out.push_str(&format!("{pad}(local space)\n")),
-        Frag::Ptr { kind, pid, multi_parent } => {
+        Frag::Ptr {
+            kind,
+            pid,
+            multi_parent,
+        } => {
             let k = match kind {
                 PtrKind::Child => "child",
                 PtrKind::Sibling => "SIBLING",
             };
             out.push_str(&format!(
                 "{pad}{k} -> {pid}{}\n",
-                if *multi_parent { "  [multi-parent]" } else { "" }
+                if *multi_parent {
+                    "  [multi-parent]"
+                } else {
+                    ""
+                }
             ));
         }
     }
@@ -48,7 +56,8 @@ fn main() {
     for x in 0..14u64 {
         for y in 0..14u64 {
             let mut t = tree.begin();
-            tree.insert(&mut t, &[x * 64 + 10, y * 64 + 10], b"f2").unwrap();
+            tree.insert(&mut t, &[x * 64 + 10, y * 64 + 10], b"f2")
+                .unwrap();
             t.commit().unwrap();
         }
     }
@@ -74,9 +83,15 @@ fn main() {
         let hdr = HbHeader::read(&g).unwrap();
         let mut leaves = Vec::new();
         hdr.frag.leaves(&hdr.rect, &mut leaves);
-        let has_sibling = leaves
-            .iter()
-            .any(|(l, _)| matches!(l, Frag::Ptr { kind: PtrKind::Sibling, .. }));
+        let has_sibling = leaves.iter().any(|(l, _)| {
+            matches!(
+                l,
+                Frag::Ptr {
+                    kind: PtrKind::Sibling,
+                    ..
+                }
+            )
+        });
         if hdr.level > 0 && has_sibling {
             any_index_sibling = true;
             if subject.is_none() || hdr.frag.size() > subject.as_ref().unwrap().1.frag.size() {

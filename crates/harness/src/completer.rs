@@ -30,7 +30,10 @@ impl CompletionWorker {
                 tree.run_completions().expect("completion action failed");
             }
         });
-        CompletionWorker { stop, handle: Some(handle) }
+        CompletionWorker {
+            stop,
+            handle: Some(handle),
+        }
     }
 
     /// Stop the worker and wait for its final drain.
@@ -63,8 +66,7 @@ mod tests {
         let mut cfg = PiTreeConfig::small_nodes(6, 6);
         cfg.auto_complete = false; // the worker is the only completer
         let cs = CrashableStore::create(1024, 200_000).unwrap();
-        let tree =
-            Arc::new(PiTree::create(Arc::clone(&cs.store), 1, cfg).unwrap());
+        let tree = Arc::new(PiTree::create(Arc::clone(&cs.store), 1, cfg).unwrap());
         let worker = CompletionWorker::spawn(Arc::clone(&tree), Duration::from_millis(1));
         for i in 0..300u64 {
             let mut t = tree.begin();
@@ -75,7 +77,10 @@ mod tests {
         let report = tree.validate().unwrap();
         assert!(report.is_well_formed(), "{:?}", report.violations);
         assert_eq!(report.records, 300);
-        assert_eq!(report.unposted_nodes, 0, "the worker must have drained all postings");
+        assert_eq!(
+            report.unposted_nodes, 0,
+            "the worker must have drained all postings"
+        );
         assert!(tree.completions().is_empty());
     }
 }

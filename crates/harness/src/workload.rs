@@ -2,8 +2,7 @@
 //! of Srinivasan & Carey \[18\] that motivate the paper's concurrency claims
 //! (substitution documented in DESIGN.md §2.7).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pitree_sim::SimRng;
 
 /// Key distribution shapes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,31 +21,36 @@ pub enum KeyDist {
 pub struct Workload {
     dist: KeyDist,
     domain: u64,
-    rng: StdRng,
+    rng: SimRng,
     next_seq: u64,
 }
 
 impl Workload {
     /// A workload over keys `0..domain` with a fixed seed.
     pub fn new(dist: KeyDist, domain: u64, seed: u64) -> Workload {
-        Workload { dist, domain, rng: StdRng::seed_from_u64(seed), next_seq: 0 }
+        Workload {
+            dist,
+            domain,
+            rng: SimRng::new(seed),
+            next_seq: 0,
+        }
     }
 
     /// The next key, as a u64.
     pub fn next_key_u64(&mut self) -> u64 {
         match self.dist {
-            KeyDist::Uniform => self.rng.gen_range(0..self.domain),
+            KeyDist::Uniform => self.rng.below(self.domain),
             KeyDist::Skewed => {
                 let mut span = self.domain;
                 // 80/20 nesting, three levels deep.
                 for _ in 0..3 {
-                    if self.rng.gen_bool(0.8) {
+                    if self.rng.chance(0.8) {
                         span = (span / 5).max(1);
                     } else {
                         break;
                     }
                 }
-                self.rng.gen_range(0..span.max(1))
+                self.rng.below(span.max(1))
             }
             KeyDist::Sequential => {
                 let k = self.next_seq;
@@ -63,7 +67,7 @@ impl Workload {
 
     /// Whether the next operation is a read, for a given read fraction.
     pub fn is_read(&mut self, read_fraction: f64) -> bool {
-        self.rng.gen_bool(read_fraction)
+        self.rng.chance(read_fraction)
     }
 }
 

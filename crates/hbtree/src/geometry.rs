@@ -52,7 +52,10 @@ pub struct Rect {
 impl Rect {
     /// The whole attribute space.
     pub fn all() -> Rect {
-        Rect { lo: [0; DIMS], hi: [u64::MAX; DIMS] }
+        Rect {
+            lo: [0; DIMS],
+            hi: [u64::MAX; DIMS],
+        }
     }
 
     /// Whether `p` lies inside.
@@ -77,7 +80,9 @@ impl Rect {
 
     /// Area as u128 (exact for the test domains used here).
     pub fn area(&self) -> u128 {
-        (0..DIMS).map(|d| (self.hi[d] - self.lo[d]) as u128).product()
+        (0..DIMS)
+            .map(|d| (self.hi[d] - self.lo[d]) as u128)
+            .product()
     }
 
     /// The half of `self` below / at-or-above `val` on `dim`.
@@ -108,7 +113,10 @@ impl Rect {
             *v = u64::from_le_bytes(bytes[*pos..*pos + 8].try_into().unwrap());
             *pos += 8;
         }
-        Ok(Rect { lo: [vals[0], vals[1]], hi: [vals[2], vals[3]] })
+        Ok(Rect {
+            lo: [vals[0], vals[1]],
+            hi: [vals[2], vals[3]],
+        })
     }
 }
 
@@ -153,12 +161,20 @@ pub enum Frag {
 impl Frag {
     /// A child-pointer leaf.
     pub fn child(pid: PageId) -> Frag {
-        Frag::Ptr { kind: PtrKind::Child, pid, multi_parent: false }
+        Frag::Ptr {
+            kind: PtrKind::Child,
+            pid,
+            multi_parent: false,
+        }
     }
 
     /// A sibling-pointer leaf.
     pub fn sibling(pid: PageId) -> Frag {
-        Frag::Ptr { kind: PtrKind::Sibling, pid, multi_parent: false }
+        Frag::Ptr {
+            kind: PtrKind::Sibling,
+            pid,
+            multi_parent: false,
+        }
     }
 
     /// Resolve `p` (inside `rect`) to the leaf owning it, returning the leaf
@@ -200,7 +216,12 @@ impl Frag {
         clipped: &mut Vec<PageId>,
     ) -> Frag {
         match self {
-            Frag::Split { dim: d2, val: v2, lo, hi } => {
+            Frag::Split {
+                dim: d2,
+                val: v2,
+                lo,
+                hi,
+            } => {
                 let d2u = *d2 as usize;
                 let lo_rect = rect.half(d2u, *v2, false);
                 let hi_rect = rect.half(d2u, *v2, true);
@@ -219,7 +240,11 @@ impl Frag {
                 }
             }
             Frag::Local => Frag::Local,
-            Frag::Ptr { kind, pid, multi_parent } => {
+            Frag::Ptr {
+                kind,
+                pid,
+                multi_parent,
+            } => {
                 // Does this leaf's region straddle the plane?
                 let this_side = !rect.half(dim, val, high).is_empty();
                 debug_assert!(this_side, "clip visited a leaf with no area on this side");
@@ -228,7 +253,11 @@ impl Frag {
                 if other && *kind == PtrKind::Child && !clipped.contains(pid) {
                     clipped.push(*pid);
                 }
-                Frag::Ptr { kind: *kind, pid: *pid, multi_parent: mp }
+                Frag::Ptr {
+                    kind: *kind,
+                    pid: *pid,
+                    multi_parent: mp,
+                }
             }
         }
     }
@@ -238,13 +267,7 @@ impl Frag {
     /// with new kd splits. This is how an hB index term is **posted**: the
     /// parent's fragment learns that `new` now owns `target` (previously
     /// part of `old`'s space). Returns whether anything changed.
-    pub fn post(
-        &mut self,
-        rect: &Rect,
-        old: PageId,
-        new: PageId,
-        target: &Rect,
-    ) -> bool {
+    pub fn post(&mut self, rect: &Rect, old: PageId, new: PageId, target: &Rect) -> bool {
         match self {
             Frag::Split { dim, val, lo, hi } => {
                 let d = *dim as usize;
@@ -259,9 +282,17 @@ impl Frag {
                 }
                 changed
             }
-            Frag::Ptr { kind: PtrKind::Child, pid, multi_parent } if *pid == old => {
+            Frag::Ptr {
+                kind: PtrKind::Child,
+                pid,
+                multi_parent,
+            } if *pid == old => {
                 if target.contains_rect(rect) {
-                    *self = Frag::Ptr { kind: PtrKind::Child, pid: new, multi_parent: *multi_parent };
+                    *self = Frag::Ptr {
+                        kind: PtrKind::Child,
+                        pid: new,
+                        multi_parent: *multi_parent,
+                    };
                     return true;
                 }
                 // Partial overlap: carve `target ∩ rect` out of this leaf
@@ -279,13 +310,31 @@ impl Frag {
                         region.hi[d] = target.hi[d];
                     }
                 }
-                let mut frag = Frag::Ptr { kind: PtrKind::Child, pid: new, multi_parent: mp };
+                let mut frag = Frag::Ptr {
+                    kind: PtrKind::Child,
+                    pid: new,
+                    multi_parent: mp,
+                };
                 for (d, v, new_high) in build.into_iter().rev() {
-                    let old_leaf = Frag::Ptr { kind: PtrKind::Child, pid: old, multi_parent: mp };
+                    let old_leaf = Frag::Ptr {
+                        kind: PtrKind::Child,
+                        pid: old,
+                        multi_parent: mp,
+                    };
                     frag = if new_high {
-                        Frag::Split { dim: d, val: v, lo: Box::new(old_leaf), hi: Box::new(frag) }
+                        Frag::Split {
+                            dim: d,
+                            val: v,
+                            lo: Box::new(old_leaf),
+                            hi: Box::new(frag),
+                        }
                     } else {
-                        Frag::Split { dim: d, val: v, lo: Box::new(frag), hi: Box::new(old_leaf) }
+                        Frag::Split {
+                            dim: d,
+                            val: v,
+                            lo: Box::new(frag),
+                            hi: Box::new(old_leaf),
+                        }
                     };
                 }
                 *self = frag;
@@ -314,7 +363,11 @@ impl Frag {
                 hi.encode(out);
             }
             Frag::Local => out.push(1),
-            Frag::Ptr { kind, pid, multi_parent } => {
+            Frag::Ptr {
+                kind,
+                pid,
+                multi_parent,
+            } => {
                 out.push(2);
                 out.push(match kind {
                     PtrKind::Child => 0,
@@ -356,11 +409,17 @@ impl Frag {
                     x => return Err(StoreError::Corrupt(format!("bad ptr kind {x}"))),
                 };
                 *pos += 1;
-                let pid = PageId(u64::from_le_bytes(bytes[*pos..*pos + 8].try_into().unwrap()));
+                let pid = PageId(u64::from_le_bytes(
+                    bytes[*pos..*pos + 8].try_into().unwrap(),
+                ));
                 *pos += 8;
                 let multi_parent = bytes[*pos] != 0;
                 *pos += 1;
-                Ok(Frag::Ptr { kind, pid, multi_parent })
+                Ok(Frag::Ptr {
+                    kind,
+                    pid,
+                    multi_parent,
+                })
             }
             t => Err(StoreError::Corrupt(format!("bad fragment tag {t}"))),
         }
@@ -381,7 +440,10 @@ mod tests {
         assert!(r.contains(&[0, 0]) && r.contains(&[9, 9]));
         assert!(!r.contains(&[10, 0]) && !r.contains(&[0, 10]));
         assert!(r.intersects(&rect([5, 5], [15, 15])));
-        assert!(!r.intersects(&rect([10, 0], [20, 10])), "half-open edges do not touch");
+        assert!(
+            !r.intersects(&rect([10, 0], [20, 10])),
+            "half-open edges do not touch"
+        );
         assert!(r.contains_rect(&rect([2, 2], [8, 8])));
         assert_eq!(r.area(), 100);
         assert_eq!(r.half(0, 4, false), rect([0, 0], [4, 10]));
@@ -492,7 +554,10 @@ mod tests {
             let has_mp_child = leaves.iter().any(|(l, _)| {
                 matches!(l, Frag::Ptr { kind: PtrKind::Child, pid, multi_parent: true } if *pid == PageId(7))
             });
-            assert!(has_mp_child, "both halves must carry the clipped child, marked");
+            assert!(
+                has_mp_child,
+                "both halves must carry the clipped child, marked"
+            );
         }
     }
 
@@ -507,7 +572,11 @@ mod tests {
         let space = rect([0, 0], [100, 100]);
         let mut clipped = Vec::new();
         let lo = f.clip(&space, 0, 50, false, &mut clipped);
-        assert_eq!(lo, Frag::child(PageId(1)), "aligned cut keeps exactly one side");
+        assert_eq!(
+            lo,
+            Frag::child(PageId(1)),
+            "aligned cut keeps exactly one side"
+        );
         assert!(clipped.is_empty());
     }
 

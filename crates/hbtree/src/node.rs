@@ -20,7 +20,11 @@ pub struct HbHeader {
 impl HbHeader {
     /// A fresh root covering the whole space as a data node.
     pub fn new_root_leaf() -> HbHeader {
-        HbHeader { level: 0, rect: Rect::all(), frag: Frag::Local }
+        HbHeader {
+            level: 0,
+            rect: Rect::all(),
+            frag: Frag::Local,
+        }
     }
 
     /// Encode as the slot-0 record.
@@ -65,7 +69,10 @@ mod tests {
             HbHeader::new_root_leaf(),
             HbHeader {
                 level: 2,
-                rect: Rect { lo: [5, 5], hi: [50, 90] },
+                rect: Rect {
+                    lo: [5, 5],
+                    hi: [50, 90],
+                },
                 frag: Frag::Split {
                     dim: 1,
                     val: 40,

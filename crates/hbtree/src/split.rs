@@ -106,7 +106,13 @@ pub(crate) fn split_data_node(tree: &HbTree, d: HbDescent<'_>) -> StoreResult<()
     drop(d.page);
     act.commit()?;
     TreeStats::bump(&tree.stats().splits_independent);
-    tree.schedule_post(HbPost { parent: parent_hint, level: 1, old, new: new_pid, rect: new_rect });
+    tree.schedule_post(HbPost {
+        parent: parent_hint,
+        level: 1,
+        old,
+        new: new_pid,
+        rect: new_rect,
+    });
     Ok(())
 }
 
@@ -119,23 +125,41 @@ fn raw_data_split<'a>(
     g: &mut XGuard<'a, Page>,
     hdr: &HbHeader,
 ) -> StoreResult<(PageId, Rect)> {
-    let entries: Vec<Vec<u8>> =
-        (1..g.slot_count()).map(|s| g.get(s).map(|e| e.to_vec())).collect::<StoreResult<_>>()?;
-    let points: Vec<Point> = entries.iter().map(|e| key_point(Page::entry_key(e))).collect();
+    let entries: Vec<Vec<u8>> = (1..g.slot_count())
+        .map(|s| g.get(s).map(|e| e.to_vec()))
+        .collect::<StoreResult<_>>()?;
+    let points: Vec<Point> = entries
+        .iter()
+        .map(|e| key_point(Page::entry_key(e)))
+        .collect();
     let (dim, val) = choose_data_cut(&points)?;
 
     let mut clipped = Vec::new();
     let new_frag = hdr.frag.clip(&hdr.rect, dim, val, true, &mut clipped);
     let old_lo = hdr.frag.clip(&hdr.rect, dim, val, false, &mut clipped);
-    debug_assert!(clipped.is_empty(), "data fragments have no child terms to clip");
+    debug_assert!(
+        clipped.is_empty(),
+        "data fragments have no child terms to clip"
+    );
 
     let new_pin = alloc_page(tree, act)?;
     let new_pid = new_pin.id();
     let new_rect = hdr.rect.half(dim, val, true);
     let mut ng = new_pin.x();
     act.apply(&new_pin, &mut ng, PageOp::Format { ty: PageType::Node })?;
-    let new_hdr = HbHeader { level: 0, rect: new_rect.clone(), frag: new_frag };
-    act.apply(&new_pin, &mut ng, PageOp::InsertSlot { slot: 0, bytes: new_hdr.encode() })?;
+    let new_hdr = HbHeader {
+        level: 0,
+        rect: new_rect.clone(),
+        frag: new_frag,
+    };
+    act.apply(
+        &new_pin,
+        &mut ng,
+        PageOp::InsertSlot {
+            slot: 0,
+            bytes: new_hdr.encode(),
+        },
+    )?;
 
     // Move the records on the high side.
     for (e, p) in entries.iter().zip(&points) {
@@ -145,7 +169,13 @@ fn raw_data_split<'a>(
     }
     for (e, p) in entries.iter().zip(&points) {
         if p[dim] >= val {
-            act.apply(page, g, PageOp::KeyedRemove { key: Page::entry_key(e).to_vec() })?;
+            act.apply(
+                page,
+                g,
+                PageOp::KeyedRemove {
+                    key: Page::entry_key(e).to_vec(),
+                },
+            )?;
         }
     }
     // The old node's fragment gains a split whose high side is the sibling
@@ -161,7 +191,14 @@ fn raw_data_split<'a>(
             hi: Box::new(Frag::sibling(new_pid)),
         },
     };
-    act.apply(page, g, PageOp::UpdateSlot { slot: 0, bytes: old_hdr.encode() })?;
+    act.apply(
+        page,
+        g,
+        PageOp::UpdateSlot {
+            slot: 0,
+            bytes: old_hdr.encode(),
+        },
+    )?;
     TreeStats::bump(&tree.stats().splits);
     Ok((new_pid, new_rect))
 }
@@ -179,7 +216,18 @@ fn raw_index_split<'a>(
     hdr.frag.leaves(&hdr.rect, &mut leaves);
     let leaf_info: Vec<(Rect, bool)> = leaves
         .iter()
-        .map(|(l, r)| (r.clone(), matches!(l, Frag::Ptr { kind: crate::geometry::PtrKind::Child, .. })))
+        .map(|(l, r)| {
+            (
+                r.clone(),
+                matches!(
+                    l,
+                    Frag::Ptr {
+                        kind: crate::geometry::PtrKind::Child,
+                        ..
+                    }
+                ),
+            )
+        })
         .collect();
     let (dim, val) = choose_index_cut(&leaf_info)?;
 
@@ -195,8 +243,19 @@ fn raw_index_split<'a>(
     let new_rect = hdr.rect.half(dim, val, true);
     let mut ng = new_pin.x();
     act.apply(&new_pin, &mut ng, PageOp::Format { ty: PageType::Node })?;
-    let new_hdr = HbHeader { level: hdr.level, rect: new_rect.clone(), frag: new_frag };
-    act.apply(&new_pin, &mut ng, PageOp::InsertSlot { slot: 0, bytes: new_hdr.encode() })?;
+    let new_hdr = HbHeader {
+        level: hdr.level,
+        rect: new_rect.clone(),
+        frag: new_frag,
+    };
+    act.apply(
+        &new_pin,
+        &mut ng,
+        PageOp::InsertSlot {
+            slot: 0,
+            bytes: new_hdr.encode(),
+        },
+    )?;
     let old_hdr = HbHeader {
         level: hdr.level,
         rect: hdr.rect.clone(),
@@ -207,7 +266,14 @@ fn raw_index_split<'a>(
             hi: Box::new(Frag::sibling(new_pid)),
         },
     };
-    act.apply(page, g, PageOp::UpdateSlot { slot: 0, bytes: old_hdr.encode() })?;
+    act.apply(
+        page,
+        g,
+        PageOp::UpdateSlot {
+            slot: 0,
+            bytes: old_hdr.encode(),
+        },
+    )?;
     TreeStats::bump(&tree.stats().splits);
     Ok((new_pid, new_rect))
 }
@@ -225,23 +291,60 @@ fn grow_data_root(
     let n1_pid = n1_pin.id();
     let mut n1g = n1_pin.x();
     act.apply(&n1_pin, &mut n1g, PageOp::Format { ty: PageType::Node })?;
-    let n1_hdr = HbHeader { level: hdr.level, rect: hdr.rect.clone(), frag: hdr.frag.clone() };
-    act.apply(&n1_pin, &mut n1g, PageOp::InsertSlot { slot: 0, bytes: n1_hdr.encode() })?;
-    let entries: Vec<Vec<u8>> =
-        (1..g.slot_count()).map(|s| g.get(s).map(|e| e.to_vec())).collect::<StoreResult<_>>()?;
+    let n1_hdr = HbHeader {
+        level: hdr.level,
+        rect: hdr.rect.clone(),
+        frag: hdr.frag.clone(),
+    };
+    act.apply(
+        &n1_pin,
+        &mut n1g,
+        PageOp::InsertSlot {
+            slot: 0,
+            bytes: n1_hdr.encode(),
+        },
+    )?;
+    let entries: Vec<Vec<u8>> = (1..g.slot_count())
+        .map(|s| g.get(s).map(|e| e.to_vec()))
+        .collect::<StoreResult<_>>()?;
     for e in &entries {
         act.apply(&n1_pin, &mut n1g, PageOp::KeyedInsert { bytes: e.clone() })?;
     }
     for e in &entries {
-        act.apply(page, g, PageOp::KeyedRemove { key: Page::entry_key(e).to_vec() })?;
+        act.apply(
+            page,
+            g,
+            PageOp::KeyedRemove {
+                key: Page::entry_key(e).to_vec(),
+            },
+        )?;
     }
-    let mut root_hdr =
-        HbHeader { level: hdr.level + 1, rect: hdr.rect.clone(), frag: Frag::child(n1_pid) };
-    act.apply(page, g, PageOp::UpdateSlot { slot: 0, bytes: root_hdr.encode() })?;
+    let mut root_hdr = HbHeader {
+        level: hdr.level + 1,
+        rect: hdr.rect.clone(),
+        frag: Frag::child(n1_pid),
+    };
+    act.apply(
+        page,
+        g,
+        PageOp::UpdateSlot {
+            slot: 0,
+            bytes: root_hdr.encode(),
+        },
+    )?;
     // Split n1 and post the pair inline.
     let (n2_pid, n2_rect) = raw_data_split(tree, act, &n1_pin, &mut n1g, &n1_hdr)?;
-    root_hdr.frag.post(&root_hdr.rect.clone(), n1_pid, n2_pid, &n2_rect);
-    act.apply(page, g, PageOp::UpdateSlot { slot: 0, bytes: root_hdr.encode() })?;
+    root_hdr
+        .frag
+        .post(&root_hdr.rect.clone(), n1_pid, n2_pid, &n2_rect);
+    act.apply(
+        page,
+        g,
+        PageOp::UpdateSlot {
+            slot: 0,
+            bytes: root_hdr.encode(),
+        },
+    )?;
     Ok(())
 }
 
@@ -251,7 +354,13 @@ fn grow_data_root(
 /// there, makes this a no-op. Splits the parent (or grows the root) within
 /// the action when the refined fragment no longer fits.
 pub(crate) fn run_post(tree: &HbTree, post: HbPost) -> StoreResult<()> {
-    let HbPost { parent, level, old, new, rect } = post;
+    let HbPost {
+        parent,
+        level,
+        old,
+        new,
+        rect,
+    } = post;
     let stats = tree.stats();
     let pool = &tree.store().pool;
     let mut act = tree.store().txns.begin(tree.config().smo_identity);
@@ -273,7 +382,11 @@ pub(crate) fn run_post(tree: &HbTree, post: HbPost) -> StoreResult<()> {
         if hdr.level == level {
             let (leaf, _) = hdr.frag.locate(&hdr.rect, &probe);
             match leaf {
-                Frag::Ptr { kind: crate::geometry::PtrKind::Sibling, pid, .. } => {
+                Frag::Ptr {
+                    kind: crate::geometry::PtrKind::Sibling,
+                    pid,
+                    ..
+                } => {
                     let side = *pid;
                     drop(g);
                     pin = pool.fetch(side)?;
@@ -313,7 +426,11 @@ pub(crate) fn run_post(tree: &HbTree, post: HbPost) -> StoreResult<()> {
             TreeStats::bump(&stats.postings_noop);
             break;
         }
-        let new_hdr = HbHeader { level: hdr.level, rect: hdr.rect.clone(), frag };
+        let new_hdr = HbHeader {
+            level: hdr.level,
+            rect: hdr.rect.clone(),
+            frag,
+        };
         let bytes = new_hdr.encode();
         let fits_page = bytes.len() <= xg.free_space() + xg.get(0)?.len();
         if fits_page {
@@ -322,9 +439,7 @@ pub(crate) fn run_post(tree: &HbTree, post: HbPost) -> StoreResult<()> {
             // posting can never starve behind restructuring.
             act.apply(&pin, &mut xg, PageOp::UpdateSlot { slot: 0, bytes })?;
             TreeStats::bump(&stats.postings_done);
-            if new_hdr.frag.size() > tree.config().max_frag_nodes
-                && pin.id() != tree.root_pid()
-            {
+            if new_hdr.frag.size() > tree.config().max_frag_nodes && pin.id() != tree.root_pid() {
                 let (new_sib, new_sib_rect) =
                     raw_index_split(tree, &mut act, &pin, &mut xg, &new_hdr)?;
                 tree.schedule_post(HbPost {
@@ -392,17 +507,47 @@ fn grow_index_root(
     let n1_pid = n1_pin.id();
     let mut n1g = n1_pin.x();
     act.apply(&n1_pin, &mut n1g, PageOp::Format { ty: PageType::Node })?;
-    let n1_hdr = HbHeader { level: hdr.level, rect: hdr.rect.clone(), frag: hdr.frag.clone() };
-    act.apply(&n1_pin, &mut n1g, PageOp::InsertSlot { slot: 0, bytes: n1_hdr.encode() })?;
-    let mut root_hdr =
-        HbHeader { level: hdr.level + 1, rect: hdr.rect.clone(), frag: Frag::child(n1_pid) };
-    act.apply(page, g, PageOp::UpdateSlot { slot: 0, bytes: root_hdr.encode() })?;
+    let n1_hdr = HbHeader {
+        level: hdr.level,
+        rect: hdr.rect.clone(),
+        frag: hdr.frag.clone(),
+    };
+    act.apply(
+        &n1_pin,
+        &mut n1g,
+        PageOp::InsertSlot {
+            slot: 0,
+            bytes: n1_hdr.encode(),
+        },
+    )?;
+    let mut root_hdr = HbHeader {
+        level: hdr.level + 1,
+        rect: hdr.rect.clone(),
+        frag: Frag::child(n1_pid),
+    };
+    act.apply(
+        page,
+        g,
+        PageOp::UpdateSlot {
+            slot: 0,
+            bytes: root_hdr.encode(),
+        },
+    )?;
     // Split n1 and post the pair inline (§5.3's "pair of index terms"),
     // keeping the new root from degenerating into a single-child chain.
     if n1_hdr.frag.size() >= 3 {
         let (n2_pid, n2_rect) = raw_index_split(tree, act, &n1_pin, &mut n1g, &n1_hdr)?;
-        root_hdr.frag.post(&root_hdr.rect.clone(), n1_pid, n2_pid, &n2_rect);
-        act.apply(page, g, PageOp::UpdateSlot { slot: 0, bytes: root_hdr.encode() })?;
+        root_hdr
+            .frag
+            .post(&root_hdr.rect.clone(), n1_pid, n2_pid, &n2_rect);
+        act.apply(
+            page,
+            g,
+            PageOp::UpdateSlot {
+                slot: 0,
+                bytes: root_hdr.encode(),
+            },
+        )?;
     }
     TreeStats::bump(&tree.stats().root_grows);
     Ok(())

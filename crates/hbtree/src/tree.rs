@@ -10,12 +10,12 @@
 
 use crate::geometry::{key_point, point_key, Frag, Point, PtrKind, Rect};
 use crate::node::HbHeader;
-use parking_lot::Mutex;
 use pitree::node::Guarded;
 use pitree::stats::TreeStats;
 use pitree::store::Store;
 use pitree_pagestore::buffer::PinnedPage;
 use pitree_pagestore::page::{Page, PageType};
+use pitree_pagestore::sync::Mutex;
 use pitree_pagestore::{PageId, PageOp, StoreError, StoreResult};
 use pitree_txnlock::{LockError, LockMode, LockName, Txn};
 use pitree_wal::ActionIdentity;
@@ -52,7 +52,11 @@ impl Default for HbConfig {
 impl HbConfig {
     /// Small nodes for deep test trees.
     pub fn small_nodes(records: usize, frag: usize) -> HbConfig {
-        HbConfig { max_records: records, max_frag_nodes: frag, ..Default::default() }
+        HbConfig {
+            max_records: records,
+            max_frag_nodes: frag,
+            ..Default::default()
+        }
     }
 }
 
@@ -112,7 +116,10 @@ impl HbTree {
             act.apply(
                 &page,
                 &mut g,
-                PageOp::InsertSlot { slot: 0, bytes: HbHeader::new_root_leaf().encode() },
+                PageOp::InsertSlot {
+                    slot: 0,
+                    bytes: HbHeader::new_root_leaf().encode(),
+                },
             )?;
         }
         {
@@ -258,16 +265,29 @@ impl HbTree {
                             cur.id()
                         )));
                     }
-                    return Ok(HbDescent { page: cur, guard: g, hdr, parent });
+                    return Ok(HbDescent {
+                        page: cur,
+                        guard: g,
+                        hdr,
+                        parent,
+                    });
                 }
-                Frag::Ptr { kind: PtrKind::Sibling, pid, .. } => {
+                Frag::Ptr {
+                    kind: PtrKind::Sibling,
+                    pid,
+                    ..
+                } => {
                     let side = *pid;
                     let from = cur.id();
                     let level = hdr.level;
                     drop(g); // CNS
                     let sib = pool.fetch(side)?;
                     let want_u = update_at_target && level == 0;
-                    let sg = if want_u { Guarded::U(sib.u()) } else { Guarded::S(sib.s()) };
+                    let sg = if want_u {
+                        Guarded::U(sib.u())
+                    } else {
+                        Guarded::S(sib.s())
+                    };
                     let sib_hdr = HbHeader::read(sg.page())?;
                     TreeStats::bump(&self.stats.side_traversals);
                     if schedule {
@@ -284,14 +304,22 @@ impl HbTree {
                     hdr = sib_hdr;
                 }
                 Frag::Split { .. } => unreachable!("locate returns leaves"),
-                Frag::Ptr { kind: PtrKind::Child, pid, .. } => {
+                Frag::Ptr {
+                    kind: PtrKind::Child,
+                    pid,
+                    ..
+                } => {
                     let child = *pid;
                     parent = cur.id();
                     let next_level = hdr.level - 1;
                     drop(g); // CNS
                     let cpin = pool.fetch(child)?;
                     let want_u = update_at_target && next_level == 0;
-                    let cg = if want_u { Guarded::U(cpin.u()) } else { Guarded::S(cpin.s()) };
+                    let cg = if want_u {
+                        Guarded::U(cpin.u())
+                    } else {
+                        Guarded::S(cpin.s())
+                    };
                     let child_hdr = HbHeader::read(cg.page())?;
                     cur = cpin;
                     g = cg;
@@ -335,7 +363,8 @@ impl HbTree {
                 Err(LockError::WouldBlock) => {
                     drop(d);
                     TreeStats::bump(&self.stats.no_wait_restarts);
-                    txn.lock(&name, LockMode::S).map_err(crate::tree::lock_err)?;
+                    txn.lock(&name, LockMode::S)
+                        .map_err(crate::tree::lock_err)?;
                 }
                 Err(e) => return Err(lock_err(e)),
             }
@@ -417,7 +446,9 @@ impl HbTree {
                 txn.apply_logical(
                     &d.page,
                     &mut g,
-                    PageOp::KeyedUpdate { bytes: entry.clone() },
+                    PageOp::KeyedUpdate {
+                        bytes: entry.clone(),
+                    },
                     crate::undo::TAG_HB_RESTORE,
                     old,
                 )?;
@@ -426,7 +457,9 @@ impl HbTree {
                 txn.apply_logical(
                     &d.page,
                     &mut g,
-                    PageOp::KeyedInsert { bytes: entry.clone() },
+                    PageOp::KeyedInsert {
+                        bytes: entry.clone(),
+                    },
                     crate::undo::TAG_HB_REMOVE,
                     key.clone(),
                 )?;
@@ -483,7 +516,9 @@ impl HbTree {
         let mut done = 0;
         let batch = self.queue.lock().len();
         for _ in 0..batch {
-            let Some(post) = self.queue.lock().pop_front() else { break };
+            let Some(post) = self.queue.lock().pop_front() else {
+                break;
+            };
             crate::split::run_post(self, post)?;
             done += 1;
         }

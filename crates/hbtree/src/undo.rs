@@ -5,9 +5,9 @@
 use crate::geometry::key_point;
 use crate::node::HbHeader;
 use crate::tree::{HbConfig, HbTree};
-use parking_lot::Mutex;
 use pitree::store::Store;
 use pitree_pagestore::page::Page;
+use pitree_pagestore::sync::Mutex;
 use pitree_pagestore::{PageOp, StoreError, StoreResult};
 use pitree_wal::recovery::LogicalUndoHandler;
 use pitree_wal::ActionIdentity;
@@ -90,7 +90,12 @@ pub struct HbDeferredHandler {
 impl HbDeferredHandler {
     /// Build a handler for `tree_id` over `store`.
     pub fn new(store: Arc<Store>, tree_id: u32, cfg: HbConfig) -> HbDeferredHandler {
-        HbDeferredHandler { store, tree_id, cfg, tree: Mutex::new(None) }
+        HbDeferredHandler {
+            store,
+            tree_id,
+            cfg,
+            tree: Mutex::new(None),
+        }
     }
 }
 
@@ -98,7 +103,11 @@ impl LogicalUndoHandler for HbDeferredHandler {
     fn undo(&self, tag: u8, payload: &[u8]) -> StoreResult<()> {
         let mut guard = self.tree.lock();
         if guard.is_none() {
-            *guard = Some(HbTree::open(Arc::clone(&self.store), self.tree_id, self.cfg)?);
+            *guard = Some(HbTree::open(
+                Arc::clone(&self.store),
+                self.tree_id,
+                self.cfg,
+            )?);
         }
         guard.as_ref().unwrap().compensate(tag, payload)
     }

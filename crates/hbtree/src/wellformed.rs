@@ -81,7 +81,11 @@ pub fn check(tree: &HbTree) -> StoreResult<HbReport> {
                         v.push(format!("index node {pid} has Local space"));
                     }
                 }
-                Frag::Ptr { kind, pid: target, multi_parent } => {
+                Frag::Ptr {
+                    kind,
+                    pid: target,
+                    multi_parent,
+                } => {
                     queue.push_back(*target);
                     match kind {
                         PtrKind::Child => {
@@ -110,9 +114,7 @@ pub fn check(tree: &HbTree) -> StoreResult<HbReport> {
                             let sg = sp.s();
                             let sh = HbHeader::read(&sg)?;
                             if sh.level != hdr.level {
-                                v.push(format!(
-                                    "node {pid}: sibling {target} at different level"
-                                ));
+                                v.push(format!("node {pid}: sibling {target} at different level"));
                             }
                             if !sh.rect.contains_rect(region) {
                                 v.push(format!(
@@ -159,7 +161,10 @@ pub fn check(tree: &HbTree) -> StoreResult<HbReport> {
             for (leaf, region) in leaves {
                 let owns = match leaf {
                     Frag::Local => level == 0,
-                    Frag::Ptr { kind: PtrKind::Child, .. } => true,
+                    Frag::Ptr {
+                        kind: PtrKind::Child,
+                        ..
+                    } => true,
                     _ => false,
                 };
                 if owns {

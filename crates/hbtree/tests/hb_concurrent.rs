@@ -9,9 +9,8 @@ use std::sync::Arc;
 #[test]
 fn concurrent_point_inserts() {
     let cs = CrashableStore::create(4096, 500_000).unwrap();
-    let tree = Arc::new(
-        HbTree::create(Arc::clone(&cs.store), 1, HbConfig::small_nodes(6, 12)).unwrap(),
-    );
+    let tree =
+        Arc::new(HbTree::create(Arc::clone(&cs.store), 1, HbConfig::small_nodes(6, 12)).unwrap());
     let threads = 6u64;
     let per = 150u64;
     std::thread::scope(|s| {
@@ -44,14 +43,14 @@ fn concurrent_point_inserts() {
 #[test]
 fn readers_and_window_queries_during_split_storm() {
     let cs = CrashableStore::create(4096, 500_000).unwrap();
-    let tree = Arc::new(
-        HbTree::create(Arc::clone(&cs.store), 1, HbConfig::small_nodes(5, 10)).unwrap(),
-    );
+    let tree =
+        Arc::new(HbTree::create(Arc::clone(&cs.store), 1, HbConfig::small_nodes(5, 10)).unwrap());
     // Preload a stable lattice the readers check.
     for x in 0..12u64 {
         for y in 0..12u64 {
             let mut txn = tree.begin();
-            tree.insert(&mut txn, &[x * 100 + 5, y * 100 + 5], b"stable").unwrap();
+            tree.insert(&mut txn, &[x * 100 + 5, y * 100 + 5], b"stable")
+                .unwrap();
             txn.commit().unwrap();
         }
     }
@@ -78,7 +77,10 @@ fn readers_and_window_queries_during_split_storm() {
                         let p: Point = [x * 100 + 5, (round % 12) * 100 + 5];
                         assert_eq!(tree.get(&p).unwrap(), Some(b"stable".to_vec()));
                     }
-                    let window = Rect { lo: [0, 0], hi: [1_200, 1_200] };
+                    let window = Rect {
+                        lo: [0, 0],
+                        hi: [1_200, 1_200],
+                    };
                     let hits = tree.window_query(&window).unwrap();
                     assert_eq!(hits.len(), 144, "stable lattice must stay complete");
                 }

@@ -2,10 +2,13 @@
 //! updates, deletes, aborted batches, crash/recover cycles, and completion
 //! passes, checked against a `BTreeMap<Point, value>` model — including
 //! exhaustive window queries and the exact geometric partition validator.
+//!
+//! Runs on the pitree-sim property runner: fixed seed corpus, replayable
+//! with `PITREE_SIM_SEED=<seed>`.
 
 use pitree::store::CrashableStore;
 use pitree_hb::{HbConfig, HbTree, Point, Rect};
-use proptest::prelude::*;
+use pitree_sim::{prop, SimRng};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -19,17 +22,27 @@ enum Op {
     CrashRecover,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        6 => (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(x, y, v)| Op::Insert(x % 32, y % 32, v)),
-        2 => (any::<u8>(), any::<u8>()).prop_map(|(x, y)| Op::Delete(x % 32, y % 32)),
-        1 => proptest::collection::vec((any::<u8>(), any::<u8>()), 1..5)
-            .prop_map(|v| Op::AbortedBatch(v.into_iter().map(|(x, y)| (x % 32, y % 32)).collect())),
-        2 => (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(a, b, c, d)| Op::Window(a % 32, b % 32, c % 8 + 1, d % 8 + 1)),
-        1 => Just(Op::RunCompletions),
-        1 => Just(Op::CrashRecover),
-    ]
+fn gen_op(rng: &mut SimRng) -> Op {
+    match rng.below(13) {
+        0..=5 => Op::Insert(rng.below(32) as u8, rng.below(32) as u8, rng.byte()),
+        6..=7 => Op::Delete(rng.below(32) as u8, rng.below(32) as u8),
+        8 => {
+            let n = rng.range_usize(1..5);
+            Op::AbortedBatch(
+                (0..n)
+                    .map(|_| (rng.below(32) as u8, rng.below(32) as u8))
+                    .collect(),
+            )
+        }
+        9..=10 => Op::Window(
+            rng.below(32) as u8,
+            rng.below(32) as u8,
+            rng.below(8) as u8 + 1,
+            rng.below(8) as u8 + 1,
+        ),
+        11 => Op::RunCompletions,
+        _ => Op::CrashRecover,
+    }
 }
 
 fn pt(x: u8, y: u8) -> Point {
@@ -37,11 +50,11 @@ fn pt(x: u8, y: u8) -> Point {
     [x as u64 * 1000, y as u64 * 1000]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
-
-    #[test]
-    fn hb_matches_point_map_model(ops in proptest::collection::vec(op_strategy(), 1..100)) {
+#[test]
+fn hb_matches_point_map_model() {
+    prop::run_cases("hb_matches_point_map_model", 16, |rng| {
+        let n_ops = rng.range_usize(1..100);
+        let ops: Vec<Op> = (0..n_ops).map(|_| gen_op(rng)).collect();
         let cfg = HbConfig::small_nodes(5, 10);
         let mut cs = CrashableStore::create(1024, 200_000).unwrap();
         let mut tree = HbTree::create(Arc::clone(&cs.store), 1, cfg).unwrap();
@@ -62,7 +75,7 @@ proptest! {
                     let mut txn = tree.begin();
                     let hit = tree.delete(&mut txn, &p).unwrap();
                     txn.commit().unwrap();
-                    prop_assert_eq!(hit, model.remove(&p).is_some());
+                    assert_eq!(hit, model.remove(&p).is_some());
                 }
                 Op::AbortedBatch(batch) => {
                     let mut txn = tree.begin();
@@ -83,7 +96,7 @@ proptest! {
                         .filter(|(p, _)| window.contains(p))
                         .map(|(p, v)| (*p, v.clone()))
                         .collect();
-                    prop_assert_eq!(got, want, "window {:?}", window);
+                    assert_eq!(got, want, "window {window:?}");
                 }
                 Op::RunCompletions => {
                     tree.run_completions().unwrap();
@@ -99,13 +112,17 @@ proptest! {
         }
 
         let report = tree.validate().unwrap();
-        prop_assert!(report.is_well_formed(), "violations: {:?}", report.violations);
-        prop_assert_eq!(report.records, model.len());
+        assert!(
+            report.is_well_formed(),
+            "violations: {:?}",
+            report.violations
+        );
+        assert_eq!(report.records, model.len());
         for (p, v) in &model {
             let got = tree.get(p).unwrap();
-            prop_assert_eq!(got.as_deref(), Some(v.as_slice()), "point {:?}", p);
+            assert_eq!(got.as_deref(), Some(v.as_slice()), "point {p:?}");
         }
         // A point never inserted must be absent.
-        prop_assert_eq!(tree.get(&[999_999, 999_999]).unwrap(), None);
-    }
+        assert_eq!(tree.get(&[999_999, 999_999]).unwrap(), None);
+    });
 }

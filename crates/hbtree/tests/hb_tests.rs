@@ -2,7 +2,7 @@
 
 use pitree::store::CrashableStore;
 use pitree_hb::{Frag, HbConfig, HbHeader, HbTree, Point, PtrKind, Rect};
-use rand::{Rng, SeedableRng};
+use pitree_sim::SimRng;
 use std::sync::Arc;
 
 fn setup(cfg: HbConfig) -> (CrashableStore, HbTree) {
@@ -35,7 +35,11 @@ fn insert_get_roundtrip() {
         put(&tree, *p, format!("v{i}").as_bytes());
     }
     for (i, p) in pts.iter().enumerate() {
-        assert_eq!(tree.get(p).unwrap(), Some(format!("v{i}").into_bytes()), "point {p:?}");
+        assert_eq!(
+            tree.get(p).unwrap(),
+            Some(format!("v{i}").into_bytes()),
+            "point {p:?}"
+        );
     }
     assert_eq!(tree.get(&[5, 5]).unwrap(), None);
     let report = tree.validate().unwrap();
@@ -69,11 +73,11 @@ fn splits_produce_multiple_levels() {
 
 #[test]
 fn random_points_stay_searchable() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let mut rng = SimRng::new(4);
     let (_cs, tree) = setup(HbConfig::small_nodes(8, 16));
     let mut pts = Vec::new();
     for _ in 0..600 {
-        let p: Point = [rng.gen_range(0..1_000_000), rng.gen_range(0..1_000_000)];
+        let p: Point = [rng.below(1_000_000), rng.below(1_000_000)];
         pts.push(p);
         put(&tree, p, b"r");
     }
@@ -92,23 +96,22 @@ fn random_points_stay_searchable() {
 
 #[test]
 fn window_queries_match_linear_scan() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut rng = SimRng::new(4);
     let (_cs, tree) = setup(HbConfig::small_nodes(8, 16));
     let mut pts = Vec::new();
     for _ in 0..300 {
-        let p: Point = [rng.gen_range(0..10_000), rng.gen_range(0..10_000)];
+        let p: Point = [rng.below(10_000), rng.below(10_000)];
         pts.push(p);
         put(&tree, p, b"w");
     }
     pts.sort();
     pts.dedup();
     for _ in 0..5 {
-        let lo = [rng.gen_range(0..8_000), rng.gen_range(0..8_000)];
-        let hi = [lo[0] + rng.gen_range(1..3_000), lo[1] + rng.gen_range(1..3_000)];
+        let lo = [rng.below(8_000), rng.below(8_000)];
+        let hi = [lo[0] + rng.range(1..3_000), lo[1] + rng.range(1..3_000)];
         let window = Rect { lo, hi };
         let got = tree.window_query(&window).unwrap();
-        let expected: Vec<Point> =
-            pts.iter().copied().filter(|p| window.contains(p)).collect();
+        let expected: Vec<Point> = pts.iter().copied().filter(|p| window.contains(p)).collect();
         let got_pts: Vec<Point> = got.iter().map(|(p, _)| *p).collect();
         assert_eq!(got_pts, expected, "window {window:?}");
     }
@@ -169,7 +172,13 @@ fn figure_2_structure() {
                 kd_splits_in_index += 1;
             }
             for (leaf, _) in &leaves {
-                if matches!(leaf, Frag::Ptr { kind: PtrKind::Sibling, .. }) {
+                if matches!(
+                    leaf,
+                    Frag::Ptr {
+                        kind: PtrKind::Sibling,
+                        ..
+                    }
+                ) {
                     sib_in_index += 1;
                 }
             }
@@ -196,13 +205,13 @@ fn clipping_marks_multi_parent_nodes() {
     // A dense horizontal band mixed with scattered points produces child
     // regions that straddle the balanced cuts, forcing clipped terms
     // (§3.2.2/§3.3).
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut rng = SimRng::new(4);
     let (_cs, tree) = setup(HbConfig::small_nodes(6, 6));
     for i in 0..800 {
         let p: Point = if i % 3 == 0 {
-            [rng.gen_range(0..1000) * 97, rng.gen_range(0..50)]
+            [rng.below(1000) * 97, rng.below(50)]
         } else {
-            [rng.gen_range(0..100_000), rng.gen_range(0..100_000)]
+            [rng.below(100_000), rng.below(100_000)]
         };
         put(&tree, p, b"c");
     }
@@ -227,7 +236,8 @@ fn aborted_inserts_are_compensated() {
     }
     let mut t = tree.begin();
     for p in grid_points(5, 37) {
-        tree.insert(&mut t, &[p[0] + 1, p[1] + 1], b"doomed").unwrap();
+        tree.insert(&mut t, &[p[0] + 1, p[1] + 1], b"doomed")
+            .unwrap();
     }
     t.abort(Some(&tree.undo_handler())).unwrap();
     let report = tree.validate().unwrap();
@@ -277,7 +287,11 @@ fn crash_log_prefix_sweep() {
             continue;
         };
         let report = tree2.validate().unwrap();
-        assert!(report.is_well_formed(), "cut={cut}: {:?}", report.violations);
+        assert!(
+            report.is_well_formed(),
+            "cut={cut}: {:?}",
+            report.violations
+        );
     }
 }
 

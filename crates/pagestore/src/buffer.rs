@@ -14,7 +14,7 @@ use crate::error::{StoreError, StoreResult};
 use crate::ids::{Lsn, PageId};
 use crate::latch::{Latch, SGuard, UGuard, XGuard};
 use crate::page::{Page, PageType};
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -81,7 +81,10 @@ impl BufferPool {
         assert!(capacity > 0);
         BufferPool {
             frames: (0..capacity).map(|_| Frame::new()).collect(),
-            inner: Mutex::new(PoolInner { table: HashMap::new(), clock: 0 }),
+            inner: Mutex::new(PoolInner {
+                table: HashMap::new(),
+                clock: 0,
+            }),
             disk,
             wal: OnceLock::new(),
             stats: PoolStats::default(),
@@ -123,15 +126,17 @@ impl BufferPool {
             frame.pin.fetch_add(1, Ordering::SeqCst);
             frame.referenced.store(true, Ordering::Relaxed);
             self.stats.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(PinnedPage { pool: self, frame: idx, pid });
+            return Ok(PinnedPage {
+                pool: self,
+                frame: idx,
+                pid,
+            });
         }
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
         // Load/format the page first so a failed read leaves the pool intact.
         let page = match self.disk.read_page(pid) {
             Ok(p) => p,
-            Err(StoreError::PageNotFound(_)) if create.is_some() => {
-                Page::new(create.unwrap())
-            }
+            Err(StoreError::PageNotFound(_)) if create.is_some() => Page::new(create.unwrap()),
             Err(e) => return Err(e),
         };
         let idx = self.evict_victim(&mut inner)?;
@@ -148,7 +153,11 @@ impl BufferPool {
         frame.dirty.store(false, Ordering::SeqCst);
         frame.referenced.store(true, Ordering::Relaxed);
         inner.table.insert(pid, idx);
-        Ok(PinnedPage { pool: self, frame: idx, pid })
+        Ok(PinnedPage {
+            pool: self,
+            frame: idx,
+            pid,
+        })
     }
 
     /// Pick a free or evictable frame; writes back a dirty victim.
@@ -304,7 +313,11 @@ impl<'a> PinnedPage<'a> {
 impl Clone for PinnedPage<'_> {
     fn clone(&self) -> Self {
         self.f().pin.fetch_add(1, Ordering::SeqCst);
-        PinnedPage { pool: self.pool, frame: self.frame, pid: self.pid }
+        PinnedPage {
+            pool: self.pool,
+            frame: self.frame,
+            pid: self.pid,
+        }
     }
 }
 
@@ -349,7 +362,10 @@ mod tests {
     #[test]
     fn miss_on_absent_page() {
         let (_disk, pool) = pool(4);
-        assert!(matches!(pool.fetch(PageId(9)), Err(StoreError::PageNotFound(_))));
+        assert!(matches!(
+            pool.fetch(PageId(9)),
+            Err(StoreError::PageNotFound(_))
+        ));
     }
 
     #[test]
@@ -400,7 +416,10 @@ mod tests {
         pool.flush_all().unwrap();
         assert!(pool.dirty_pages().is_empty());
         for i in 1..=3u64 {
-            assert_eq!(disk.read_page(PageId(i)).unwrap().get(0).unwrap(), &[i as u8]);
+            assert_eq!(
+                disk.read_page(PageId(i)).unwrap().get(0).unwrap(),
+                &[i as u8]
+            );
         }
     }
 
@@ -441,6 +460,10 @@ mod tests {
         }
         // Force eviction by fetching another page into the single frame.
         let _p2 = pool.fetch_or_create(PageId(2), PageType::Node).unwrap();
-        assert_eq!(wal.0.load(Ordering::SeqCst), 77, "log must be forced to the page LSN");
+        assert_eq!(
+            wal.0.load(Ordering::SeqCst),
+            77,
+            "log must be forced to the page LSN"
+        );
     }
 }

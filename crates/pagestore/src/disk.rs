@@ -11,9 +11,10 @@
 //! that want to include I/O in the measured path.
 
 use crate::error::{StoreError, StoreResult};
+use crate::fault::{FaultSite, InjectorHandle};
 use crate::ids::PageId;
 use crate::page::{Page, PAGE_SIZE};
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
@@ -35,17 +36,34 @@ pub trait DiskManager: Send + Sync {
 /// In-memory "durable" storage used by tests and the crash harness.
 pub struct MemDisk {
     pages: Mutex<Vec<Option<Box<[u8]>>>>,
+    injector: Option<InjectorHandle>,
 }
 
 impl MemDisk {
     /// An empty store.
     pub fn new() -> MemDisk {
-        MemDisk { pages: Mutex::new(Vec::new()) }
+        MemDisk {
+            pages: Mutex::new(Vec::new()),
+            injector: None,
+        }
+    }
+
+    /// An empty store whose page writes consult `injector` first — the
+    /// simulation kit's crash-point hook.
+    pub fn with_injector(injector: InjectorHandle) -> MemDisk {
+        MemDisk {
+            pages: Mutex::new(Vec::new()),
+            injector: Some(injector),
+        }
     }
 
     /// Copy the current durable image — the survivor of a simulated crash.
+    /// The snapshot carries no injector: recovery must run unimpeded.
     pub fn snapshot(&self) -> MemDisk {
-        MemDisk { pages: Mutex::new(self.pages.lock().clone()) }
+        MemDisk {
+            pages: Mutex::new(self.pages.lock().clone()),
+            injector: None,
+        }
     }
 }
 
@@ -65,6 +83,9 @@ impl DiskManager for MemDisk {
     }
 
     fn write_page(&self, pid: PageId, page: &Page) -> StoreResult<()> {
+        if let Some(inj) = &self.injector {
+            inj.check(FaultSite::PageWrite(pid))?;
+        }
         let mut pages = self.pages.lock();
         let idx = pid.0 as usize;
         if pages.len() <= idx {
@@ -94,7 +115,9 @@ impl FileDisk {
             .truncate(false)
             .open(path)
             .map_err(|e| StoreError::Corrupt(format!("open {path:?}: {e}")))?;
-        Ok(FileDisk { file: Mutex::new(file) })
+        Ok(FileDisk {
+            file: Mutex::new(file),
+        })
     }
 }
 
@@ -123,7 +146,9 @@ impl DiskManager for FileDisk {
 
     fn num_pages(&self) -> u64 {
         let file = self.file.lock();
-        file.metadata().map(|m| m.len() / PAGE_SIZE as u64).unwrap_or(0)
+        file.metadata()
+            .map(|m| m.len() / PAGE_SIZE as u64)
+            .unwrap_or(0)
     }
 
     fn sync(&self) -> StoreResult<()> {
@@ -148,8 +173,14 @@ mod tests {
         assert_eq!(d.num_pages(), 4);
         let q = d.read_page(PageId(3)).unwrap();
         assert_eq!(q.get(0).unwrap(), b"payload");
-        assert!(matches!(d.read_page(PageId(2)), Err(StoreError::PageNotFound(_))));
-        assert!(matches!(d.read_page(PageId(9)), Err(StoreError::PageNotFound(_))));
+        assert!(matches!(
+            d.read_page(PageId(2)),
+            Err(StoreError::PageNotFound(_))
+        ));
+        assert!(matches!(
+            d.read_page(PageId(9)),
+            Err(StoreError::PageNotFound(_))
+        ));
     }
 
     #[test]

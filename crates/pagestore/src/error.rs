@@ -43,6 +43,12 @@ pub enum StoreError {
         /// Whether the failure was a detected deadlock.
         deadlock: bool,
     },
+    /// A simulated crash injected by a [`crate::fault::FaultInjector`] at a
+    /// durable-write boundary. Only ever produced under the simulation kit.
+    InjectedCrash {
+        /// Human-readable description of the crash point.
+        site: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -63,6 +69,9 @@ impl fmt::Display for StoreError {
                 write!(f, "deadlock detected; requester chosen as victim")
             }
             StoreError::LockFailed { deadlock: false } => write!(f, "lock wait timed out"),
+            StoreError::InjectedCrash { site } => {
+                write!(f, "simulated crash injected at {site}")
+            }
         }
     }
 }

@@ -1,0 +1,69 @@
+//! Crash-point injection for deterministic simulation testing.
+//!
+//! The paper's recovery argument quantifies over crashes at *every* point
+//! where volatile state and durable state can diverge. Those points are
+//! exactly the durable-write boundaries: a page image reaching the disk and
+//! a log force reaching the log store. A [`FaultInjector`] is consulted
+//! immediately **before** each such boundary; by returning an error it
+//! simulates the machine dying an instant before the write, after which the
+//! simulation kit snapshots the durable image and runs recovery on it.
+//!
+//! The trait lives here (rather than in `pitree-sim`) because the injectable
+//! components — [`crate::disk::MemDisk`] and the WAL's `MemLogStore` — sit
+//! below the simulation kit in the crate graph. Production stores simply
+//! have no injector installed; the hook is a branch on an `Option`.
+
+use crate::error::{StoreError, StoreResult};
+use crate::ids::PageId;
+use std::sync::Arc;
+
+/// A durable-write boundary at which a simulated crash may be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// A page image is about to be written to durable storage.
+    PageWrite(PageId),
+    /// `bytes` of log are about to be appended to the durable log store
+    /// (one WAL force).
+    LogAppend {
+        /// Length of the force about to happen.
+        bytes: usize,
+    },
+}
+
+impl FaultSite {
+    /// Short human-readable label, used in injected-crash errors.
+    pub fn describe(&self) -> String {
+        match self {
+            FaultSite::PageWrite(pid) => format!("page-write({pid})"),
+            FaultSite::LogAppend { bytes } => format!("log-append({bytes}B)"),
+        }
+    }
+}
+
+/// Decides, at each durable-write boundary, whether the simulated machine is
+/// still alive.
+///
+/// Returning `Err` (conventionally [`injected_crash`]) aborts the write —
+/// nothing reaches durable storage — and the error propagates to whatever
+/// operation required the write. A deterministic injector (see
+/// `pitree-sim`'s `CrashPlan`) keeps failing every subsequent call so that
+/// no durable state changes after the "crash", exactly as on a dead machine.
+pub trait FaultInjector: Send + Sync {
+    /// Called before the durable effect at `site`. `Ok(())` lets it proceed.
+    fn check(&self, site: FaultSite) -> StoreResult<()>;
+}
+
+/// Shared handle to an injector, as stored by the injectable components.
+pub type InjectorHandle = Arc<dyn FaultInjector>;
+
+/// The canonical injected-crash error for `site`.
+pub fn injected_crash(site: FaultSite) -> StoreError {
+    StoreError::InjectedCrash {
+        site: site.describe(),
+    }
+}
+
+/// Whether `err` is an injected simulated crash (as opposed to a real bug).
+pub fn is_injected(err: &StoreError) -> bool {
+    matches!(err, StoreError::InjectedCrash { .. })
+}

@@ -22,10 +22,76 @@
 //! with [`UGuard::promote`]; per the paper, callers must only promote while
 //! holding no latch ordered after this one.
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 use std::cell::UnsafeCell;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Debug-build latch-ordering checks.
+///
+/// The deadlock-freedom argument of §4.1 rests on every thread acquiring
+/// latches in search order. Latches constructed with [`Latch::new_ordered`]
+/// carry a *rank* encoding that order (parents rank ≤ children, containing
+/// nodes ≤ contained, space management last); in debug builds a thread-local
+/// stack of held ranks is maintained and any blocking acquisition whose rank
+/// is **below** the highest rank currently held by the same thread panics
+/// immediately instead of risking an undetectable latch deadlock.
+/// `try_*` acquisitions are exempt: conditional acquisition is exactly the
+/// protocol's escape hatch for climbing *up* a saved path (§5.2.2(b)).
+/// Unranked latches (plain [`Latch::new`]) are never checked.
+pub mod order {
+    use std::cell::RefCell;
+
+    thread_local! {
+        static HELD: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Rank meaning "not participating in order checking".
+    pub const UNRANKED: u64 = u64::MAX;
+
+    pub(super) fn check_and_push(rank: u64) {
+        if rank == UNRANKED || !cfg!(debug_assertions) {
+            return;
+        }
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(&max) = held.iter().max() {
+                assert!(
+                    rank >= max,
+                    "latch order violation: blocking acquisition of rank {rank} \
+                     while holding rank {max} (acquire in search order, or use try_*)"
+                );
+            }
+            held.push(rank);
+        });
+    }
+
+    /// Record a `try_*` acquisition: tracked (so later blocking acquisitions
+    /// see it) but never checked itself.
+    pub(super) fn push_unchecked(rank: u64) {
+        if rank == UNRANKED || !cfg!(debug_assertions) {
+            return;
+        }
+        HELD.with(|h| h.borrow_mut().push(rank));
+    }
+
+    pub(super) fn pop(rank: u64) {
+        if rank == UNRANKED || !cfg!(debug_assertions) {
+            return;
+        }
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&r| r == rank) {
+                held.remove(pos);
+            }
+        });
+    }
+
+    /// Ranks currently held by this thread (diagnostics / tests).
+    pub fn held_ranks() -> Vec<u64> {
+        HELD.with(|h| h.borrow().clone())
+    }
+}
 
 /// Process-wide latch-contention counters, for the concurrency experiments:
 /// on a single-core host, wall-clock throughput cannot expose blocking, but
@@ -94,6 +160,7 @@ impl State {
 pub struct Latch<T> {
     state: Mutex<State>,
     cv: Condvar,
+    rank: u64,
     data: UnsafeCell<T>,
 }
 
@@ -103,18 +170,40 @@ unsafe impl<T: Send> Send for Latch<T> {}
 unsafe impl<T: Send + Sync> Sync for Latch<T> {}
 
 impl<T> Latch<T> {
-    /// Wrap `value` in a latch.
+    /// Wrap `value` in a latch that does not participate in order checking.
     pub fn new(value: T) -> Latch<T> {
-        Latch { state: Mutex::new(State::default()), cv: Condvar::new(), data: UnsafeCell::new(value) }
+        Latch {
+            state: Mutex::new(State::default()),
+            cv: Condvar::new(),
+            rank: order::UNRANKED,
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Wrap `value` in a latch with an ordering `rank`; debug builds panic
+    /// on blocking acquisitions that violate search order (see [`order`]).
+    pub fn new_ordered(value: T, rank: u64) -> Latch<T> {
+        Latch {
+            state: Mutex::new(State::default()),
+            cv: Condvar::new(),
+            rank,
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// This latch's ordering rank ([`order::UNRANKED`] when unchecked).
+    pub fn rank(&self) -> u64 {
+        self.rank
     }
 
     /// Acquire in S mode, blocking.
     pub fn s(&self) -> SGuard<'_, T> {
+        order::check_and_push(self.rank);
         let mut st = self.state.lock();
         if !st.can_s() {
             contention::record_wait();
             while !st.can_s() {
-                self.cv.wait(&mut st);
+                st = self.cv.wait(st);
             }
         }
         st.readers += 1;
@@ -126,6 +215,8 @@ impl<T> Latch<T> {
         let mut st = self.state.lock();
         if st.can_s() {
             st.readers += 1;
+            drop(st);
+            order::push_unchecked(self.rank);
             Some(SGuard { latch: self })
         } else {
             None
@@ -135,11 +226,12 @@ impl<T> Latch<T> {
     /// Acquire in U mode, blocking. U allows concurrent S readers but
     /// excludes other U and X holders.
     pub fn u(&self) -> UGuard<'_, T> {
+        order::check_and_push(self.rank);
         let mut st = self.state.lock();
         if !st.can_u() {
             contention::record_wait();
             while !st.can_u() {
-                self.cv.wait(&mut st);
+                st = self.cv.wait(st);
             }
         }
         st.u_held = true;
@@ -151,6 +243,8 @@ impl<T> Latch<T> {
         let mut st = self.state.lock();
         if st.can_u() {
             st.u_held = true;
+            drop(st);
+            order::push_unchecked(self.rank);
             Some(UGuard { latch: self })
         } else {
             None
@@ -159,12 +253,13 @@ impl<T> Latch<T> {
 
     /// Acquire in X mode, blocking.
     pub fn x(&self) -> XGuard<'_, T> {
+        order::check_and_push(self.rank);
         let mut st = self.state.lock();
         st.x_waiting += 1;
         if !st.can_x() {
             contention::record_wait();
             while !st.can_x() {
-                self.cv.wait(&mut st);
+                st = self.cv.wait(st);
             }
         }
         st.x_waiting -= 1;
@@ -177,6 +272,8 @@ impl<T> Latch<T> {
         let mut st = self.state.lock();
         if st.can_x() {
             st.x_held = true;
+            drop(st);
+            order::push_unchecked(self.rank);
             Some(XGuard { latch: self })
         } else {
             None
@@ -215,6 +312,7 @@ impl<T> Drop for SGuard<'_, T> {
         let mut st = self.latch.state.lock();
         st.readers -= 1;
         drop(st);
+        order::pop(self.latch.rank);
         self.latch.cv.notify_all();
     }
 }
@@ -238,7 +336,7 @@ impl<'a, T> UGuard<'a, T> {
             if st.readers > 0 || st.x_held {
                 contention::record_wait();
                 while st.readers > 0 || st.x_held {
-                    latch.cv.wait(&mut st);
+                    st = latch.cv.wait(st);
                 }
             }
             st.promoting = false;
@@ -277,6 +375,7 @@ impl<T> Drop for UGuard<'_, T> {
         let mut st = self.latch.state.lock();
         st.u_held = false;
         drop(st);
+        order::pop(self.latch.rank);
         self.latch.cv.notify_all();
     }
 }
@@ -321,6 +420,7 @@ impl<T> Drop for XGuard<'_, T> {
         let mut st = self.latch.state.lock();
         st.x_held = false;
         drop(st);
+        order::pop(self.latch.rank);
         self.latch.cv.notify_all();
     }
 }
@@ -410,7 +510,10 @@ mod tests {
             });
             // Give the promoter time to register.
             std::thread::sleep(Duration::from_millis(20));
-            assert!(l.try_s().is_none(), "pending promotion must block new readers");
+            assert!(
+                l.try_s().is_none(),
+                "pending promotion must block new readers"
+            );
             drop(s);
         });
         assert_eq!(promoted.load(Ordering::SeqCst), 1);

@@ -23,15 +23,18 @@
 pub mod buffer;
 pub mod disk;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod latch;
 pub mod page;
 pub mod pageops;
 pub mod space;
+pub mod sync;
 
 pub use buffer::{BufferPool, PinnedPage};
 pub use disk::{DiskManager, MemDisk};
 pub use error::{StoreError, StoreResult};
+pub use fault::{FaultInjector, FaultSite};
 pub use ids::{Lsn, PageId};
 pub use latch::{Latch, LatchMode, SGuard, UGuard, XGuard};
 pub use page::{Page, PageType, PAGE_SIZE};

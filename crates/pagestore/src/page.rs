@@ -82,14 +82,18 @@ pub struct Page {
 
 impl Clone for Page {
     fn clone(&self) -> Self {
-        Page { buf: self.buf.clone() }
+        Page {
+            buf: self.buf.clone(),
+        }
     }
 }
 
 impl Page {
     /// A freshly formatted, empty page of the given type with LSN zero.
     pub fn new(ty: PageType) -> Page {
-        let mut p = Page { buf: vec![0u8; PAGE_SIZE].into_boxed_slice() };
+        let mut p = Page {
+            buf: vec![0u8; PAGE_SIZE].into_boxed_slice(),
+        };
         p.format(ty);
         p
     }
@@ -111,7 +115,9 @@ impl Page {
                 bytes.len()
             )));
         }
-        Ok(Page { buf: bytes.to_vec().into_boxed_slice() })
+        Ok(Page {
+            buf: bytes.to_vec().into_boxed_slice(),
+        })
     }
 
     /// The raw page image (for writing to disk or full-page logging).
@@ -218,7 +224,10 @@ impl Page {
     /// Read the record in slot `idx`.
     pub fn get(&self, idx: u16) -> StoreResult<&[u8]> {
         if idx >= self.slot_count() {
-            return Err(StoreError::BadSlot { page: PageId::INVALID, slot: idx });
+            return Err(StoreError::BadSlot {
+                page: PageId::INVALID,
+                slot: idx,
+            });
         }
         let (off, len) = self.slot(idx);
         Ok(&self.buf[off as usize..off as usize + len as usize])
@@ -229,7 +238,10 @@ impl Page {
     pub fn insert(&mut self, idx: u16, bytes: &[u8]) -> StoreResult<()> {
         let n = self.slot_count();
         if idx > n {
-            return Err(StoreError::BadSlot { page: PageId::INVALID, slot: idx });
+            return Err(StoreError::BadSlot {
+                page: PageId::INVALID,
+                slot: idx,
+            });
         }
         let need = bytes.len() + 4;
         if need > self.free_space() {
@@ -260,7 +272,10 @@ impl Page {
     pub fn remove(&mut self, idx: u16) -> StoreResult<Vec<u8>> {
         let n = self.slot_count();
         if idx >= n {
-            return Err(StoreError::BadSlot { page: PageId::INVALID, slot: idx });
+            return Err(StoreError::BadSlot {
+                page: PageId::INVALID,
+                slot: idx,
+            });
         }
         let (off, len) = self.slot(idx);
         let bytes = self.buf[off as usize..(off + len) as usize].to_vec();
@@ -282,7 +297,10 @@ impl Page {
     pub fn update(&mut self, idx: u16, bytes: &[u8]) -> StoreResult<Vec<u8>> {
         let n = self.slot_count();
         if idx >= n {
-            return Err(StoreError::BadSlot { page: PageId::INVALID, slot: idx });
+            return Err(StoreError::BadSlot {
+                page: PageId::INVALID,
+                slot: idx,
+            });
         }
         let (off, len) = self.slot(idx);
         let old = self.buf[off as usize..(off + len) as usize].to_vec();
@@ -660,10 +678,12 @@ mod tests {
         let mut p = Page::new(PageType::Node);
         p.insert(0, b"hdr").unwrap();
         for k in ["mm", "cc", "zz", "aa", "qq"] {
-            p.keyed_insert(&Page::make_entry(k.as_bytes(), b"")).unwrap();
+            p.keyed_insert(&Page::make_entry(k.as_bytes(), b""))
+                .unwrap();
         }
-        let keys: Vec<&[u8]> =
-            (1..p.slot_count()).map(|i| Page::entry_key(p.get(i).unwrap())).collect();
+        let keys: Vec<&[u8]> = (1..p.slot_count())
+            .map(|i| Page::entry_key(p.get(i).unwrap()))
+            .collect();
         assert_eq!(keys, vec![&b"aa"[..], b"cc", b"mm", b"qq", b"zz"]);
         assert_eq!(p.entry_count(), 5);
     }
@@ -673,7 +693,8 @@ mod tests {
         let mut p = Page::new(PageType::Node);
         p.insert(0, b"hdr").unwrap();
         for k in ["bb", "dd", "ff"] {
-            p.keyed_insert(&Page::make_entry(k.as_bytes(), b"")).unwrap();
+            p.keyed_insert(&Page::make_entry(k.as_bytes(), b""))
+                .unwrap();
         }
         assert_eq!(p.keyed_find(b"dd").unwrap(), Ok(2));
         assert_eq!(p.keyed_find(b"cc").unwrap(), Err(2));

@@ -125,28 +125,38 @@ impl PageOp {
     /// (modulo internal heap layout, which is not semantically visible).
     pub fn invert(&self, before: &Page) -> StoreResult<PageOp> {
         Ok(match self {
-            PageOp::Format { .. } => PageOp::FullImage { bytes: before.as_bytes().to_vec() },
+            PageOp::Format { .. } => PageOp::FullImage {
+                bytes: before.as_bytes().to_vec(),
+            },
             PageOp::InsertSlot { slot, .. } => PageOp::RemoveSlot { slot: *slot },
-            PageOp::RemoveSlot { slot } => {
-                PageOp::InsertSlot { slot: *slot, bytes: before.get(*slot)?.to_vec() }
-            }
-            PageOp::UpdateSlot { slot, .. } => {
-                PageOp::UpdateSlot { slot: *slot, bytes: before.get(*slot)?.to_vec() }
-            }
-            PageOp::SetFlags { .. } => PageOp::SetFlags { flags: before.flags() },
+            PageOp::RemoveSlot { slot } => PageOp::InsertSlot {
+                slot: *slot,
+                bytes: before.get(*slot)?.to_vec(),
+            },
+            PageOp::UpdateSlot { slot, .. } => PageOp::UpdateSlot {
+                slot: *slot,
+                bytes: before.get(*slot)?.to_vec(),
+            },
+            PageOp::SetFlags { .. } => PageOp::SetFlags {
+                flags: before.flags(),
+            },
             PageOp::SetBit { bit } => PageOp::ClearBit { bit: *bit },
             PageOp::ClearBit { bit } => PageOp::SetBit { bit: *bit },
-            PageOp::FullImage { .. } => PageOp::FullImage { bytes: before.as_bytes().to_vec() },
-            PageOp::KeyedInsert { bytes } => {
-                PageOp::KeyedRemove { key: Page::entry_key(bytes).to_vec() }
-            }
+            PageOp::FullImage { .. } => PageOp::FullImage {
+                bytes: before.as_bytes().to_vec(),
+            },
+            PageOp::KeyedInsert { bytes } => PageOp::KeyedRemove {
+                key: Page::entry_key(bytes).to_vec(),
+            },
             PageOp::KeyedRemove { key } => {
                 let slot = before.keyed_find(key)?.map_err(|_| {
                     crate::error::StoreError::Corrupt(format!(
                         "inverting removal of absent key {key:02x?}"
                     ))
                 })?;
-                PageOp::KeyedInsert { bytes: before.get(slot)?.to_vec() }
+                PageOp::KeyedInsert {
+                    bytes: before.get(slot)?.to_vec(),
+                }
             }
             PageOp::KeyedUpdate { bytes } => {
                 let key = Page::entry_key(bytes);
@@ -155,7 +165,9 @@ impl PageOp {
                         "inverting update of absent key {key:02x?}"
                     ))
                 })?;
-                PageOp::KeyedUpdate { bytes: before.get(slot)?.to_vec() }
+                PageOp::KeyedUpdate {
+                    bytes: before.get(slot)?.to_vec(),
+                }
             }
         })
     }
@@ -175,19 +187,27 @@ mod tests {
     /// Apply `op`, then apply its inverse, and check the visible content is
     /// unchanged.
     fn check_roundtrip(mut page: Page, op: PageOp) {
-        let snapshot: Vec<Vec<u8>> =
-            (0..page.slot_count()).map(|i| page.get(i).unwrap().to_vec()).collect();
+        let snapshot: Vec<Vec<u8>> = (0..page.slot_count())
+            .map(|i| page.get(i).unwrap().to_vec())
+            .collect();
         let inv = op.invert(&page).unwrap();
         op.apply(&mut page).unwrap();
         inv.apply(&mut page).unwrap();
-        let after: Vec<Vec<u8>> =
-            (0..page.slot_count()).map(|i| page.get(i).unwrap().to_vec()).collect();
+        let after: Vec<Vec<u8>> = (0..page.slot_count())
+            .map(|i| page.get(i).unwrap().to_vec())
+            .collect();
         assert_eq!(snapshot, after, "inverse failed for {op:?}");
     }
 
     #[test]
     fn insert_invert() {
-        check_roundtrip(node_page(), PageOp::InsertSlot { slot: 1, bytes: b"mid".to_vec() });
+        check_roundtrip(
+            node_page(),
+            PageOp::InsertSlot {
+                slot: 1,
+                bytes: b"mid".to_vec(),
+            },
+        );
     }
 
     #[test]
@@ -197,7 +217,13 @@ mod tests {
 
     #[test]
     fn update_invert() {
-        check_roundtrip(node_page(), PageOp::UpdateSlot { slot: 1, bytes: b"changed".to_vec() });
+        check_roundtrip(
+            node_page(),
+            PageOp::UpdateSlot {
+                slot: 1,
+                bytes: b"changed".to_vec(),
+            },
+        );
     }
 
     #[test]
@@ -224,7 +250,12 @@ mod tests {
     #[test]
     fn apply_order_insert_then_remove() {
         let mut p = node_page();
-        PageOp::InsertSlot { slot: 2, bytes: b"gamma".to_vec() }.apply(&mut p).unwrap();
+        PageOp::InsertSlot {
+            slot: 2,
+            bytes: b"gamma".to_vec(),
+        }
+        .apply(&mut p)
+        .unwrap();
         assert_eq!(p.get(2).unwrap(), b"gamma");
         PageOp::RemoveSlot { slot: 1 }.apply(&mut p).unwrap();
         assert_eq!(p.get(1).unwrap(), b"gamma");
@@ -234,7 +265,8 @@ mod tests {
         let mut p = Page::new(PageType::Node);
         p.insert(0, b"node-header").unwrap(); // slot 0 is the header
         for k in ["bb", "dd", "ff"] {
-            p.keyed_insert(&Page::make_entry(k.as_bytes(), b"v")).unwrap();
+            p.keyed_insert(&Page::make_entry(k.as_bytes(), b"v"))
+                .unwrap();
         }
         p
     }
@@ -243,20 +275,29 @@ mod tests {
     fn keyed_insert_invert() {
         check_roundtrip(
             keyed_page(),
-            PageOp::KeyedInsert { bytes: Page::make_entry(b"cc", b"v2") },
+            PageOp::KeyedInsert {
+                bytes: Page::make_entry(b"cc", b"v2"),
+            },
         );
     }
 
     #[test]
     fn keyed_remove_invert() {
-        check_roundtrip(keyed_page(), PageOp::KeyedRemove { key: b"dd".to_vec() });
+        check_roundtrip(
+            keyed_page(),
+            PageOp::KeyedRemove {
+                key: b"dd".to_vec(),
+            },
+        );
     }
 
     #[test]
     fn keyed_update_invert() {
         check_roundtrip(
             keyed_page(),
-            PageOp::KeyedUpdate { bytes: Page::make_entry(b"dd", b"changed") },
+            PageOp::KeyedUpdate {
+                bytes: Page::make_entry(b"dd", b"changed"),
+            },
         );
     }
 
@@ -265,15 +306,28 @@ mod tests {
         // The property motivating keyed ops: undo applies correctly even
         // after other entries shifted this entry's slot.
         let mut p = keyed_page();
-        let op = PageOp::KeyedInsert { bytes: Page::make_entry(b"ee", b"mine") };
+        let op = PageOp::KeyedInsert {
+            bytes: Page::make_entry(b"ee", b"mine"),
+        };
         let inv = op.invert(&p).unwrap();
         op.apply(&mut p).unwrap();
         // Another "transaction" inserts earlier keys, shifting slots.
-        PageOp::KeyedInsert { bytes: Page::make_entry(b"aa", b"other") }.apply(&mut p).unwrap();
-        PageOp::KeyedInsert { bytes: Page::make_entry(b"cc", b"other") }.apply(&mut p).unwrap();
+        PageOp::KeyedInsert {
+            bytes: Page::make_entry(b"aa", b"other"),
+        }
+        .apply(&mut p)
+        .unwrap();
+        PageOp::KeyedInsert {
+            bytes: Page::make_entry(b"cc", b"other"),
+        }
+        .apply(&mut p)
+        .unwrap();
         inv.apply(&mut p).unwrap();
         assert!(p.keyed_find(b"ee").unwrap().is_err(), "ee must be gone");
-        assert!(p.keyed_find(b"aa").unwrap().is_ok(), "other entries untouched");
+        assert!(
+            p.keyed_find(b"aa").unwrap().is_ok(),
+            "other entries untouched"
+        );
         assert!(p.keyed_find(b"cc").unwrap().is_ok());
     }
 
@@ -283,7 +337,11 @@ mod tests {
         assert!(p.keyed_insert(&Page::make_entry(b"bb", b"dup")).is_err());
         assert!(p.keyed_remove(b"zz").is_err());
         assert!(p.keyed_update(&Page::make_entry(b"zz", b"x")).is_err());
-        assert!(PageOp::KeyedRemove { key: b"zz".to_vec() }.invert(&p).is_err());
+        assert!(PageOp::KeyedRemove {
+            key: b"zz".to_vec()
+        }
+        .invert(&p)
+        .is_err());
     }
 
     #[test]

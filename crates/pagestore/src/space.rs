@@ -86,7 +86,14 @@ impl SpaceMap {
             let meta = pool.fetch_or_create(PageId(0), PageType::Meta)?;
             let mut g = meta.x();
             g.format(PageType::Meta);
-            g.insert(0, &MetaRecord { bitmap_pages, max_pages }.encode())?;
+            g.insert(
+                0,
+                &MetaRecord {
+                    bitmap_pages,
+                    max_pages,
+                }
+                .encode(),
+            )?;
             meta.mark_dirty();
         }
         // Bitmap pages, with reserved bits set.
@@ -104,7 +111,11 @@ impl SpaceMap {
             bm.mark_dirty();
         }
         pool.flush_all()?;
-        Ok(SpaceMap { bitmap_pages, max_pages, latch: Latch::new(bitmap_pages as u64 + 1) })
+        Ok(SpaceMap {
+            bitmap_pages,
+            max_pages,
+            latch: Latch::new(bitmap_pages as u64 + 1),
+        })
     }
 
     /// Open the space map of an existing store by reading the meta page.
@@ -112,7 +123,10 @@ impl SpaceMap {
         let meta = pool.fetch(PageId(0))?;
         let g = meta.s();
         if g.page_type()? != PageType::Meta {
-            return Err(StoreError::WrongPageType { page: PageId(0), expected: "meta" });
+            return Err(StoreError::WrongPageType {
+                page: PageId(0),
+                expected: "meta",
+            });
         }
         let rec = MetaRecord::decode(g.get(0)?)?;
         Ok(SpaceMap {
@@ -150,7 +164,10 @@ impl SpaceMap {
     /// allocation decisions; callers keep it until they have *logged* the
     /// corresponding `SetBit`/`ClearBit` so no other allocator can race them.
     pub fn lock_alloc(&self) -> AllocGuard<'_> {
-        AllocGuard { map: self, hint: self.latch.x() }
+        AllocGuard {
+            map: self,
+            hint: self.latch.x(),
+        }
     }
 
     /// Whether `pid` is currently marked allocated (diagnostics and the
@@ -319,7 +336,10 @@ mod tests {
     fn meta_record_codec_rejects_garbage() {
         assert!(MetaRecord::decode(b"short").is_err());
         assert!(MetaRecord::decode(&[0u8; 16]).is_err());
-        let rec = MetaRecord { bitmap_pages: 7, max_pages: 500 };
+        let rec = MetaRecord {
+            bitmap_pages: 7,
+            max_pages: 500,
+        };
         assert_eq!(MetaRecord::decode(&rec.encode()).unwrap(), rec);
     }
 }

@@ -1,0 +1,143 @@
+//! Poison-free `std::sync` wrappers.
+//!
+//! The repository used to pull `parking_lot` for its non-poisoning mutexes;
+//! these thin wrappers give the same call-site ergonomics (`lock()` returns a
+//! guard, not a `Result`) over `std::sync` so the workspace builds with no
+//! external dependencies. A poisoned mutex is simply re-entered: the latch
+//! and lock-table invariants are maintained by explicit state counters, not
+//! by unwinding, so poison carries no information here.
+
+use std::sync::{LockResult, PoisonError, WaitTimeoutResult};
+use std::time::Duration;
+
+/// Re-export of the std guard; `lock()` below hands it out poison-stripped.
+pub use std::sync::MutexGuard;
+
+fn strip<T>(r: LockResult<T>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A mutex whose `lock` never fails (poisoning is ignored).
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wrap `value`.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        strip(self.0.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the mutex, blocking. Never fails.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        strip(self.0.lock())
+    }
+
+    /// Get the protected value through a unique reference, without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        strip(self.0.get_mut())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+/// A condition variable paired with [`Mutex`].
+///
+/// Unlike `parking_lot`, waiting consumes and returns the guard
+/// (`guard = cv.wait(guard)`), matching `std`'s move-based API.
+#[derive(Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// A new condition variable.
+    pub const fn new() -> Condvar {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Block until notified; returns the re-acquired guard.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        strip(self.0.wait(guard))
+    }
+
+    /// Block until notified or `timeout` elapses.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        strip(self.0.wait_timeout(guard, timeout))
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_roundtrip() {
+        let m = Mutex::new(1u32);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+    }
+
+    #[test]
+    fn poisoned_mutex_still_locks() {
+        let m = Arc::new(Mutex::new(0u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison it");
+        })
+        .join();
+        // A std mutex would now return Err; the wrapper strips the poison.
+        *m.lock() = 7;
+        assert_eq!(*m.lock(), 7);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut g = m.lock();
+            while !*g {
+                g = cv.wait(g);
+            }
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_wait_timeout_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let (_g, res) = cv.wait_timeout(m.lock(), Duration::from_millis(10));
+        assert!(res.timed_out());
+    }
+}

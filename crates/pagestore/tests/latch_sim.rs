@@ -1,0 +1,204 @@
+//! Simulation tests of the latch manager: U→X promotion under S-reader
+//! contention, starvation freedom, and the debug-build latch-order checks
+//! that back the §4.1 deadlock-freedom argument.
+
+use pitree_pagestore::latch::{order, Latch};
+use pitree_sim::{prop, SimRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[test]
+fn u_promotes_to_x_under_reader_contention() {
+    // Readers churn S latches while a single updater repeatedly takes U,
+    // promotes to X (which must drain readers, §4.1's update-mode rule),
+    // increments, and demotes back down. Every increment must be exclusive.
+    const PROMOTIONS: u64 = 200;
+    let latch = Latch::new(0u64);
+    let reads = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..3u64 {
+            let latch = &latch;
+            let reads = &reads;
+            s.spawn(move || {
+                let mut rng = SimRng::new(t);
+                loop {
+                    let g = latch.s();
+                    let v = *g;
+                    drop(g);
+                    reads.fetch_add(1, Ordering::Relaxed);
+                    if v >= PROMOTIONS {
+                        break;
+                    }
+                    if rng.chance(0.2) {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+        s.spawn(|| {
+            for _ in 0..PROMOTIONS {
+                let u = latch.u();
+                let mut x = u.promote();
+                *x += 1;
+                // Exercise the demotion ladder too: X → U → drop.
+                let u2 = x.demote_to_u();
+                drop(u2);
+            }
+        });
+    });
+    assert_eq!(*latch.s(), PROMOTIONS);
+    assert!(reads.load(Ordering::Relaxed) > 0, "readers made progress");
+}
+
+#[test]
+fn u_is_single_holder_but_compatible_with_s() {
+    let latch = Latch::new(());
+    let u = latch.u();
+    // A second U (and any X) must be refused while U is held…
+    assert!(latch.try_u().is_none(), "U is single-holder");
+    assert!(latch.try_x().is_none(), "X conflicts with U");
+    // …but readers still get through (that is U's whole point).
+    assert!(latch.try_s().is_some(), "S is compatible with U");
+    drop(u);
+    assert!(latch.try_u().is_some());
+}
+
+#[test]
+fn promotion_waits_for_readers_and_blocks_new_ones() {
+    // A reader pins the latch; the updater's promotion must complete only
+    // after the reader leaves, and must not be starved by late readers.
+    let latch = Latch::new(0u32);
+    let promoted = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        let reader = latch.s();
+        let h = s.spawn(|| {
+            let u = latch.u();
+            let mut x = u.promote(); // blocks until the reader drops
+            *x = 1;
+            promoted.store(1, Ordering::SeqCst);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(
+            promoted.load(Ordering::SeqCst),
+            0,
+            "promotion cannot finish under S"
+        );
+        drop(reader);
+        h.join().unwrap();
+    });
+    assert_eq!(*latch.s(), 1);
+}
+
+#[test]
+fn seeded_mixed_mode_storm_stays_consistent() {
+    // A seeded storm of S/U/X/try acquisitions over one latch-protected
+    // counter: X and promoted-U increments are exclusive, so the final value
+    // must equal the number of successful increments.
+    prop::run_cases("latch_mixed_mode_storm", 8, |rng| {
+        let latch = Latch::new(0u64);
+        let expected = AtomicU64::new(0);
+        let seeds: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        std::thread::scope(|s| {
+            for &seed in &seeds {
+                let latch = &latch;
+                let expected = &expected;
+                s.spawn(move || {
+                    let mut rng = SimRng::new(seed);
+                    for _ in 0..300 {
+                        match rng.below(5) {
+                            0 => {
+                                let mut x = latch.x();
+                                *x += 1;
+                                expected.fetch_add(1, Ordering::Relaxed);
+                            }
+                            1 => {
+                                let u = latch.u();
+                                if rng.chance(0.5) {
+                                    let mut x = u.promote();
+                                    *x += 1;
+                                    expected.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            2 => {
+                                if let Some(mut x) = latch.try_x() {
+                                    *x += 1;
+                                    expected.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            3 => {
+                                let _ = latch.try_s().map(|g| *g);
+                            }
+                            _ => {
+                                let _ = *latch.s();
+                            }
+                        }
+                        if rng.chance(0.1) {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(*latch.s(), expected.load(Ordering::Relaxed));
+    });
+}
+
+#[test]
+fn latch_order_violation_panics_in_debug() {
+    let parent = Latch::new_ordered(0u8, 10);
+    let child = Latch::new_ordered(0u8, 20);
+    // In order: parent (10) then child (20) — fine.
+    {
+        let _p = parent.s();
+        let _c = child.s();
+        assert_eq!(order::held_ranks(), vec![10, 20]);
+    }
+    assert!(
+        order::held_ranks().is_empty(),
+        "guards must pop their ranks"
+    );
+    // Out of order: child (20) then a *blocking* parent (10) acquisition.
+    let c = child.s();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _p = parent.s();
+    }));
+    if cfg!(debug_assertions) {
+        assert!(
+            result.is_err(),
+            "blocking out-of-order acquisition must panic in debug"
+        );
+    } else {
+        assert!(result.is_ok());
+    }
+    drop(c);
+}
+
+#[test]
+fn try_acquisitions_are_exempt_from_order_checks() {
+    // §5.2.2(b): climbing back up a saved path uses conditional acquisition,
+    // which must never trip the order check.
+    let parent = Latch::new_ordered(0u8, 10);
+    let child = Latch::new_ordered(0u8, 20);
+    let c = child.s();
+    let p = parent.try_s();
+    assert!(p.is_some(), "try_* against order must be allowed");
+    if cfg!(debug_assertions) {
+        assert_eq!(order::held_ranks(), vec![20, 10]);
+    }
+    drop(p);
+    drop(c);
+    assert!(order::held_ranks().is_empty());
+}
+
+#[test]
+fn unranked_latches_never_participate_in_order_checks() {
+    let plain = Latch::new(0u8);
+    let ranked = Latch::new_ordered(0u8, 5);
+    let _r = ranked.x();
+    // Holding rank 5, acquiring an unranked latch (rank = UNRANKED) is fine
+    // and leaves no trace in the held stack.
+    let _g = plain.x();
+    if cfg!(debug_assertions) {
+        assert_eq!(order::held_ranks(), vec![5]);
+    }
+}

@@ -1,10 +1,13 @@
 //! Property-based tests of the slotted page and the physiological
 //! operation vocabulary: arbitrary operation sequences against reference
 //! models, and invert/apply round-trips from arbitrary page states.
+//!
+//! Runs on the pitree-sim property runner: fixed seed corpus, replayable
+//! with `PITREE_SIM_SEED=<seed>`.
 
 use pitree_pagestore::page::{Page, PageType};
 use pitree_pagestore::{PageOp, StoreError};
-use proptest::prelude::*;
+use pitree_sim::{prop, SimRng};
 use std::collections::BTreeMap;
 
 #[derive(Debug, Clone)]
@@ -15,26 +18,31 @@ enum SlotOp {
     Compact,
 }
 
-fn slot_op() -> impl Strategy<Value = SlotOp> {
-    prop_oneof![
-        4 => (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..40))
-            .prop_map(|(i, b)| SlotOp::Insert(i, b)),
-        2 => any::<u16>().prop_map(SlotOp::Remove),
-        2 => (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..40))
-            .prop_map(|(i, b)| SlotOp::Update(i, b)),
-        1 => Just(SlotOp::Compact),
-    ]
+fn gen_slot_op(rng: &mut SimRng) -> SlotOp {
+    match rng.below(9) {
+        0..=3 => {
+            let len = rng.range_usize(0..40);
+            SlotOp::Insert(rng.next_u64() as u16, rng.bytes(len))
+        }
+        4..=5 => SlotOp::Remove(rng.next_u64() as u16),
+        6..=7 => {
+            let len = rng.range_usize(0..40);
+            SlotOp::Update(rng.next_u64() as u16, rng.bytes(len))
+        }
+        _ => SlotOp::Compact,
+    }
 }
 
-proptest! {
-    /// Slot operations agree with a `Vec<Vec<u8>>` model under every
-    /// interleaving, including out-of-range and page-full errors.
-    #[test]
-    fn slot_ops_match_vec_model(ops in proptest::collection::vec(slot_op(), 1..200)) {
+/// Slot operations agree with a `Vec<Vec<u8>>` model under every
+/// interleaving, including out-of-range and page-full errors.
+#[test]
+fn slot_ops_match_vec_model() {
+    prop::run("slot_ops_match_vec_model", |rng| {
+        let n_ops = rng.range_usize(1..200);
         let mut page = Page::new(PageType::Node);
         let mut model: Vec<Vec<u8>> = Vec::new();
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match gen_slot_op(rng) {
                 SlotOp::Insert(i, bytes) => {
                     let i = i % (model.len() as u16 + 2); // occasionally out of range
                     let r = page.insert(i, &bytes);
@@ -42,19 +50,25 @@ proptest! {
                         match r {
                             Ok(()) => model.insert(i as usize, bytes),
                             Err(StoreError::PageFull { .. }) => {}
-                            Err(e) => return Err(TestCaseError::fail(format!("insert: {e}"))),
+                            Err(e) => panic!("insert: {e}"),
                         }
                     } else {
-                        prop_assert!(matches!(r, Err(StoreError::BadSlot { .. })), "expected BadSlot");
+                        assert!(
+                            matches!(r, Err(StoreError::BadSlot { .. })),
+                            "expected BadSlot"
+                        );
                     }
                 }
                 SlotOp::Remove(i) => {
                     let i = i % (model.len() as u16 + 2);
                     let r = page.remove(i);
                     if (i as usize) < model.len() {
-                        prop_assert_eq!(r.unwrap(), model.remove(i as usize));
+                        assert_eq!(r.unwrap(), model.remove(i as usize));
                     } else {
-                        prop_assert!(matches!(r, Err(StoreError::BadSlot { .. })), "expected BadSlot");
+                        assert!(
+                            matches!(r, Err(StoreError::BadSlot { .. })),
+                            "expected BadSlot"
+                        );
                     }
                 }
                 SlotOp::Update(i, bytes) => {
@@ -63,44 +77,50 @@ proptest! {
                     if (i as usize) < model.len() {
                         match r {
                             Ok(old) => {
-                                prop_assert_eq!(&old, &model[i as usize]);
+                                assert_eq!(&old, &model[i as usize]);
                                 model[i as usize] = bytes;
                             }
                             Err(StoreError::PageFull { .. }) => {}
-                            Err(e) => return Err(TestCaseError::fail(format!("update: {e}"))),
+                            Err(e) => panic!("update: {e}"),
                         }
                     } else {
-                        prop_assert!(matches!(r, Err(StoreError::BadSlot { .. })), "expected BadSlot");
+                        assert!(
+                            matches!(r, Err(StoreError::BadSlot { .. })),
+                            "expected BadSlot"
+                        );
                     }
                 }
                 SlotOp::Compact => page.compact(),
             }
             // Invariants after every step.
-            prop_assert_eq!(page.slot_count() as usize, model.len());
+            assert_eq!(page.slot_count() as usize, model.len());
             for (i, rec) in model.iter().enumerate() {
-                prop_assert_eq!(page.get(i as u16).unwrap(), rec.as_slice());
+                assert_eq!(page.get(i as u16).unwrap(), rec.as_slice());
             }
         }
-    }
+    });
+}
 
-    /// Keyed operations agree with a `BTreeMap` model.
-    #[test]
-    fn keyed_ops_match_btreemap(
-        ops in proptest::collection::vec(
-            (any::<u8>(), proptest::collection::vec(any::<u8>(), 1..8), proptest::collection::vec(any::<u8>(), 0..16)),
-            1..150,
-        )
-    ) {
+/// Keyed operations agree with a `BTreeMap` model.
+#[test]
+fn keyed_ops_match_btreemap() {
+    prop::run("keyed_ops_match_btreemap", |rng| {
+        let n_ops = rng.range_usize(1..150);
         let mut page = Page::new(PageType::Node);
         page.insert(0, b"header").unwrap();
         let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
-        for (sel, key, val) in ops {
-            match sel % 3 {
+        for _ in 0..n_ops {
+            let sel = rng.below(3);
+            let key_len = rng.range_usize(1..8);
+            let key = rng.bytes(key_len);
+            let val_len = rng.range_usize(0..16);
+            let val = rng.bytes(val_len);
+            match sel {
                 0 => {
                     let entry = Page::make_entry(&key, &val);
                     let r = page.keyed_insert(&entry);
                     if model.contains_key(&key) {
-                        prop_assert!(r.is_err(), "duplicate insert must fail");
+                        assert!(r.is_err(), "duplicate insert must fail");
                     } else if r.is_ok() {
                         model.insert(key.clone(), val.clone());
                     }
@@ -108,64 +128,78 @@ proptest! {
                 1 => {
                     let r = page.keyed_remove(&key);
                     match model.remove(&key) {
-                        Some(v) => prop_assert_eq!(
-                            Page::entry_payload(&r.unwrap()).to_vec(), v),
-                        None => prop_assert!(r.is_err()),
+                        Some(v) => assert_eq!(Page::entry_payload(&r.unwrap()).to_vec(), v),
+                        None => assert!(r.is_err()),
                     }
                 }
                 _ => {
                     let r = page.keyed_find(&key).unwrap();
-                    prop_assert_eq!(r.is_ok(), model.contains_key(&key));
+                    assert_eq!(r.is_ok(), model.contains_key(&key));
                 }
             }
             // Entries stay sorted and match the model exactly.
-            prop_assert_eq!(page.entry_count() as usize, model.len());
+            assert_eq!(page.entry_count() as usize, model.len());
             let mut it = model.iter();
             for slot in 1..page.slot_count() {
                 let e = page.get(slot).unwrap();
                 let (mk, mv) = it.next().unwrap();
-                prop_assert_eq!(Page::entry_key(e), mk.as_slice());
-                prop_assert_eq!(Page::entry_payload(e), mv.as_slice());
+                assert_eq!(Page::entry_key(e), mk.as_slice());
+                assert_eq!(Page::entry_payload(e), mv.as_slice());
             }
         }
-    }
+    });
+}
 
-    /// `op.invert` then applying both restores visible page content, from
-    /// arbitrary prior states.
-    #[test]
-    fn invert_roundtrips_from_arbitrary_states(
-        seed in proptest::collection::vec(
-            (proptest::collection::vec(any::<u8>(), 1..6), proptest::collection::vec(any::<u8>(), 0..10)),
-            0..20,
-        ),
-        op_sel in 0u8..6,
-        key in proptest::collection::vec(any::<u8>(), 1..6),
-        val in proptest::collection::vec(any::<u8>(), 0..10),
-    ) {
+/// `op.invert` then applying both restores visible page content, from
+/// arbitrary prior states.
+#[test]
+fn invert_roundtrips_from_arbitrary_states() {
+    prop::run_cases("invert_roundtrips_from_arbitrary_states", 64, |rng| {
         let mut page = Page::new(PageType::Node);
         page.insert(0, b"hdr").unwrap();
-        for (k, v) in &seed {
-            let _ = page.keyed_insert(&Page::make_entry(k, v));
+        let n_seed = rng.range_usize(0..20);
+        for _ in 0..n_seed {
+            let kl = rng.range_usize(1..6);
+            let k = rng.bytes(kl);
+            let vl = rng.range_usize(0..10);
+            let v = rng.bytes(vl);
+            let _ = page.keyed_insert(&Page::make_entry(&k, &v));
         }
+        let op_sel = rng.below(6) as u8;
+        let kl = rng.range_usize(1..6);
+        let key = rng.bytes(kl);
+        let vl = rng.range_usize(0..10);
+        let val = rng.bytes(vl);
         let present = page.keyed_find(&key).unwrap().is_ok();
         let op = match op_sel {
-            0 if !present => PageOp::KeyedInsert { bytes: Page::make_entry(&key, &val) },
+            0 if !present => PageOp::KeyedInsert {
+                bytes: Page::make_entry(&key, &val),
+            },
             1 if present => PageOp::KeyedRemove { key: key.clone() },
-            2 if present => PageOp::KeyedUpdate { bytes: Page::make_entry(&key, &val) },
-            3 => PageOp::SetFlags { flags: val.first().copied().unwrap_or(1) },
+            2 if present => PageOp::KeyedUpdate {
+                bytes: Page::make_entry(&key, &val),
+            },
+            3 => PageOp::SetFlags {
+                flags: val.first().copied().unwrap_or(1),
+            },
             4 => PageOp::Format { ty: PageType::Free },
-            _ => PageOp::UpdateSlot { slot: 0, bytes: b"hdr2".to_vec() },
+            _ => PageOp::UpdateSlot {
+                slot: 0,
+                bytes: b"hdr2".to_vec(),
+            },
         };
-        let snapshot: Vec<Vec<u8>> =
-            (0..page.slot_count()).map(|i| page.get(i).unwrap().to_vec()).collect();
+        let snapshot: Vec<Vec<u8>> = (0..page.slot_count())
+            .map(|i| page.get(i).unwrap().to_vec())
+            .collect();
         let flags = page.flags();
         let inv = op.invert(&page).unwrap();
         if op.apply(&mut page).is_ok() {
             inv.apply(&mut page).unwrap();
-            let after: Vec<Vec<u8>> =
-                (0..page.slot_count()).map(|i| page.get(i).unwrap().to_vec()).collect();
-            prop_assert_eq!(snapshot, after);
-            prop_assert_eq!(flags, page.flags());
+            let after: Vec<Vec<u8>> = (0..page.slot_count())
+                .map(|i| page.get(i).unwrap().to_vec())
+                .collect();
+            assert_eq!(snapshot, after);
+            assert_eq!(flags, page.flags());
         }
-    }
+    });
 }

@@ -1,0 +1,140 @@
+//! [`CrashPlan`]: the kit's [`FaultInjector`] — count durable-write
+//! boundaries, or kill the machine at exactly the *n*-th one.
+//!
+//! A "boundary" is any place the substrate consults the injector before a
+//! durable write: `MemDisk::write_page` and `MemLogStore::append`. The plan
+//! is used in two modes:
+//!
+//! 1. **Probe** ([`CrashPlan::count_only`]): run the workload once, count
+//!    how many boundaries it crosses. That count is the crash-point space.
+//! 2. **Fire** ([`CrashPlan::fire_at`]): run the identical workload again;
+//!    at boundary `n` the write fails with
+//!    [`pitree_pagestore::StoreError::InjectedCrash`] — and *every later*
+//!    boundary fails too. A crashed machine does not come back; the durable
+//!    image is frozen at exactly what had been written before the crash.
+//!
+//! Plans start **disarmed** so that store/tree setup (mkfs, root creation)
+//! is not part of the crash-point space — call [`CrashPlan::arm`] once the
+//! system under test is assembled.
+
+use pitree_pagestore::fault::{injected_crash, FaultInjector, FaultSite};
+use pitree_pagestore::sync::Mutex;
+use pitree_pagestore::StoreResult;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A crash-point counter / trigger. See module docs.
+pub struct CrashPlan {
+    armed: AtomicBool,
+    hits: AtomicU64,
+    /// 1-based boundary index to fire at; 0 = never fire (count only).
+    fire_at: u64,
+    fired: AtomicBool,
+    fired_site: Mutex<Option<String>>,
+}
+
+impl CrashPlan {
+    fn build(fire_at: u64) -> Arc<CrashPlan> {
+        Arc::new(CrashPlan {
+            armed: AtomicBool::new(false),
+            hits: AtomicU64::new(0),
+            fire_at,
+            fired: AtomicBool::new(false),
+            fired_site: Mutex::new(None),
+        })
+    }
+
+    /// A plan that never fires — used for the probe run that measures the
+    /// crash-point space of a workload.
+    pub fn count_only() -> Arc<CrashPlan> {
+        CrashPlan::build(0)
+    }
+
+    /// A plan that fires at the `n`-th armed boundary (1-based) and keeps
+    /// failing every boundary after it.
+    pub fn fire_at(n: u64) -> Arc<CrashPlan> {
+        assert!(n > 0, "crash points are 1-based");
+        CrashPlan::build(n)
+    }
+
+    /// Start counting (and, for a firing plan, start the fuse). Boundaries
+    /// crossed before arming are ignored entirely.
+    pub fn arm(&self) {
+        self.armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Boundaries counted since [`CrashPlan::arm`].
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::SeqCst)
+    }
+
+    /// Whether the crash has fired.
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::SeqCst)
+    }
+
+    /// Human-readable description of the boundary the crash fired at.
+    pub fn fired_site(&self) -> Option<String> {
+        self.fired_site.lock().clone()
+    }
+}
+
+impl FaultInjector for CrashPlan {
+    fn check(&self, site: FaultSite) -> StoreResult<()> {
+        if self.fired.load(Ordering::SeqCst) {
+            // The machine is dead: all durable writes fail from here on.
+            return Err(injected_crash(site));
+        }
+        if !self.armed.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let n = self.hits.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.fire_at != 0 && n == self.fire_at {
+            self.fired.store(true, Ordering::SeqCst);
+            *self.fired_site.lock() = Some(site.describe());
+            return Err(injected_crash(site));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitree_pagestore::fault::is_injected;
+    use pitree_pagestore::PageId;
+
+    #[test]
+    fn disarmed_plan_counts_nothing() {
+        let p = CrashPlan::fire_at(1);
+        assert!(p.check(FaultSite::PageWrite(PageId(3))).is_ok());
+        assert_eq!(p.hits(), 0);
+        assert!(!p.fired());
+    }
+
+    #[test]
+    fn fires_at_exactly_n_then_stays_dead() {
+        let p = CrashPlan::fire_at(3);
+        p.arm();
+        assert!(p.check(FaultSite::PageWrite(PageId(1))).is_ok());
+        assert!(p.check(FaultSite::LogAppend { bytes: 10 }).is_ok());
+        let err = p.check(FaultSite::PageWrite(PageId(2))).unwrap_err();
+        assert!(is_injected(&err));
+        assert!(p.fired());
+        assert!(p.fired_site().unwrap().contains("page"));
+        // Machine dead: later writes fail and are not counted.
+        assert!(p.check(FaultSite::LogAppend { bytes: 1 }).is_err());
+        assert_eq!(p.hits(), 3);
+    }
+
+    #[test]
+    fn count_only_never_fires() {
+        let p = CrashPlan::count_only();
+        p.arm();
+        for i in 0..100 {
+            assert!(p.check(FaultSite::PageWrite(PageId(i))).is_ok());
+        }
+        assert_eq!(p.hits(), 100);
+        assert!(!p.fired());
+    }
+}

@@ -1,0 +1,111 @@
+//! Miniature property-test runner with a fixed, replayable seed corpus.
+//!
+//! Replaces the external `proptest` dependency. Differences are deliberate:
+//! no shrinking (the Π-tree's interesting failures are schedule/crash-point
+//! dependent, and a shrunk input with a different seed explores a different
+//! schedule), and a **fixed** corpus — the seeds for a property are derived
+//! from its name, so every CI run and every machine tests the same cases.
+//!
+//! Environment knobs:
+//! * `PITREE_SIM_SEED=<seed>` — run exactly one case with that seed
+//!   (decimal or `0x…` hex). This is how a printed failure is replayed.
+//! * `PITREE_SIM_CASES=<n>` — override the case count (e.g. a nightly soak).
+
+use crate::rng::{splitmix64, SimRng};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Default number of cases per property.
+pub const DEFAULT_CASES: usize = 32;
+
+/// FNV-1a over the property name: a stable 64-bit corpus base.
+pub fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The seed of case `i` of property `name`.
+pub fn case_seed(name: &str, i: usize) -> u64 {
+    let mut x = fnv1a(name).wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    splitmix64(&mut x)
+}
+
+fn parse_seed(s: &str) -> u64 {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).expect("PITREE_SIM_SEED: bad hex seed")
+    } else {
+        s.parse().expect("PITREE_SIM_SEED: bad seed")
+    }
+}
+
+/// Run `f` over the default-size corpus for `name`. See [`run_cases`].
+pub fn run(name: &str, f: impl Fn(&mut SimRng)) {
+    run_cases(name, DEFAULT_CASES, f);
+}
+
+/// Run `f` over `cases` seeds derived from `name`. On panic, prints the
+/// failing seed and the replay command, then re-raises the panic so the
+/// test still fails normally.
+pub fn run_cases(name: &str, cases: usize, f: impl Fn(&mut SimRng)) {
+    if let Ok(s) = std::env::var("PITREE_SIM_SEED") {
+        let seed = parse_seed(&s);
+        eprintln!("[pitree-sim] '{name}': replaying single seed {seed} (0x{seed:016x})");
+        f(&mut SimRng::new(seed));
+        return;
+    }
+    let cases = match std::env::var("PITREE_SIM_CASES") {
+        Ok(n) => n.trim().parse().expect("PITREE_SIM_CASES: bad count"),
+        Err(_) => cases,
+    };
+    for i in 0..cases {
+        let seed = case_seed(name, i);
+        let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut SimRng::new(seed))));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "[pitree-sim] property '{name}' FAILED on case {i}/{cases}, seed {seed} \
+                 (0x{seed:016x}); replay with PITREE_SIM_SEED={seed}"
+            );
+            resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_stable() {
+        // These exact seeds are part of the kit's contract: the corpus for a
+        // property never changes between runs or machines.
+        assert_eq!(case_seed("demo", 0), case_seed("demo", 0));
+        assert_ne!(case_seed("demo", 0), case_seed("demo", 1));
+        assert_ne!(case_seed("demo", 0), case_seed("other", 0));
+    }
+
+    #[test]
+    fn runner_visits_every_case() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let n = AtomicUsize::new(0);
+        run_cases("count-me", 10, |_rng| {
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+        // PITREE_SIM_SEED / PITREE_SIM_CASES may legitimately alter the
+        // count when set by a replaying developer; only assert the default.
+        if std::env::var("PITREE_SIM_SEED").is_err() && std::env::var("PITREE_SIM_CASES").is_err() {
+            assert_eq!(n.load(Ordering::Relaxed), 10);
+        }
+    }
+
+    #[test]
+    fn failures_propagate() {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            run_cases("always-fails", 3, |_rng| panic!("boom"));
+        }));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! Seeded, dependency-free PRNG: xoshiro256** state-seeded with SplitMix64.
+//!
+//! This is the workspace's only source of randomness. It is deterministic
+//! across platforms and rust versions (pure integer arithmetic), so a seed
+//! printed by a failing test reproduces the exact same byte stream anywhere.
+//! Not cryptographic — it is a simulation/test RNG.
+
+/// One step of SplitMix64 (Steele/Lea/Flood): used to expand a 64-bit seed
+/// into xoshiro's 256-bit state, and to derive per-case seeds in [`crate::prop`].
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256** (Blackman/Vigna). 256 bits of state, period 2^256 − 1.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Build from a 64-bit seed via SplitMix64 (the seeding procedure the
+    /// xoshiro authors recommend — it guarantees a non-zero state).
+    pub fn new(seed: u64) -> SimRng {
+        let mut x = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut x);
+        }
+        SimRng { s }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, n)`. Unbiased (rejection sampling). Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "SimRng::below(0)");
+        let zone = (u64::MAX / n) * n;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// Uniform in `[range.start, range.end)`.
+    pub fn range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "SimRng::range on empty range");
+        range.start + self.below(range.end - range.start)
+    }
+
+    /// Uniform in `[range.start, range.end)` for usize indices.
+    pub fn range_usize(&mut self, range: std::ops::Range<usize>) -> usize {
+        self.range(range.start as u64..range.end as u64) as usize
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        // 53 high bits → uniform double in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// A uniform byte.
+    pub fn byte(&mut self) -> u8 {
+        self.next_u64() as u8
+    }
+
+    /// `len` uniform bytes.
+    pub fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.byte()).collect()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element. Panics on an empty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+
+    /// An independent child RNG (e.g. one per simulated thread). The child
+    /// stream is decorrelated from the parent's subsequent output.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Published SplitMix64 test vector for seed 1234567.
+        let mut x = 1234567u64;
+        assert_eq!(splitmix64(&mut x), 6457827717110365317);
+        assert_eq!(splitmix64(&mut x), 3203168211198807973);
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = SimRng::new(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.below(10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(9);
+        for _ in 0..100 {
+            assert!(!r.chance(0.0));
+            assert!(r.chance(1.0));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::new(3);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        assert_ne!(xs, sorted, "seed 3 must actually permute");
+    }
+
+    #[test]
+    fn fork_decorrelates() {
+        let mut parent = SimRng::new(11);
+        let mut child = parent.fork();
+        let a: Vec<u64> = (0..8).map(|_| parent.next_u64()).collect();
+        let b: Vec<u64> = (0..8).map(|_| child.next_u64()).collect();
+        assert_ne!(a, b);
+    }
+}

@@ -124,7 +124,16 @@ impl TsbHeader {
         let mut pos = 34;
         let key_low = KeyBound::decode(bytes, &mut pos)?;
         let key_high = KeyBound::decode(bytes, &mut pos)?;
-        Ok(TsbHeader { kind, level, key_low, key_high, key_side, hist_side, t_lo, t_hi })
+        Ok(TsbHeader {
+            kind,
+            level,
+            key_low,
+            key_high,
+            key_side,
+            hist_side,
+            t_lo,
+            t_hi,
+        })
     }
 
     /// Read from a node page.
@@ -149,7 +158,10 @@ pub fn version_key(key: &[u8], t: Time) -> Vec<u8> {
 /// Split a composite entry key back into `(user key, start time)`.
 pub fn split_version_key(vkey: &[u8]) -> (&[u8], Time) {
     let n = vkey.len() - 8;
-    (&vkey[..n], u64::from_be_bytes(vkey[n..].try_into().unwrap()))
+    (
+        &vkey[..n],
+        u64::from_be_bytes(vkey[n..].try_into().unwrap()),
+    )
 }
 
 /// Build a full version entry.
@@ -265,13 +277,20 @@ mod tests {
         for t in [10u64, 20, 30] {
             p.keyed_insert(&version_entry(b"k", t, Some(b"v"))).unwrap();
         }
-        p.keyed_insert(&version_entry(b"m", 15, Some(b"v"))).unwrap();
+        p.keyed_insert(&version_entry(b"m", 15, Some(b"v")))
+            .unwrap();
         let slot = find_version_at(&p, b"k", 25).unwrap().unwrap();
         let (k, t) = split_version_key(Page::entry_key(p.get(slot).unwrap()));
         assert_eq!((k, t), (&b"k"[..], 20));
-        assert!(find_version_at(&p, b"k", 5).unwrap().is_none(), "before first version");
+        assert!(
+            find_version_at(&p, b"k", 5).unwrap().is_none(),
+            "before first version"
+        );
         let slot = find_version_at(&p, b"k", 30).unwrap().unwrap();
-        assert_eq!(split_version_key(Page::entry_key(p.get(slot).unwrap())).1, 30);
+        assert_eq!(
+            split_version_key(Page::entry_key(p.get(slot).unwrap())).1,
+            30
+        );
         assert!(find_version_at(&p, b"zz", 50).unwrap().is_none());
         // A key that is a prefix of another must not match it.
         assert!(find_version_at(&p, b"", 50).unwrap().is_none());

@@ -124,11 +124,19 @@ fn time_split(
         t_lo: hdr.t_lo,
         t_hi: t_split,
     };
-    act.apply(&hist_pin, &mut hg, PageOp::InsertSlot { slot: 0, bytes: hist_hdr.encode() })?;
+    act.apply(
+        &hist_pin,
+        &mut hg,
+        PageOp::InsertSlot {
+            slot: 0,
+            bytes: hist_hdr.encode(),
+        },
+    )?;
 
     // Copy everything (all versions started before T).
-    let all: Vec<Vec<u8>> =
-        (1..g.slot_count()).map(|s| g.get(s).map(|e| e.to_vec())).collect::<StoreResult<_>>()?;
+    let all: Vec<Vec<u8>> = (1..g.slot_count())
+        .map(|s| g.get(s).map(|e| e.to_vec()))
+        .collect::<StoreResult<_>>()?;
     for e in &all {
         act.apply(&hist_pin, &mut hg, PageOp::KeyedInsert { bytes: e.clone() })?;
     }
@@ -152,7 +160,14 @@ fn time_split(
         t_lo: t_split,
         ..hdr.clone()
     };
-    act.apply(page, g, PageOp::UpdateSlot { slot: 0, bytes: new_hdr.encode() })?;
+    act.apply(
+        page,
+        g,
+        PageOp::UpdateSlot {
+            slot: 0,
+            bytes: new_hdr.encode(),
+        },
+    )?;
     TreeStats::bump(&tree.stats().splits);
     Ok(())
 }
@@ -216,7 +231,14 @@ fn key_split(
         t_lo: hdr.t_lo,
         t_hi: Time::MAX,
     };
-    act.apply(&new_pin, &mut ng, PageOp::InsertSlot { slot: 0, bytes: new_hdr.encode() })?;
+    act.apply(
+        &new_pin,
+        &mut ng,
+        PageOp::InsertSlot {
+            slot: 0,
+            bytes: new_hdr.encode(),
+        },
+    )?;
     let moved: Vec<Vec<u8>> = (first_slot..=n)
         .map(|s| g.get(s).map(|e| e.to_vec()))
         .collect::<StoreResult<_>>()?;
@@ -224,14 +246,27 @@ fn key_split(
         act.apply(&new_pin, &mut ng, PageOp::KeyedInsert { bytes: e.clone() })?;
     }
     for e in &moved {
-        act.apply(page, g, PageOp::KeyedRemove { key: Page::entry_key(e).to_vec() })?;
+        act.apply(
+            page,
+            g,
+            PageOp::KeyedRemove {
+                key: Page::entry_key(e).to_vec(),
+            },
+        )?;
     }
     let old_hdr = TsbHeader {
         key_high: KeyBound::Key(mid_key.clone()),
         key_side: new_pid,
         ..hdr.clone()
     };
-    act.apply(page, g, PageOp::UpdateSlot { slot: 0, bytes: old_hdr.encode() })?;
+    act.apply(
+        page,
+        g,
+        PageOp::UpdateSlot {
+            slot: 0,
+            bytes: old_hdr.encode(),
+        },
+    )?;
     TreeStats::bump(&tree.stats().splits);
     Ok(Some((mid_key, new_pid)))
 }
@@ -261,21 +296,42 @@ fn index_split(
         t_lo: 0,
         t_hi: Time::MAX,
     };
-    act.apply(&new_pin, &mut ng, PageOp::InsertSlot { slot: 0, bytes: new_hdr.encode() })?;
-    let moved: Vec<Vec<u8>> =
-        (mid..=n).map(|s| g.get(s).map(|e| e.to_vec())).collect::<StoreResult<_>>()?;
+    act.apply(
+        &new_pin,
+        &mut ng,
+        PageOp::InsertSlot {
+            slot: 0,
+            bytes: new_hdr.encode(),
+        },
+    )?;
+    let moved: Vec<Vec<u8>> = (mid..=n)
+        .map(|s| g.get(s).map(|e| e.to_vec()))
+        .collect::<StoreResult<_>>()?;
     for e in &moved {
         act.apply(&new_pin, &mut ng, PageOp::KeyedInsert { bytes: e.clone() })?;
     }
     for e in &moved {
-        act.apply(page, g, PageOp::KeyedRemove { key: Page::entry_key(e).to_vec() })?;
+        act.apply(
+            page,
+            g,
+            PageOp::KeyedRemove {
+                key: Page::entry_key(e).to_vec(),
+            },
+        )?;
     }
     let old_hdr = TsbHeader {
         key_high: KeyBound::Key(split_key.clone()),
         key_side: new_pid,
         ..hdr
     };
-    act.apply(page, g, PageOp::UpdateSlot { slot: 0, bytes: old_hdr.encode() })?;
+    act.apply(
+        page,
+        g,
+        PageOp::UpdateSlot {
+            slot: 0,
+            bytes: old_hdr.encode(),
+        },
+    )?;
     TreeStats::bump(&tree.stats().splits);
     Ok((split_key, new_pid))
 }
@@ -300,14 +356,28 @@ fn grow_root(
         key_side: PageId::INVALID,
         ..hdr.clone()
     };
-    act.apply(&n1_pin, &mut n1g, PageOp::InsertSlot { slot: 0, bytes: n1_hdr.encode() })?;
-    let all: Vec<Vec<u8>> =
-        (1..g.slot_count()).map(|s| g.get(s).map(|e| e.to_vec())).collect::<StoreResult<_>>()?;
+    act.apply(
+        &n1_pin,
+        &mut n1g,
+        PageOp::InsertSlot {
+            slot: 0,
+            bytes: n1_hdr.encode(),
+        },
+    )?;
+    let all: Vec<Vec<u8>> = (1..g.slot_count())
+        .map(|s| g.get(s).map(|e| e.to_vec()))
+        .collect::<StoreResult<_>>()?;
     for e in &all {
         act.apply(&n1_pin, &mut n1g, PageOp::KeyedInsert { bytes: e.clone() })?;
     }
     for e in &all {
-        act.apply(page, g, PageOp::KeyedRemove { key: Page::entry_key(e).to_vec() })?;
+        act.apply(
+            page,
+            g,
+            PageOp::KeyedRemove {
+                key: Page::entry_key(e).to_vec(),
+            },
+        )?;
     }
     let root_hdr = TsbHeader {
         kind: TsbKind::Index,
@@ -319,12 +389,24 @@ fn grow_root(
         t_lo: 0,
         t_hi: Time::MAX,
     };
-    act.apply(page, g, PageOp::UpdateSlot { slot: 0, bytes: root_hdr.encode() })?;
+    act.apply(
+        page,
+        g,
+        PageOp::UpdateSlot {
+            slot: 0,
+            bytes: root_hdr.encode(),
+        },
+    )?;
     act.apply(
         page,
         g,
         PageOp::KeyedInsert {
-            bytes: IndexTerm { key: Vec::new(), child: n1_pid, multi_parent: false }.to_entry(),
+            bytes: IndexTerm {
+                key: Vec::new(),
+                child: n1_pid,
+                multi_parent: false,
+            }
+            .to_entry(),
         },
     )?;
     // Split n1 and post the pair (§5.3).
@@ -345,7 +427,12 @@ fn grow_root(
         page,
         g,
         PageOp::KeyedInsert {
-            bytes: IndexTerm { key: split_key, child: n2_pid, multi_parent: false }.to_entry(),
+            bytes: IndexTerm {
+                key: split_key,
+                child: n2_pid,
+                multi_parent: false,
+            }
+            .to_entry(),
         },
     )?;
     TreeStats::bump(&tree.stats().root_grows);
@@ -402,12 +489,23 @@ pub(crate) fn post_index_term(
         Guarded::X(x) => x,
         Guarded::S(_) => unreachable!(),
     };
-    let term = IndexTerm { key: key.to_vec(), child: node, multi_parent: false }.to_entry();
+    let term = IndexTerm {
+        key: key.to_vec(),
+        child: node,
+        multi_parent: false,
+    }
+    .to_entry();
     loop {
         let full = cur_guard.entry_count() as usize >= tree.config().max_index_entries
             || cur_guard.free_space() < term.len() + 4;
         if !full {
-            act.apply(&cur_pin, &mut cur_guard, PageOp::KeyedInsert { bytes: term.clone() })?;
+            act.apply(
+                &cur_pin,
+                &mut cur_guard,
+                PageOp::KeyedInsert {
+                    bytes: term.clone(),
+                },
+            )?;
             break;
         }
         if cur_pin.id() == tree.root_pid() {

@@ -9,8 +9,7 @@
 //! which per §6 lets every split run as an independent atomic action.
 
 use crate::node::{
-    find_version_at, split_version_key, version_entry, version_key, version_value, Time,
-    TsbHeader,
+    find_version_at, split_version_key, version_entry, version_key, version_value, Time, TsbHeader,
 };
 use pitree::bound::KeyBound;
 use pitree::completion::{Completion, CompletionQueue};
@@ -56,7 +55,11 @@ impl Default for TsbConfig {
 impl TsbConfig {
     /// Small nodes for deep test trees.
     pub fn small_nodes(leaf: usize, index: usize) -> TsbConfig {
-        TsbConfig { max_leaf_entries: leaf, max_index_entries: index, ..Default::default() }
+        TsbConfig {
+            max_leaf_entries: leaf,
+            max_index_entries: index,
+            ..Default::default()
+        }
     }
 }
 
@@ -98,7 +101,10 @@ impl TsbTree {
             act.apply(
                 &page,
                 &mut g,
-                PageOp::InsertSlot { slot: 0, bytes: TsbHeader::new_root_leaf().encode() },
+                PageOp::InsertSlot {
+                    slot: 0,
+                    bytes: TsbHeader::new_root_leaf().encode(),
+                },
             )?;
         }
         {
@@ -297,7 +303,11 @@ impl TsbTree {
                     drop(g); // CNS: one latch at a time
                     let sib = pool.fetch(side)?;
                     let want_u = update_at_target && hdr.level == target_level;
-                    let sg = if want_u { Guarded::U(sib.u()) } else { Guarded::S(sib.s()) };
+                    let sg = if want_u {
+                        Guarded::U(sib.u())
+                    } else {
+                        Guarded::S(sib.s())
+                    };
                     let sib_hdr = TsbHeader::read(sg.page())?;
                     TreeStats::bump(&self.stats.side_traversals);
                     let _ = from;
@@ -323,7 +333,12 @@ impl TsbTree {
                 }
             }
             if hdr.level == target_level {
-                return Ok(TsbDescent { page: cur, guard: g, hdr, path });
+                return Ok(TsbDescent {
+                    page: cur,
+                    guard: g,
+                    hdr,
+                    path,
+                });
             }
             let slot = g.page().keyed_floor(key)?.ok_or_else(|| {
                 StoreError::Corrupt(format!("TSB index node {} unroutable", cur.id()))
@@ -337,7 +352,11 @@ impl TsbTree {
             drop(g); // CNS
             let child = pool.fetch(term.child)?;
             let want_u = update_at_target && hdr.level - 1 == target_level;
-            let cg = if want_u { Guarded::U(child.u()) } else { Guarded::S(child.s()) };
+            let cg = if want_u {
+                Guarded::U(child.u())
+            } else {
+                Guarded::S(child.s())
+            };
             let child_hdr = TsbHeader::read(cg.page())?;
             cur = child;
             g = cg;
@@ -401,9 +420,9 @@ impl TsbTree {
                 let e = page.get(slot)?;
                 let (k, t) = split_version_key(Page::entry_key(e));
                 if k == key {
-                    versions
-                        .entry(t)
-                        .or_insert_with(|| version_value(Page::entry_payload(e)).map(|v| v.to_vec()));
+                    versions.entry(t).or_insert_with(|| {
+                        version_value(Page::entry_payload(e)).map(|v| v.to_vec())
+                    });
                 }
             }
             let hist = TsbHeader::read(page)?.hist_side;
@@ -438,7 +457,9 @@ impl TsbTree {
                 let mut ks = Vec::new();
                 for slot in 1..page.slot_count() {
                     let (k, _) = split_version_key(Page::entry_key(page.get(slot)?));
-                    if k >= cur_key.as_slice() && k < to && ks.last().map(|l: &Vec<u8>| l.as_slice()) != Some(k)
+                    if k >= cur_key.as_slice()
+                        && k < to
+                        && ks.last().map(|l: &Vec<u8>| l.as_slice()) != Some(k)
                     {
                         ks.push(k.to_vec());
                     }
@@ -524,9 +545,16 @@ impl TsbTree {
         let mut done = 0;
         let batch = self.completions.len();
         for _ in 0..batch {
-            let Some(c) = self.completions.pop() else { break };
+            let Some(c) = self.completions.pop() else {
+                break;
+            };
             match c {
-                Completion::Post { level, key, node, path } => {
+                Completion::Post {
+                    level,
+                    key,
+                    node,
+                    path,
+                } => {
                     crate::split::post_index_term(self, level, &key, node, &path)?;
                 }
                 Completion::Consolidate { .. } => {} // TSB never consolidates

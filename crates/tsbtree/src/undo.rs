@@ -8,8 +8,8 @@
 
 use crate::node::{split_version_key, TsbHeader};
 use crate::tree::{TsbConfig, TsbTree};
-use parking_lot::Mutex;
 use pitree::store::Store;
+use pitree_pagestore::sync::Mutex;
 use pitree_pagestore::{PageOp, StoreError, StoreResult};
 use pitree_wal::recovery::LogicalUndoHandler;
 use pitree_wal::ActionIdentity;
@@ -40,8 +40,7 @@ impl TsbTree {
                     let mut g = pin.x();
                     let hdr = TsbHeader::read(&g)?;
                     if g.keyed_find(vkey)?.is_ok() {
-                        let mut act =
-                            self.store().txns.begin(ActionIdentity::SystemTransaction);
+                        let mut act = self.store().txns.begin(ActionIdentity::SystemTransaction);
                         act.apply(&pin, &mut g, PageOp::KeyedRemove { key: vkey.to_vec() })?;
                         drop(g);
                         drop(pin);
@@ -108,7 +107,12 @@ pub struct TsbDeferredHandler {
 impl TsbDeferredHandler {
     /// Build a handler for `tree_id` over `store`.
     pub fn new(store: Arc<Store>, tree_id: u32, cfg: TsbConfig) -> TsbDeferredHandler {
-        TsbDeferredHandler { store, tree_id, cfg, tree: Mutex::new(None) }
+        TsbDeferredHandler {
+            store,
+            tree_id,
+            cfg,
+            tree: Mutex::new(None),
+        }
     }
 }
 
@@ -116,7 +120,11 @@ impl LogicalUndoHandler for TsbDeferredHandler {
     fn undo(&self, tag: u8, payload: &[u8]) -> StoreResult<()> {
         let mut guard = self.tree.lock();
         if guard.is_none() {
-            *guard = Some(TsbTree::open(Arc::clone(&self.store), self.tree_id, self.cfg)?);
+            *guard = Some(TsbTree::open(
+                Arc::clone(&self.store),
+                self.tree_id,
+                self.cfg,
+            )?);
         }
         match tag {
             TAG_TSB_REMOVE_VERSION => guard.as_ref().unwrap().compensate_remove_version(payload),

@@ -109,7 +109,10 @@ pub fn check(tree: &TsbTree) -> StoreResult<TsbReport> {
             prev_high = hdr.key_high.clone();
             if !hdr.key_side.is_valid() {
                 if hdr.key_high != KeyBound::PosInf {
-                    v.push(format!("rightmost index node {cur} high is {}", hdr.key_high));
+                    v.push(format!(
+                        "rightmost index node {cur} high is {}",
+                        hdr.key_high
+                    ));
                 }
                 break;
             }
@@ -142,7 +145,9 @@ pub fn check(tree: &TsbTree) -> StoreResult<TsbReport> {
         }
         let hdr = TsbHeader::read(&g)?;
         if hdr.kind != TsbKind::Current || hdr.level != 0 {
-            v.push(format!("node {cur} on the current chain is not a current data node"));
+            v.push(format!(
+                "node {cur} on the current chain is not a current data node"
+            ));
         }
         if r.current_nodes == 0 && hdr.key_low != KeyBound::NegInf {
             v.push(format!("first current node {cur} low is {}", hdr.key_low));
@@ -165,7 +170,9 @@ pub fn check(tree: &TsbTree) -> StoreResult<TsbReport> {
             let hg = hp.s();
             let hh = TsbHeader::read(&hg)?;
             if hh.kind != TsbKind::History {
-                v.push(format!("history pointer from {cur} reaches non-history node {hist}"));
+                v.push(format!(
+                    "history pointer from {cur} reaches non-history node {hist}"
+                ));
                 break;
             }
             if hh.t_hi != t_hi_expect {
@@ -191,7 +198,10 @@ pub fn check(tree: &TsbTree) -> StoreResult<TsbReport> {
         prev_high = hdr.key_high.clone();
         if !hdr.key_side.is_valid() {
             if hdr.key_high != KeyBound::PosInf {
-                v.push(format!("rightmost current node {cur} high is {}", hdr.key_high));
+                v.push(format!(
+                    "rightmost current node {cur} high is {}",
+                    hdr.key_high
+                ));
             }
             break;
         }
@@ -216,7 +226,9 @@ fn check_versions(
         let vkey = Page::entry_key(e);
         let (k, t) = split_version_key(vkey);
         if !hdr.contains_key(k) {
-            v.push(format!("node {pid}: version key {k:02x?} outside rectangle"));
+            v.push(format!(
+                "node {pid}: version key {k:02x?} outside rectangle"
+            ));
         }
         if let Some(p) = &prev {
             if p.as_slice() >= vkey {
@@ -224,7 +236,11 @@ fn check_versions(
             }
         }
         prev = Some(vkey.to_vec());
-        let t_cap = if hdr.kind == TsbKind::History { hdr.t_hi } else { Time::MAX };
+        let t_cap = if hdr.kind == TsbKind::History {
+            hdr.t_hi
+        } else {
+            Time::MAX
+        };
         if t >= t_cap {
             v.push(format!("node {pid}: version time {t} at/after node t_hi"));
         }

@@ -12,9 +12,8 @@ fn key(i: u64) -> Vec<u8> {
 #[test]
 fn concurrent_versioned_writers() {
     let cs = CrashableStore::create(2048, 300_000).unwrap();
-    let tree = Arc::new(
-        TsbTree::create(Arc::clone(&cs.store), 1, TsbConfig::small_nodes(8, 8)).unwrap(),
-    );
+    let tree =
+        Arc::new(TsbTree::create(Arc::clone(&cs.store), 1, TsbConfig::small_nodes(8, 8)).unwrap());
     let threads = 6u64;
     std::thread::scope(|s| {
         for t in 0..threads {
@@ -51,9 +50,8 @@ fn concurrent_versioned_writers() {
 #[test]
 fn readers_see_stable_snapshots_during_writes() {
     let cs = CrashableStore::create(2048, 300_000).unwrap();
-    let tree = Arc::new(
-        TsbTree::create(Arc::clone(&cs.store), 1, TsbConfig::small_nodes(8, 8)).unwrap(),
-    );
+    let tree =
+        Arc::new(TsbTree::create(Arc::clone(&cs.store), 1, TsbConfig::small_nodes(8, 8)).unwrap());
     // Preload every key once and snapshot the time.
     for k in 0..30u64 {
         let mut txn = tree.begin();

@@ -3,10 +3,13 @@
 //! completion passes, checked against a full multiversion reference model
 //! (`BTreeMap<key, BTreeMap<time, Option<value>>>`). Every as-of read at
 //! every historical timestamp must agree with the model.
+//!
+//! Runs on the pitree-sim property runner: fixed seed corpus, replayable
+//! with `PITREE_SIM_SEED=<seed>`.
 
 use pitree::store::CrashableStore;
+use pitree_sim::{prop, SimRng};
 use pitree_tsb::{TsbConfig, TsbTree};
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -19,15 +22,17 @@ enum Op {
     CrashRecover,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        6 => (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Op::Put(k % 24, v)),
-        2 => any::<u8>().prop_map(|k| Op::Delete(k % 24)),
-        1 => proptest::collection::vec((any::<u8>(), any::<u8>()), 1..5)
-            .prop_map(|v| Op::AbortedBatch(v.into_iter().map(|(k, x)| (k % 24, x)).collect())),
-        1 => Just(Op::RunCompletions),
-        1 => Just(Op::CrashRecover),
-    ]
+fn gen_op(rng: &mut SimRng) -> Op {
+    match rng.below(11) {
+        0..=5 => Op::Put(rng.below(24) as u8, rng.byte()),
+        6..=7 => Op::Delete(rng.below(24) as u8),
+        8 => {
+            let n = rng.range_usize(1..5);
+            Op::AbortedBatch((0..n).map(|_| (rng.below(24) as u8, rng.byte())).collect())
+        }
+        9 => Op::RunCompletions,
+        _ => Op::CrashRecover,
+    }
 }
 
 fn key(k: u8) -> Vec<u8> {
@@ -47,11 +52,11 @@ fn model_as_of(model: &Model, k: u8, t: u64) -> Option<Vec<u8>> {
         .and_then(|(_, v)| v.clone())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
-
-    #[test]
-    fn tsb_matches_multiversion_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+#[test]
+fn tsb_matches_multiversion_model() {
+    prop::run_cases("tsb_matches_multiversion_model", 16, |rng| {
+        let n_ops = rng.range_usize(1..80);
+        let ops: Vec<Op> = (0..n_ops).map(|_| gen_op(rng)).collect();
         let cfg = TsbConfig::small_nodes(6, 6);
         let mut cs = CrashableStore::create(512, 200_000).unwrap();
         let mut tree = TsbTree::create(Arc::clone(&cs.store), 1, cfg).unwrap();
@@ -97,23 +102,27 @@ proptest! {
         }
 
         let report = tree.validate().unwrap();
-        prop_assert!(report.is_well_formed(), "violations: {:?}", report.violations);
+        assert!(
+            report.is_well_formed(),
+            "violations: {:?}",
+            report.violations
+        );
 
         // Current reads.
         for k in 0..24u8 {
-            prop_assert_eq!(
+            assert_eq!(
                 tree.get_current(&key(k)).unwrap(),
                 model_as_of(&model, k, u64::MAX - 1),
-                "current read of key {}", k
+                "current read of key {k}"
             );
         }
         // As-of reads at every historical timestamp (and a few beyond).
         for t in 0..=max_t + 1 {
             for k in 0..24u8 {
-                prop_assert_eq!(
+                assert_eq!(
                     tree.get_as_of(&key(k), t).unwrap(),
                     model_as_of(&model, k, t),
-                    "as-of read of key {} at t{}", k, t
+                    "as-of read of key {k} at t{t}"
                 );
             }
         }
@@ -122,7 +131,7 @@ proptest! {
             let got = tree.history(&key(*k)).unwrap();
             let want: Vec<(u64, Option<Vec<u8>>)> =
                 versions.iter().map(|(&t, v)| (t, v.clone())).collect();
-            prop_assert_eq!(got, want, "history of key {}", k);
+            assert_eq!(got, want, "history of key {k}");
         }
-    }
+    });
 }

@@ -48,9 +48,17 @@ fn as_of_reads_travel_back_in_time() {
     assert_eq!(tree.get_as_of(b"k", t1).unwrap(), Some(b"v1".to_vec()));
     assert_eq!(tree.get_as_of(b"k", t2).unwrap(), Some(b"v2".to_vec()));
     assert_eq!(tree.get_as_of(b"k", t2).unwrap(), Some(b"v2".to_vec()));
-    assert_eq!(tree.get_as_of(b"k", t3).unwrap(), None, "tombstone visible at t3");
+    assert_eq!(
+        tree.get_as_of(b"k", t3).unwrap(),
+        None,
+        "tombstone visible at t3"
+    );
     assert_eq!(tree.get_as_of(b"k", t4).unwrap(), Some(b"v4".to_vec()));
-    assert_eq!(tree.get_as_of(b"k", t1 - 1).unwrap(), None, "before first version");
+    assert_eq!(
+        tree.get_as_of(b"k", t1 - 1).unwrap(),
+        None,
+        "before first version"
+    );
     assert_eq!(tree.get_current(b"k").unwrap(), Some(b"v4".to_vec()));
 }
 
@@ -84,7 +92,10 @@ fn time_splits_preserve_full_history() {
     }
     let report = tree.validate().unwrap();
     assert!(report.is_well_formed(), "{:?}", report.violations);
-    assert!(report.history_nodes > 0, "version churn must have time-split");
+    assert!(
+        report.history_nodes > 0,
+        "version churn must have time-split"
+    );
     // Every historical version is still reachable as-of its write time.
     for &(k, round, ts) in &stamps {
         assert_eq!(
@@ -282,7 +293,11 @@ fn crash_log_prefix_sweep() {
             continue;
         };
         let report = tree2.validate().unwrap();
-        assert!(report.is_well_formed(), "cut={cut}: {:?}", report.violations);
+        assert!(
+            report.is_well_formed(),
+            "cut={cut}: {:?}",
+            report.violations
+        );
     }
 }
 

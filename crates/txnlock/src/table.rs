@@ -11,7 +11,7 @@
 //! [`LockError::WouldBlock`] releases its latches before blocking for real.
 
 use crate::modes::LockMode;
-use parking_lot::{Condvar, Mutex};
+use pitree_pagestore::sync::{Condvar, Mutex};
 use pitree_pagestore::PageId;
 use pitree_wal::ActionId;
 use std::collections::{HashMap, VecDeque};
@@ -126,7 +126,10 @@ impl LockTable {
     /// A table whose blocking waits give up after `timeout`.
     pub fn new(timeout: Duration) -> LockTable {
         LockTable {
-            inner: Mutex::new(TableInner { entries: HashMap::new(), waiting_on: HashMap::new() }),
+            inner: Mutex::new(TableInner {
+                entries: HashMap::new(),
+                waiting_on: HashMap::new(),
+            }),
             cv: Condvar::new(),
             timeout,
             waits: std::sync::atomic::AtomicU64::new(0),
@@ -136,7 +139,12 @@ impl LockTable {
     /// Acquire `name` in `mode` for `owner`, blocking. Detects deadlocks at
     /// block time and returns [`LockError::Deadlock`] with the requester as
     /// victim.
-    pub fn acquire(&self, owner: ActionId, name: &LockName, mode: LockMode) -> Result<(), LockError> {
+    pub fn acquire(
+        &self,
+        owner: ActionId,
+        name: &LockName,
+        mode: LockMode,
+    ) -> Result<(), LockError> {
         self.acquire_inner(owner, name, mode, true)
     }
 
@@ -178,7 +186,11 @@ impl LockTable {
                 }
                 None => {
                     if entry.grantable(owner, mode, false) {
-                        entry.granted.push(Grant { owner, mode, count: 1 });
+                        entry.granted.push(Grant {
+                            owner,
+                            mode,
+                            count: 1,
+                        });
                         return Ok(());
                     }
                     (mode, false)
@@ -189,12 +201,17 @@ impl LockTable {
         if !block {
             return Err(LockError::WouldBlock);
         }
-        self.waits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.waits
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
 
         // Enqueue (converters at the front, behind other converters).
         {
             let e = inner.entries.get_mut(name).unwrap();
-            let w = Waiter { owner, mode: target, converting };
+            let w = Waiter {
+                owner,
+                mode: target,
+                converting,
+            };
             if converting {
                 let pos = e.waiters.iter().take_while(|w| w.converting).count();
                 e.waiters.insert(pos, w);
@@ -212,10 +229,9 @@ impl LockTable {
 
         // Wait until grantable.
         loop {
-            let timed_out = self
-                .cv
-                .wait_for(&mut inner, self.timeout)
-                .timed_out();
+            let (g, res) = self.cv.wait_timeout(inner, self.timeout);
+            inner = g;
+            let timed_out = res.timed_out();
             let grantable = inner
                 .entries
                 .get(name)
@@ -229,10 +245,18 @@ impl LockTable {
                         g.mode = target;
                         g.count += 1;
                     } else {
-                        e.granted.push(Grant { owner, mode: target, count: 1 });
+                        e.granted.push(Grant {
+                            owner,
+                            mode: target,
+                            count: 1,
+                        });
                     }
                 } else {
-                    e.granted.push(Grant { owner, mode: target, count: 1 });
+                    e.granted.push(Grant {
+                        owner,
+                        mode: target,
+                        count: 1,
+                    });
                 }
                 return Ok(());
             }
@@ -257,8 +281,12 @@ impl LockTable {
         let mut stack = vec![start];
         let mut visited = std::collections::HashSet::new();
         while let Some(cur) = stack.pop() {
-            let Some(res) = inner.waiting_on.get(&cur) else { continue };
-            let Some(entry) = inner.entries.get(res) else { continue };
+            let Some(res) = inner.waiting_on.get(&cur) else {
+                continue;
+            };
+            let Some(entry) = inner.entries.get(res) else {
+                continue;
+            };
             let my_wait = entry.waiters.iter().find(|w| w.owner == cur);
             let Some(my_wait) = my_wait else { continue };
             let mut blockers: Vec<ActionId> = Vec::new();
@@ -402,7 +430,10 @@ mod tests {
     fn exclusive_blocks_and_try_fails() {
         let lt = LockTable::default();
         lt.acquire(t(1), &key("a"), X).unwrap();
-        assert_eq!(lt.try_acquire(t(2), &key("a"), S), Err(LockError::WouldBlock));
+        assert_eq!(
+            lt.try_acquire(t(2), &key("a"), S),
+            Err(LockError::WouldBlock)
+        );
         lt.release(t(1), &key("a"));
         lt.acquire(t(2), &key("a"), S).unwrap();
     }
@@ -414,7 +445,10 @@ mod tests {
         lt.acquire(t(1), &key("a"), S).unwrap();
         lt.release(t(1), &key("a"));
         // Still held once.
-        assert_eq!(lt.try_acquire(t(2), &key("a"), X), Err(LockError::WouldBlock));
+        assert_eq!(
+            lt.try_acquire(t(2), &key("a"), X),
+            Err(LockError::WouldBlock)
+        );
         lt.release(t(1), &key("a"));
         lt.acquire(t(2), &key("a"), X).unwrap();
     }
@@ -425,7 +459,10 @@ mod tests {
         lt.acquire(t(1), &key("a"), S).unwrap();
         lt.acquire(t(1), &key("a"), X).unwrap(); // converts
         assert_eq!(lt.holders(&key("a")), vec![(t(1), X)]);
-        assert_eq!(lt.try_acquire(t(2), &key("a"), S), Err(LockError::WouldBlock));
+        assert_eq!(
+            lt.try_acquire(t(2), &key("a"), S),
+            Err(LockError::WouldBlock)
+        );
     }
 
     #[test]
@@ -489,7 +526,7 @@ mod tests {
     fn fifo_prevents_starvation() {
         let lt = LockTable::default();
         lt.acquire(t(1), &key("a"), S).unwrap();
-        let order = parking_lot::Mutex::new(Vec::new());
+        let order = pitree_pagestore::sync::Mutex::new(Vec::new());
         std::thread::scope(|s| {
             s.spawn(|| {
                 lt.acquire(t(2), &key("a"), X).unwrap(); // waits

@@ -11,12 +11,12 @@
 //! commits" (§4.2.2) — a split performed inside a transaction queues its
 //! posting as a commit hook.
 
-use crate::table::{LockError, LockName, LockTable};
 use crate::modes::LockMode;
-use parking_lot::Mutex;
+use crate::table::{LockError, LockName, LockTable};
 use pitree_pagestore::buffer::{BufferPool, PinnedPage};
 use pitree_pagestore::latch::XGuard;
 use pitree_pagestore::page::Page;
+use pitree_pagestore::sync::Mutex;
 use pitree_pagestore::{Lsn, PageOp, StoreResult};
 use pitree_wal::recovery::LogicalUndoHandler;
 use pitree_wal::{take_checkpoint, ActionId, ActionIdentity, AtomicAction, LogManager};
@@ -75,7 +75,12 @@ impl TxnManager {
     /// Build a manager over the store's log and pool. `lock_timeout` is the
     /// lock table's wait safety net.
     pub fn new(log: Arc<LogManager>, pool: Arc<BufferPool>, lock_timeout: Duration) -> TxnManager {
-        TxnManager { log, pool, locks: LockTable::new(lock_timeout), registry: ActiveRegistry::default() }
+        TxnManager {
+            log,
+            pool,
+            locks: LockTable::new(lock_timeout),
+            registry: ActiveRegistry::default(),
+        }
     }
 
     /// The write-ahead log.
@@ -104,7 +109,12 @@ impl TxnManager {
         let inner = AtomicAction::begin(&self.log, identity);
         let cell = self.registry.register(inner.id(), identity);
         cell.store(inner.last_lsn().0, Ordering::SeqCst);
-        Txn { mgr: self, inner, cell, hooks: Vec::new() }
+        Txn {
+            mgr: self,
+            inner,
+            cell,
+            hooks: Vec::new(),
+        }
     }
 
     /// Take a fuzzy checkpoint including the live-action table.
@@ -202,7 +212,12 @@ impl<'a> Txn<'a> {
     /// relative durability (§4.3.1). Locks are released, then commit hooks
     /// run.
     pub fn commit(self) -> StoreResult<Lsn> {
-        let Txn { mgr, inner, cell: _, hooks } = self;
+        let Txn {
+            mgr,
+            inner,
+            cell: _,
+            hooks,
+        } = self;
         let id = inner.id();
         let lsn = match inner.identity() {
             ActionIdentity::Transaction => inner.commit_force()?,
@@ -219,7 +234,12 @@ impl<'a> Txn<'a> {
     /// Roll back: undo every logged update (page-oriented or via `handler`
     /// for logical undo), release locks, drop commit hooks unrun.
     pub fn abort(self, handler: Option<&dyn LogicalUndoHandler>) -> StoreResult<()> {
-        let Txn { mgr, inner, cell: _, hooks } = self;
+        let Txn {
+            mgr,
+            inner,
+            cell: _,
+            hooks,
+        } = self;
         let id = inner.id();
         inner.rollback(&mgr.pool, handler)?;
         mgr.locks.release_all(id);
@@ -260,7 +280,8 @@ mod tests {
         assert!(m.registry().is_empty());
         // Lock is free again.
         let t2 = m.begin(ActionIdentity::Transaction);
-        t2.try_lock(&LockName::Key(b"k".to_vec()), LockMode::X).unwrap();
+        t2.try_lock(&LockName::Key(b"k".to_vec()), LockMode::X)
+            .unwrap();
         t2.commit().unwrap();
     }
 
@@ -273,8 +294,15 @@ mod tests {
         let mut t = m.begin(ActionIdentity::Transaction);
         {
             let mut g = page.x();
-            t.apply(&page, &mut g, PageOp::InsertSlot { slot: 0, bytes: b"z".to_vec() })
-                .unwrap();
+            t.apply(
+                &page,
+                &mut g,
+                PageOp::InsertSlot {
+                    slot: 0,
+                    bytes: b"z".to_vec(),
+                },
+            )
+            .unwrap();
         }
         t.on_commit(move || r2.store(true, Ordering::SeqCst));
         t.abort(None).unwrap();
@@ -290,8 +318,15 @@ mod tests {
         let mut t = m.begin(ActionIdentity::Transaction);
         {
             let mut g = page.x();
-            t.apply(&page, &mut g, PageOp::InsertSlot { slot: 0, bytes: b"d".to_vec() })
-                .unwrap();
+            t.apply(
+                &page,
+                &mut g,
+                PageOp::InsertSlot {
+                    slot: 0,
+                    bytes: b"d".to_vec(),
+                },
+            )
+            .unwrap();
         }
         let lsn = t.commit().unwrap();
         assert!(m.log().flushed_lsn() >= lsn);
@@ -304,8 +339,15 @@ mod tests {
         let mut t = m.begin(ActionIdentity::SystemTransaction);
         {
             let mut g = page.x();
-            t.apply(&page, &mut g, PageOp::InsertSlot { slot: 0, bytes: b"d".to_vec() })
-                .unwrap();
+            t.apply(
+                &page,
+                &mut g,
+                PageOp::InsertSlot {
+                    slot: 0,
+                    bytes: b"d".to_vec(),
+                },
+            )
+            .unwrap();
         }
         t.commit().unwrap();
         assert_eq!(m.log().flushed_lsn(), Lsn(0));
@@ -318,8 +360,15 @@ mod tests {
         let mut t = m.begin(ActionIdentity::Transaction);
         {
             let mut g = page.x();
-            t.apply(&page, &mut g, PageOp::InsertSlot { slot: 0, bytes: b"d".to_vec() })
-                .unwrap();
+            t.apply(
+                &page,
+                &mut g,
+                PageOp::InsertSlot {
+                    slot: 0,
+                    bytes: b"d".to_vec(),
+                },
+            )
+            .unwrap();
         }
         let snap = m.registry().snapshot();
         assert_eq!(snap.len(), 1);

@@ -3,9 +3,9 @@
 //! detected deadlock, or (never, at these scales) a timeout — and the table
 //! must drain to empty.
 
+use pitree_sim::SimRng;
 use pitree_txnlock::{LockError, LockMode, LockName, LockTable};
 use pitree_wal::ActionId;
-use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -24,13 +24,17 @@ fn randomized_two_phase_transactions_never_hang() {
             let granted = &granted;
             let deadlocks = &deadlocks;
             s.spawn(move || {
-                let mut rng = rand::rngs::StdRng::seed_from_u64(t);
+                let mut rng = SimRng::new(t);
                 for txn in 0..300u64 {
                     let owner = ActionId(t * 1_000 + txn + 1);
                     let mut held = 0;
-                    for _ in 0..rng.gen_range(1..5) {
-                        let name = key(rng.gen_range(0..12));
-                        let mode = if rng.gen_bool(0.5) { LockMode::S } else { LockMode::X };
+                    for _ in 0..rng.range(1..5) {
+                        let name = key(rng.below(12));
+                        let mode = if rng.chance(0.5) {
+                            LockMode::S
+                        } else {
+                            LockMode::X
+                        };
                         match lt.acquire(owner, &name, mode) {
                             Ok(()) => {
                                 held += 1;
@@ -49,7 +53,10 @@ fn randomized_two_phase_transactions_never_hang() {
             });
         }
     });
-    assert!(granted.load(Ordering::Relaxed) > 1000, "most acquisitions succeed");
+    assert!(
+        granted.load(Ordering::Relaxed) > 1000,
+        "most acquisitions succeed"
+    );
     // The table must be fully drained.
     for i in 0..12 {
         assert!(lt.holders(&key(i)).is_empty(), "lock {i} leaked");
@@ -69,12 +76,12 @@ fn mixed_modes_with_move_locks_drain() {
         for t in 0..4u64 {
             let lt = &lt;
             s.spawn(move || {
-                let mut rng = rand::rngs::StdRng::seed_from_u64(100 + t);
+                let mut rng = SimRng::new(100 + t);
                 for txn in 0..200u64 {
                     let owner = ActionId(10_000 + t * 1_000 + txn);
-                    let page = LockName::Page(pitree_pagestore::PageId(rng.gen_range(1..4)));
+                    let page = LockName::Page(pitree_pagestore::PageId(rng.range(1..4)));
                     if lt.acquire(owner, &page, LockMode::IX).is_ok() {
-                        let _ = lt.acquire(owner, &key(rng.gen_range(0..8)), LockMode::X);
+                        let _ = lt.acquire(owner, &key(rng.below(8)), LockMode::X);
                     }
                     lt.release_all(owner);
                 }
@@ -84,10 +91,10 @@ fn mixed_modes_with_move_locks_drain() {
         for t in 0..2u64 {
             let lt = &lt;
             s.spawn(move || {
-                let mut rng = rand::rngs::StdRng::seed_from_u64(200 + t);
+                let mut rng = SimRng::new(200 + t);
                 for act in 0..200u64 {
                     let owner = ActionId(20_000 + t * 1_000 + act);
-                    let page = LockName::Page(pitree_pagestore::PageId(rng.gen_range(1..4)));
+                    let page = LockName::Page(pitree_pagestore::PageId(rng.range(1..4)));
                     match lt.acquire(owner, &page, LockMode::Move) {
                         Ok(()) | Err(LockError::Deadlock) => {}
                         Err(e) => panic!("mover: {e}"),
@@ -100,10 +107,10 @@ fn mixed_modes_with_move_locks_drain() {
         for t in 0..2u64 {
             let lt = &lt;
             s.spawn(move || {
-                let mut rng = rand::rngs::StdRng::seed_from_u64(300 + t);
+                let mut rng = SimRng::new(300 + t);
                 for txn in 0..400u64 {
                     let owner = ActionId(30_000 + t * 1_000 + txn);
-                    match lt.acquire(owner, &key(rng.gen_range(0..8)), LockMode::S) {
+                    match lt.acquire(owner, &key(rng.below(8)), LockMode::S) {
                         Ok(()) | Err(LockError::Deadlock) => {}
                         Err(e) => panic!("reader: {e}"),
                     }

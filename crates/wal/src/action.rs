@@ -34,7 +34,13 @@ impl<'a> AtomicAction<'a> {
     pub fn begin(log: &'a LogManager, identity: ActionIdentity) -> AtomicAction<'a> {
         let id = log.next_action_id();
         let last = log.append(id, Lsn::ZERO, RecordKind::Begin { identity });
-        AtomicAction { log, id, identity, last, updates: 0 }
+        AtomicAction {
+            log,
+            id,
+            identity,
+            last,
+            updates: 0,
+        }
     }
 
     /// This action's id.
@@ -104,7 +110,11 @@ impl<'a> AtomicAction<'a> {
         let lsn = self.log.append(
             self.id,
             self.last,
-            RecordKind::Update { pid: page.id(), redo: op.clone(), undo },
+            RecordKind::Update {
+                pid: page.id(),
+                redo: op.clone(),
+                undo,
+            },
         );
         op.apply(g)?;
         g.set_lsn(lsn);
@@ -162,14 +172,15 @@ impl<'a> AtomicAction<'a> {
                             self.last = clr;
                         }
                         UndoInfo::Logical { tag, payload } => {
-                            let h = handler.expect(
-                                "logical undo record but no LogicalUndoHandler registered",
-                            );
+                            let h = handler
+                                .expect("logical undo record but no LogicalUndoHandler registered");
                             h.undo(tag, &payload)?;
                             self.last = self.log.append(
                                 self.id,
                                 self.last,
-                                RecordKind::LogicalClr { undo_next: rec.prev },
+                                RecordKind::LogicalClr {
+                                    undo_next: rec.prev,
+                                },
                             );
                         }
                         UndoInfo::None => {}
@@ -200,9 +211,8 @@ mod tests {
     fn setup() -> (Arc<BufferPool>, Arc<LogManager>) {
         let disk = Arc::new(MemDisk::new());
         let pool = Arc::new(BufferPool::new(disk, 32));
-        let log = Arc::new(
-            LogManager::open(Arc::new(MemLogStore::new()) as Arc<dyn LogStore>).unwrap(),
-        );
+        let log =
+            Arc::new(LogManager::open(Arc::new(MemLogStore::new()) as Arc<dyn LogStore>).unwrap());
         pool.set_wal_hook(Arc::clone(&log) as Arc<dyn pitree_pagestore::buffer::WalFlush>);
         (pool, log)
     }
@@ -215,7 +225,14 @@ mod tests {
         {
             let mut g = page.x();
             let lsn = act
-                .apply(&page, &mut g, PageOp::InsertSlot { slot: 0, bytes: b"r".to_vec() })
+                .apply(
+                    &page,
+                    &mut g,
+                    PageOp::InsertSlot {
+                        slot: 0,
+                        bytes: b"r".to_vec(),
+                    },
+                )
                 .unwrap();
             assert_eq!(g.lsn(), lsn);
         }
@@ -230,17 +247,38 @@ mod tests {
         {
             let mut g = page.x();
             let mut act = AtomicAction::begin(&log, ActionIdentity::SystemTransaction);
-            act.apply(&page, &mut g, PageOp::InsertSlot { slot: 0, bytes: b"keep".to_vec() })
-                .unwrap();
+            act.apply(
+                &page,
+                &mut g,
+                PageOp::InsertSlot {
+                    slot: 0,
+                    bytes: b"keep".to_vec(),
+                },
+            )
+            .unwrap();
             act.commit();
         }
         let mut act = AtomicAction::begin(&log, ActionIdentity::SystemTransaction);
         {
             let mut g = page.x();
-            act.apply(&page, &mut g, PageOp::InsertSlot { slot: 1, bytes: b"bye".to_vec() })
-                .unwrap();
-            act.apply(&page, &mut g, PageOp::UpdateSlot { slot: 0, bytes: b"mod!".to_vec() })
-                .unwrap();
+            act.apply(
+                &page,
+                &mut g,
+                PageOp::InsertSlot {
+                    slot: 1,
+                    bytes: b"bye".to_vec(),
+                },
+            )
+            .unwrap();
+            act.apply(
+                &page,
+                &mut g,
+                PageOp::UpdateSlot {
+                    slot: 0,
+                    bytes: b"mod!".to_vec(),
+                },
+            )
+            .unwrap();
         }
         act.rollback(&pool, None).unwrap();
         let g = page.s();
@@ -255,14 +293,32 @@ mod tests {
         let mut act = AtomicAction::begin(&log, ActionIdentity::SeparateTransaction);
         {
             let mut g = page.x();
-            act.apply(&page, &mut g, PageOp::InsertSlot { slot: 0, bytes: b"a".to_vec() })
-                .unwrap();
-            act.apply(&page, &mut g, PageOp::InsertSlot { slot: 1, bytes: b"b".to_vec() })
-                .unwrap();
+            act.apply(
+                &page,
+                &mut g,
+                PageOp::InsertSlot {
+                    slot: 0,
+                    bytes: b"a".to_vec(),
+                },
+            )
+            .unwrap();
+            act.apply(
+                &page,
+                &mut g,
+                PageOp::InsertSlot {
+                    slot: 1,
+                    bytes: b"b".to_vec(),
+                },
+            )
+            .unwrap();
         }
         let id = act.id();
         act.rollback(&pool, None).unwrap();
-        let recs: Vec<_> = log.scan(None).into_iter().filter(|r| r.action == id).collect();
+        let recs: Vec<_> = log
+            .scan(None)
+            .into_iter()
+            .filter(|r| r.action == id)
+            .collect();
         // Begin, 2 updates, Abort, 2 CLRs, End.
         assert_eq!(recs.len(), 7);
         assert!(matches!(recs[3].kind, RecordKind::Abort));
@@ -279,7 +335,7 @@ mod tests {
 
     #[test]
     fn logical_undo_invokes_handler() {
-        struct H(parking_lot::Mutex<Vec<(u8, Vec<u8>)>>);
+        struct H(pitree_pagestore::sync::Mutex<Vec<(u8, Vec<u8>)>>);
         impl LogicalUndoHandler for H {
             fn undo(&self, tag: u8, payload: &[u8]) -> StoreResult<()> {
                 self.0.lock().push((tag, payload.to_vec()));
@@ -294,13 +350,16 @@ mod tests {
             act.apply_logical(
                 &page,
                 &mut g,
-                PageOp::InsertSlot { slot: 0, bytes: b"rec".to_vec() },
+                PageOp::InsertSlot {
+                    slot: 0,
+                    bytes: b"rec".to_vec(),
+                },
                 7,
                 b"key-7".to_vec(),
             )
             .unwrap();
         }
-        let h = H(parking_lot::Mutex::new(Vec::new()));
+        let h = H(pitree_pagestore::sync::Mutex::new(Vec::new()));
         act.rollback(&pool, Some(&h)).unwrap();
         let calls = h.0.lock();
         assert_eq!(calls.len(), 1);
@@ -314,20 +373,41 @@ mod tests {
         let mut act = AtomicAction::begin(&log, ActionIdentity::SystemTransaction);
         {
             let mut g = page.x();
-            act.apply(&page, &mut g, PageOp::InsertSlot { slot: 0, bytes: b"x".to_vec() })
-                .unwrap();
+            act.apply(
+                &page,
+                &mut g,
+                PageOp::InsertSlot {
+                    slot: 0,
+                    bytes: b"x".to_vec(),
+                },
+            )
+            .unwrap();
         }
         act.commit();
-        assert_eq!(log.flushed_lsn(), Lsn(0), "atomic-action commit must not force");
+        assert_eq!(
+            log.flushed_lsn(),
+            Lsn(0),
+            "atomic-action commit must not force"
+        );
 
         let mut act2 = AtomicAction::begin(&log, ActionIdentity::Transaction);
         {
             let mut g = page.x();
-            act2.apply(&page, &mut g, PageOp::InsertSlot { slot: 1, bytes: b"y".to_vec() })
-                .unwrap();
+            act2.apply(
+                &page,
+                &mut g,
+                PageOp::InsertSlot {
+                    slot: 1,
+                    bytes: b"y".to_vec(),
+                },
+            )
+            .unwrap();
         }
         let commit_lsn = act2.commit_force().unwrap();
-        assert!(log.flushed_lsn() >= commit_lsn, "commit_force must make the commit durable");
+        assert!(
+            log.flushed_lsn() >= commit_lsn,
+            "commit_force must make the commit durable"
+        );
         // The earlier, unforced commit rode along.
         let durable = log.store().durable_bytes().unwrap();
         let recs = crate::log::scan_bytes(&durable, None);

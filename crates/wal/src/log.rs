@@ -11,10 +11,11 @@
 //! (§4.3.1, "relative durability"); forces happen at user-transaction commit
 //! and through the buffer pool's WAL hook before a dirty page write.
 
-use crate::record::{ActionId, LogRecord, RecordKind};
 use crate::codec::checksum;
-use parking_lot::Mutex;
+use crate::record::{ActionId, LogRecord, RecordKind};
 use pitree_pagestore::buffer::WalFlush;
+use pitree_pagestore::fault::{FaultSite, InjectorHandle};
+use pitree_pagestore::sync::Mutex;
 use pitree_pagestore::{Lsn, StoreError, StoreResult};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -40,22 +41,39 @@ pub trait LogStore: Send + Sync {
 pub struct MemLogStore {
     durable: Mutex<Vec<u8>>,
     master: AtomicU64,
+    injector: Option<InjectorHandle>,
 }
 
 impl MemLogStore {
     /// Empty store.
     pub fn new() -> MemLogStore {
-        MemLogStore { durable: Mutex::new(Vec::new()), master: AtomicU64::new(0) }
+        MemLogStore {
+            durable: Mutex::new(Vec::new()),
+            master: AtomicU64::new(0),
+            injector: None,
+        }
+    }
+
+    /// Empty store whose appends (log forces) consult `injector` first —
+    /// the simulation kit's crash point at every WAL-flush boundary.
+    pub fn with_injector(injector: InjectorHandle) -> MemLogStore {
+        MemLogStore {
+            durable: Mutex::new(Vec::new()),
+            master: AtomicU64::new(0),
+            injector: Some(injector),
+        }
     }
 
     /// A copy of the durable contents truncated to `len` bytes — the
-    /// survivor of a crash whose final force was cut short.
+    /// survivor of a crash whose final force was cut short. The snapshot
+    /// carries no injector: recovery must run unimpeded.
     pub fn snapshot_truncated(&self, len: u64) -> MemLogStore {
         let durable = self.durable.lock();
         let cut = (len as usize).min(durable.len());
         MemLogStore {
             durable: Mutex::new(durable[..cut].to_vec()),
             master: AtomicU64::new(self.master.load(Ordering::SeqCst)),
+            injector: None,
         }
     }
 
@@ -73,6 +91,9 @@ impl Default for MemLogStore {
 
 impl LogStore for MemLogStore {
     fn append(&self, bytes: &[u8]) -> StoreResult<()> {
+        if let Some(inj) = &self.injector {
+            inj.check(FaultSite::LogAppend { bytes: bytes.len() })?;
+        }
         self.durable.lock().extend_from_slice(bytes);
         Ok(())
     }
@@ -116,7 +137,11 @@ impl FileLogStore {
             .ok()
             .and_then(|b| b.try_into().ok().map(u64::from_le_bytes))
             .unwrap_or(0);
-        Ok(FileLogStore { file: Mutex::new(file), master_path, master: AtomicU64::new(master) })
+        Ok(FileLogStore {
+            file: Mutex::new(file),
+            master_path,
+            master: AtomicU64::new(master),
+        })
     }
 }
 
@@ -197,11 +222,18 @@ impl LogManager {
 
     /// Append a record, returning its LSN. Does not force.
     pub fn append(&self, action: ActionId, prev: Lsn, kind: RecordKind) -> Lsn {
-        let rec = LogRecord { lsn: Lsn::ZERO, prev, action, kind };
+        let rec = LogRecord {
+            lsn: Lsn::ZERO,
+            prev,
+            action,
+            kind,
+        };
         let body = rec.encode_body();
         let mut inner = self.inner.lock();
         let lsn = Lsn(inner.buf.len() as u64 + 1);
-        inner.buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        inner
+            .buf
+            .extend_from_slice(&(body.len() as u32).to_le_bytes());
         inner.buf.extend_from_slice(&checksum(&body).to_le_bytes());
         inner.buf.extend_from_slice(&body);
         lsn
@@ -268,7 +300,10 @@ impl WalFlush for LogManager {
 
 /// Decode the record whose frame starts at `lsn` within `buf`.
 pub fn read_at(buf: &[u8], lsn: Lsn) -> StoreResult<LogRecord> {
-    let off = (lsn.0.checked_sub(1).ok_or_else(|| StoreError::Corrupt("null lsn".into()))?) as usize;
+    let off = (lsn
+        .0
+        .checked_sub(1)
+        .ok_or_else(|| StoreError::Corrupt("null lsn".into()))?) as usize;
     if off + 8 > buf.len() {
         return Err(StoreError::Corrupt(format!("lsn {lsn} beyond log end")));
     }
@@ -316,7 +351,13 @@ mod tests {
     fn append_read_roundtrip() {
         let (_s, log) = mgr();
         let a = log.next_action_id();
-        let l1 = log.append(a, Lsn::ZERO, RecordKind::Begin { identity: ActionIdentity::Transaction });
+        let l1 = log.append(
+            a,
+            Lsn::ZERO,
+            RecordKind::Begin {
+                identity: ActionIdentity::Transaction,
+            },
+        );
         let l2 = log.append(a, l1, RecordKind::Commit);
         assert!(l1 < l2);
         let r1 = log.read(l1).unwrap();
@@ -355,14 +396,23 @@ mod tests {
         let (_s, log) = mgr();
         let a = log.next_action_id();
         let mut prev = Lsn::ZERO;
-        prev = log.append(a, prev, RecordKind::Begin { identity: ActionIdentity::SystemTransaction });
+        prev = log.append(
+            a,
+            prev,
+            RecordKind::Begin {
+                identity: ActionIdentity::SystemTransaction,
+            },
+        );
         for slot in 0..5u16 {
             prev = log.append(
                 a,
                 prev,
                 RecordKind::Update {
                     pid: PageId(2),
-                    redo: PageOp::InsertSlot { slot, bytes: vec![slot as u8] },
+                    redo: PageOp::InsertSlot {
+                        slot,
+                        bytes: vec![slot as u8],
+                    },
                     undo: UndoInfo::Physiological(PageOp::RemoveSlot { slot }),
                 },
             );

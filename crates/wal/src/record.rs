@@ -185,10 +185,18 @@ fn put_pageop(w: &mut Writer, op: &PageOp) {
 
 fn get_pageop(r: &mut Reader<'_>) -> StoreResult<PageOp> {
     Ok(match r.u8()? {
-        0 => PageOp::Format { ty: PageType::from_u8(r.u8()?)? },
-        1 => PageOp::InsertSlot { slot: r.u16()?, bytes: r.bytes()? },
+        0 => PageOp::Format {
+            ty: PageType::from_u8(r.u8()?)?,
+        },
+        1 => PageOp::InsertSlot {
+            slot: r.u16()?,
+            bytes: r.bytes()?,
+        },
         2 => PageOp::RemoveSlot { slot: r.u16()? },
-        3 => PageOp::UpdateSlot { slot: r.u16()?, bytes: r.bytes()? },
+        3 => PageOp::UpdateSlot {
+            slot: r.u16()?,
+            bytes: r.bytes()?,
+        },
         4 => PageOp::SetFlags { flags: r.u8()? },
         5 => PageOp::SetBit { bit: r.u32()? },
         6 => PageOp::ClearBit { bit: r.u32()? },
@@ -217,7 +225,9 @@ fn get_identity(r: &mut Reader<'_>) -> StoreResult<ActionIdentity> {
         0 => ActionIdentity::Transaction,
         1 => ActionIdentity::SeparateTransaction,
         2 => ActionIdentity::SystemTransaction,
-        3 => ActionIdentity::NestedTopAction { parent: ActionId(r.u64()?) },
+        3 => ActionIdentity::NestedTopAction {
+            parent: ActionId(r.u64()?),
+        },
         t => return Err(StoreError::Corrupt(format!("bad identity tag {t}"))),
     })
 }
@@ -253,7 +263,11 @@ impl LogRecord {
                     UndoInfo::None => w.u8(2),
                 }
             }
-            RecordKind::Clr { pid, redo, undo_next } => {
+            RecordKind::Clr {
+                pid,
+                redo,
+                undo_next,
+            } => {
                 w.u8(5);
                 w.u64(pid.0);
                 put_pageop(&mut w, redo);
@@ -288,7 +302,9 @@ impl LogRecord {
         let prev = Lsn(r.u64()?);
         let action = ActionId(r.u64()?);
         let kind = match r.u8()? {
-            0 => RecordKind::Begin { identity: get_identity(&mut r)? },
+            0 => RecordKind::Begin {
+                identity: get_identity(&mut r)?,
+            },
             1 => RecordKind::Commit,
             2 => RecordKind::Abort,
             3 => RecordKind::End,
@@ -297,7 +313,10 @@ impl LogRecord {
                 let redo = get_pageop(&mut r)?;
                 let undo = match r.u8()? {
                     0 => UndoInfo::Physiological(get_pageop(&mut r)?),
-                    1 => UndoInfo::Logical { tag: r.u8()?, payload: r.bytes()? },
+                    1 => UndoInfo::Logical {
+                        tag: r.u8()?,
+                        payload: r.bytes()?,
+                    },
                     2 => UndoInfo::None,
                     t => return Err(StoreError::Corrupt(format!("bad undo tag {t}"))),
                 };
@@ -308,7 +327,9 @@ impl LogRecord {
                 redo: get_pageop(&mut r)?,
                 undo_next: Lsn(r.u64()?),
             },
-            6 => RecordKind::LogicalClr { undo_next: Lsn(r.u64()?) },
+            6 => RecordKind::LogicalClr {
+                undo_next: Lsn(r.u64()?),
+            },
             7 => {
                 let na = r.u32()?;
                 let mut active = Vec::with_capacity(na as usize);
@@ -330,7 +351,12 @@ impl LogRecord {
         if !r.is_done() {
             return Err(StoreError::Corrupt("trailing bytes in log record".into()));
         }
-        Ok(LogRecord { lsn, prev, action, kind })
+        Ok(LogRecord {
+            lsn,
+            prev,
+            action,
+            kind,
+        })
     }
 }
 
@@ -339,7 +365,12 @@ mod tests {
     use super::*;
 
     fn roundtrip(kind: RecordKind) {
-        let rec = LogRecord { lsn: Lsn(123), prev: Lsn(45), action: ActionId(6), kind };
+        let rec = LogRecord {
+            lsn: Lsn(123),
+            prev: Lsn(45),
+            action: ActionId(6),
+            kind,
+        };
         let body = rec.encode_body();
         let back = LogRecord::decode_body(Lsn(123), &body).unwrap();
         assert_eq!(rec, back);
@@ -347,10 +378,16 @@ mod tests {
 
     #[test]
     fn control_records_roundtrip() {
-        roundtrip(RecordKind::Begin { identity: ActionIdentity::Transaction });
-        roundtrip(RecordKind::Begin { identity: ActionIdentity::SystemTransaction });
         roundtrip(RecordKind::Begin {
-            identity: ActionIdentity::NestedTopAction { parent: ActionId(99) },
+            identity: ActionIdentity::Transaction,
+        });
+        roundtrip(RecordKind::Begin {
+            identity: ActionIdentity::SystemTransaction,
+        });
+        roundtrip(RecordKind::Begin {
+            identity: ActionIdentity::NestedTopAction {
+                parent: ActionId(99),
+            },
         });
         roundtrip(RecordKind::Commit);
         roundtrip(RecordKind::Abort);
@@ -361,13 +398,19 @@ mod tests {
     fn update_records_roundtrip() {
         roundtrip(RecordKind::Update {
             pid: PageId(7),
-            redo: PageOp::InsertSlot { slot: 3, bytes: b"rec".to_vec() },
+            redo: PageOp::InsertSlot {
+                slot: 3,
+                bytes: b"rec".to_vec(),
+            },
             undo: UndoInfo::Physiological(PageOp::RemoveSlot { slot: 3 }),
         });
         roundtrip(RecordKind::Update {
             pid: PageId(7),
             redo: PageOp::RemoveSlot { slot: 0 },
-            undo: UndoInfo::Logical { tag: 2, payload: b"key".to_vec() },
+            undo: UndoInfo::Logical {
+                tag: 2,
+                payload: b"key".to_vec(),
+            },
         });
         roundtrip(RecordKind::Update {
             pid: PageId(1),
@@ -380,7 +423,10 @@ mod tests {
     fn clr_roundtrip() {
         roundtrip(RecordKind::Clr {
             pid: PageId(9),
-            redo: PageOp::UpdateSlot { slot: 1, bytes: b"old".to_vec() },
+            redo: PageOp::UpdateSlot {
+                slot: 1,
+                bytes: b"old".to_vec(),
+            },
             undo_next: Lsn(17),
         });
         roundtrip(RecordKind::LogicalClr { undo_next: Lsn(0) });
@@ -395,25 +441,46 @@ mod tests {
             ],
             dirty: vec![(PageId(3), Lsn(5)), (PageId(4), Lsn(6))],
         });
-        roundtrip(RecordKind::Checkpoint { active: vec![], dirty: vec![] });
+        roundtrip(RecordKind::Checkpoint {
+            active: vec![],
+            dirty: vec![],
+        });
     }
 
     #[test]
     fn all_pageops_roundtrip() {
         for op in [
             PageOp::Format { ty: PageType::Node },
-            PageOp::InsertSlot { slot: 0, bytes: vec![1, 2, 3] },
+            PageOp::InsertSlot {
+                slot: 0,
+                bytes: vec![1, 2, 3],
+            },
             PageOp::RemoveSlot { slot: 5 },
-            PageOp::UpdateSlot { slot: 2, bytes: vec![] },
+            PageOp::UpdateSlot {
+                slot: 2,
+                bytes: vec![],
+            },
             PageOp::SetFlags { flags: 0xff },
             PageOp::SetBit { bit: 31999 },
             PageOp::ClearBit { bit: 0 },
-            PageOp::FullImage { bytes: vec![0u8; 64] },
-            PageOp::KeyedInsert { bytes: vec![2, 0, b'a', b'b', 9, 9] },
-            PageOp::KeyedRemove { key: b"ab".to_vec() },
-            PageOp::KeyedUpdate { bytes: vec![1, 0, b'z', 7] },
+            PageOp::FullImage {
+                bytes: vec![0u8; 64],
+            },
+            PageOp::KeyedInsert {
+                bytes: vec![2, 0, b'a', b'b', 9, 9],
+            },
+            PageOp::KeyedRemove {
+                key: b"ab".to_vec(),
+            },
+            PageOp::KeyedUpdate {
+                bytes: vec![1, 0, b'z', 7],
+            },
         ] {
-            roundtrip(RecordKind::Update { pid: PageId(1), redo: op, undo: UndoInfo::None });
+            roundtrip(RecordKind::Update {
+                pid: PageId(1),
+                redo: op,
+                undo: UndoInfo::None,
+            });
         }
     }
 
@@ -422,7 +489,12 @@ mod tests {
         assert!(LogRecord::decode_body(Lsn(1), &[]).is_err());
         assert!(LogRecord::decode_body(Lsn(1), &[0u8; 17]).is_err());
         // Trailing bytes are an error.
-        let rec = LogRecord { lsn: Lsn(1), prev: Lsn(0), action: ActionId(1), kind: RecordKind::Commit };
+        let rec = LogRecord {
+            lsn: Lsn(1),
+            prev: Lsn(0),
+            action: ActionId(1),
+            kind: RecordKind::Commit,
+        };
         let mut body = rec.encode_body();
         body.push(0);
         assert!(LogRecord::decode_body(Lsn(1), &body).is_err());

@@ -61,7 +61,11 @@ pub fn recover(
     let mut scan_from = Lsn(1);
     if master != Lsn::ZERO {
         if let Ok(rec) = log.read(master) {
-            if let RecordKind::Checkpoint { active: ckpt_active, dirty } = rec.kind {
+            if let RecordKind::Checkpoint {
+                active: ckpt_active,
+                dirty,
+            } = rec.kind
+            {
                 for (a, id, last) in ckpt_active {
                     active.insert(a, (id, last));
                 }
@@ -146,7 +150,11 @@ pub fn recover(
                         let clr = log.append(
                             action,
                             last,
-                            RecordKind::Clr { pid, redo: inv.clone(), undo_next: rec.prev },
+                            RecordKind::Clr {
+                                pid,
+                                redo: inv.clone(),
+                                undo_next: rec.prev,
+                            },
                         );
                         inv.apply(&mut g)?;
                         g.set_lsn(clr);
@@ -162,7 +170,9 @@ pub fn recover(
                         let clr = log.append(
                             action,
                             last,
-                            RecordKind::LogicalClr { undo_next: rec.prev },
+                            RecordKind::LogicalClr {
+                                undo_next: rec.prev,
+                            },
                         );
                         last_lsns.insert(action, clr);
                         stats.clrs_written += 1;
@@ -227,10 +237,14 @@ mod tests {
         let disk = Arc::new(MemDisk::new());
         let store = Arc::new(MemLogStore::new());
         let pool = Arc::new(BufferPool::new(Arc::clone(&disk) as Arc<_>, 32));
-        let log =
-            Arc::new(LogManager::open(Arc::clone(&store) as Arc<dyn LogStore>).unwrap());
+        let log = Arc::new(LogManager::open(Arc::clone(&store) as Arc<dyn LogStore>).unwrap());
         pool.set_wal_hook(Arc::clone(&log) as Arc<_>);
-        World { disk, store, pool, log }
+        World {
+            disk,
+            store,
+            pool,
+            log,
+        }
     }
 
     /// Crash: keep only the durable disk image and the durable log prefix.
@@ -238,10 +252,14 @@ mod tests {
         let disk = Arc::new(w.disk.snapshot());
         let store = Arc::new(w.store.snapshot());
         let pool = Arc::new(BufferPool::new(Arc::clone(&disk) as Arc<_>, 32));
-        let log =
-            Arc::new(LogManager::open(Arc::clone(&store) as Arc<dyn LogStore>).unwrap());
+        let log = Arc::new(LogManager::open(Arc::clone(&store) as Arc<dyn LogStore>).unwrap());
         pool.set_wal_hook(Arc::clone(&log) as Arc<_>);
-        World { disk, store, pool, log }
+        World {
+            disk,
+            store,
+            pool,
+            log,
+        }
     }
 
     fn put(w: &World, pid: PageId, slot: u16, bytes: &[u8], force: bool) {
@@ -250,10 +268,18 @@ mod tests {
         {
             let mut g = page.x();
             if g.page_type().unwrap() == PageType::Free {
-                act.apply(&page, &mut g, PageOp::Format { ty: PageType::Node }).unwrap();
+                act.apply(&page, &mut g, PageOp::Format { ty: PageType::Node })
+                    .unwrap();
             }
-            act.apply(&page, &mut g, PageOp::InsertSlot { slot, bytes: bytes.to_vec() })
-                .unwrap();
+            act.apply(
+                &page,
+                &mut g,
+                PageOp::InsertSlot {
+                    slot,
+                    bytes: bytes.to_vec(),
+                },
+            )
+            .unwrap();
         }
         if force {
             act.commit_force().unwrap();
@@ -300,8 +326,15 @@ mod tests {
         let mut act = AtomicAction::begin(&w.log, ActionIdentity::SeparateTransaction);
         {
             let mut g = page.x();
-            act.apply(&page, &mut g, PageOp::InsertSlot { slot: 1, bytes: b"half".to_vec() })
-                .unwrap();
+            act.apply(
+                &page,
+                &mut g,
+                PageOp::InsertSlot {
+                    slot: 1,
+                    bytes: b"half".to_vec(),
+                },
+            )
+            .unwrap();
         }
         w.log.force_all().unwrap(); // updates durable...
         act.commit(); // ...commit only in the volatile tail
@@ -354,10 +387,24 @@ mod tests {
         let mut act = AtomicAction::begin(&w.log, ActionIdentity::SeparateTransaction);
         {
             let mut g = page.x();
-            act.apply(&page, &mut g, PageOp::InsertSlot { slot: 1, bytes: b"u1".to_vec() })
-                .unwrap();
-            act.apply(&page, &mut g, PageOp::InsertSlot { slot: 2, bytes: b"u2".to_vec() })
-                .unwrap();
+            act.apply(
+                &page,
+                &mut g,
+                PageOp::InsertSlot {
+                    slot: 1,
+                    bytes: b"u1".to_vec(),
+                },
+            )
+            .unwrap();
+            act.apply(
+                &page,
+                &mut g,
+                PageOp::InsertSlot {
+                    slot: 2,
+                    bytes: b"u2".to_vec(),
+                },
+            )
+            .unwrap();
         }
         drop(page);
         w.log.force_all().unwrap();
@@ -408,7 +455,10 @@ mod tests {
         put(&w, PageId(7), 5, b"after", true);
         let w2 = crash(&w);
         let stats = recover(&w2.pool, &w2.log, None).unwrap();
-        assert!(stats.analysis_start > Lsn(1), "analysis must start at the checkpoint");
+        assert!(
+            stats.analysis_start > Lsn(1),
+            "analysis must start at the checkpoint"
+        );
         // Only the post-checkpoint action needs redo.
         assert_eq!(stats.redone, 1);
         let page = w2.pool.fetch(PageId(7)).unwrap();
@@ -432,8 +482,7 @@ mod tests {
             // is only updated after its checkpoint is durable).
             store.set_master(Lsn::ZERO);
             let pool = Arc::new(BufferPool::new(Arc::clone(&disk) as Arc<_>, 32));
-            let log =
-                Arc::new(LogManager::open(Arc::clone(&store) as Arc<dyn LogStore>).unwrap());
+            let log = Arc::new(LogManager::open(Arc::clone(&store) as Arc<dyn LogStore>).unwrap());
             pool.set_wal_hook(Arc::clone(&log) as Arc<_>);
             let stats = recover(&pool, &log, None).unwrap();
             // Committed-and-durable actions must be fully present: check that

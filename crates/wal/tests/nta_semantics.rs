@@ -6,9 +6,7 @@
 use pitree_pagestore::buffer::BufferPool;
 use pitree_pagestore::page::PageType;
 use pitree_pagestore::{MemDisk, PageId, PageOp};
-use pitree_wal::{
-    recover, ActionIdentity, AtomicAction, LogManager, LogStore, MemLogStore,
-};
+use pitree_wal::{recover, ActionIdentity, AtomicAction, LogManager, LogStore, MemLogStore};
 use std::sync::Arc;
 
 struct World {
@@ -24,7 +22,12 @@ fn world() -> World {
     let pool = Arc::new(BufferPool::new(Arc::clone(&disk) as Arc<_>, 32));
     let log = Arc::new(LogManager::open(Arc::clone(&store) as Arc<dyn LogStore>).unwrap());
     pool.set_wal_hook(Arc::clone(&log) as Arc<_>);
-    World { disk, store, pool, log }
+    World {
+        disk,
+        store,
+        pool,
+        log,
+    }
 }
 
 #[test]
@@ -37,18 +40,36 @@ fn committed_nta_survives_parent_rollback() {
     {
         let mut g = page.x();
         parent
-            .apply(&page, &mut g, PageOp::InsertSlot { slot: 0, bytes: b"parent".to_vec() })
+            .apply(
+                &page,
+                &mut g,
+                PageOp::InsertSlot {
+                    slot: 0,
+                    bytes: b"parent".to_vec(),
+                },
+            )
             .unwrap();
     }
 
     // A nested top action (e.g. a structure change on the parent's behalf)
     // writes slot 1 and commits.
-    let mut nta =
-        AtomicAction::begin(&w.log, ActionIdentity::NestedTopAction { parent: parent.id() });
+    let mut nta = AtomicAction::begin(
+        &w.log,
+        ActionIdentity::NestedTopAction {
+            parent: parent.id(),
+        },
+    );
     {
         let mut g = page.x();
-        nta.apply(&page, &mut g, PageOp::InsertSlot { slot: 1, bytes: b"nta".to_vec() })
-            .unwrap();
+        nta.apply(
+            &page,
+            &mut g,
+            PageOp::InsertSlot {
+                slot: 1,
+                bytes: b"nta".to_vec(),
+            },
+        )
+        .unwrap();
     }
     nta.commit();
 
@@ -56,7 +77,14 @@ fn committed_nta_survives_parent_rollback() {
     {
         let mut g = page.x();
         parent
-            .apply(&page, &mut g, PageOp::InsertSlot { slot: 2, bytes: b"more".to_vec() })
+            .apply(
+                &page,
+                &mut g,
+                PageOp::InsertSlot {
+                    slot: 2,
+                    bytes: b"more".to_vec(),
+                },
+            )
             .unwrap();
     }
     parent.rollback(&w.pool, None).unwrap();
@@ -75,7 +103,9 @@ fn committed_nta_survives_crash_that_loses_the_parent() {
         let mut setup = AtomicAction::begin(&w.log, ActionIdentity::SystemTransaction);
         {
             let mut g = page.x();
-            setup.apply(&page, &mut g, PageOp::Format { ty: PageType::Node }).unwrap();
+            setup
+                .apply(&page, &mut g, PageOp::Format { ty: PageType::Node })
+                .unwrap();
         }
         setup.commit();
 
@@ -83,22 +113,40 @@ fn committed_nta_survives_crash_that_loses_the_parent() {
         {
             let mut g = page.x();
             parent
-                .apply(&page, &mut g, PageOp::InsertSlot { slot: 0, bytes: b"parent".to_vec() })
+                .apply(
+                    &page,
+                    &mut g,
+                    PageOp::InsertSlot {
+                        slot: 0,
+                        bytes: b"parent".to_vec(),
+                    },
+                )
                 .unwrap();
         }
-        let mut nta =
-            AtomicAction::begin(&w.log, ActionIdentity::NestedTopAction { parent: parent.id() });
+        let mut nta = AtomicAction::begin(
+            &w.log,
+            ActionIdentity::NestedTopAction {
+                parent: parent.id(),
+            },
+        );
         {
             let mut g = page.x();
-            nta.apply(&page, &mut g, PageOp::InsertSlot { slot: 1, bytes: b"nta".to_vec() })
-                .unwrap();
+            nta.apply(
+                &page,
+                &mut g,
+                PageOp::InsertSlot {
+                    slot: 1,
+                    bytes: b"nta".to_vec(),
+                },
+            )
+            .unwrap();
         }
         nta.commit();
         // Make everything so far durable, then "crash" with the parent still
         // in flight (commit never written).
         w.log.force_all().unwrap();
         w.pool.flush_all().unwrap();
-        std::mem::forget(parent);
+        let _abandoned = parent; // never committed: its commit record is simply not written
     }
     let disk2 = Arc::new(w.disk.snapshot());
     let store2 = Arc::new(w.store.snapshot());

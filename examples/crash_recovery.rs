@@ -16,7 +16,8 @@ fn main() {
     // Committed work: forced to the durable log at each commit.
     for i in 0..200u64 {
         let mut txn = tree.begin();
-        tree.insert(&mut txn, &i.to_be_bytes(), b"committed").expect("insert");
+        tree.insert(&mut txn, &i.to_be_bytes(), b"committed")
+            .expect("insert");
         txn.commit().expect("commit");
     }
 
@@ -24,7 +25,8 @@ fn main() {
     // whose commit never happens.
     let mut doomed = tree.begin();
     for i in 1000..1010u64 {
-        tree.insert(&mut doomed, &i.to_be_bytes(), b"uncommitted").expect("insert");
+        tree.insert(&mut doomed, &i.to_be_bytes(), b"uncommitted")
+            .expect("insert");
     }
     cs.store.log.force_all().expect("force"); // updates durable, commit not
     std::mem::forget(doomed);
@@ -48,7 +50,10 @@ fn main() {
 
     let report = tree2.validate().expect("validate");
     assert!(report.is_well_formed(), "{:?}", report.violations);
-    assert_eq!(report.records, 200, "committed survives, uncommitted is gone");
+    assert_eq!(
+        report.records, 200,
+        "committed survives, uncommitted is gone"
+    );
     println!(
         "after recovery: {} records, {} unposted intermediate state(s)",
         report.records, report.unposted_nodes

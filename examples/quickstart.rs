@@ -22,7 +22,8 @@ fn main() {
     for i in 0..500u64 {
         let key = i.to_be_bytes();
         let value = format!("account-balance-{}", i * 100);
-        tree.insert(&mut txn, &key, value.as_bytes()).expect("insert");
+        tree.insert(&mut txn, &key, value.as_bytes())
+            .expect("insert");
     }
     txn.commit().expect("commit");
 
@@ -39,7 +40,8 @@ fn main() {
     // Aborting rolls records back (structure changes, having run as
     // independent atomic actions, persist — exactly the paper's design).
     let mut txn = tree.begin();
-    tree.insert(&mut txn, b"doomed", b"never-visible").expect("insert");
+    tree.insert(&mut txn, b"doomed", b"never-visible")
+        .expect("insert");
     txn.abort(Some(&tree.undo_handler())).expect("abort");
     assert_eq!(tree.get_unlocked(b"doomed").expect("get"), None);
 

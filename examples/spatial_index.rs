@@ -8,30 +8,33 @@
 
 use pitree::store::CrashableStore;
 use pitree_hb::{HbConfig, HbTree, Point, Rect};
-use rand::{Rng, SeedableRng};
+use pitree_sim::SimRng;
 use std::sync::Arc;
 
 fn main() {
     let store = CrashableStore::create(2048, 200_000).expect("store");
-    let tree = HbTree::create(Arc::clone(&store.store), 1, HbConfig::small_nodes(16, 24))
-        .expect("tree");
+    let tree =
+        HbTree::create(Arc::clone(&store.store), 1, HbConfig::small_nodes(16, 24)).expect("tree");
 
     // Drop-offs cluster around three depots plus background noise.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2026);
+    let mut rng = SimRng::new(2026);
     let depots: [Point; 3] = [[2_000, 2_000], [8_000, 3_000], [5_000, 8_000]];
     let mut n = 0u32;
     for _ in 0..900 {
-        let p: Point = if rng.gen_bool(0.7) {
-            let d = depots[rng.gen_range(0..3)];
+        let p: Point = if rng.chance(0.7) {
+            let d = *rng.pick(&depots);
             [
-                d[0].saturating_add(rng.gen_range(0..800)),
-                d[1].saturating_add(rng.gen_range(0..800)),
+                d[0].saturating_add(rng.below(800)),
+                d[1].saturating_add(rng.below(800)),
             ]
         } else {
-            [rng.gen_range(0..10_000), rng.gen_range(0..10_000)]
+            [rng.below(10_000), rng.below(10_000)]
         };
         let mut txn = tree.begin();
-        if tree.insert(&mut txn, &p, format!("parcel-{n}").as_bytes()).expect("insert") {
+        if tree
+            .insert(&mut txn, &p, format!("parcel-{n}").as_bytes())
+            .expect("insert")
+        {
             n += 1;
         }
         txn.commit().expect("commit");
@@ -39,7 +42,10 @@ fn main() {
     println!("indexed {n} distinct drop-off points");
 
     // Window query: everything near depot 1.
-    let district = Rect { lo: [1_500, 1_500], hi: [3_500, 3_500] };
+    let district = Rect {
+        lo: [1_500, 1_500],
+        hi: [3_500, 3_500],
+    };
     let hits = tree.window_query(&district).expect("window");
     println!("parcels in depot-1 district {district:?}: {}", hits.len());
     assert!(!hits.is_empty());

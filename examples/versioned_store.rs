@@ -13,14 +13,16 @@ use std::sync::Arc;
 
 fn main() {
     let store = CrashableStore::create(1024, 100_000).expect("store");
-    let tree = TsbTree::create(Arc::clone(&store.store), 1, TsbConfig::small_nodes(16, 16))
-        .expect("tree");
+    let tree =
+        TsbTree::create(Arc::clone(&store.store), 1, TsbConfig::small_nodes(16, 16)).expect("tree");
 
     // Day 1: open accounts.
     let mut t_open = 0;
     for acct in 0..50u64 {
         let mut txn = tree.begin();
-        t_open = tree.put(&mut txn, &acct.to_be_bytes(), b"balance=100").expect("put");
+        t_open = tree
+            .put(&mut txn, &acct.to_be_bytes(), b"balance=100")
+            .expect("put");
         txn.commit().expect("commit");
     }
 
@@ -31,7 +33,9 @@ fn main() {
         for acct in [7u64, 13, 21] {
             let mut txn = tree.begin();
             let balance = format!("balance={}", 100 + day * 10);
-            let ts = tree.put(&mut txn, &acct.to_be_bytes(), balance.as_bytes()).expect("put");
+            let ts = tree
+                .put(&mut txn, &acct.to_be_bytes(), balance.as_bytes())
+                .expect("put");
             txn.commit().expect("commit");
             if day == 10 && acct == 7 {
                 mid_stamp = ts;
@@ -47,7 +51,10 @@ fn main() {
     let now = |k: u64| tree.get_current(&k.to_be_bytes()).expect("get");
     let asof = |k: u64, t| tree.get_as_of(&k.to_be_bytes(), t).expect("as-of");
 
-    println!("account 7 now:        {:?}", now(7).map(|v| String::from_utf8(v).unwrap()));
+    println!(
+        "account 7 now:        {:?}",
+        now(7).map(|v| String::from_utf8(v).unwrap())
+    );
     println!(
         "account 7 at day 10:  {:?}",
         asof(7, mid_stamp).map(|v| String::from_utf8(v).unwrap())

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Full offline verification gate for the workspace. Everything here runs
+# with --offline: the workspace has no external dependencies by design
+# (DESIGN.md §5), so a registry is never consulted.
+#
+#   ./scripts/verify.sh          # fmt + clippy + build + tests + sim sweep
+#   SKIP_LINT=1 ./scripts/verify.sh   # skip fmt/clippy (e.g. toolchain lacks them)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n==> %s\n' "$*"; }
+
+if [[ -z "${SKIP_LINT:-}" ]]; then
+  if cargo fmt --version >/dev/null 2>&1; then
+    step "cargo fmt --check"
+    cargo fmt --all -- --check
+  else
+    echo "warning: rustfmt unavailable; skipping format check" >&2
+  fi
+  if cargo clippy --version >/dev/null 2>&1; then
+    step "cargo clippy -D warnings"
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+  else
+    echo "warning: clippy unavailable; skipping lint" >&2
+  fi
+fi
+
+step "cargo build --release"
+cargo build --release --offline
+
+step "cargo test (workspace)"
+cargo test --offline -q
+
+step "sim acceptance sweep (64 seeds, crash-recover-verify + shake)"
+cargo test --offline -q -p pitree-sim --test sim_sweep -- --nocapture
+
+step "bench target compiles (bench-ext feature)"
+cargo build --offline -p pitree-bench --benches --features bench-ext
+
+printf '\nverify.sh: all checks passed\n'

@@ -14,10 +14,8 @@ fn key(i: u64) -> Vec<u8> {
 #[test]
 fn three_tree_kinds_share_one_store_and_log() {
     let cs = CrashableStore::create(2048, 300_000).unwrap();
-    let blink =
-        PiTree::create(Arc::clone(&cs.store), 1, PiTreeConfig::small_nodes(8, 8)).unwrap();
-    let tsb =
-        TsbTree::create(Arc::clone(&cs.store), 2, TsbConfig::small_nodes(8, 8)).unwrap();
+    let blink = PiTree::create(Arc::clone(&cs.store), 1, PiTreeConfig::small_nodes(8, 8)).unwrap();
+    let tsb = TsbTree::create(Arc::clone(&cs.store), 2, TsbConfig::small_nodes(8, 8)).unwrap();
     let hb = HbTree::create(Arc::clone(&cs.store), 3, HbConfig::small_nodes(8, 16)).unwrap();
 
     for i in 0..100u64 {
@@ -26,11 +24,13 @@ fn three_tree_kinds_share_one_store_and_log() {
         t.commit().unwrap();
 
         let mut t = tsb.begin();
-        tsb.put(&mut t, &key(i % 10), format!("v{i}").as_bytes()).unwrap();
+        tsb.put(&mut t, &key(i % 10), format!("v{i}").as_bytes())
+            .unwrap();
         t.commit().unwrap();
 
         let mut t = hb.begin();
-        hb.insert(&mut t, &[i * 37 % 1000, i * 91 % 1000], b"hb").unwrap();
+        hb.insert(&mut t, &[i * 37 % 1000, i * 91 % 1000], b"hb")
+            .unwrap();
         t.commit().unwrap();
     }
     blink.run_completions().unwrap();
@@ -41,9 +41,15 @@ fn three_tree_kinds_share_one_store_and_log() {
     assert!(tsb.validate().unwrap().is_well_formed());
     assert!(hb.validate().unwrap().is_well_formed());
 
-    assert_eq!(blink.get_unlocked(&key(42)).unwrap(), Some(b"blink".to_vec()));
+    assert_eq!(
+        blink.get_unlocked(&key(42)).unwrap(),
+        Some(b"blink".to_vec())
+    );
     assert_eq!(tsb.get_current(&key(2)).unwrap(), Some(b"v92".to_vec()));
-    assert_eq!(hb.get(&[42 * 37 % 1000, 42 * 91 % 1000]).unwrap(), Some(b"hb".to_vec()));
+    assert_eq!(
+        hb.get(&[42 * 37 % 1000, 42 * 91 % 1000]).unwrap(),
+        Some(b"hb".to_vec())
+    );
 }
 
 #[test]
@@ -114,9 +120,8 @@ fn concurrent_mixed_trees_under_threads() {
     let blink = Arc::new(
         PiTree::create(Arc::clone(&cs.store), 1, PiTreeConfig::small_nodes(8, 8)).unwrap(),
     );
-    let tsb = Arc::new(
-        TsbTree::create(Arc::clone(&cs.store), 2, TsbConfig::small_nodes(8, 8)).unwrap(),
-    );
+    let tsb =
+        Arc::new(TsbTree::create(Arc::clone(&cs.store), 2, TsbConfig::small_nodes(8, 8)).unwrap());
     std::thread::scope(|s| {
         for tid in 0..4u64 {
             let blink = Arc::clone(&blink);
