@@ -26,7 +26,7 @@ pub fn report(group: &str, name: &str, ns_per_op: f64) {
 }
 
 /// Time `f` per call: calibrate an iteration count until one sample covers
-/// [`MIN_SAMPLE`], then report the best of [`SAMPLES`] samples.
+/// `MIN_SAMPLE` (50 ms), then report the best of `SAMPLES` (3) samples.
 pub fn bench(group: &str, name: &str, mut f: impl FnMut()) {
     let mut iters = 1u64;
     let mut elapsed;

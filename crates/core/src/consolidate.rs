@@ -68,6 +68,8 @@ pub fn consolidate(tree: &PiTree, level: u8, key: &[u8]) -> StoreResult<Consolid
         Ok(s) => s,
         Err(_) => {
             TreeStats::bump(&stats.consolidations_noop);
+            tree.recorder()
+                .event(pitree_obs::EventKind::SmoConsolidate, 0, 1);
             act.commit()?;
             return Ok(ConsolidateOutcome::NotNeeded);
         }
@@ -129,6 +131,8 @@ pub fn consolidate(tree: &PiTree, level: u8, key: &[u8]) -> StoreResult<Consolid
         move_bytes <= cg.free_space() && (cg.entry_count() + ng.entry_count()) as usize <= max;
     if !still_sparse || !fits {
         TreeStats::bump(&stats.consolidations_noop);
+        tree.recorder()
+            .event(pitree_obs::EventKind::SmoConsolidate, c_pin.id().0, 1);
         act.commit()?;
         return Ok(ConsolidateOutcome::NotNeeded);
     }
@@ -217,6 +221,7 @@ pub fn consolidate(tree: &PiTree, level: u8, key: &[u8]) -> StoreResult<Consolid
     let parent_low = NodeHeader::read(&pg)?.low.as_entry_key().to_vec();
     let parent_level = level + 1;
 
+    let container = c_pin.id().0;
     drop(ng);
     drop(n_pin);
     drop(cg);
@@ -225,6 +230,8 @@ pub fn consolidate(tree: &PiTree, level: u8, key: &[u8]) -> StoreResult<Consolid
     drop(parent_pin);
     act.commit()?;
     TreeStats::bump(&stats.consolidations);
+    tree.recorder()
+        .event(pitree_obs::EventKind::SmoConsolidate, container, 0);
     if parent_sparse && parent_level < root_level {
         tree.completions()
             .push(crate::completion::Completion::Consolidate {

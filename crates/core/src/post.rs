@@ -142,6 +142,8 @@ pub fn post_index_term(
         .is_move_locked(&tree.page_lock(parent_pin.id()))
     {
         TreeStats::bump(&stats.postings_move_deferred);
+        tree.recorder()
+            .event(pitree_obs::EventKind::SmoPost, node.0, 3);
         act.commit()?;
         return Ok(PostOutcome::MoveDeferred);
     }
@@ -150,6 +152,8 @@ pub fn post_index_term(
     // "If the index term has already been posted, the action is terminated."
     if parent_guard.page().keyed_find(key)?.is_ok() {
         TreeStats::bump(&stats.postings_noop);
+        tree.recorder()
+            .event(pitree_obs::EventKind::SmoPost, node.0, 1);
         act.commit()?;
         return Ok(PostOutcome::AlreadyPosted);
     }
@@ -164,6 +168,8 @@ pub fn post_index_term(
                 // No term at or below key: the parent's space was taken over
                 // since (transient under CP); treat as not-postable here.
                 TreeStats::bump(&stats.postings_node_gone);
+                tree.recorder()
+                    .event(pitree_obs::EventKind::SmoPost, node.0, 2);
                 act.commit()?;
                 return Ok(PostOutcome::NodeGone);
             }
@@ -192,6 +198,8 @@ pub fn post_index_term(
                 .is_move_locked(&tree.page_lock(pin.id()))
             {
                 TreeStats::bump(&stats.postings_move_deferred);
+                tree.recorder()
+                    .event(pitree_obs::EventKind::SmoPost, node.0, 3);
                 act.commit()?;
                 return Ok(PostOutcome::MoveDeferred);
             }
@@ -210,6 +218,8 @@ pub fn post_index_term(
         Some(v) => v,
         None => {
             TreeStats::bump(&stats.postings_node_gone);
+            tree.recorder()
+                .event(pitree_obs::EventKind::SmoPost, node.0, 2);
             act.commit()?;
             return Ok(PostOutcome::NodeGone);
         }
@@ -298,5 +308,7 @@ pub fn post_index_term(
     drop(cur_pin);
     act.commit()?;
     TreeStats::bump(&stats.postings_done);
+    tree.recorder()
+        .event(pitree_obs::EventKind::SmoPost, node.0, 0);
     Ok(PostOutcome::Posted)
 }

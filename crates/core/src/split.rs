@@ -147,6 +147,8 @@ fn raw_split<'a>(
         },
     )?;
     TreeStats::bump(&tree.stats().splits);
+    tree.recorder()
+        .event(pitree_obs::EventKind::SmoSplit, page.id().0, new_pid.0);
     Ok((new_pin, ng, split_key, new_pid))
 }
 
@@ -251,6 +253,8 @@ pub(crate) fn split_node<'a>(
         },
     )?;
     TreeStats::bump(&tree.stats().root_grows);
+    tree.recorder()
+        .event(pitree_obs::EventKind::SmoRootGrow, page.id().0, 0);
     Ok(SplitCandidates::Grew {
         n1: (n1_pin, n1g),
         n2: (n2_pin, n2g),

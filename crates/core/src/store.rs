@@ -6,6 +6,7 @@
 //! log prefix — optionally truncated mid-force) and rebuilds everything
 //! volatile from it, after which the caller runs recovery.
 
+use pitree_obs::{Recorder, Registry};
 use pitree_pagestore::buffer::BufferPool;
 use pitree_pagestore::disk::{DiskManager, FileDisk, MemDisk};
 use pitree_pagestore::space::SpaceMap;
@@ -38,8 +39,16 @@ impl Store {
         max_pages: u64,
         fresh: bool,
     ) -> StoreResult<Arc<Store>> {
-        let pool = Arc::new(BufferPool::new(disk, pool_frames));
-        let log = Arc::new(LogManager::open(log_store)?);
+        // One observability registry per store: the pool, log, lock table,
+        // and tree all record into it, so Registry::report() covers every
+        // layer of one workload and parallel tests never share metrics.
+        let registry = Registry::new();
+        let pool = Arc::new(BufferPool::with_recorder(
+            disk,
+            pool_frames,
+            registry.recorder(),
+        ));
+        let log = Arc::new(LogManager::open_observed(log_store, registry.recorder())?);
         pool.set_wal_hook(Arc::clone(&log) as Arc<_>);
         let space = if fresh {
             SpaceMap::init(&pool, max_pages)?
@@ -57,6 +66,12 @@ impl Store {
 }
 
 impl Store {
+    /// The recorder of this store's observability registry (shared by the
+    /// pool, log, lock table, and any tree opened over this store).
+    pub fn recorder(&self) -> &Recorder {
+        self.pool.recorder()
+    }
+
     /// Open (or create) a file-backed store in `dir`: pages in `store.db`,
     /// the log in `store.log` (+ `store.master`). The store is fresh iff
     /// `store.db` does not exist yet.

@@ -78,13 +78,14 @@ impl PiTree {
             act.apply(&meta, &mut g, PageOp::InsertSlot { slot, bytes: rec })?;
         }
         act.commit()?;
+        let stats = Arc::new(TreeStats::new(store.recorder()));
         Ok(PiTree {
             store,
             cfg,
             tree_id,
             root,
             completions: Arc::new(CompletionQueue::default()),
-            stats: Arc::new(TreeStats::default()),
+            stats,
         })
     }
 
@@ -106,13 +107,14 @@ impl PiTree {
             }
             found.ok_or_else(|| StoreError::Corrupt(format!("tree {tree_id} not registered")))?
         };
+        let stats = Arc::new(TreeStats::new(store.recorder()));
         Ok(PiTree {
             store,
             cfg,
             tree_id,
             root,
             completions: Arc::new(CompletionQueue::default()),
-            stats: Arc::new(TreeStats::default()),
+            stats,
         })
     }
 
@@ -161,6 +163,12 @@ impl PiTree {
     /// Operation counters.
     pub fn stats(&self) -> &TreeStats {
         &self.stats
+    }
+
+    /// The store's observability recorder (for `op.*` latency histograms,
+    /// SMO events, and `Registry::report`).
+    pub fn recorder(&self) -> &pitree_obs::Recorder {
+        self.store.recorder()
     }
 
     /// Shared handle to the counters (for commit hooks).

@@ -73,12 +73,7 @@ fn inserts_split_and_grow_the_tree() {
         tree.height().unwrap() >= 3,
         "200 keys across 6-entry nodes must stack levels"
     );
-    assert!(
-        tree.stats()
-            .splits
-            .load(std::sync::atomic::Ordering::Relaxed)
-            > 10
-    );
+    assert!(tree.stats().splits.get() > 10);
     let report = tree.validate().unwrap();
     assert!(report.is_well_formed(), "{:?}", report.violations);
     assert_eq!(report.records, 200);
@@ -128,10 +123,7 @@ fn intermediate_states_are_well_formed_and_searchable() {
         assert_eq!(tree.get_unlocked(&key(i)).unwrap(), Some(val(i)));
     }
     assert!(
-        tree.stats()
-            .side_traversals
-            .load(std::sync::atomic::Ordering::Relaxed)
-            > 0,
+        tree.stats().side_traversals.get() > 0,
         "searches must have crossed side pointers"
     );
     // Now run the scheduled completions and verify the states resolve.
@@ -217,12 +209,7 @@ fn consolidation_shrinks_node_count() {
         leaves_after < leaves_before / 2,
         "consolidation must reclaim nodes: {leaves_before} -> {leaves_after}"
     );
-    assert!(
-        tree.stats()
-            .consolidations
-            .load(std::sync::atomic::Ordering::Relaxed)
-            > 0
-    );
+    assert!(tree.stats().consolidations.get() > 0);
     // All remaining keys still reachable.
     for i in (0..300).step_by(10) {
         assert_eq!(tree.get_unlocked(&key(i)).unwrap(), Some(val(i)));
@@ -241,12 +228,7 @@ fn cns_policy_never_consolidates() {
         t.commit().unwrap();
     }
     tree.run_completions().unwrap();
-    assert_eq!(
-        tree.stats()
-            .consolidations
-            .load(std::sync::atomic::Ordering::Relaxed),
-        0
-    );
+    assert_eq!(tree.stats().consolidations.get(), 0);
     let report = tree.validate().unwrap();
     assert!(report.is_well_formed(), "{:?}", report.violations);
     assert_eq!(report.records, 0);
@@ -328,10 +310,7 @@ fn abort_after_structure_change_keeps_split_logical() {
     for i in 0..40 {
         tree.insert(&mut t, &key(i), &val(i)).unwrap();
     }
-    let splits_before = tree
-        .stats()
-        .splits
-        .load(std::sync::atomic::Ordering::Relaxed);
+    let splits_before = tree.stats().splits.get();
     assert!(
         splits_before > 0,
         "40 inserts into 6-entry leaves must split"
@@ -370,10 +349,7 @@ fn in_txn_split_counting_page_oriented() {
         tree.insert(&mut t, &key(i), &val(i)).unwrap();
     }
     t.commit().unwrap();
-    let in_txn = tree
-        .stats()
-        .splits_in_txn
-        .load(std::sync::atomic::Ordering::Relaxed);
+    let in_txn = tree.stats().splits_in_txn.get();
     assert!(
         in_txn > 0,
         "same-transaction fill must trigger in-txn splits"

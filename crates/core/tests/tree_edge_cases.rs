@@ -115,12 +115,7 @@ fn tiny_buffer_pool_still_works() {
     assert!(report.is_well_formed(), "{:?}", report.violations);
     assert_eq!(report.records, 600);
     assert!(
-        cs.store
-            .pool
-            .stats()
-            .dirty_evictions
-            .load(std::sync::atomic::Ordering::Relaxed)
-            > 50,
+        cs.store.pool.stats().dirty_evictions.get() > 50,
         "the workload must actually evict dirty pages"
     );
     // And it all survives a crash (pages partially on disk from evictions).

@@ -4,7 +4,6 @@
 //! the locking required").
 
 use pitree::{CrashableStore, MoveGranule, PiTree, PiTreeConfig};
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 fn key(i: u64) -> Vec<u8> {
@@ -39,7 +38,7 @@ fn relation_granule_is_correct() {
         assert_eq!(tree.get_unlocked(&key(i)).unwrap(), Some(b"v".to_vec()));
     }
     // In-transaction splits happened under the single relation lock too.
-    assert!(tree.stats().splits_in_txn.load(Ordering::Relaxed) > 0);
+    assert!(tree.stats().splits_in_txn.get() > 0);
 }
 
 #[test]
@@ -48,14 +47,8 @@ fn relation_granule_defers_more_postings_than_page_granule() {
     // the relation move lock, no posting anywhere in the tree may proceed.
     let (_cs, page_tree) = run_batches(MoveGranule::Page);
     let (_cs2, rel_tree) = run_batches(MoveGranule::Relation);
-    let page_deferred = page_tree
-        .stats()
-        .postings_move_deferred
-        .load(Ordering::Relaxed);
-    let rel_deferred = rel_tree
-        .stats()
-        .postings_move_deferred
-        .load(Ordering::Relaxed);
+    let page_deferred = page_tree.stats().postings_move_deferred.get();
+    let rel_deferred = rel_tree.stats().postings_move_deferred.get();
     assert!(
         rel_deferred >= page_deferred,
         "relation granule must defer at least as many postings: page={page_deferred} \

@@ -96,10 +96,7 @@ fn posting_for_consolidated_node_terminates_node_gone() {
     }
     let after = tree.validate().unwrap();
     assert!(after.is_well_formed(), "{:?}", after.violations);
-    let consolidations = tree
-        .stats()
-        .consolidations
-        .load(std::sync::atomic::Ordering::Relaxed);
+    let consolidations = tree.stats().consolidations.get();
     assert!(
         consolidations > 0,
         "the churn must have consolidated something"
@@ -199,10 +196,5 @@ fn page_oriented_consolidation_under_concurrency() {
     assert!(report.is_well_formed(), "{:?}", report.violations);
     // Consolidation under PageOriented takes move locks; it must still have
     // made progress (possibly with some deferred-and-retried attempts).
-    assert!(
-        tree.stats()
-            .consolidations
-            .load(std::sync::atomic::Ordering::Relaxed)
-            > 0
-    );
+    assert!(tree.stats().consolidations.get() > 0);
 }

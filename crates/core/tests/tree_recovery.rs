@@ -120,10 +120,7 @@ fn crash_between_split_and_posting_completes_lazily() {
         commit_insert(&tree, i);
     }
     assert!(!tree.completions().is_empty(), "postings must be pending");
-    let scheduled_before = tree
-        .stats()
-        .postings_scheduled
-        .load(std::sync::atomic::Ordering::Relaxed);
+    let scheduled_before = tree.stats().postings_scheduled.get();
     assert!(scheduled_before > 0);
     drop(tree);
     // The completion queue is volatile — the crash loses it (§5.1: "we lose

@@ -3,14 +3,23 @@
 
 use pitree::{CrashableStore, PiTree, PiTreeConfig};
 use pitree_baselines::ConcurrentIndex;
+use pitree_obs::{Hist, Stopwatch};
 use std::sync::Arc;
 
 /// A Π-tree with its store, autocommitting one transaction per operation
 /// (the same per-operation cost model the baselines have — minus their
 /// missing WAL, which biases *against* the Π-tree; see DESIGN.md).
+///
+/// Whole-operation latencies (including deadlock retries) land in the
+/// store's registry as the `op.insert_ns` / `op.get_ns` / `op.delete_ns`
+/// histograms — the top of the metric stack described in
+/// `OBSERVABILITY.md`.
 pub struct PiTreeIndex {
     _store: CrashableStore,
     tree: PiTree,
+    op_insert_ns: Hist,
+    op_get_ns: Hist,
+    op_delete_ns: Hist,
 }
 
 impl PiTreeIndex {
@@ -18,9 +27,13 @@ impl PiTreeIndex {
     pub fn new(pool_frames: usize, cfg: PiTreeConfig) -> PiTreeIndex {
         let store = CrashableStore::create(pool_frames, 1 << 20).expect("store");
         let tree = PiTree::create(Arc::clone(&store.store), 1, cfg).expect("tree");
+        let rec = tree.recorder().clone();
         PiTreeIndex {
             _store: store,
             tree,
+            op_insert_ns: rec.hist("op.insert_ns"),
+            op_get_ns: rec.hist("op.get_ns"),
+            op_delete_ns: rec.hist("op.delete_ns"),
         }
     }
 
@@ -32,11 +45,13 @@ impl PiTreeIndex {
 
 impl ConcurrentIndex for PiTreeIndex {
     fn insert(&self, key: &[u8], value: &[u8]) {
+        let t = Stopwatch::start();
         loop {
             let mut txn = self.tree.begin();
             match self.tree.insert(&mut txn, key, value) {
                 Ok(_) => {
                     txn.commit().expect("commit");
+                    self.op_insert_ns.record(t.elapsed_ns());
                     return;
                 }
                 Err(pitree_pagestore::StoreError::LockFailed { .. }) => {
@@ -49,15 +64,20 @@ impl ConcurrentIndex for PiTreeIndex {
     }
 
     fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
-        self.tree.get_unlocked(key).expect("get")
+        let t = Stopwatch::start();
+        let got = self.tree.get_unlocked(key).expect("get");
+        self.op_get_ns.record(t.elapsed_ns());
+        got
     }
 
     fn delete(&self, key: &[u8]) -> bool {
+        let t = Stopwatch::start();
         loop {
             let mut txn = self.tree.begin();
             match self.tree.delete(&mut txn, key) {
                 Ok(hit) => {
                     txn.commit().expect("commit");
+                    self.op_delete_ns.record(t.elapsed_ns());
                     return hit;
                 }
                 Err(pitree_pagestore::StoreError::LockFailed { .. }) => {

@@ -23,7 +23,6 @@
 use pitree::PiTreeConfig;
 use pitree_baselines::{ConcurrentIndex, LockCouplingTree, OptimisticCouplingTree, SerialSmoTree};
 use pitree_harness::{KeyDist, PiTreeIndex, Table, Workload};
-use std::sync::atomic::Ordering;
 use std::time::Instant;
 
 const OPS: u64 = 20_000;
@@ -76,7 +75,7 @@ fn main() {
 
         let pi = PiTreeIndex::new(8192, PiTreeConfig::small_nodes(fanout, fanout));
         let tput = drive(&pi, dist, read_frac);
-        let upper = pi.tree().stats().upper_exclusive.load(Ordering::Relaxed);
+        let upper = pi.tree().stats().upper_exclusive.get();
         table.row(&[
             "pi-tree".into(),
             format!("{:.1}", upper as f64 * 1000.0 / OPS as f64),

@@ -103,14 +103,8 @@ fn main() {
         .filter(|a| a.identity != ActionIdentity::Transaction && a.updates > 0)
         .collect();
     smo.sort_by_key(|a| std::cmp::Reverse(a.updates));
-    let splits = tree
-        .stats()
-        .splits
-        .load(std::sync::atomic::Ordering::Relaxed);
-    let posts = tree
-        .stats()
-        .postings_done
-        .load(std::sync::atomic::Ordering::Relaxed);
+    let splits = tree.stats().splits.get();
+    let posts = tree.stats().postings_done.get();
     let avg_smo_pages: f64 =
         smo.iter().map(|a| a.pages.len()).sum::<usize>() as f64 / smo.len().max(1) as f64;
 

@@ -10,7 +10,6 @@
 
 use pitree::{ConsolidationPolicy, CrashableStore, DeallocPolicy, PiTree, PiTreeConfig};
 use pitree_harness::{KeyDist, Table, Workload};
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -79,15 +78,15 @@ fn main() {
         let s1 = searches(&tree, 1);
         let s8 = searches(&tree, 8);
         let stats = tree.stats();
-        let posts = stats.postings_done.load(Ordering::Relaxed).max(1);
-        let touched = stats.posting_nodes_touched.load(Ordering::Relaxed);
+        let posts = stats.postings_done.get().max(1);
+        let touched = stats.posting_nodes_touched.get();
         table.row(&[
             name.into(),
             format!("{s1:.0}"),
             format!("{s8:.0}"),
             format!("{:.2}", touched as f64 / posts as f64),
-            stats.saved_path_hits.load(Ordering::Relaxed).to_string(),
-            stats.saved_path_misses.load(Ordering::Relaxed).to_string(),
+            stats.saved_path_hits.get().to_string(),
+            stats.saved_path_misses.get().to_string(),
         ]);
     }
     table.print();

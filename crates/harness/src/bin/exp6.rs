@@ -11,7 +11,6 @@
 
 use pitree::{ConsolidationPolicy, CrashableStore, DeallocPolicy, PiTree, PiTreeConfig};
 use pitree_harness::Table;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -31,17 +30,16 @@ fn run(keys: u64, consolidation: ConsolidationPolicy) -> (u8, f64, f64, u64, u64
     }
     let elapsed = t0.elapsed().as_secs_f64();
     let stats = tree.stats();
-    let posts = stats.postings_done.load(Ordering::Relaxed)
-        + stats.postings_noop.load(Ordering::Relaxed)
-        + stats.postings_node_gone.load(Ordering::Relaxed);
-    let touched = stats.posting_nodes_touched.load(Ordering::Relaxed);
+    let posts =
+        stats.postings_done.get() + stats.postings_noop.get() + stats.postings_node_gone.get();
+    let touched = stats.posting_nodes_touched.get();
     assert!(tree.validate().unwrap().is_well_formed());
     (
         tree.height().unwrap(),
         touched as f64 / posts.max(1) as f64,
         elapsed * 1e6 / keys as f64,
-        stats.saved_path_hits.load(Ordering::Relaxed),
-        stats.saved_path_misses.load(Ordering::Relaxed),
+        stats.saved_path_hits.get(),
+        stats.saved_path_misses.get(),
     )
 }
 

@@ -7,7 +7,6 @@
 
 use pitree::{Completion, CrashableStore, PiTree, PiTreeConfig};
 use pitree_harness::Table;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 fn key(i: u64) -> Vec<u8> {
@@ -55,7 +54,7 @@ fn main() {
     }
     let after = leaves(&tree);
     let pages_after = cs.store.space.allocated_count(&cs.store.pool).unwrap();
-    let consolidations = tree.stats().consolidations.load(Ordering::Relaxed);
+    let consolidations = tree.stats().consolidations.get();
 
     let mut table = Table::new(&["phase", "leaf nodes", "allocated pages", "records"]);
     table.row(&[
@@ -80,7 +79,7 @@ fn main() {
     // legitimate merges, never corrupting the tree.
     println!("\nidempotence check: double-scheduling completions for every leaf...");
     let report = tree.validate().unwrap();
-    let noop_before = tree.stats().consolidations_noop.load(Ordering::Relaxed);
+    let noop_before = tree.stats().consolidations_noop.get();
     for _ in 0..2 {
         for i in 0..KEYS {
             tree.completions().push(Completion::Consolidate {
@@ -93,7 +92,7 @@ fn main() {
         }
     }
     let report2 = tree.validate().unwrap();
-    let noop_after = tree.stats().consolidations_noop.load(Ordering::Relaxed);
+    let noop_after = tree.stats().consolidations_noop.get();
     println!(
         "  re-scheduled {} stale completions; {} rejected by the testable-state check",
         2 * KEYS,

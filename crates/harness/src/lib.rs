@@ -2,9 +2,18 @@
 //! Experiment harness: workload generators, index adapters, and the table
 //! printer used by the `exp*` and `fig*` binaries that regenerate every
 //! entry in `EXPERIMENTS.md`.
+//!
+//! The harness also hosts the observability demo ([`obsdemo`]) and its
+//! `obstop` binary, which runs a deterministic seeded workload across
+//! every instrumented layer and prints the unified `pitree-obs` report
+//! (see `OBSERVABILITY.md` at the workspace root). The [`adapters`]
+//! additionally record whole-operation latency histograms
+//! (`op.insert_ns` / `op.get_ns` / `op.delete_ns`) into the store's
+//! registry.
 
 pub mod adapters;
 pub mod completer;
+pub mod obsdemo;
 pub mod table;
 pub mod workload;
 

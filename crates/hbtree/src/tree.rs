@@ -133,13 +133,14 @@ impl HbTree {
             act.apply(&meta, &mut g, PageOp::InsertSlot { slot, bytes: rec })?;
         }
         act.commit()?;
+        let stats = Arc::new(TreeStats::new(store.recorder()));
         Ok(HbTree {
             store,
             cfg,
             tree_id,
             root,
             queue: Mutex::new(VecDeque::new()),
-            stats: Arc::new(TreeStats::default()),
+            stats,
         })
     }
 
@@ -161,13 +162,14 @@ impl HbTree {
             }
             found.ok_or_else(|| StoreError::Corrupt(format!("hB tree {tree_id} not registered")))?
         };
+        let stats = Arc::new(TreeStats::new(store.recorder()));
         Ok(HbTree {
             store,
             cfg,
             tree_id,
             root,
             queue: Mutex::new(VecDeque::new()),
-            stats: Arc::new(TreeStats::default()),
+            stats,
         })
     }
 

@@ -1,0 +1,286 @@
+//! Fixed-size trace events and bounded per-thread rings.
+//!
+//! Each recording thread owns one ring per registry; writers never
+//! contend with each other, and a full ring overwrites its oldest entry
+//! (counting the drop) instead of blocking the instrumented path. Events
+//! are stamped with a per-thread sequence number (`seq`, gap-free even
+//! across drops) and a registry-wide logical clock (`clock`), never wall
+//! time — the determinism contract of the crate docs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// What happened. Payload meaning per kind is documented in
+/// `OBSERVABILITY.md`; `a`/`b` in [`Event`] carry ids, modes, or sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// S-latch acquired (`a` = 1 if the acquisition blocked, `b` = rank).
+    LatchAcquireS,
+    /// U-latch acquired (`a` = waited, `b` = rank).
+    LatchAcquireU,
+    /// X-latch acquired (`a` = waited, `b` = rank).
+    LatchAcquireX,
+    /// U→X promotion completed (`a` = waited, `b` = rank).
+    LatchPromote,
+    /// A latch guard was released (`a` = mode: 0 S, 1 U, 2 X; `b` = rank).
+    LatchRelease,
+    /// Buffer-pool fetch served from memory (`a` = page id).
+    BufHit,
+    /// Buffer-pool fetch read from disk (`a` = page id).
+    BufMiss,
+    /// Dirty page written back during eviction (`a` = page id).
+    BufEvictDirty,
+    /// Dirty page written back by `flush_all` (`a` = page id).
+    BufFlush,
+    /// Log record appended (`a` = LSN, `b` = record-kind code).
+    WalAppend,
+    /// Log forced to durable storage (`a` = LSN reached, `b` = bytes).
+    WalForce,
+    /// Fuzzy checkpoint taken (`a` = checkpoint LSN).
+    WalCheckpoint,
+    /// Database lock granted (`a` = owner action id, `b` = mode code).
+    LockGrant,
+    /// Database lock request blocked (`a` = owner, `b` = mode code).
+    LockWait,
+    /// Deadlock detected; requester denied (`a` = victim action id).
+    LockDeadlock,
+    /// Lock wait timed out (`a` = owner action id).
+    LockTimeout,
+    /// Atomic action / transaction began (`a` = action id,
+    /// `b` = identity code: 0 transaction, 1 separate, 2 system, 3 nested).
+    ActionBegin,
+    /// Atomic action committed (`a` = action id, `b` = 1 if forced).
+    ActionCommit,
+    /// Atomic action rolled back (`a` = action id).
+    ActionAbort,
+    /// SMO: node split performed (`a` = split page id, `b` = new page id).
+    SmoSplit,
+    /// SMO: root growth (`a` = root page id).
+    SmoRootGrow,
+    /// SMO: index-term posting attempt finished (`a` = described page id,
+    /// `b` = outcome: 0 posted, 1 already, 2 node gone, 3 move-deferred).
+    SmoPost,
+    /// SMO: consolidation attempt finished (`a` = container page id,
+    /// `b` = outcome: 0 done, 1 no-op).
+    SmoConsolidate,
+}
+
+impl EventKind {
+    /// Stable snake_case name used by the JSONL export.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::LatchAcquireS => "latch_acquire_s",
+            EventKind::LatchAcquireU => "latch_acquire_u",
+            EventKind::LatchAcquireX => "latch_acquire_x",
+            EventKind::LatchPromote => "latch_promote",
+            EventKind::LatchRelease => "latch_release",
+            EventKind::BufHit => "buf_hit",
+            EventKind::BufMiss => "buf_miss",
+            EventKind::BufEvictDirty => "buf_evict_dirty",
+            EventKind::BufFlush => "buf_flush",
+            EventKind::WalAppend => "wal_append",
+            EventKind::WalForce => "wal_force",
+            EventKind::WalCheckpoint => "wal_checkpoint",
+            EventKind::LockGrant => "lock_grant",
+            EventKind::LockWait => "lock_wait",
+            EventKind::LockDeadlock => "lock_deadlock",
+            EventKind::LockTimeout => "lock_timeout",
+            EventKind::ActionBegin => "action_begin",
+            EventKind::ActionCommit => "action_commit",
+            EventKind::ActionAbort => "action_abort",
+            EventKind::SmoSplit => "smo_split",
+            EventKind::SmoRootGrow => "smo_root_grow",
+            EventKind::SmoPost => "smo_post",
+            EventKind::SmoConsolidate => "smo_consolidate",
+        }
+    }
+}
+
+/// One fixed-size trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Registry-wide logical timestamp (allocation order across threads).
+    pub clock: u64,
+    /// Per-thread emission index; gap-free even when the ring drops.
+    pub seq: u64,
+    /// Registry-local thread index (assigned on first event).
+    pub tid: u32,
+    /// What happened.
+    pub kind: EventKind,
+    /// First payload word (see [`EventKind`] docs).
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+}
+
+impl Event {
+    /// One JSONL line for this event (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"clock\":{},\"seq\":{},\"tid\":{},\"kind\":\"{}\",\"a\":{},\"b\":{}}}",
+            self.clock,
+            self.seq,
+            self.tid,
+            self.kind.name(),
+            self.a,
+            self.b
+        )
+    }
+}
+
+struct RingBuf {
+    buf: Vec<Event>,
+    /// Next write position once `buf` has grown to capacity.
+    write: usize,
+    /// Events delivered to `drain` so far (for drop accounting).
+    drained: u64,
+}
+
+/// One thread's bounded event ring. The owning thread pushes; any thread
+/// may drain. The mutex is effectively uncontended (one writer, rare
+/// readers); the instrumented fast path is a push into a pre-allocated
+/// slot.
+pub(crate) struct ThreadRing {
+    pub(crate) tid: u32,
+    cap: usize,
+    /// Total events emitted by this thread (== next `seq`).
+    emitted: AtomicU64,
+    state: Mutex<RingBuf>,
+}
+
+impl ThreadRing {
+    pub(crate) fn new(tid: u32, cap: usize) -> ThreadRing {
+        ThreadRing {
+            tid,
+            cap,
+            emitted: AtomicU64::new(0),
+            state: Mutex::new(RingBuf {
+                buf: Vec::new(),
+                write: 0,
+                drained: 0,
+            }),
+        }
+    }
+
+    /// Append an event, overwriting the oldest once the ring is full.
+    pub(crate) fn push(&self, clock: u64, kind: EventKind, a: u64, b: u64) {
+        let seq = self.emitted.fetch_add(1, Ordering::Relaxed);
+        let ev = Event {
+            clock,
+            seq,
+            tid: self.tid,
+            kind,
+            a,
+            b,
+        };
+        let mut st = self.state.lock().unwrap();
+        if st.buf.len() < self.cap {
+            st.buf.push(ev);
+        } else {
+            let w = st.write;
+            st.buf[w] = ev;
+        }
+        st.write = (st.write + 1) % self.cap;
+    }
+
+    /// Remove and return the buffered events in emission order.
+    pub(crate) fn drain(&self) -> Vec<Event> {
+        let mut st = self.state.lock().unwrap();
+        let out = if st.buf.len() < self.cap {
+            std::mem::take(&mut st.buf)
+        } else {
+            let w = st.write;
+            let mut v = Vec::with_capacity(self.cap);
+            v.extend_from_slice(&st.buf[w..]);
+            v.extend_from_slice(&st.buf[..w]);
+            st.buf.clear();
+            v
+        };
+        st.write = 0;
+        st.drained += out.len() as u64;
+        out
+    }
+
+    /// Total events this thread has emitted (including dropped ones).
+    pub(crate) fn emitted(&self) -> u64 {
+        self.emitted.load(Ordering::Relaxed)
+    }
+
+    /// Events currently buffered (not yet drained, not dropped).
+    pub(crate) fn buffered_len(&self) -> usize {
+        self.state.lock().unwrap().buf.len()
+    }
+
+    /// Events lost to ring wraparound so far.
+    pub(crate) fn dropped(&self) -> u64 {
+        let st = self.state.lock().unwrap();
+        self.emitted() - st.drained - st.buf.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_drain_in_order() {
+        let r = ThreadRing::new(0, 8);
+        for i in 0..5 {
+            r.push(i, EventKind::BufHit, i, 0);
+        }
+        let evs = r.drain();
+        assert_eq!(evs.len(), 5);
+        for (i, e) in evs.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+            assert_eq!(e.clock, i as u64);
+        }
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn wraparound_drops_oldest_and_keeps_seq_gap_free() {
+        let r = ThreadRing::new(3, 4);
+        for i in 0..10u64 {
+            r.push(i, EventKind::BufMiss, i, 0);
+        }
+        let evs = r.drain();
+        assert_eq!(evs.len(), 4, "bounded at capacity");
+        // The newest 4 survive, in order, with their original seqnos.
+        let seqs: Vec<u64> = evs.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert!(evs.iter().all(|e| e.tid == 3));
+        assert_eq!(r.emitted(), 10);
+        assert_eq!(r.dropped(), 6);
+    }
+
+    #[test]
+    fn drain_resets_ring_but_not_seq() {
+        let r = ThreadRing::new(0, 4);
+        for i in 0..6u64 {
+            r.push(i, EventKind::BufHit, 0, 0);
+        }
+        let first = r.drain();
+        assert_eq!(first.last().unwrap().seq, 5);
+        r.push(6, EventKind::BufHit, 0, 0);
+        let second = r.drain();
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].seq, 6, "seq continues across drains");
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let e = Event {
+            clock: 7,
+            seq: 3,
+            tid: 1,
+            kind: EventKind::WalAppend,
+            a: 42,
+            b: 4,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"clock\":7,\"seq\":3,\"tid\":1,\"kind\":\"wal_append\",\"a\":42,\"b\":4}"
+        );
+    }
+}

@@ -12,9 +12,10 @@
 use crate::disk::DiskManager;
 use crate::error::{StoreError, StoreResult};
 use crate::ids::{Lsn, PageId};
-use crate::latch::{Latch, SGuard, UGuard, XGuard};
+use crate::latch::{order, Latch, SGuard, UGuard, XGuard};
 use crate::page::{Page, PageType};
 use crate::sync::Mutex;
+use pitree_obs::{Counter, EventKind, Hist, Recorder, Stopwatch};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -38,9 +39,9 @@ struct Frame {
 }
 
 impl Frame {
-    fn new() -> Frame {
+    fn new(rec: &Recorder) -> Frame {
         Frame {
-            latch: Latch::new(Page::new(PageType::Free)),
+            latch: Latch::new_observed(Page::new(PageType::Free), order::UNRANKED, rec),
             pid: Mutex::new(None),
             pin: AtomicU32::new(0),
             dirty: AtomicBool::new(false),
@@ -55,15 +56,27 @@ struct PoolInner {
     clock: usize,
 }
 
-/// Counters exposed for the buffer-behaviour experiments.
-#[derive(Debug, Default)]
+/// Counters exposed for the buffer-behaviour experiments. These are thin
+/// handles onto the pool's [`Recorder`] registry (`buf.*` names), so the
+/// same numbers appear in [`pitree_obs::Registry::report`].
+#[derive(Debug, Clone)]
 pub struct PoolStats {
-    /// Fetches served from the pool.
-    pub hits: AtomicU64,
-    /// Fetches that had to read from disk.
-    pub misses: AtomicU64,
-    /// Dirty pages written back during eviction.
-    pub dirty_evictions: AtomicU64,
+    /// Fetches served from the pool (`buf.hits`).
+    pub hits: Counter,
+    /// Fetches that had to read from disk (`buf.misses`).
+    pub misses: Counter,
+    /// Dirty pages written back during eviction (`buf.dirty_evictions`).
+    pub dirty_evictions: Counter,
+}
+
+impl PoolStats {
+    fn new(rec: &Recorder) -> PoolStats {
+        PoolStats {
+            hits: rec.counter("buf.hits"),
+            misses: rec.counter("buf.misses"),
+            dirty_evictions: rec.counter("buf.dirty_evictions"),
+        }
+    }
 }
 
 /// The buffer pool. Cheap to share via `Arc`.
@@ -72,23 +85,45 @@ pub struct BufferPool {
     inner: Mutex<PoolInner>,
     disk: Arc<dyn DiskManager>,
     wal: OnceLock<Arc<dyn WalFlush>>,
+    rec: Recorder,
     stats: PoolStats,
+    flushes: Counter,
+    read_ns: Hist,
+    writeback_ns: Hist,
 }
 
 impl BufferPool {
-    /// Create a pool of `capacity` frames over `disk`.
+    /// Create a pool of `capacity` frames over `disk`, recording into a
+    /// fresh private registry (see [`BufferPool::with_recorder`]).
     pub fn new(disk: Arc<dyn DiskManager>, capacity: usize) -> BufferPool {
+        BufferPool::with_recorder(disk, capacity, Recorder::detached())
+    }
+
+    /// Create a pool of `capacity` frames over `disk`, recording `buf.*`
+    /// metrics and buffer/latch events into `rec`'s registry. The store
+    /// assembly passes one registry through pool, log, lock table, and
+    /// tree so a whole workload reports in one place.
+    pub fn with_recorder(disk: Arc<dyn DiskManager>, capacity: usize, rec: Recorder) -> BufferPool {
         assert!(capacity > 0);
         BufferPool {
-            frames: (0..capacity).map(|_| Frame::new()).collect(),
+            frames: (0..capacity).map(|_| Frame::new(&rec)).collect(),
             inner: Mutex::new(PoolInner {
                 table: HashMap::new(),
                 clock: 0,
             }),
             disk,
             wal: OnceLock::new(),
-            stats: PoolStats::default(),
+            stats: PoolStats::new(&rec),
+            flushes: rec.counter("buf.flushes"),
+            read_ns: rec.hist("buf.read_ns"),
+            writeback_ns: rec.hist("buf.writeback_ns"),
+            rec,
         }
+    }
+
+    /// The recorder this pool (and its frame latches) report into.
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
     }
 
     /// Register the log-force hook. Must be called once, before any dirty
@@ -125,20 +160,24 @@ impl BufferPool {
             let frame = &self.frames[idx];
             frame.pin.fetch_add(1, Ordering::SeqCst);
             frame.referenced.store(true, Ordering::Relaxed);
-            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            self.stats.hits.inc();
+            self.rec.event(EventKind::BufHit, pid.0, 0);
             return Ok(PinnedPage {
                 pool: self,
                 frame: idx,
                 pid,
             });
         }
-        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        self.stats.misses.inc();
+        self.rec.event(EventKind::BufMiss, pid.0, 0);
         // Load/format the page first so a failed read leaves the pool intact.
+        let timer = Stopwatch::start();
         let page = match self.disk.read_page(pid) {
             Ok(p) => p,
             Err(StoreError::PageNotFound(_)) if create.is_some() => Page::new(create.unwrap()),
             Err(e) => return Err(e),
         };
+        self.read_ns.record(timer.elapsed_ns());
         let idx = self.evict_victim(&mut inner)?;
         let frame = &self.frames[idx];
         {
@@ -185,7 +224,8 @@ impl BufferPool {
                         .try_s()
                         .expect("unpinned frame cannot be latched");
                     self.write_back(old, &g)?;
-                    self.stats.dirty_evictions.fetch_add(1, Ordering::Relaxed);
+                    self.stats.dirty_evictions.inc();
+                    self.rec.event(EventKind::BufEvictDirty, old.0, 0);
                 }
             }
             return Ok(idx);
@@ -195,6 +235,7 @@ impl BufferPool {
 
     /// WAL-protocol write of one page image.
     fn write_back(&self, pid: PageId, page: &Page) -> StoreResult<()> {
+        let timer = Stopwatch::start();
         if let Some(wal) = self.wal.get() {
             wal.flush_to(page.lsn())?;
         } else if page.lsn() != Lsn::ZERO {
@@ -203,7 +244,9 @@ impl BufferPool {
                 page.lsn()
             )));
         }
-        self.disk.write_page(pid, page)
+        let res = self.disk.write_page(pid, page);
+        self.writeback_ns.record(timer.elapsed_ns());
+        res
     }
 
     /// Write every dirty page back to disk (checkpoint / clean shutdown).
@@ -220,6 +263,8 @@ impl BufferPool {
                 // the race by re-reading the pid.
                 if *frame.pid.lock() == Some(pid) {
                     self.write_back(pid, &g)?;
+                    self.flushes.inc();
+                    self.rec.event(EventKind::BufFlush, pid.0, 0);
                 } else {
                     frame.dirty.store(true, Ordering::SeqCst);
                 }
@@ -356,7 +401,7 @@ mod tests {
         }
         let p = pool.fetch(PageId(1)).unwrap();
         assert_eq!(p.s().get(0).unwrap(), b"cached");
-        assert_eq!(pool.stats().hits.load(Ordering::Relaxed), 1);
+        assert_eq!(pool.stats().hits.get(), 1);
     }
 
     #[test]

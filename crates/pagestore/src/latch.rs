@@ -23,6 +23,7 @@
 //! holding no latch ordered after this one.
 
 use crate::sync::{Condvar, Mutex};
+use pitree_obs::{Counter, EventKind, Hist, Recorder, Stopwatch};
 use std::cell::UnsafeCell;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -156,11 +157,54 @@ impl State {
     }
 }
 
+/// Per-latch observability handles, pre-resolved at construction so the
+/// hot path never touches the registry's name map. Buffer-pool frame
+/// latches are observed ([`Latch::new_observed`]); ad-hoc latches are
+/// not and pay only an `Option` check.
+#[derive(Clone)]
+struct LatchObs {
+    rec: Recorder,
+    acq_s: Counter,
+    acq_u: Counter,
+    acq_x: Counter,
+    promotes: Counter,
+    waits: Counter,
+    wait_ns: Hist,
+}
+
+impl LatchObs {
+    fn new(rec: &Recorder) -> LatchObs {
+        LatchObs {
+            acq_s: rec.counter("latch.acquire_s"),
+            acq_u: rec.counter("latch.acquire_u"),
+            acq_x: rec.counter("latch.acquire_x"),
+            promotes: rec.counter("latch.promotes"),
+            waits: rec.counter("latch.waits"),
+            wait_ns: rec.hist("latch.wait_ns"),
+            rec: rec.clone(),
+        }
+    }
+
+    fn acquired(&self, kind: EventKind, counter: &Counter, waited: Option<Stopwatch>, rank: u64) {
+        counter.inc();
+        if let Some(t) = waited {
+            self.waits.inc();
+            self.wait_ns.record(t.elapsed_ns());
+        }
+        self.rec.event(kind, waited.is_some() as u64, rank);
+    }
+
+    fn released(&self, mode: u64, rank: u64) {
+        self.rec.event(EventKind::LatchRelease, mode, rank);
+    }
+}
+
 /// A latch-protected value. See the module docs for the protocol.
 pub struct Latch<T> {
     state: Mutex<State>,
     cv: Condvar,
     rank: u64,
+    obs: Option<LatchObs>,
     data: UnsafeCell<T>,
 }
 
@@ -176,6 +220,7 @@ impl<T> Latch<T> {
             state: Mutex::new(State::default()),
             cv: Condvar::new(),
             rank: order::UNRANKED,
+            obs: None,
             data: UnsafeCell::new(value),
         }
     }
@@ -187,6 +232,21 @@ impl<T> Latch<T> {
             state: Mutex::new(State::default()),
             cv: Condvar::new(),
             rank,
+            obs: None,
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Wrap `value` in a latch that records every acquisition, wait, and
+    /// release into `rec` (`latch.*` counters, `latch.wait_ns` histogram,
+    /// `latch_*` events). The buffer pool observes its frame latches this
+    /// way; unobserved latches pay only an `Option` check.
+    pub fn new_observed(value: T, rank: u64, rec: &Recorder) -> Latch<T> {
+        Latch {
+            state: Mutex::new(State::default()),
+            cv: Condvar::new(),
+            rank,
+            obs: Some(LatchObs::new(rec)),
             data: UnsafeCell::new(value),
         }
     }
@@ -200,13 +260,19 @@ impl<T> Latch<T> {
     pub fn s(&self) -> SGuard<'_, T> {
         order::check_and_push(self.rank);
         let mut st = self.state.lock();
+        let mut waited = None;
         if !st.can_s() {
             contention::record_wait();
+            waited = Some(Stopwatch::start());
             while !st.can_s() {
                 st = self.cv.wait(st);
             }
         }
         st.readers += 1;
+        drop(st);
+        if let Some(o) = &self.obs {
+            o.acquired(EventKind::LatchAcquireS, &o.acq_s, waited, self.rank);
+        }
         SGuard { latch: self }
     }
 
@@ -217,6 +283,9 @@ impl<T> Latch<T> {
             st.readers += 1;
             drop(st);
             order::push_unchecked(self.rank);
+            if let Some(o) = &self.obs {
+                o.acquired(EventKind::LatchAcquireS, &o.acq_s, None, self.rank);
+            }
             Some(SGuard { latch: self })
         } else {
             None
@@ -228,13 +297,19 @@ impl<T> Latch<T> {
     pub fn u(&self) -> UGuard<'_, T> {
         order::check_and_push(self.rank);
         let mut st = self.state.lock();
+        let mut waited = None;
         if !st.can_u() {
             contention::record_wait();
+            waited = Some(Stopwatch::start());
             while !st.can_u() {
                 st = self.cv.wait(st);
             }
         }
         st.u_held = true;
+        drop(st);
+        if let Some(o) = &self.obs {
+            o.acquired(EventKind::LatchAcquireU, &o.acq_u, waited, self.rank);
+        }
         UGuard { latch: self }
     }
 
@@ -245,6 +320,9 @@ impl<T> Latch<T> {
             st.u_held = true;
             drop(st);
             order::push_unchecked(self.rank);
+            if let Some(o) = &self.obs {
+                o.acquired(EventKind::LatchAcquireU, &o.acq_u, None, self.rank);
+            }
             Some(UGuard { latch: self })
         } else {
             None
@@ -256,14 +334,20 @@ impl<T> Latch<T> {
         order::check_and_push(self.rank);
         let mut st = self.state.lock();
         st.x_waiting += 1;
+        let mut waited = None;
         if !st.can_x() {
             contention::record_wait();
+            waited = Some(Stopwatch::start());
             while !st.can_x() {
                 st = self.cv.wait(st);
             }
         }
         st.x_waiting -= 1;
         st.x_held = true;
+        drop(st);
+        if let Some(o) = &self.obs {
+            o.acquired(EventKind::LatchAcquireX, &o.acq_x, waited, self.rank);
+        }
         XGuard { latch: self }
     }
 
@@ -274,6 +358,9 @@ impl<T> Latch<T> {
             st.x_held = true;
             drop(st);
             order::push_unchecked(self.rank);
+            if let Some(o) = &self.obs {
+                o.acquired(EventKind::LatchAcquireX, &o.acq_x, None, self.rank);
+            }
             Some(XGuard { latch: self })
         } else {
             None
@@ -313,6 +400,9 @@ impl<T> Drop for SGuard<'_, T> {
         st.readers -= 1;
         drop(st);
         order::pop(self.latch.rank);
+        if let Some(o) = &self.latch.obs {
+            o.released(0, self.latch.rank);
+        }
         self.latch.cv.notify_all();
     }
 }
@@ -330,11 +420,13 @@ impl<'a, T> UGuard<'a, T> {
     /// holding latches ordered after this one while promoting (§4.1.1).
     pub fn promote(self) -> XGuard<'a, T> {
         let latch = self.latch;
+        let mut waited = None;
         {
             let mut st = latch.state.lock();
             st.promoting = true;
             if st.readers > 0 || st.x_held {
                 contention::record_wait();
+                waited = Some(Stopwatch::start());
                 while st.readers > 0 || st.x_held {
                     st = latch.cv.wait(st);
                 }
@@ -342,6 +434,9 @@ impl<'a, T> UGuard<'a, T> {
             st.promoting = false;
             st.u_held = false;
             st.x_held = true;
+        }
+        if let Some(o) = &latch.obs {
+            o.acquired(EventKind::LatchPromote, &o.promotes, waited, latch.rank);
         }
         std::mem::forget(self); // state already transferred to the X guard
         XGuard { latch }
@@ -376,6 +471,9 @@ impl<T> Drop for UGuard<'_, T> {
         st.u_held = false;
         drop(st);
         order::pop(self.latch.rank);
+        if let Some(o) = &self.latch.obs {
+            o.released(1, self.latch.rank);
+        }
         self.latch.cv.notify_all();
     }
 }
@@ -421,6 +519,9 @@ impl<T> Drop for XGuard<'_, T> {
         st.x_held = false;
         drop(st);
         order::pop(self.latch.rank);
+        if let Some(o) = &self.latch.obs {
+            o.released(2, self.latch.rank);
+        }
         self.latch.cv.notify_all();
     }
 }

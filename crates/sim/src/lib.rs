@@ -15,7 +15,7 @@
 //!   a simulated crash at the *n*-th durable-write boundary (page write or
 //!   log append). After firing, every subsequent durable write also fails:
 //!   the machine is dead, the durable image is frozen.
-//! * [`crash`] and [`shake`] — the two closed loops built from those parts:
+//! * [`crash`] and [`mod@shake`] — the two closed loops built from those parts:
 //!   a crash–recover–verify sweep that kills the system at every injected
 //!   boundary of a seeded workload and checks recovery against a `BTreeMap`
 //!   reference model, and a seeded multi-thread schedule shaker for

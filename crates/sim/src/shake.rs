@@ -224,10 +224,7 @@ pub fn shake(seed: u64, cfg: &ShakeConfig) -> ShakeReport {
         seed,
         records: merged.len(),
         ops: cfg.threads * cfg.ops_per_thread,
-        postings_scheduled: tree
-            .stats()
-            .postings_scheduled
-            .load(std::sync::atomic::Ordering::Relaxed),
+        postings_scheduled: tree.stats().postings_scheduled.get(),
     }
 }
 

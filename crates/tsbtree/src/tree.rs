@@ -118,13 +118,14 @@ impl TsbTree {
             act.apply(&meta, &mut g, PageOp::InsertSlot { slot, bytes: rec })?;
         }
         act.commit()?;
+        let stats = Arc::new(TreeStats::new(store.recorder()));
         Ok(TsbTree {
             store,
             cfg,
             tree_id,
             root,
             completions: Arc::new(CompletionQueue::default()),
-            stats: Arc::new(TreeStats::default()),
+            stats,
             clock: AtomicU64::new(0),
         })
     }
@@ -149,13 +150,14 @@ impl TsbTree {
             found
                 .ok_or_else(|| StoreError::Corrupt(format!("TSB tree {tree_id} not registered")))?
         };
+        let stats = Arc::new(TreeStats::new(store.recorder()));
         let tree = TsbTree {
             store,
             cfg,
             tree_id,
             root,
             completions: Arc::new(CompletionQueue::default()),
-            stats: Arc::new(TreeStats::default()),
+            stats,
             clock: AtomicU64::new(0),
         };
         tree.clock.store(tree.max_time_on_disk()?, Ordering::SeqCst);

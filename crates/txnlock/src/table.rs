@@ -11,12 +11,26 @@
 //! [`LockError::WouldBlock`] releases its latches before blocking for real.
 
 use crate::modes::LockMode;
+use pitree_obs::{Counter, EventKind, Hist, Recorder, Stopwatch};
 use pitree_pagestore::sync::{Condvar, Mutex};
 use pitree_pagestore::PageId;
 use pitree_wal::ActionId;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::time::Duration;
+
+/// Stable numeric code for a lock mode, used as the `b` payload of
+/// [`EventKind::LockGrant`] / [`EventKind::LockWait`] events.
+pub fn mode_code(mode: LockMode) -> u64 {
+    match mode {
+        LockMode::IS => 0,
+        LockMode::IX => 1,
+        LockMode::S => 2,
+        LockMode::U => 3,
+        LockMode::X => 4,
+        LockMode::Move => 5,
+    }
+}
 
 /// What a database lock protects.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -113,7 +127,12 @@ pub struct LockTable {
     inner: Mutex<TableInner>,
     cv: Condvar,
     timeout: Duration,
-    waits: std::sync::atomic::AtomicU64,
+    rec: Recorder,
+    acquires: Counter,
+    waits: Counter,
+    deadlocks: Counter,
+    timeouts: Counter,
+    wait_ns: Hist,
 }
 
 impl Default for LockTable {
@@ -123,8 +142,15 @@ impl Default for LockTable {
 }
 
 impl LockTable {
-    /// A table whose blocking waits give up after `timeout`.
+    /// A table whose blocking waits give up after `timeout`, recording into
+    /// a fresh private registry (see [`LockTable::with_recorder`]).
     pub fn new(timeout: Duration) -> LockTable {
+        LockTable::with_recorder(timeout, Recorder::detached())
+    }
+
+    /// [`LockTable::new`] recording `lock.*` metrics and lock events into
+    /// `rec`'s registry.
+    pub fn with_recorder(timeout: Duration, rec: Recorder) -> LockTable {
         LockTable {
             inner: Mutex::new(TableInner {
                 entries: HashMap::new(),
@@ -132,7 +158,12 @@ impl LockTable {
             }),
             cv: Condvar::new(),
             timeout,
-            waits: std::sync::atomic::AtomicU64::new(0),
+            acquires: rec.counter("lock.acquires"),
+            waits: rec.counter("lock.waits"),
+            deadlocks: rec.counter("lock.deadlocks"),
+            timeouts: rec.counter("lock.timeouts"),
+            wait_ns: rec.hist("lock.wait_ns"),
+            rec,
         }
     }
 
@@ -173,6 +204,7 @@ impl LockTable {
             match entry.granted.iter().position(|g| g.owner == owner) {
                 Some(pos) if entry.granted[pos].mode.covers(mode) => {
                     entry.granted[pos].count += 1;
+                    self.granted_obs(owner, mode);
                     return Ok(());
                 }
                 Some(pos) => {
@@ -180,6 +212,7 @@ impl LockTable {
                     if entry.grantable(owner, target, true) {
                         entry.granted[pos].mode = target;
                         entry.granted[pos].count += 1;
+                        self.granted_obs(owner, target);
                         return Ok(());
                     }
                     (target, true)
@@ -191,6 +224,7 @@ impl LockTable {
                             mode,
                             count: 1,
                         });
+                        self.granted_obs(owner, mode);
                         return Ok(());
                     }
                     (mode, false)
@@ -201,8 +235,10 @@ impl LockTable {
         if !block {
             return Err(LockError::WouldBlock);
         }
-        self.waits
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.waits.inc();
+        self.rec
+            .event(EventKind::LockWait, owner.0, mode_code(target));
+        let wait_timer = Stopwatch::start();
 
         // Enqueue (converters at the front, behind other converters).
         {
@@ -224,6 +260,8 @@ impl LockTable {
         // Deadlock check now that the edge exists.
         if self.find_cycle(&inner, owner) {
             self.remove_waiter(&mut inner, owner, name);
+            self.deadlocks.inc();
+            self.rec.event(EventKind::LockDeadlock, owner.0, 0);
             return Err(LockError::Deadlock);
         }
 
@@ -258,13 +296,24 @@ impl LockTable {
                         count: 1,
                     });
                 }
+                self.wait_ns.record(wait_timer.elapsed_ns());
+                self.granted_obs(owner, target);
                 return Ok(());
             }
             if timed_out {
                 self.remove_waiter(&mut inner, owner, name);
+                self.wait_ns.record(wait_timer.elapsed_ns());
+                self.timeouts.inc();
+                self.rec.event(EventKind::LockTimeout, owner.0, 0);
                 return Err(LockError::Timeout);
             }
         }
+    }
+
+    fn granted_obs(&self, owner: ActionId, mode: LockMode) {
+        self.acquires.inc();
+        self.rec
+            .event(EventKind::LockGrant, owner.0, mode_code(mode));
     }
 
     fn remove_waiter(&self, inner: &mut TableInner, owner: ActionId, name: &LockName) {
@@ -346,9 +395,9 @@ impl LockTable {
     }
 
     /// Number of lock acquisitions that had to block (contention metric for
-    /// the concurrency experiments).
+    /// the concurrency experiments; the `lock.waits` counter).
     pub fn wait_count(&self) -> u64 {
-        self.waits.load(std::sync::atomic::Ordering::Relaxed)
+        self.waits.get()
     }
 
     /// Whether any owner holds `name` in `mode` exactly. Used by sibling

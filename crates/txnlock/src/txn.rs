@@ -73,12 +73,14 @@ pub struct TxnManager {
 
 impl TxnManager {
     /// Build a manager over the store's log and pool. `lock_timeout` is the
-    /// lock table's wait safety net.
+    /// lock table's wait safety net. The lock table records into the pool's
+    /// registry, so one [`pitree_obs::Registry::report`] covers all layers.
     pub fn new(log: Arc<LogManager>, pool: Arc<BufferPool>, lock_timeout: Duration) -> TxnManager {
+        let locks = LockTable::with_recorder(lock_timeout, pool.recorder().clone());
         TxnManager {
             log,
             pool,
-            locks: LockTable::new(lock_timeout),
+            locks,
             registry: ActiveRegistry::default(),
         }
     }

@@ -15,10 +15,22 @@
 use crate::log::LogManager;
 use crate::record::{ActionId, ActionIdentity, RecordKind, UndoInfo};
 use crate::recovery::LogicalUndoHandler;
+use pitree_obs::EventKind;
 use pitree_pagestore::buffer::{BufferPool, PinnedPage};
 use pitree_pagestore::latch::XGuard;
 use pitree_pagestore::page::Page;
 use pitree_pagestore::{Lsn, PageOp, StoreResult};
+
+/// Stable numeric code for an action identity, used as the `b` payload of
+/// [`EventKind::ActionBegin`] events.
+pub fn identity_code(identity: &ActionIdentity) -> u64 {
+    match identity {
+        ActionIdentity::Transaction => 0,
+        ActionIdentity::SeparateTransaction => 1,
+        ActionIdentity::SystemTransaction => 2,
+        ActionIdentity::NestedTopAction { .. } => 3,
+    }
+}
 
 /// A live atomic action: owns a log chain; applies and logs page operations.
 pub struct AtomicAction<'a> {
@@ -34,6 +46,9 @@ impl<'a> AtomicAction<'a> {
     pub fn begin(log: &'a LogManager, identity: ActionIdentity) -> AtomicAction<'a> {
         let id = log.next_action_id();
         let last = log.append(id, Lsn::ZERO, RecordKind::Begin { identity });
+        let rec = log.recorder();
+        rec.counter("action.begins").inc();
+        rec.event(EventKind::ActionBegin, id.0, identity_code(&identity));
         AtomicAction {
             log,
             id,
@@ -127,6 +142,9 @@ impl<'a> AtomicAction<'a> {
     /// Commit without forcing the log — relative durability (§4.3.1).
     pub fn commit(mut self) -> Lsn {
         self.last = self.log.append(self.id, self.last, RecordKind::Commit);
+        let rec = self.log.recorder();
+        rec.counter("action.commits").inc();
+        rec.event(EventKind::ActionCommit, self.id.0, 0);
         self.last
     }
 
@@ -136,6 +154,9 @@ impl<'a> AtomicAction<'a> {
     pub fn commit_force(mut self) -> StoreResult<Lsn> {
         self.last = self.log.append(self.id, self.last, RecordKind::Commit);
         self.log.force_to(self.last)?;
+        let rec = self.log.recorder();
+        rec.counter("action.commits").inc();
+        rec.event(EventKind::ActionCommit, self.id.0, 1);
         Ok(self.last)
     }
 
@@ -148,6 +169,9 @@ impl<'a> AtomicAction<'a> {
         handler: Option<&dyn LogicalUndoHandler>,
     ) -> StoreResult<()> {
         self.last = self.log.append(self.id, self.last, RecordKind::Abort);
+        let rec = self.log.recorder();
+        rec.counter("action.aborts").inc();
+        rec.event(EventKind::ActionAbort, self.id.0, 0);
         let mut cursor = self.last;
         while cursor != Lsn::ZERO {
             let rec = self.log.read(cursor)?;

@@ -13,6 +13,7 @@
 
 use crate::codec::checksum;
 use crate::record::{ActionId, LogRecord, RecordKind};
+use pitree_obs::{Counter, EventKind, Hist, Recorder, Stopwatch};
 use pitree_pagestore::buffer::WalFlush;
 use pitree_pagestore::fault::{FaultSite, InjectorHandle};
 use pitree_pagestore::sync::Mutex;
@@ -183,25 +184,61 @@ struct LogInner {
     flushed: u64,
 }
 
+/// Stable numeric code for a record kind, used as the `b` payload of
+/// [`EventKind::WalAppend`] events (documented in `OBSERVABILITY.md`).
+pub fn record_kind_code(kind: &RecordKind) -> u64 {
+    match kind {
+        RecordKind::Begin { .. } => 0,
+        RecordKind::Commit => 1,
+        RecordKind::Abort => 2,
+        RecordKind::End => 3,
+        RecordKind::Update { .. } => 4,
+        RecordKind::Clr { .. } => 5,
+        RecordKind::LogicalClr { .. } => 6,
+        RecordKind::Checkpoint { .. } => 7,
+    }
+}
+
 /// The log manager. Shared via `Arc`; also registered as the buffer pool's
 /// [`WalFlush`] hook.
 pub struct LogManager {
     inner: Mutex<LogInner>,
     store: Arc<dyn LogStore>,
     next_action: AtomicU64,
+    rec: Recorder,
+    appends: Counter,
+    forces: Counter,
+    force_ns: Hist,
 }
 
 impl LogManager {
     /// A log manager over `store`, reading back any existing durable
-    /// contents (recovery will scan them).
+    /// contents (recovery will scan them). Records into a fresh private
+    /// registry; see [`LogManager::open_observed`].
     pub fn open(store: Arc<dyn LogStore>) -> StoreResult<LogManager> {
+        LogManager::open_observed(store, Recorder::detached())
+    }
+
+    /// [`LogManager::open`] recording `wal.*` metrics and WAL events into
+    /// `rec`'s registry (the store assembly shares one registry across all
+    /// layers).
+    pub fn open_observed(store: Arc<dyn LogStore>, rec: Recorder) -> StoreResult<LogManager> {
         let buf = store.durable_bytes()?;
         let flushed = buf.len() as u64;
         Ok(LogManager {
             inner: Mutex::new(LogInner { buf, flushed }),
             store,
             next_action: AtomicU64::new(1),
+            appends: rec.counter("wal.appends"),
+            forces: rec.counter("wal.forces"),
+            force_ns: rec.hist("wal.force_ns"),
+            rec,
         })
+    }
+
+    /// The recorder this log manager reports into.
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
     }
 
     /// The durable store (for crash snapshots and the master record).
@@ -228,6 +265,7 @@ impl LogManager {
             action,
             kind,
         };
+        let kind_code = record_kind_code(&rec.kind);
         let body = rec.encode_body();
         let mut inner = self.inner.lock();
         let lsn = Lsn(inner.buf.len() as u64 + 1);
@@ -236,6 +274,9 @@ impl LogManager {
             .extend_from_slice(&(body.len() as u32).to_le_bytes());
         inner.buf.extend_from_slice(&checksum(&body).to_le_bytes());
         inner.buf.extend_from_slice(&body);
+        drop(inner);
+        self.appends.inc();
+        self.rec.event(EventKind::WalAppend, lsn.0, kind_code);
         lsn
     }
 
@@ -267,8 +308,14 @@ impl LogManager {
             let len = u32::from_le_bytes(inner.buf[off..off + 4].try_into().unwrap()) as usize;
             let end = (off + 8 + len) as u64;
             let start = inner.flushed as usize;
+            let timer = Stopwatch::start();
             self.store.append(&inner.buf[start..end as usize])?;
+            self.force_ns.record(timer.elapsed_ns());
             inner.flushed = end;
+            let bytes = end - start as u64;
+            drop(inner);
+            self.forces.inc();
+            self.rec.event(EventKind::WalForce, lsn.0, bytes);
         }
         Ok(())
     }
@@ -278,8 +325,15 @@ impl LogManager {
         let mut inner = self.inner.lock();
         let start = inner.flushed as usize;
         if start < inner.buf.len() {
+            let timer = Stopwatch::start();
             self.store.append(&inner.buf[start..])?;
-            inner.flushed = inner.buf.len() as u64;
+            self.force_ns.record(timer.elapsed_ns());
+            let end = inner.buf.len() as u64;
+            inner.flushed = end;
+            let bytes = end - start as u64;
+            drop(inner);
+            self.forces.inc();
+            self.rec.event(EventKind::WalForce, end, bytes);
         }
         Ok(())
     }

@@ -12,6 +12,7 @@
 
 use crate::log::LogManager;
 use crate::record::{ActionId, ActionIdentity, LogRecord, RecordKind, UndoInfo};
+use pitree_obs::{EventKind, Stopwatch};
 use pitree_pagestore::buffer::BufferPool;
 use pitree_pagestore::page::PageType;
 use pitree_pagestore::{Lsn, StoreResult};
@@ -52,6 +53,8 @@ pub fn recover(
     handler: Option<&dyn LogicalUndoHandler>,
 ) -> StoreResult<RecoveryStats> {
     let mut stats = RecoveryStats::default();
+    let rec = log.recorder().clone();
+    let pass_timer = Stopwatch::start();
 
     // ---- Analysis -----------------------------------------------------------
     // Seed from the master checkpoint when present, then scan forward.
@@ -96,6 +99,10 @@ pub fn recover(
         }
     }
 
+    rec.hist("recovery.analysis_ns")
+        .record(pass_timer.elapsed_ns());
+    let pass_timer = Stopwatch::start();
+
     // ---- Redo: repeat history ----------------------------------------------
     // Scan from the earliest point that might concern a dirty page. (When we
     // seeded from a checkpoint, older records are covered by the dirty-page
@@ -122,6 +129,9 @@ pub fn recover(
             stats.redo_skipped += 1;
         }
     }
+
+    rec.hist("recovery.redo_ns").record(pass_timer.elapsed_ns());
+    let pass_timer = Stopwatch::start();
 
     // ---- Undo: roll back losers ---------------------------------------------
     // Multi-chain undo in globally descending LSN order, writing CLRs so a
@@ -196,6 +206,7 @@ pub fn recover(
 
     log.reserve_action_ids(max_action);
     log.force_all()?;
+    rec.hist("recovery.undo_ns").record(pass_timer.elapsed_ns());
     stats.analysis_start = scan_from;
     Ok(stats)
 }
@@ -215,6 +226,7 @@ pub fn take_checkpoint(
     );
     log.force_all()?;
     log.store().set_master(lsn);
+    log.recorder().event(EventKind::WalCheckpoint, lsn.0, 0);
     Ok(lsn)
 }
 

@@ -37,4 +37,15 @@ cargo test --offline -q -p pitree-sim --test sim_sweep -- --nocapture
 step "bench target compiles (bench-ext feature)"
 cargo build --offline -p pitree-bench --benches --features bench-ext
 
+step "rustdoc gate (zero warnings, broken intra-doc links are errors)"
+RUSTDOCFLAGS="-D rustdoc::broken_intra_doc_links -D warnings" \
+  cargo doc --offline --no-deps --workspace
+
+step "obstop smoke (observability report + deterministic event stream)"
+out="$(cargo run --offline --release -q --bin obstop)"
+for metric in latch.acquire_s buf.misses wal.appends lock.acquires \
+              tree.splits recovery.redo_ns; do
+  grep -q "$metric" <<<"$out" || { echo "obstop report missing $metric" >&2; exit 1; }
+done
+
 printf '\nverify.sh: all checks passed\n'
