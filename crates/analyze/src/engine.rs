@@ -1,0 +1,242 @@
+//! Scan driver: walks the workspace, applies rules, resolves
+//! `// pitree-lint:` suppressions, and audits the suppressions themselves.
+//!
+//! Suppression grammar (inside any comment):
+//!
+//! ```text
+//! // pitree-lint: allow(rule-id) <reason — mandatory>
+//! // pitree-lint: allow-file(rule-id) <reason — mandatory>
+//! ```
+//!
+//! A line `allow` covers findings on its own line or the next line; an
+//! `allow-file` covers the whole file. Every allow must suppress at least
+//! one finding in the scan, or it is reported as `stale-allow` — the
+//! violation it excused is gone and the annotation must go with it.
+
+use crate::context::FileCx;
+use crate::rules::{run_all, Finding, RuleId};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A parsed suppression directive.
+#[derive(Debug, Clone)]
+struct Allow {
+    line: u32,
+    rule: RuleId,
+    whole_file: bool,
+    used: usize,
+}
+
+/// Scan outcome for a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings that survived suppression (including meta diagnostics),
+    /// sorted by path then line.
+    pub findings: Vec<Finding>,
+    /// Files scanned.
+    pub files: usize,
+    /// Per-rule surviving finding counts.
+    pub fired: BTreeMap<RuleId, usize>,
+    /// Per-rule suppressed finding counts.
+    pub allowed: BTreeMap<RuleId, usize>,
+}
+
+impl Report {
+    /// Whether the scan is clean (no findings, no stale or malformed
+    /// allows).
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Render the per-rule summary table.
+    pub fn summary_table(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{:<22} {:>8} {:>8}  {}\n",
+            "rule", "findings", "allowed", "description"
+        ));
+        for rule in RuleId::ALL {
+            s.push_str(&format!(
+                "{:<22} {:>8} {:>8}  {}\n",
+                rule.name(),
+                self.fired.get(&rule).copied().unwrap_or(0),
+                self.allowed.get(&rule).copied().unwrap_or(0),
+                rule.describe()
+            ));
+        }
+        for rule in [RuleId::LintAllow, RuleId::StaleAllow] {
+            let n = self.fired.get(&rule).copied().unwrap_or(0);
+            if n > 0 {
+                s.push_str(&format!(
+                    "{:<22} {:>8} {:>8}  {}\n",
+                    rule.name(),
+                    n,
+                    0,
+                    rule.describe()
+                ));
+            }
+        }
+        s.push_str(&format!("files scanned: {}\n", self.files));
+        s
+    }
+}
+
+/// Lint a single source text as the file at workspace-relative `path`.
+/// This is the unit-test entry point; the directory scan calls it per file.
+pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+    lint_file(path, src).0
+}
+
+/// Lint one file: surviving findings plus per-rule suppressed counts.
+fn lint_file(path: &str, src: &str) -> (Vec<Finding>, BTreeMap<RuleId, usize>) {
+    let cx = FileCx::new(path, src);
+    let (mut allows, mut findings) = parse_allows(&cx);
+    let mut suppressed = BTreeMap::new();
+    for f in run_all(&cx) {
+        if let Some(a) = allows.iter_mut().find(|a| {
+            a.rule == f.rule && (a.whole_file || a.line == f.line || a.line + 1 == f.line)
+        }) {
+            a.used += 1;
+            *suppressed.entry(f.rule).or_insert(0) += 1;
+        } else {
+            findings.push(f);
+        }
+    }
+    for a in &allows {
+        if a.used == 0 {
+            findings.push(Finding {
+                path: cx.path.clone(),
+                line: a.line,
+                rule: RuleId::StaleAllow,
+                msg: format!(
+                    "allow({}) suppresses nothing; the violation it excused is gone — \
+                     remove the annotation",
+                    a.rule
+                ),
+            });
+        }
+    }
+    findings.sort_by_key(|f| (f.line, f.rule));
+    (findings, suppressed)
+}
+
+/// Extract `pitree-lint:` directives from the file's comments. Malformed
+/// directives become immediate `lint-allow` findings.
+fn parse_allows(cx: &FileCx) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut findings = Vec::new();
+    for c in &cx.comments {
+        let Some(rest) = c.text.strip_prefix("pitree-lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let (whole_file, rest) = if let Some(r) = rest.strip_prefix("allow-file(") {
+            (true, r)
+        } else if let Some(r) = rest.strip_prefix("allow(") {
+            (false, r)
+        } else {
+            findings.push(Finding {
+                path: cx.path.clone(),
+                line: c.line,
+                rule: RuleId::LintAllow,
+                msg: format!(
+                    "unrecognized pitree-lint directive `{}`; expected \
+                     `allow(rule-id) reason` or `allow-file(rule-id) reason`",
+                    rest
+                ),
+            });
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            findings.push(Finding {
+                path: cx.path.clone(),
+                line: c.line,
+                rule: RuleId::LintAllow,
+                msg: "unterminated allow(...) directive".to_string(),
+            });
+            continue;
+        };
+        let id = rest[..close].trim();
+        let reason = rest[close + 1..].trim();
+        let Some(rule) = RuleId::parse(id) else {
+            findings.push(Finding {
+                path: cx.path.clone(),
+                line: c.line,
+                rule: RuleId::LintAllow,
+                msg: format!("unknown rule `{id}` in allow directive"),
+            });
+            continue;
+        };
+        if reason.is_empty() {
+            findings.push(Finding {
+                path: cx.path.clone(),
+                line: c.line,
+                rule: RuleId::LintAllow,
+                msg: format!(
+                    "allow({rule}) without a reason; suppressions must say why \
+                     the rule does not apply"
+                ),
+            });
+            continue;
+        }
+        allows.push(Allow {
+            line: c.line,
+            rule,
+            whole_file,
+            used: 0,
+        });
+    }
+    (allows, findings)
+}
+
+/// Recursively collect `.rs` files under `root`, skipping build output and
+/// VCS metadata. Paths come back workspace-relative and sorted.
+pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name == ".git" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Scan the workspace rooted at `root`.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    for abs in collect_rs_files(root)? {
+        let rel = abs
+            .strip_prefix(root)
+            .unwrap_or(&abs)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(&abs)?;
+        report.files += 1;
+        let (findings, suppressed) = lint_file(&rel, &src);
+        for f in findings {
+            *report.fired.entry(f.rule).or_insert(0) += 1;
+            report.findings.push(f);
+        }
+        for (rule, n) in suppressed {
+            *report.allowed.entry(rule).or_insert(0) += n;
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(report)
+}

@@ -1,0 +1,24 @@
+//! `pitree-lint`: a std-only static analyzer that enforces the workspace's
+//! Π-tree protocol disciplines at the source level.
+//!
+//! The correctness of the paper's protocol (Lomet & Salzberg, SIGMOD 1992)
+//! rests on conventions a compiler cannot see: top-down latch order with
+//! U→X promotion (§4.1), the No-Wait Rule for completion paths (§4.2.2),
+//! log-before-dirty WAL discipline (§4.3.1), and panic-free redo/undo
+//! (§4.3.2). The runtime debug checks (latch rank stack, sim sweeps) catch
+//! violations on the interleavings we happen to execute; this linter
+//! catches the violating *code shapes* on every path.
+//!
+//! No `syn`, no dependencies: a light lexer strips comments and literals,
+//! and each rule pattern-matches the token stream with just enough
+//! structure (brace depth, `fn` spans, test regions). See
+//! [`rules`] for the rule catalogue and DESIGN.md §8 for the
+//! rule-to-paper-section map.
+
+pub mod context;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{lint_source, scan_workspace, Report};
+pub use rules::{Finding, RuleId};

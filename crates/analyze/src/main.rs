@@ -1,0 +1,50 @@
+//! `pitree-lint` — scan the workspace for Π-tree protocol violations.
+//!
+//! ```text
+//! pitree-lint [ROOT]       # scan (default: current directory), print
+//!                          # findings + rule summary, exit 1 on findings
+//! pitree-lint --list-rules # print the rule catalogue and exit
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--list-rules" => {
+                for rule in analyze::RuleId::ALL {
+                    println!("{:<22} {}", rule.name(), rule.describe());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: pitree-lint [ROOT] [--list-rules]");
+                return ExitCode::SUCCESS;
+            }
+            other => root = PathBuf::from(other),
+        }
+    }
+    let report = match analyze::scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pitree-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for f in &report.findings {
+        println!("{f}");
+    }
+    if !report.findings.is_empty() {
+        println!();
+    }
+    print!("{}", report.summary_table());
+    if report.clean() {
+        println!("pitree-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("pitree-lint: {} finding(s)", report.findings.len());
+        ExitCode::FAILURE
+    }
+}

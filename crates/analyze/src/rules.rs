@@ -1,0 +1,571 @@
+//! The Π-tree protocol rules. Each rule is a pure function over a
+//! [`FileCx`]; scoping (which files a rule patrols) is part of the rule.
+//!
+//! These are *static approximations* of the paper's runtime disciplines: a
+//! token-level analysis cannot prove latch order, but it can reject the
+//! code shapes that violate it, on **every** path rather than only the
+//! interleavings a test happens to execute. False positives are expected to
+//! be rare and are silenced with `// pitree-lint: allow(rule-id) <reason>`,
+//! which requires a reason and is itself audited (stale allows fail the
+//! build).
+
+use crate::context::FileCx;
+use crate::lexer::TokKind;
+use std::fmt;
+
+/// Identifier of a lint rule (or of the linter's own meta-diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RuleId {
+    /// R1 §4.1: latches are acquired in search order, top-down; climbing a
+    /// saved path uses conditional (`try_*`) acquisition only, and U→X
+    /// promotion happens before any later-ordered latch is taken.
+    LatchOrder,
+    /// R2 §4.2.2: SMO completion paths never block on locks — only `try_`
+    /// variants are permitted in `core::{completion,post,consolidate}`.
+    NoWait,
+    /// R3 §4.3.1: a function that dirties a page must have logged first
+    /// (WAL: log-before-dirty).
+    LogBeforeDirty,
+    /// R4 §4.3.2: redo/undo code must be panic-free — recovery running into
+    /// a torn log tail or unexpected page state must return an error, not
+    /// abort the process.
+    PanicFreeRecovery,
+    /// R5: raw `std::sync` primitives and `std::time::Instant` only inside
+    /// `pagestore::sync` and `crates/obs` — everything else goes through
+    /// the poison-free wrappers / `Stopwatch`, keeping blocking observable.
+    SyncHygiene,
+    /// R6: the simulation kit and sim-driven tests stay deterministic — no
+    /// wall clocks, entropy, or environment reads.
+    Determinism,
+    /// Meta: malformed suppression (missing reason, unknown rule).
+    LintAllow,
+    /// Meta: a suppression that no longer suppresses anything.
+    StaleAllow,
+}
+
+impl RuleId {
+    /// All real (suppressible) rules.
+    pub const ALL: [RuleId; 6] = [
+        RuleId::LatchOrder,
+        RuleId::NoWait,
+        RuleId::LogBeforeDirty,
+        RuleId::PanicFreeRecovery,
+        RuleId::SyncHygiene,
+        RuleId::Determinism,
+    ];
+
+    /// The kebab-case id used in reports and `allow(...)` directives.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::LatchOrder => "latch-order",
+            RuleId::NoWait => "no-wait",
+            RuleId::LogBeforeDirty => "log-before-dirty",
+            RuleId::PanicFreeRecovery => "panic-free-recovery",
+            RuleId::SyncHygiene => "sync-hygiene",
+            RuleId::Determinism => "determinism",
+            RuleId::LintAllow => "lint-allow",
+            RuleId::StaleAllow => "stale-allow",
+        }
+    }
+
+    /// Parse an `allow(...)` rule id.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        RuleId::ALL.into_iter().find(|r| r.name() == s)
+    }
+
+    /// One-line description for the summary table.
+    pub fn describe(self) -> &'static str {
+        match self {
+            RuleId::LatchOrder => "top-down latch order; climbs and promotes use try_* (paper 4.1)",
+            RuleId::NoWait => "SMO completion paths take locks conditionally only (paper 4.2.2)",
+            RuleId::LogBeforeDirty => "WAL append precedes page dirtying (paper 4.3.1)",
+            RuleId::PanicFreeRecovery => "redo/undo paths return errors, never panic (paper 4.3.2)",
+            RuleId::SyncHygiene => "raw std::sync / Instant only in pagestore::sync and obs",
+            RuleId::Determinism => "sim kit and sim tests are clock/entropy/env free",
+            RuleId::LintAllow => "suppressions carry a rule id and a reason",
+            RuleId::StaleAllow => "suppressions that fire nothing are removed",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The violated rule.
+    pub rule: RuleId,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Run every rule over `cx`.
+pub fn run_all(cx: &FileCx) -> Vec<Finding> {
+    let mut out = Vec::new();
+    latch_order(cx, &mut out);
+    no_wait(cx, &mut out);
+    log_before_dirty(cx, &mut out);
+    panic_free_recovery(cx, &mut out);
+    sync_hygiene(cx, &mut out);
+    determinism(cx, &mut out);
+    out
+}
+
+fn finding(out: &mut Vec<Finding>, cx: &FileCx, line: u32, rule: RuleId, msg: String) {
+    out.push(Finding {
+        path: cx.path.clone(),
+        line,
+        rule,
+        msg,
+    });
+}
+
+/// Blocking latch-acquisition method call at `i`: `.s()`, `.u()`, `.x()`
+/// with an empty argument list (the `Latch`/`PinnedPage` acquire API).
+fn blocking_latch_call(cx: &FileCx, i: usize) -> Option<&'static str> {
+    let name = cx.method_call_at(i)?;
+    let mode = match name {
+        "s" => "S",
+        "u" => "U",
+        "x" => "X",
+        _ => return None,
+    };
+    if cx.tokens.get(i + 3)?.is_punct(')') {
+        Some(mode)
+    } else {
+        None
+    }
+}
+
+// ---- R1: latch-order (§4.1) ----------------------------------------------
+
+/// Two checks per function:
+///
+/// 1. after an upward walk over a saved path (`path`/`entries ... .rev()`),
+///    only `try_*` acquisition is allowed — climbing with a blocking latch
+///    is the deadlock the paper's search-order argument excludes;
+/// 2. `promote()` must not run while a blocking latch acquired in a
+///    still-open scope is held: §4.1.1 permits promotion only when no
+///    later-ordered latch is held.
+fn latch_order(cx: &FileCx, out: &mut Vec<Finding>) {
+    if cx.path == "crates/pagestore/src/latch.rs" {
+        return; // the latch implementation itself
+    }
+    for f in &cx.fns {
+        if cx.is_test[f.body_start] {
+            continue;
+        }
+        let mut climbing = false;
+        // Blocking acquisitions whose guard is plausibly still live: popped
+        // when their scope closes, their guard variable is `drop`ped, or
+        // they are themselves the promotion receiver.
+        struct Held {
+            depth: u32,
+            mode: &'static str,
+            line: u32,
+            var: Option<String>,
+        }
+        let mut held: Vec<Held> = Vec::new();
+        for i in f.body_start..=f.body_end.min(cx.tokens.len() - 1) {
+            let d = cx.depth[i];
+            while held.last().is_some_and(|h| h.depth > d) {
+                held.pop();
+            }
+            if cx.method_call_at(i) == Some("rev") {
+                let lookback = i.saturating_sub(8);
+                if cx.tokens[lookback..i]
+                    .iter()
+                    .any(|t| t.is_ident("path") || t.is_ident("entries"))
+                {
+                    climbing = true;
+                }
+            }
+            // `drop(g)` releases g's latch.
+            if cx.tokens[i].is_ident("drop")
+                && cx.tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+                && cx.tokens.get(i + 3).is_some_and(|t| t.is_punct(')'))
+            {
+                if let Some(v) = cx.tokens.get(i + 2).filter(|t| t.kind == TokKind::Ident) {
+                    if let Some(pos) = held.iter().rposition(|h| h.var.as_deref() == Some(&v.text))
+                    {
+                        held.remove(pos);
+                    }
+                }
+            }
+            if let Some(mode) = blocking_latch_call(cx, i) {
+                if climbing {
+                    finding(
+                        out,
+                        cx,
+                        cx.tokens[i].line,
+                        RuleId::LatchOrder,
+                        format!(
+                            "blocking {mode}-latch acquisition while climbing a saved path \
+                             in `{}`; climbs go up the search order and must use try_* \
+                             (paper 4.1 / 5.2.2b)",
+                            f.name
+                        ),
+                    );
+                } else {
+                    held.push(Held {
+                        depth: d,
+                        mode,
+                        line: cx.tokens[i].line,
+                        var: assigned_var(cx, i, f.body_start),
+                    });
+                }
+            }
+            if cx.method_call_at(i) == Some("promote") {
+                // The receiver's own latch is the one being promoted; it is
+                // not "held after" itself.
+                if i >= 1 && cx.tokens[i - 1].kind == TokKind::Ident {
+                    let recv = &cx.tokens[i - 1].text;
+                    if let Some(pos) = held.iter().rposition(|h| h.var.as_deref() == Some(recv)) {
+                        held.remove(pos);
+                    }
+                }
+                if let Some(h) = held.last() {
+                    finding(
+                        out,
+                        cx,
+                        cx.tokens[i].line,
+                        RuleId::LatchOrder,
+                        format!(
+                            "U->X promotion in `{}` while a blocking {}-latch from \
+                             line {} may still be held; promote before latching \
+                             later-ordered nodes (paper 4.1.1)",
+                            f.name, h.mode, h.line
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The variable a blocking acquisition at token `i` is assigned to:
+/// `let [mut] NAME = recv.x();` or `NAME = recv.x();`. `None` when the
+/// guard is consumed inline (passed to a call, returned, ...).
+fn assigned_var(cx: &FileCx, i: usize, floor: usize) -> Option<String> {
+    // Walk back to the start of the statement.
+    let mut j = i;
+    while j > floor {
+        let t = &cx.tokens[j - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') || t.is_punct(',') {
+            break;
+        }
+        j -= 1;
+    }
+    // Find a single `=` in the statement prefix; the ident before it is the
+    // binding. `==`-family comparisons have a neighbouring `=`/`<`/`>`/`!`.
+    for k in j..i {
+        if cx.tokens[k].is_punct('=') {
+            let prevp = k > j && {
+                let p = &cx.tokens[k - 1];
+                p.is_punct('=') || p.is_punct('<') || p.is_punct('>') || p.is_punct('!')
+            };
+            let nextp = cx.tokens.get(k + 1).is_some_and(|p| p.is_punct('='));
+            if prevp || nextp {
+                continue;
+            }
+            if k > j && cx.tokens[k - 1].kind == TokKind::Ident {
+                return Some(cx.tokens[k - 1].text.clone());
+            }
+        }
+    }
+    None
+}
+
+// ---- R2: no-wait (§4.2.2) ------------------------------------------------
+
+/// In SMO completion paths, every lock acquisition must be conditional:
+/// a completing action already holds latches, and blocking on a lock while
+/// latched is the latch-lock deadlock the No-Wait Rule exists to prevent.
+fn no_wait(cx: &FileCx, out: &mut Vec<Finding>) {
+    const SCOPE: [&str; 3] = [
+        "crates/core/src/completion.rs",
+        "crates/core/src/post.rs",
+        "crates/core/src/consolidate.rs",
+    ];
+    if !SCOPE.contains(&cx.path.as_str()) {
+        return;
+    }
+    for i in 0..cx.tokens.len() {
+        if cx.is_test[i] {
+            continue;
+        }
+        if let Some(name) = cx.method_call_at(i) {
+            if matches!(name, "lock" | "acquire" | "lock_alloc") {
+                finding(
+                    out,
+                    cx,
+                    cx.tokens[i].line,
+                    RuleId::NoWait,
+                    format!(
+                        "blocking `{name}(...)` in an SMO completion path; the No-Wait \
+                         Rule allows only try_-variant acquisition here (paper 4.2.2)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---- R3: log-before-dirty (§4.3.1) ---------------------------------------
+
+/// A function that dirties a page (`mark_dirty` / `mark_dirty_at` /
+/// `data_mut`) must have a WAL `append` earlier in the same function: the
+/// log record describing a change must exist before the change is visible
+/// to the buffer manager's write-back.
+fn log_before_dirty(cx: &FileCx, out: &mut Vec<Finding>) {
+    if cx.path == "crates/pagestore/src/buffer.rs" {
+        return; // defines the dirtying primitive itself
+    }
+    for f in &cx.fns {
+        if cx.is_test[f.body_start] {
+            continue;
+        }
+        let mut logged = false;
+        for i in f.body_start..=f.body_end.min(cx.tokens.len() - 1) {
+            match cx.method_call_at(i) {
+                Some("append") => logged = true,
+                Some(m @ ("mark_dirty" | "mark_dirty_at" | "data_mut")) if !logged => {
+                    finding(
+                        out,
+                        cx,
+                        cx.tokens[i].line,
+                        RuleId::LogBeforeDirty,
+                        format!(
+                            "`{}` calls `{m}` with no earlier WAL append in the same \
+                             function; log before dirtying (paper 4.3.1)",
+                            f.name
+                        ),
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+// ---- R4: panic-free recovery (§4.3.2) ------------------------------------
+
+/// Recovery and undo code must degrade to typed errors: a torn log tail or
+/// an unexpected page image is an input, not a bug, and `unwrap`-class
+/// aborts would turn restartable recovery into a crash loop.
+fn panic_free_recovery(cx: &FileCx, out: &mut Vec<Finding>) {
+    let scoped = cx.path == "crates/wal/src/recovery.rs" || cx.path.ends_with("/undo.rs");
+    if !scoped {
+        return;
+    }
+    for i in 0..cx.tokens.len() {
+        if cx.is_test[i] {
+            continue;
+        }
+        let t = &cx.tokens[i];
+        // `.unwrap()` / `.expect(...)` method calls.
+        if let Some(name @ ("unwrap" | "expect")) = cx.method_call_at(i) {
+            finding(
+                out,
+                cx,
+                t.line,
+                RuleId::PanicFreeRecovery,
+                format!(
+                    "`.{name}()` in a recovery/undo path; return a typed error instead \
+                     (paper 4.3.2: recovery takes no special measures, and never panics)"
+                ),
+            );
+        }
+        // Panicking macros.
+        if t.kind == TokKind::Ident
+            && matches!(
+                t.text.as_str(),
+                "panic"
+                    | "unreachable"
+                    | "todo"
+                    | "unimplemented"
+                    | "assert"
+                    | "assert_eq"
+                    | "assert_ne"
+            )
+            && cx.tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            finding(
+                out,
+                cx,
+                t.line,
+                RuleId::PanicFreeRecovery,
+                format!(
+                    "`{}!` in a recovery/undo path; return a typed error instead",
+                    t.text
+                ),
+            );
+        }
+        // Direct indexing: `expr[...]` — a missing key or short slice must
+        // surface as an error, not a panic.
+        if t.is_punct('[') && i > 0 {
+            let prev = &cx.tokens[i - 1];
+            let is_index = prev.kind == TokKind::Ident && !prev.is_ident("mut")
+                || prev.is_punct(')')
+                || prev.is_punct(']');
+            let attr = prev.is_punct('#');
+            if is_index && !attr {
+                finding(
+                    out,
+                    cx,
+                    t.line,
+                    RuleId::PanicFreeRecovery,
+                    "direct indexing in a recovery/undo path can panic; use `.get(...)` \
+                     and return a typed error"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+// ---- R5: sync hygiene ----------------------------------------------------
+
+/// `std::sync::{Mutex, RwLock, Condvar}`, `std::time::Instant`, and
+/// `SystemTime` are confined to `pagestore::sync` (the poison-free
+/// wrappers) and `crates/obs` (`Stopwatch`). Everything else must use the
+/// wrappers so blocking stays poison-free and observable.
+fn sync_hygiene(cx: &FileCx, out: &mut Vec<Finding>) {
+    if cx.path == "crates/pagestore/src/sync.rs" || cx.path.starts_with("crates/obs/") {
+        return;
+    }
+    const PRIMS: [&str; 3] = ["Mutex", "RwLock", "Condvar"];
+    for i in 0..cx.tokens.len() {
+        if cx.is_test[i] {
+            continue;
+        }
+        let t = &cx.tokens[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // `std::sync::Mutex` path form (covers both `use` and inline paths;
+        // the workspace's own `pagestore::sync::Mutex` wrapper is exempt).
+        if PRIMS.contains(&t.text.as_str())
+            && cx.path_prefix_is(i, "sync")
+            && i >= 6
+            && cx.tokens[i - 4].is_punct(':')
+            && cx.tokens[i - 5].is_punct(':')
+            && cx.tokens[i - 6].is_ident("std")
+        {
+            finding(
+                out,
+                cx,
+                t.line,
+                RuleId::SyncHygiene,
+                format!(
+                    "direct `std::sync::{}`; use the poison-free wrappers in \
+                     `pitree_pagestore::sync`",
+                    t.text
+                ),
+            );
+        }
+        // `use std::sync::{A, Mutex, ...}` group form.
+        if t.is_ident("sync")
+            && cx.path_prefix_is(i, "std")
+            && cx.tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && cx.tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && cx.tokens.get(i + 3).is_some_and(|n| n.is_punct('{'))
+        {
+            let close = crate::context::matching_brace(&cx.tokens, i + 3);
+            for j in i + 4..close {
+                let g = &cx.tokens[j];
+                if g.kind == TokKind::Ident && PRIMS.contains(&g.text.as_str()) {
+                    finding(
+                        out,
+                        cx,
+                        g.line,
+                        RuleId::SyncHygiene,
+                        format!(
+                            "direct `std::sync::{}`; use the poison-free wrappers in \
+                             `pitree_pagestore::sync`",
+                            g.text
+                        ),
+                    );
+                }
+            }
+        }
+        if t.is_ident("Instant") {
+            finding(
+                out,
+                cx,
+                t.line,
+                RuleId::SyncHygiene,
+                "direct `std::time::Instant`; use `pitree_obs::Stopwatch` so timing \
+                 is observable and mockable"
+                    .to_string(),
+            );
+        }
+        if t.is_ident("SystemTime") {
+            finding(
+                out,
+                cx,
+                t.line,
+                RuleId::SyncHygiene,
+                "wall-clock `SystemTime` outside the observability layer".to_string(),
+            );
+        }
+    }
+}
+
+// ---- R6: determinism -----------------------------------------------------
+
+/// The simulation kit exists so every failure replays from a seed; a wall
+/// clock, entropy source, or environment read anywhere in `crates/sim` or a
+/// sim-driven test silently destroys that property. Applies to test code
+/// too — sim tests are exactly the point.
+fn determinism(cx: &FileCx, out: &mut Vec<Finding>) {
+    let in_sim = cx.path.starts_with("crates/sim/");
+    let sim_test = (cx.path.contains("/tests/") || cx.path.starts_with("tests/"))
+        && cx.tokens.iter().any(|t| t.is_ident("pitree_sim"));
+    if !in_sim && !sim_test {
+        return;
+    }
+    for (i, t) in cx.tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let msg = match t.text.as_str() {
+            "SystemTime" | "UNIX_EPOCH" => "wall clock in deterministic sim code",
+            "thread_rng" | "from_entropy" => "OS entropy in deterministic sim code",
+            "RandomState" | "DefaultHasher" => {
+                "randomly-seeded hasher in deterministic sim code; iteration order \
+                 will differ across runs"
+            }
+            "now" if cx.path_prefix_is(i, "Instant") => "wall clock in deterministic sim code",
+            "var" | "var_os" if cx.path_prefix_is(i, "env") => {
+                "environment read in deterministic sim code"
+            }
+            _ => continue,
+        };
+        finding(
+            out,
+            cx,
+            t.line,
+            RuleId::Determinism,
+            format!("{msg}; derive everything from the run seed"),
+        );
+    }
+}

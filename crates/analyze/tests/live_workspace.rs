@@ -1,0 +1,43 @@
+//! The harness gate: the linter's rules hold over the live workspace.
+//!
+//! This is the same check `scripts/verify.sh` runs via the `pitree-lint`
+//! binary; having it as a test means plain `cargo test` also refuses
+//! protocol violations (and stale suppressions) anywhere in the tree.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_with_no_stale_allows() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = analyze::scan_workspace(&root).expect("workspace scan");
+    assert!(
+        report.files > 50,
+        "scan must actually cover the workspace, saw {} files",
+        report.files
+    );
+    assert!(
+        report.clean(),
+        "protocol violations or suppression problems in the live workspace:\n{}\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n"),
+        report.summary_table()
+    );
+}
+
+#[test]
+fn workspace_suppressions_are_all_in_use() {
+    // `clean()` already fails on stale allows; this asserts the flip side —
+    // the allows that do exist are really suppressing something, so the
+    // counts in the summary stay honest.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = analyze::scan_workspace(&root).expect("workspace scan");
+    let suppressed: usize = report.allowed.values().sum();
+    assert!(
+        suppressed > 0,
+        "the workspace documents its deliberate exceptions via reasoned allows"
+    );
+}

@@ -1,3 +1,4 @@
+// pitree-lint: allow-file(log-before-dirty) baselines are deliberately non-recoverable: no WAL, dirty pages are volatile
 //! Lock-coupling B+-tree \[Bayer & Schkolnick 1977\], the classic baseline.
 //!
 //! Readers couple S latches down the path. Writers couple **X latches** and
@@ -24,6 +25,12 @@ pub struct LockCouplingTree {
     max_entries: usize,
     /// Exclusive latchings of non-leaf nodes (concurrency-footprint metric).
     upper_x: std::sync::atomic::AtomicU64,
+}
+
+impl std::fmt::Debug for LockCouplingTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LockCouplingTree").finish_non_exhaustive()
+    }
 }
 
 impl LockCouplingTree {

@@ -1,3 +1,4 @@
+// pitree-lint: allow-file(log-before-dirty) baselines are deliberately non-recoverable: no WAL, dirty pages are volatile
 //! Shared plain-B+-tree node layout for the baselines.
 //!
 //! Slot 0 is a one-byte header holding the node level; slots 1.. are keyed
@@ -18,6 +19,12 @@ pub struct BaseStore {
     /// The shared buffer pool.
     pub pool: Arc<BufferPool>,
     next_page: AtomicU64,
+}
+
+impl std::fmt::Debug for BaseStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BaseStore").finish_non_exhaustive()
+    }
 }
 
 impl BaseStore {

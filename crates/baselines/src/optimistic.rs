@@ -1,3 +1,4 @@
+// pitree-lint: allow-file(log-before-dirty) baselines are deliberately non-recoverable: no WAL, dirty pages are volatile
 //! Optimistic lock coupling — the better variant from the Bayer–Schkolnick
 //! family that Srinivasan & Carey \[18\] also evaluate: writers descend with
 //! **S** latches like readers, take X only on the leaf, and fall back to the
@@ -14,6 +15,13 @@ use pitree_pagestore::page::Page;
 /// same split machinery — only the latching protocol differs).
 pub struct OptimisticCouplingTree {
     inner: LockCouplingTree,
+}
+
+impl std::fmt::Debug for OptimisticCouplingTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OptimisticCouplingTree")
+            .finish_non_exhaustive()
+    }
 }
 
 impl OptimisticCouplingTree {

@@ -1,3 +1,4 @@
+// pitree-lint: allow-file(log-before-dirty) baselines are deliberately non-recoverable: no WAL, dirty pages are volatile
 //! B+-tree with **serial structure changes** — ARIES/IM-flavored \[14\].
 //!
 //! "By contrast, in ARIES/IM complete structural changes are *serial*"
@@ -25,6 +26,12 @@ pub struct SerialSmoTree {
     smo: Latch<()>,
     /// Tree-wide exclusive acquisitions (every one quiesces all activity).
     tree_x: std::sync::atomic::AtomicU64,
+}
+
+impl std::fmt::Debug for SerialSmoTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SerialSmoTree").finish_non_exhaustive()
+    }
 }
 
 impl SerialSmoTree {

@@ -13,7 +13,8 @@
 //! cargo bench -p pitree-bench --features bench-ext
 //! ```
 
-use std::time::{Duration, Instant};
+use pitree_obs::Stopwatch;
+use std::time::Duration;
 
 /// Minimum wall time a sample must cover before we trust it.
 const MIN_SAMPLE: Duration = Duration::from_millis(50);
@@ -31,11 +32,11 @@ pub fn bench(group: &str, name: &str, mut f: impl FnMut()) {
     let mut iters = 1u64;
     let mut elapsed;
     loop {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         for _ in 0..iters {
             f();
         }
-        elapsed = t0.elapsed();
+        elapsed = Duration::from_nanos(t0.elapsed_ns());
         if elapsed >= MIN_SAMPLE || iters >= 1 << 22 {
             break;
         }
@@ -43,11 +44,11 @@ pub fn bench(group: &str, name: &str, mut f: impl FnMut()) {
     }
     let mut best = elapsed;
     for _ in 1..SAMPLES {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         for _ in 0..iters {
             f();
         }
-        best = best.min(t0.elapsed());
+        best = best.min(Duration::from_nanos(t0.elapsed_ns()));
     }
     report(group, name, best.as_nanos() as f64 / iters as f64);
 }

@@ -205,6 +205,7 @@ pub fn consolidate(tree: &PiTree, level: u8, key: &[u8]) -> StoreResult<Consolid
         }
     }
     {
+        // pitree-lint: allow(no-wait) space-map allocator mutex ranks above all page latches and has no inverse order
         let mut alloc = tree.store().space.lock_alloc();
         let (bm_pid, bit) = tree.store().space.locate(n_pin.id());
         let bm = pool.fetch(bm_pid)?;

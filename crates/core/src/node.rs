@@ -149,6 +149,16 @@ pub enum Guarded<'a> {
     X(XGuard<'a, Page>),
 }
 
+impl std::fmt::Debug for Guarded<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Guarded::S(_) => "Guarded::S",
+            Guarded::U(_) => "Guarded::U",
+            Guarded::X(_) => "Guarded::X",
+        })
+    }
+}
+
 impl<'a> Guarded<'a> {
     /// Read access to the page, whatever the mode.
     pub fn page(&self) -> &Page {

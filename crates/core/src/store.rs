@@ -29,6 +29,12 @@ pub struct Store {
     pub space: SpaceMap,
 }
 
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store").finish_non_exhaustive()
+    }
+}
+
 impl Store {
     /// Assemble a store over the given disk and log storage. `fresh` decides
     /// whether the space map is initialized (mkfs) or opened.
@@ -93,6 +99,12 @@ pub struct CrashableStore {
     /// The live store built over the durable state.
     pub store: Arc<Store>,
     pool_frames: usize,
+}
+
+impl std::fmt::Debug for CrashableStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CrashableStore").finish_non_exhaustive()
+    }
 }
 
 impl CrashableStore {

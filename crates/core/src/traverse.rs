@@ -73,6 +73,12 @@ pub struct DescentTarget<'a> {
     pub path: SavedPath,
 }
 
+impl std::fmt::Debug for DescentTarget<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DescentTarget").finish_non_exhaustive()
+    }
+}
+
 /// Latch `page` in S or U mode.
 fn latch<'a>(page: &PinnedPage<'a>, update: bool) -> Guarded<'a> {
     if update {

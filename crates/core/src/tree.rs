@@ -38,6 +38,12 @@ pub struct PiTree {
     stats: Arc<TreeStats>,
 }
 
+impl std::fmt::Debug for PiTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PiTree").finish_non_exhaustive()
+    }
+}
+
 impl PiTree {
     // ---- construction --------------------------------------------------------
 

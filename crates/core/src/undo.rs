@@ -49,7 +49,7 @@ impl PiTree {
             let op = match tag {
                 TAG_UNDO_INSERT if present => Some(PageOp::KeyedRemove { key: key.to_vec() }),
                 TAG_UNDO_DELETE if !present => {
-                    let bytes = entry.unwrap().to_vec();
+                    let bytes = require_entry(entry)?.to_vec();
                     if node_full(d.guard.page(), bytes.len(), self.config().max_leaf_entries) {
                         crate::split::independent_split(self, d)?;
                         continue; // re-descend and retry
@@ -57,8 +57,14 @@ impl PiTree {
                     Some(PageOp::KeyedInsert { bytes })
                 }
                 TAG_UNDO_UPDATE if present => {
-                    let bytes = entry.unwrap().to_vec();
-                    let slot = d.guard.page().keyed_find(key)?.unwrap();
+                    let bytes = require_entry(entry)?.to_vec();
+                    let Ok(slot) = d.guard.page().keyed_find(key)? else {
+                        // `present` came from the same latched page, so the
+                        // key cannot have moved; a miss here is corruption.
+                        return Err(StoreError::Corrupt(
+                            "entry vanished under latch during undo-update".to_string(),
+                        ));
+                    };
                     let old_len = d.guard.page().get(slot)?.len();
                     if bytes.len() > old_len && bytes.len() - old_len > d.guard.page().free_space()
                     {
@@ -87,8 +93,21 @@ impl PiTree {
     }
 }
 
+/// The undo payload an undo-delete / undo-update record must carry.
+fn require_entry(entry: Option<&[u8]>) -> StoreResult<&[u8]> {
+    entry.ok_or_else(|| {
+        StoreError::Corrupt("logical undo record missing its entry payload".to_string())
+    })
+}
+
 /// [`LogicalUndoHandler`] over a live tree.
 pub struct TreeUndoHandler<'a>(&'a PiTree);
+
+impl std::fmt::Debug for TreeUndoHandler<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TreeUndoHandler").finish_non_exhaustive()
+    }
+}
 
 impl LogicalUndoHandler for TreeUndoHandler<'_> {
     fn undo(&self, tag: u8, payload: &[u8]) -> StoreResult<()> {
@@ -106,6 +125,12 @@ pub struct DeferredHandler {
     tree: Mutex<Option<PiTree>>,
 }
 
+impl std::fmt::Debug for DeferredHandler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeferredHandler").finish_non_exhaustive()
+    }
+}
+
 impl DeferredHandler {
     /// Build a handler for `tree_id` over `store`.
     pub fn new(store: Arc<Store>, tree_id: u32, cfg: PiTreeConfig) -> DeferredHandler {
@@ -121,13 +146,14 @@ impl DeferredHandler {
 impl LogicalUndoHandler for DeferredHandler {
     fn undo(&self, tag: u8, payload: &[u8]) -> StoreResult<()> {
         let mut guard = self.tree.lock();
-        if guard.is_none() {
-            *guard = Some(PiTree::open(
+        let tree = match &mut *guard {
+            Some(t) => t,
+            slot => slot.insert(PiTree::open(
                 Arc::clone(&self.store),
                 self.tree_id,
                 self.cfg,
-            )?);
-        }
-        guard.as_ref().unwrap().compensate(tag, payload)
+            )?),
+        };
+        tree.compensate(tag, payload)
     }
 }

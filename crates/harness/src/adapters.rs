@@ -22,6 +22,12 @@ pub struct PiTreeIndex {
     op_delete_ns: Hist,
 }
 
+impl std::fmt::Debug for PiTreeIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PiTreeIndex").finish_non_exhaustive()
+    }
+}
+
 impl PiTreeIndex {
     /// Build over a fresh in-memory store.
     pub fn new(pool_frames: usize, cfg: PiTreeConfig) -> PiTreeIndex {

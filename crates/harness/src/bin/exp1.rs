@@ -23,7 +23,7 @@
 use pitree::PiTreeConfig;
 use pitree_baselines::{ConcurrentIndex, LockCouplingTree, OptimisticCouplingTree, SerialSmoTree};
 use pitree_harness::{KeyDist, PiTreeIndex, Table, Workload};
-use std::time::Instant;
+use pitree_obs::Stopwatch;
 
 const OPS: u64 = 20_000;
 
@@ -32,7 +32,7 @@ fn drive(idx: &dyn ConcurrentIndex, dist: KeyDist, read_frac: f64) -> f64 {
     for _ in 0..1_000 {
         idx.insert(&w.next_key(), b"preload");
     }
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let mut w = Workload::new(dist, 1 << 20, 1001);
     for _ in 0..OPS {
         if w.is_read(read_frac) {
@@ -41,7 +41,7 @@ fn drive(idx: &dyn ConcurrentIndex, dist: KeyDist, read_frac: f64) -> f64 {
             idx.insert(&w.next_key(), b"value-xxxxxxxx");
         }
     }
-    OPS as f64 / start.elapsed().as_secs_f64()
+    OPS as f64 / (start.elapsed_ns() as f64 / 1e9)
 }
 
 fn main() {

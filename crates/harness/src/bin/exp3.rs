@@ -11,8 +11,8 @@
 
 use pitree::{CrashableStore, PiTree, PiTreeConfig};
 use pitree_harness::Table;
+use pitree_obs::Stopwatch;
 use std::sync::Arc;
-use std::time::Instant;
 
 fn key(i: u64) -> Vec<u8> {
     i.to_be_bytes().to_vec()
@@ -80,11 +80,11 @@ fn main() {
         let mut all_completed = true;
         for &cut in &cuts {
             let cs2 = cs.crash_with_log_prefix(cut).unwrap();
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             let Ok((tree2, _stats)) = PiTree::recover(Arc::clone(&cs2.store), 1, build_cfg) else {
                 continue; // pre-creation prefix
             };
-            total_ms += t0.elapsed().as_secs_f64() * 1e3;
+            total_ms += t0.elapsed_ns() as f64 / 1e6;
             tested += 1;
             let report = tree2.validate().unwrap();
             all_wf &= report.is_well_formed();

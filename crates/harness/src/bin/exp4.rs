@@ -10,9 +10,9 @@
 
 use pitree::{CrashableStore, PiTree, PiTreeConfig};
 use pitree_harness::Table;
+use pitree_obs::Stopwatch;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Instant;
 
 const THREADS: u64 = 8;
 const TXNS_PER_THREAD: u64 = 300;
@@ -22,7 +22,7 @@ fn run(cfg: PiTreeConfig) -> (f64, Vec<(&'static str, u64)>, u64) {
     let cs = CrashableStore::create(8192, 1 << 20).unwrap();
     let tree = Arc::new(PiTree::create(Arc::clone(&cs.store), 1, cfg).unwrap());
     let deadlocks = std::sync::atomic::AtomicU64::new(0);
-    let start = Instant::now();
+    let start = Stopwatch::start();
     std::thread::scope(|s| {
         for t in 0..THREADS {
             let tree = Arc::clone(&tree);
@@ -50,7 +50,7 @@ fn run(cfg: PiTreeConfig) -> (f64, Vec<(&'static str, u64)>, u64) {
             });
         }
     });
-    let wall = start.elapsed().as_secs_f64();
+    let wall = start.elapsed_ns() as f64 / 1e9;
     for _ in 0..6 {
         tree.run_completions().unwrap();
     }

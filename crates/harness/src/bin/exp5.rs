@@ -10,8 +10,8 @@
 
 use pitree::{ConsolidationPolicy, CrashableStore, DeallocPolicy, PiTree, PiTreeConfig};
 use pitree_harness::{KeyDist, Table, Workload};
+use pitree_obs::Stopwatch;
 use std::sync::Arc;
-use std::time::Instant;
 
 const KEYS: u64 = 30_000;
 const SEARCHES: u64 = 200_000;
@@ -32,7 +32,7 @@ fn build(cfg: PiTreeConfig) -> (CrashableStore, Arc<PiTree>) {
 
 fn searches(tree: &Arc<PiTree>, threads: u64) -> f64 {
     let per = SEARCHES / threads;
-    let start = Instant::now();
+    let start = Stopwatch::start();
     std::thread::scope(|s| {
         for t in 0..threads {
             let tree = Arc::clone(tree);
@@ -44,7 +44,7 @@ fn searches(tree: &Arc<PiTree>, threads: u64) -> f64 {
             });
         }
     });
-    SEARCHES as f64 / start.elapsed().as_secs_f64()
+    SEARCHES as f64 / (start.elapsed_ns() as f64 / 1e9)
 }
 
 fn main() {

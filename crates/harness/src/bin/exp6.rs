@@ -11,15 +11,15 @@
 
 use pitree::{ConsolidationPolicy, CrashableStore, DeallocPolicy, PiTree, PiTreeConfig};
 use pitree_harness::Table;
+use pitree_obs::Stopwatch;
 use std::sync::Arc;
-use std::time::Instant;
 
 fn run(keys: u64, consolidation: ConsolidationPolicy) -> (u8, f64, f64, u64, u64) {
     let mut cfg = PiTreeConfig::small_nodes(8, 8);
     cfg.consolidation = consolidation;
     let cs = CrashableStore::create(8192, 1 << 20).unwrap();
     let tree = PiTree::create(Arc::clone(&cs.store), 1, cfg).unwrap();
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     for i in 0..keys {
         let mut t = tree.begin();
         tree.insert(&mut t, &i.to_be_bytes(), b"v").unwrap();
@@ -28,7 +28,7 @@ fn run(keys: u64, consolidation: ConsolidationPolicy) -> (u8, f64, f64, u64, u64
     for _ in 0..4 {
         tree.run_completions().unwrap();
     }
-    let elapsed = t0.elapsed().as_secs_f64();
+    let elapsed = t0.elapsed_ns() as f64 / 1e9;
     let stats = tree.stats();
     let posts =
         stats.postings_done.get() + stats.postings_noop.get() + stats.postings_node_gone.get();

@@ -15,6 +15,12 @@ pub struct CompletionWorker {
     handle: Option<JoinHandle<()>>,
 }
 
+impl std::fmt::Debug for CompletionWorker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompletionWorker").finish_non_exhaustive()
+    }
+}
+
 impl CompletionWorker {
     /// Spawn a worker draining `tree`'s queue every `interval`.
     pub fn spawn(tree: Arc<PiTree>, interval: Duration) -> CompletionWorker {

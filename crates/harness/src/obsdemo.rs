@@ -59,6 +59,12 @@ pub struct DemoRun {
     pub seed: u64,
 }
 
+impl std::fmt::Debug for DemoRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DemoRun").finish_non_exhaustive()
+    }
+}
+
 fn key_bytes(k: u64) -> [u8; 8] {
     k.to_be_bytes()
 }

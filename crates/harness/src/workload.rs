@@ -25,6 +25,12 @@ pub struct Workload {
     next_seq: u64,
 }
 
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload").finish_non_exhaustive()
+    }
+}
+
 impl Workload {
     /// A workload over keys `0..domain` with a fixed seed.
     pub fn new(dist: KeyDist, domain: u64, seed: u64) -> Workload {

@@ -88,6 +88,12 @@ pub struct HbTree {
     pub(crate) stats: Arc<TreeStats>,
 }
 
+impl std::fmt::Debug for HbTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HbTree").finish_non_exhaustive()
+    }
+}
+
 /// A descent's outcome: the data node owning the point.
 pub(crate) struct HbDescent<'a> {
     pub page: PinnedPage<'a>,

@@ -37,7 +37,13 @@ impl HbTree {
             let op = match tag {
                 TAG_HB_REMOVE if present => Some(PageOp::KeyedRemove { key: key.to_vec() }),
                 TAG_HB_RESTORE => {
-                    let bytes = entry.unwrap().to_vec();
+                    let bytes = entry
+                        .ok_or_else(|| {
+                            StoreError::Corrupt(
+                                "hB restore record missing its entry payload".to_string(),
+                            )
+                        })?
+                        .to_vec();
                     if present {
                         Some(PageOp::KeyedUpdate { bytes })
                     } else {
@@ -73,6 +79,12 @@ impl HbTree {
 /// [`LogicalUndoHandler`] over a live hB-tree.
 pub struct HbUndoHandler<'a>(&'a HbTree);
 
+impl std::fmt::Debug for HbUndoHandler<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HbUndoHandler").finish_non_exhaustive()
+    }
+}
+
 impl LogicalUndoHandler for HbUndoHandler<'_> {
     fn undo(&self, tag: u8, payload: &[u8]) -> StoreResult<()> {
         self.0.compensate(tag, payload)
@@ -85,6 +97,12 @@ pub struct HbDeferredHandler {
     tree_id: u32,
     cfg: HbConfig,
     tree: Mutex<Option<HbTree>>,
+}
+
+impl std::fmt::Debug for HbDeferredHandler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HbDeferredHandler").finish_non_exhaustive()
+    }
 }
 
 impl HbDeferredHandler {
@@ -102,13 +120,14 @@ impl HbDeferredHandler {
 impl LogicalUndoHandler for HbDeferredHandler {
     fn undo(&self, tag: u8, payload: &[u8]) -> StoreResult<()> {
         let mut guard = self.tree.lock();
-        if guard.is_none() {
-            *guard = Some(HbTree::open(
+        let tree = match &mut *guard {
+            Some(t) => t,
+            slot => slot.insert(HbTree::open(
                 Arc::clone(&self.store),
                 self.tree_id,
                 self.cfg,
-            )?);
-        }
-        guard.as_ref().unwrap().compensate(tag, payload)
+            )?),
+        };
+        tree.compensate(tag, payload)
     }
 }

@@ -92,6 +92,14 @@ pub struct BufferPool {
     writeback_ns: Hist,
 }
 
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("capacity", &self.frames.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl BufferPool {
     /// Create a pool of `capacity` frames over `disk`, recording into a
     /// fresh private registry (see [`BufferPool::with_recorder`]).
@@ -294,6 +302,15 @@ pub struct PinnedPage<'a> {
     pool: &'a BufferPool,
     frame: usize,
     pid: PageId,
+}
+
+impl std::fmt::Debug for PinnedPage<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PinnedPage")
+            .field("pid", &self.pid)
+            .field("frame", &self.frame)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> PinnedPage<'a> {

@@ -39,6 +39,12 @@ pub struct MemDisk {
     injector: Option<InjectorHandle>,
 }
 
+impl std::fmt::Debug for MemDisk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemDisk").finish_non_exhaustive()
+    }
+}
+
 impl MemDisk {
     /// An empty store.
     pub fn new() -> MemDisk {
@@ -103,6 +109,12 @@ impl DiskManager for MemDisk {
 /// File-backed page storage for benchmarks.
 pub struct FileDisk {
     file: Mutex<File>,
+}
+
+impl std::fmt::Debug for FileDisk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileDisk").finish_non_exhaustive()
+    }
 }
 
 impl FileDisk {

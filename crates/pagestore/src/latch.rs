@@ -213,6 +213,14 @@ pub struct Latch<T> {
 unsafe impl<T: Send> Send for Latch<T> {}
 unsafe impl<T: Send + Sync> Sync for Latch<T> {}
 
+impl<T> std::fmt::Debug for Latch<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Latch")
+            .field("rank", &self.rank)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<T> Latch<T> {
     /// Wrap `value` in a latch that does not participate in order checking.
     pub fn new(value: T) -> Latch<T> {
@@ -386,6 +394,14 @@ pub struct SGuard<'a, T> {
     latch: &'a Latch<T>,
 }
 
+impl<T> std::fmt::Debug for SGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SGuard")
+            .field("rank", &self.latch.rank)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<T> Deref for SGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
@@ -410,6 +426,14 @@ impl<T> Drop for SGuard<'_, T> {
 /// Update-mode guard: read access plus the exclusive right to promote.
 pub struct UGuard<'a, T> {
     latch: &'a Latch<T>,
+}
+
+impl<T> std::fmt::Debug for UGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UGuard")
+            .field("rank", &self.latch.rank)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a, T> UGuard<'a, T> {
@@ -481,6 +505,14 @@ impl<T> Drop for UGuard<'_, T> {
 /// Exclusive-mode guard.
 pub struct XGuard<'a, T> {
     latch: &'a Latch<T>,
+}
+
+impl<T> std::fmt::Debug for XGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("XGuard")
+            .field("rank", &self.latch.rank)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a, T> XGuard<'a, T> {

@@ -38,6 +38,15 @@ pub struct SpaceMap {
     latch: Latch<u64>,
 }
 
+impl std::fmt::Debug for SpaceMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpaceMap")
+            .field("bitmap_pages", &self.bitmap_pages)
+            .field("max_pages", &self.max_pages)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Decoded meta record (slot 0 of page 0).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MetaRecord {
@@ -94,6 +103,7 @@ impl SpaceMap {
                 }
                 .encode(),
             )?;
+            // pitree-lint: allow(log-before-dirty) formatting a fresh store; the WAL does not exist yet
             meta.mark_dirty();
         }
         // Bitmap pages, with reserved bits set.
@@ -108,6 +118,7 @@ impl SpaceMap {
                     g.sm_set_bit(b as usize, true);
                 }
             }
+            // pitree-lint: allow(log-before-dirty) formatting a fresh store; the WAL does not exist yet
             bm.mark_dirty();
         }
         pool.flush_all()?;
@@ -201,6 +212,12 @@ impl SpaceMap {
 pub struct AllocGuard<'a> {
     map: &'a SpaceMap,
     hint: XGuard<'a, u64>,
+}
+
+impl std::fmt::Debug for AllocGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AllocGuard").finish_non_exhaustive()
+    }
 }
 
 impl AllocGuard<'_> {

@@ -20,6 +20,12 @@ fn strip<T>(r: LockResult<T>) -> T {
 /// A mutex whose `lock` never fails (poisoning is ignored).
 pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
 
+impl<T: ?Sized> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
 impl<T> Mutex<T> {
     /// Wrap `value`.
     pub const fn new(value: T) -> Mutex<T> {
@@ -56,6 +62,12 @@ impl<T: Default> Default for Mutex<T> {
 /// (`guard = cv.wait(guard)`), matching `std`'s move-based API.
 #[derive(Default)]
 pub struct Condvar(std::sync::Condvar);
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
 
 impl Condvar {
     /// A new condition variable.

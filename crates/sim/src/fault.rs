@@ -33,6 +33,12 @@ pub struct CrashPlan {
     fired_site: Mutex<Option<String>>,
 }
 
+impl std::fmt::Debug for CrashPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CrashPlan").finish_non_exhaustive()
+    }
+}
+
 impl CrashPlan {
     fn build(fire_at: u64) -> Arc<CrashPlan> {
         Arc::new(CrashPlan {

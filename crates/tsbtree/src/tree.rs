@@ -74,6 +74,12 @@ pub struct TsbTree {
     clock: AtomicU64,
 }
 
+impl std::fmt::Debug for TsbTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TsbTree").finish_non_exhaustive()
+    }
+}
+
 /// Outcome of a descent to a data node.
 pub(crate) struct TsbDescent<'a> {
     pub page: PinnedPage<'a>,

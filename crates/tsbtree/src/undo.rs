@@ -87,6 +87,12 @@ impl TsbTree {
 /// [`LogicalUndoHandler`] over a live TSB-tree.
 pub struct TsbUndoHandler<'a>(&'a TsbTree);
 
+impl std::fmt::Debug for TsbUndoHandler<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TsbUndoHandler").finish_non_exhaustive()
+    }
+}
+
 impl LogicalUndoHandler for TsbUndoHandler<'_> {
     fn undo(&self, tag: u8, payload: &[u8]) -> StoreResult<()> {
         match tag {
@@ -104,6 +110,12 @@ pub struct TsbDeferredHandler {
     tree: Mutex<Option<TsbTree>>,
 }
 
+impl std::fmt::Debug for TsbDeferredHandler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TsbDeferredHandler").finish_non_exhaustive()
+    }
+}
+
 impl TsbDeferredHandler {
     /// Build a handler for `tree_id` over `store`.
     pub fn new(store: Arc<Store>, tree_id: u32, cfg: TsbConfig) -> TsbDeferredHandler {
@@ -119,15 +131,16 @@ impl TsbDeferredHandler {
 impl LogicalUndoHandler for TsbDeferredHandler {
     fn undo(&self, tag: u8, payload: &[u8]) -> StoreResult<()> {
         let mut guard = self.tree.lock();
-        if guard.is_none() {
-            *guard = Some(TsbTree::open(
+        let tree = match &mut *guard {
+            Some(t) => t,
+            slot => slot.insert(TsbTree::open(
                 Arc::clone(&self.store),
                 self.tree_id,
                 self.cfg,
-            )?);
-        }
+            )?),
+        };
         match tag {
-            TAG_TSB_REMOVE_VERSION => guard.as_ref().unwrap().compensate_remove_version(payload),
+            TAG_TSB_REMOVE_VERSION => tree.compensate_remove_version(payload),
             t => Err(StoreError::Corrupt(format!("unknown TSB undo tag {t}"))),
         }
     }

@@ -135,6 +135,12 @@ pub struct LockTable {
     wait_ns: Hist,
 }
 
+impl std::fmt::Debug for LockTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LockTable").finish_non_exhaustive()
+    }
+}
+
 impl Default for LockTable {
     fn default() -> Self {
         Self::new(Duration::from_secs(10))

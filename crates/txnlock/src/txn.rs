@@ -31,6 +31,12 @@ pub struct ActiveRegistry {
     inner: Mutex<HashMap<ActionId, (ActionIdentity, Arc<AtomicU64>)>>,
 }
 
+impl std::fmt::Debug for ActiveRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActiveRegistry").finish_non_exhaustive()
+    }
+}
+
 impl ActiveRegistry {
     fn register(&self, id: ActionId, identity: ActionIdentity) -> Arc<AtomicU64> {
         let cell = Arc::new(AtomicU64::new(0));
@@ -69,6 +75,12 @@ pub struct TxnManager {
     pool: Arc<BufferPool>,
     locks: LockTable,
     registry: ActiveRegistry,
+}
+
+impl std::fmt::Debug for TxnManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxnManager").finish_non_exhaustive()
+    }
 }
 
 impl TxnManager {
@@ -131,6 +143,12 @@ pub struct Txn<'a> {
     inner: AtomicAction<'a>,
     cell: Arc<AtomicU64>,
     hooks: Vec<Box<dyn FnOnce() + Send + 'a>>,
+}
+
+impl std::fmt::Debug for Txn<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Txn").finish_non_exhaustive()
+    }
 }
 
 impl<'a> Txn<'a> {

@@ -19,7 +19,7 @@ use pitree_obs::EventKind;
 use pitree_pagestore::buffer::{BufferPool, PinnedPage};
 use pitree_pagestore::latch::XGuard;
 use pitree_pagestore::page::Page;
-use pitree_pagestore::{Lsn, PageOp, StoreResult};
+use pitree_pagestore::{Lsn, PageOp, StoreError, StoreResult};
 
 /// Stable numeric code for an action identity, used as the `b` payload of
 /// [`EventKind::ActionBegin`] events.
@@ -39,6 +39,12 @@ pub struct AtomicAction<'a> {
     identity: ActionIdentity,
     last: Lsn,
     updates: u64,
+}
+
+impl std::fmt::Debug for AtomicAction<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicAction").finish_non_exhaustive()
+    }
 }
 
 impl<'a> AtomicAction<'a> {
@@ -196,8 +202,12 @@ impl<'a> AtomicAction<'a> {
                             self.last = clr;
                         }
                         UndoInfo::Logical { tag, payload } => {
-                            let h = handler
-                                .expect("logical undo record but no LogicalUndoHandler registered");
+                            let h = handler.ok_or_else(|| {
+                                StoreError::Corrupt(
+                                    "logical undo record but no LogicalUndoHandler registered"
+                                        .to_string(),
+                                )
+                            })?;
                             h.undo(tag, &payload)?;
                             self.last = self.log.append(
                                 self.id,

@@ -12,6 +12,12 @@ pub struct Writer {
     buf: Vec<u8>,
 }
 
+impl std::fmt::Debug for Writer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Writer").finish_non_exhaustive()
+    }
+}
+
 impl Writer {
     /// Fresh empty writer.
     pub fn new() -> Writer {
@@ -54,6 +60,12 @@ impl Writer {
 pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
+}
+
+impl std::fmt::Debug for Reader<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reader").finish_non_exhaustive()
+    }
 }
 
 impl<'a> Reader<'a> {

@@ -45,6 +45,12 @@ pub struct MemLogStore {
     injector: Option<InjectorHandle>,
 }
 
+impl std::fmt::Debug for MemLogStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemLogStore").finish_non_exhaustive()
+    }
+}
+
 impl MemLogStore {
     /// Empty store.
     pub fn new() -> MemLogStore {
@@ -122,6 +128,12 @@ pub struct FileLogStore {
     file: Mutex<File>,
     master_path: std::path::PathBuf,
     master: AtomicU64,
+}
+
+impl std::fmt::Debug for FileLogStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileLogStore").finish_non_exhaustive()
+    }
 }
 
 impl FileLogStore {
@@ -209,6 +221,12 @@ pub struct LogManager {
     appends: Counter,
     forces: Counter,
     force_ns: Hist,
+}
+
+impl std::fmt::Debug for LogManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogManager").finish_non_exhaustive()
+    }
 }
 
 impl LogManager {

@@ -15,7 +15,7 @@ use crate::record::{ActionId, ActionIdentity, LogRecord, RecordKind, UndoInfo};
 use pitree_obs::{EventKind, Stopwatch};
 use pitree_pagestore::buffer::BufferPool;
 use pitree_pagestore::page::PageType;
-use pitree_pagestore::{Lsn, StoreResult};
+use pitree_pagestore::{Lsn, StoreError, StoreResult};
 use std::collections::HashMap;
 
 /// Callback through which recovery (and normal rollback) performs
@@ -41,6 +41,18 @@ pub struct RecoveryStats {
     pub clrs_written: usize,
     /// Where analysis started (master checkpoint or log start).
     pub analysis_start: Lsn,
+}
+
+/// Look up an undo chain's most recent LSN. The undo pass only walks
+/// actions seeded into `last_lsns`, so a miss means the log chain is
+/// inconsistent — report it rather than panic mid-recovery.
+fn last_lsn(last_lsns: &HashMap<ActionId, Lsn>, action: ActionId) -> StoreResult<Lsn> {
+    last_lsns.get(&action).copied().ok_or_else(|| {
+        StoreError::Corrupt(format!(
+            "undo pass reached action {} with no known last LSN",
+            action.0
+        ))
+    })
 }
 
 /// Run full crash recovery over `pool` + `log`.
@@ -123,6 +135,7 @@ pub fn recover(
         if g.lsn() < rec.lsn {
             op.apply(&mut g)?;
             g.set_lsn(rec.lsn);
+            // pitree-lint: allow(log-before-dirty) redo applies a record that is already durable in the log
             page.mark_dirty_at(rec.lsn);
             stats.redone += 1;
         } else {
@@ -152,7 +165,7 @@ pub fn recover(
         let rec = log.read(cursor)?;
         match rec.kind {
             RecordKind::Update { pid, undo, .. } => {
-                let last = last_lsns[&action];
+                let last = last_lsn(&last_lsns, action)?;
                 match undo {
                     UndoInfo::Physiological(inv) => {
                         let page = pool.fetch(pid)?;
@@ -173,9 +186,12 @@ pub fn recover(
                         stats.clrs_written += 1;
                     }
                     UndoInfo::Logical { tag, payload } => {
-                        let h = handler.expect(
-                            "logical undo record during recovery but no handler registered",
-                        );
+                        let h = handler.ok_or_else(|| {
+                            StoreError::Corrupt(
+                                "logical undo record during recovery but no handler registered"
+                                    .to_string(),
+                            )
+                        })?;
                         h.undo(tag, &payload)?;
                         let clr = log.append(
                             action,
@@ -195,7 +211,7 @@ pub fn recover(
                 cursors.insert(action, undo_next);
             }
             RecordKind::Begin { .. } => {
-                log.append(action, last_lsns[&action], RecordKind::End);
+                log.append(action, last_lsn(&last_lsns, action)?, RecordKind::End);
                 cursors.remove(&action);
             }
             _ => {

@@ -3,7 +3,7 @@
 # with --offline: the workspace has no external dependencies by design
 # (DESIGN.md §5), so a registry is never consulted.
 #
-#   ./scripts/verify.sh          # fmt + clippy + build + tests + sim sweep
+#   ./scripts/verify.sh          # fmt + clippy + pitree-lint + build + tests + sim sweep
 #   SKIP_LINT=1 ./scripts/verify.sh   # skip fmt/clippy (e.g. toolchain lacks them)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,8 +25,11 @@ if [[ -z "${SKIP_LINT:-}" ]]; then
   fi
 fi
 
-step "cargo build --release"
-cargo build --release --offline
+step "pitree-lint (protocol discipline gate; prints the per-rule summary)"
+cargo run --offline -q -p analyze -- .
+
+step "cargo build --release (-D warnings)"
+RUSTFLAGS="-D warnings" cargo build --release --offline
 
 step "cargo test (workspace)"
 cargo test --offline -q
