@@ -1,0 +1,184 @@
+//! Differential oracle: drive a system under test and the sequential
+//! [`Model`] with the same seeded workload and demand identical answers.
+//!
+//! Because the driver is single-threaded, every legal implementation must
+//! agree with the model exactly — there is no reordering slack. This is
+//! the cheapest of the three layers and the one that catches plain logic
+//! bugs (lost writes, wrong scan windows, bad created/existed flags).
+
+use crate::index::CheckIndex;
+use crate::model::Model;
+use pitree_sim::SimRng;
+
+/// Knobs for one differential run.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffConfig {
+    /// Operations to issue.
+    pub ops: usize,
+    /// Keys are drawn from `0..key_domain` (small domains force overwrite
+    /// and delete-of-present paths).
+    pub key_domain: u64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> DiffConfig {
+        DiffConfig {
+            ops: 400,
+            key_domain: 64,
+        }
+    }
+}
+
+/// Where a differential run diverged from the model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffViolation {
+    /// The index that diverged.
+    pub index: &'static str,
+    /// Seed of the failing run (replayable via `pitree-check --replay`).
+    pub seed: u64,
+    /// Zero-based operation index at which the divergence was observed
+    /// (`usize::MAX` for the final sweep).
+    pub op: usize,
+    /// Human-readable description of the mismatch.
+    pub detail: String,
+}
+
+impl std::fmt::Display for DiffViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "differential divergence in {} (seed {:#x}, op {}): {}",
+            self.index, self.seed, self.op, self.detail
+        )
+    }
+}
+
+/// Summary of a passing differential run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiffReport {
+    /// Operations executed.
+    pub ops: usize,
+    /// Records live in the model at the end.
+    pub final_records: usize,
+}
+
+fn key_bytes(k: u64) -> Vec<u8> {
+    k.to_be_bytes().to_vec()
+}
+
+/// Run one seeded differential workload against `index`, comparing every
+/// observable result with the [`Model`] and finishing with a full-domain
+/// point-read sweep.
+pub fn run_differential(
+    index: &dyn CheckIndex,
+    seed: u64,
+    cfg: DiffConfig,
+) -> Result<DiffReport, DiffViolation> {
+    let mut rng = SimRng::new(seed);
+    let mut model = Model::new();
+    let fail = |op: usize, detail: String| DiffViolation {
+        index: index.name(),
+        seed,
+        op,
+        detail,
+    };
+
+    for op in 0..cfg.ops {
+        let k = rng.below(cfg.key_domain);
+        let key = key_bytes(k);
+        match rng.below(100) {
+            // 45% insert/upsert
+            0..=44 => {
+                let val = format!("v{k}-{op}").into_bytes();
+                let got = index.insert(&key, &val);
+                let want = model.insert(&key, &val);
+                if let Some(created) = got {
+                    if created != want {
+                        return Err(fail(
+                            op,
+                            format!("insert({k}) created={created}, model says {want}"),
+                        ));
+                    }
+                }
+            }
+            // 20% delete
+            45..=64 => {
+                let got = index.delete(&key);
+                let want = model.delete(&key);
+                if got != want {
+                    return Err(fail(
+                        op,
+                        format!("delete({k}) existed={got}, model says {want}"),
+                    ));
+                }
+            }
+            // 25% point read
+            65..=89 => {
+                let got = index.get(&key);
+                let want = model.get(&key);
+                if got != want {
+                    return Err(fail(op, format!("get({k}) = {got:?}, model says {want:?}")));
+                }
+            }
+            // 10% range scan (skipped by indexes that don't support it)
+            _ => {
+                let hi = k + 1 + rng.below(cfg.key_domain / 4 + 1);
+                let (lo_b, hi_b) = (key_bytes(k), key_bytes(hi));
+                if let Some(got) = index.scan(&lo_b, &hi_b) {
+                    let want = model.scan(&lo_b, &hi_b);
+                    if got != want {
+                        return Err(fail(
+                            op,
+                            format!(
+                                "scan([{k},{hi})) returned {} pairs, model has {}",
+                                got.len(),
+                                want.len()
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Final sweep: every key in the domain must agree, whether or not the
+    // workload happened to read it.
+    for k in 0..cfg.key_domain {
+        let key = key_bytes(k);
+        let got = index.get(&key);
+        let want = model.get(&key);
+        if got != want {
+            return Err(fail(
+                usize::MAX,
+                format!("final sweep: get({k}) = {got:?}, model says {want:?}"),
+            ));
+        }
+    }
+
+    Ok(DiffReport {
+        ops: cfg.ops,
+        final_records: model.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{LostWriteIndex, ModelIndex};
+
+    #[test]
+    fn model_index_passes() {
+        let report =
+            run_differential(&ModelIndex::default(), 0xd1ff, DiffConfig::default()).unwrap();
+        assert_eq!(report.ops, 400);
+    }
+
+    #[test]
+    fn lost_write_fixture_is_rejected() {
+        let broken = LostWriteIndex::new(ModelIndex::default(), 5);
+        let err = run_differential(&broken, 0xd1ff, DiffConfig::default())
+            .expect_err("differential oracle must catch dropped writes");
+        assert_eq!(err.index, "fixture:lost-write");
+        assert_eq!(err.seed, 0xd1ff);
+    }
+}

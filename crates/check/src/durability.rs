@@ -1,0 +1,373 @@
+//! Durability oracle: crash at every sampled durable-write boundary of a
+//! seeded workload and demand that recovery yields exactly the committed
+//! effects — present with their exact values, nothing uncommitted, and a
+//! well-formed tree before and after lazy SMO completion.
+//!
+//! This is the non-panicking twin of `pitree_sim::crash`: instead of
+//! asserting inside the sweep it returns a typed [`DurViolation`] carrying
+//! the seed, crash point, and fault site, so the CLI can print a replay
+//! line and the [shrinker](crate::shrink) can re-drive candidate scripts
+//! through [`script_violation`] while minimizing.
+//!
+//! The seeded-violation fixture lives here too:
+//! [`tail_drop_violation`] runs a workload to completion, then crashes
+//! with the durable log truncated one byte short — chopping the final
+//! forced commit record. That simulates a log device that acknowledged a
+//! force it never made durable (the paper's §4.3 premise is exactly that
+//! this must not happen), and the oracle is required to report the lost
+//! committed write.
+
+use crate::model::Model;
+use pitree::{CrashableStore, PiTree, PiTreeConfig};
+use pitree_pagestore::fault::{is_injected, InjectorHandle};
+use pitree_pagestore::StoreResult;
+use pitree_sim::fault::CrashPlan;
+use pitree_sim::SimRng;
+use std::sync::Arc;
+
+/// One workload step. Mirrors the sim kit's crash workload shape so
+/// failures found by either tool replay in the other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurOp {
+    /// Forced-commit upsert of key `k` (value derives from key + op index).
+    Insert(u64),
+    /// Forced-commit delete of key `k`.
+    Delete(u64),
+    /// Flush all dirty pages.
+    Flush,
+    /// Fuzzy checkpoint.
+    Checkpoint,
+}
+
+/// Workload and sweep parameters.
+#[derive(Debug, Clone)]
+pub struct DurConfig {
+    /// Operations per seed.
+    pub ops: usize,
+    /// Keys drawn from `0..key_domain`.
+    pub key_domain: u64,
+    /// Cap on crash points swept per seed (strided; last always included).
+    pub max_crash_points: usize,
+    /// Buffer-pool frames (small pools force evictions mid-workload).
+    pub pool_frames: usize,
+    /// Space-map capacity.
+    pub max_pages: u64,
+    /// Tree configuration (small nodes force SMO crash points).
+    pub tree_cfg: PiTreeConfig,
+}
+
+impl Default for DurConfig {
+    fn default() -> DurConfig {
+        DurConfig {
+            ops: 40,
+            key_domain: 32,
+            max_crash_points: 8,
+            pool_frames: 64,
+            max_pages: 10_000,
+            tree_cfg: PiTreeConfig::small_nodes(4, 4),
+        }
+    }
+}
+
+/// A durability violation: recovery did not reproduce the committed state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurViolation {
+    /// Seed whose workload exposed it (replayable).
+    pub seed: u64,
+    /// 1-based crash boundary, or 0 when the crash was synthetic (the
+    /// tail-drop fixture).
+    pub crash_point: u64,
+    /// Human-readable fault site description.
+    pub site: String,
+    /// What recovery got wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for DurViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "durability violation (seed {:#x}, crash point {} at {}): {}",
+            self.seed, self.crash_point, self.site, self.detail
+        )
+    }
+}
+
+/// Coverage of a passing sweep.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DurReport {
+    /// Armed durable-write boundaries the workload crossed.
+    pub fault_points: u64,
+    /// Boundaries actually crash-tested.
+    pub crash_points_tested: usize,
+    /// Committed records at the end of the no-crash probe.
+    pub final_records: usize,
+}
+
+/// Generate the seed's workload script (op mix matches the sim kit).
+pub fn gen_script(seed: u64, cfg: &DurConfig) -> Vec<DurOp> {
+    let mut rng = SimRng::new(seed);
+    (0..cfg.ops)
+        .map(|_| {
+            let k = rng.below(cfg.key_domain);
+            match rng.below(100) {
+                0..=54 => DurOp::Insert(k),
+                55..=84 => DurOp::Delete(k),
+                85..=94 => DurOp::Flush,
+                _ => DurOp::Checkpoint,
+            }
+        })
+        .collect()
+}
+
+fn key_bytes(k: u64) -> Vec<u8> {
+    k.to_be_bytes().to_vec()
+}
+
+fn val_bytes(k: u64, op_index: usize) -> Vec<u8> {
+    format!("v{k}-{op_index}").into_bytes()
+}
+
+fn build(cfg: &DurConfig, plan: &Arc<CrashPlan>) -> (CrashableStore, PiTree) {
+    // Setup is disarmed: mkfs/root creation are not crash points.
+    let cs = CrashableStore::create_with_injector(
+        cfg.pool_frames,
+        cfg.max_pages,
+        Arc::clone(plan) as InjectorHandle,
+    )
+    .expect("store setup (disarmed) cannot crash");
+    let tree = PiTree::create(Arc::clone(&cs.store), 1, cfg.tree_cfg)
+        .expect("tree setup (disarmed) cannot crash");
+    (cs, tree)
+}
+
+/// Run the script, updating `model` only when a forced commit returns
+/// `Ok` — so at any crash the model is exactly the committed data.
+fn apply_script(
+    cs: &CrashableStore,
+    tree: &PiTree,
+    script: &[DurOp],
+    model: &mut Model,
+) -> StoreResult<()> {
+    for (i, op) in script.iter().enumerate() {
+        match *op {
+            DurOp::Insert(k) => {
+                let v = val_bytes(k, i);
+                let mut t = tree.begin();
+                if let Err(e) = tree.insert(&mut t, &key_bytes(k), &v) {
+                    // A dead machine can't clean the txn up either.
+                    std::mem::forget(t);
+                    return Err(e);
+                }
+                t.commit()?;
+                model.insert(&key_bytes(k), &v);
+            }
+            DurOp::Delete(k) => {
+                let mut t = tree.begin();
+                if let Err(e) = tree.delete(&mut t, &key_bytes(k)) {
+                    std::mem::forget(t);
+                    return Err(e);
+                }
+                t.commit()?;
+                model.delete(&key_bytes(k));
+            }
+            DurOp::Flush => cs.store.pool.flush_all()?,
+            DurOp::Checkpoint => {
+                cs.store.txns.checkpoint()?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Recover `crashed` and compare against the committed `model`. Returns a
+/// description of the first discrepancy, `None` when recovery is correct.
+fn verify(crashed: &CrashableStore, cfg: &DurConfig, model: &Model) -> Option<String> {
+    let (tree, _stats) = match PiTree::recover(Arc::clone(&crashed.store), 1, cfg.tree_cfg) {
+        Ok(t) => t,
+        Err(e) => return Some(format!("recovery failed: {e}")),
+    };
+    let report = match tree.validate() {
+        Ok(r) => r,
+        Err(e) => return Some(format!("validate failed: {e}")),
+    };
+    if !report.is_well_formed() {
+        return Some(format!(
+            "recovered tree ill-formed: {:?}",
+            report.violations
+        ));
+    }
+    if report.records != model.len() {
+        return Some(format!(
+            "{} records recovered, committed model has {} \
+             (committed effect lost or uncommitted effect survived)",
+            report.records,
+            model.len()
+        ));
+    }
+    for (k, v) in model.iter() {
+        match tree.get_unlocked(k) {
+            Ok(Some(got)) if got == *v => {}
+            Ok(got) => {
+                return Some(format!(
+                    "committed key {k:?} recovered as {got:?}, expected {v:?}"
+                ))
+            }
+            Err(e) => return Some(format!("get {k:?} failed: {e}")),
+        }
+    }
+    // Interrupted SMOs must complete lazily without disturbing the data.
+    for _ in 0..2 {
+        if let Err(e) = tree.run_completions() {
+            return Some(format!("lazy completion failed: {e}"));
+        }
+    }
+    match tree.validate() {
+        Ok(r) if !r.is_well_formed() => {
+            Some(format!("ill-formed after completion: {:?}", r.violations))
+        }
+        Ok(r) if r.records != model.len() => Some("completion changed the record count".into()),
+        Ok(_) => None,
+        Err(e) => Some(format!("post-completion validate failed: {e}")),
+    }
+}
+
+/// Sweep one explicit script over its crash-point space. This is the
+/// engine behind [`sweep_seed`] and the predicate the shrinker re-drives.
+/// Returns the first violation, or the coverage report.
+pub fn script_violation(
+    script: &[DurOp],
+    seed: u64,
+    cfg: &DurConfig,
+) -> Result<DurReport, DurViolation> {
+    // Probe: measure the boundary space and check the no-crash end state.
+    let plan = CrashPlan::count_only();
+    let (cs, tree) = build(cfg, &plan);
+    plan.arm();
+    let mut probe_model = Model::new();
+    if let Err(e) = apply_script(&cs, &tree, script, &mut probe_model) {
+        return Err(DurViolation {
+            seed,
+            crash_point: 0,
+            site: "probe".into(),
+            detail: format!("no-crash run failed: {e}"),
+        });
+    }
+    let fault_points = plan.hits();
+    drop(tree);
+
+    let mut points: Vec<u64> = if fault_points == 0 {
+        Vec::new()
+    } else {
+        let stride = (fault_points as usize / cfg.max_crash_points.max(1)).max(1);
+        (1..=fault_points).step_by(stride).collect()
+    };
+    if fault_points > 0 && points.last() != Some(&fault_points) {
+        points.push(fault_points);
+    }
+
+    for &n in &points {
+        let plan = CrashPlan::fire_at(n);
+        let (cs, tree) = build(cfg, &plan);
+        plan.arm();
+        let mut model = Model::new();
+        let res = apply_script(&cs, &tree, script, &mut model);
+        let site = plan.fired_site().unwrap_or_else(|| "?".into());
+        let fail = |detail: String| DurViolation {
+            seed,
+            crash_point: n,
+            site: site.clone(),
+            detail,
+        };
+        match res {
+            Err(ref e) if is_injected(e) => {}
+            Err(e) => return Err(fail(format!("non-injected error: {e}"))),
+            Ok(()) => {
+                return Err(fail(
+                    "workload completed although the plan should have fired".into(),
+                ))
+            }
+        }
+        drop(tree);
+        let crashed = match cs.crash() {
+            Ok(c) => c,
+            Err(e) => return Err(fail(format!("durable snapshot failed: {e}"))),
+        };
+        if let Some(detail) = verify(&crashed, cfg, &model) {
+            return Err(fail(detail));
+        }
+    }
+
+    Ok(DurReport {
+        fault_points,
+        crash_points_tested: points.len(),
+        final_records: probe_model.len(),
+    })
+}
+
+/// Full crash–recover–verify sweep for one seed's generated workload.
+pub fn sweep_seed(seed: u64, cfg: &DurConfig) -> Result<DurReport, DurViolation> {
+    let script = gen_script(seed, cfg);
+    script_violation(&script, seed, cfg)
+}
+
+/// The seeded-violation fixture: run `script` to completion on a fault-free
+/// store, then "crash" with the durable log truncated one byte short —
+/// destroying the final forced commit record that the workload was told
+/// was durable. Returns the violation the oracle reports, or `None` if it
+/// (wrongly) accepts the recovery.
+pub fn tail_drop_violation(script: &[DurOp], seed: u64, cfg: &DurConfig) -> Option<DurViolation> {
+    let cs = CrashableStore::create(cfg.pool_frames, cfg.max_pages).expect("store");
+    let tree = PiTree::create(Arc::clone(&cs.store), 1, cfg.tree_cfg).expect("tree");
+    let mut model = Model::new();
+    apply_script(&cs, &tree, script, &mut model).expect("fault-free run");
+    drop(tree);
+    let len = cs.durable_log_len();
+    assert!(len > 0, "workload wrote no log");
+    let crashed = cs.crash_with_log_prefix(len - 1).expect("snapshot");
+    verify(&crashed, cfg, &model).map(|detail| DurViolation {
+        seed,
+        crash_point: 0,
+        site: "log tail dropped".into(),
+        detail,
+    })
+}
+
+/// A minimal script whose final op is a committed insert — the shape
+/// [`tail_drop_violation`] needs to guarantee the chopped record is a
+/// commit the caller observed succeed.
+pub fn fixture_script(seed: u64, cfg: &DurConfig) -> Vec<DurOp> {
+    let mut script = gen_script(seed, cfg);
+    script.push(DurOp::Insert(cfg.key_domain));
+    script
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> DurConfig {
+        DurConfig {
+            ops: 20,
+            max_crash_points: 4,
+            ..DurConfig::default()
+        }
+    }
+
+    #[test]
+    fn sweep_accepts_the_real_tree() {
+        let report = sweep_seed(0xd0_5eed, &small()).expect("durability sweep must pass");
+        assert!(report.fault_points > 0);
+        assert!(report.crash_points_tested >= 2);
+    }
+
+    #[test]
+    fn tail_drop_fixture_is_rejected() {
+        let cfg = small();
+        let script = fixture_script(0xd0_5eed, &cfg);
+        let v = tail_drop_violation(&script, 0xd0_5eed, &cfg)
+            .expect("oracle must detect the lost committed write");
+        assert_eq!(v.crash_point, 0);
+        assert!(v.site.contains("tail"));
+    }
+}

@@ -1,0 +1,327 @@
+//! The surface the checkers drive, adapters for every tree in the
+//! workspace, and the deliberately broken fixtures the acceptance tests
+//! feed to each layer.
+//!
+//! [`CheckIndex`] is wider than `pitree_baselines::ConcurrentIndex`: it
+//! reports the insert's created/replaced flag when the implementation
+//! knows it, and exposes range scans when the implementation has them —
+//! the model covers both, and the checkers constrain exactly as much as
+//! an implementation claims.
+
+use crate::model::Model;
+use pitree::{CrashableStore, PiTree, PiTreeConfig};
+use pitree_baselines::ConcurrentIndex;
+use pitree_pagestore::sync::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One key/record index under check.
+pub trait CheckIndex: Send + Sync {
+    /// Upsert; `Some(created)` when the implementation reports whether the
+    /// key was new, `None` when it cannot (the baselines' interface).
+    fn insert(&self, key: &[u8], value: &[u8]) -> Option<bool>;
+    /// Point read.
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>>;
+    /// Delete; returns whether the key existed.
+    fn delete(&self, key: &[u8]) -> bool;
+    /// Range scan of `[from, to)`; `None` when unsupported.
+    fn scan(&self, _from: &[u8], _to: &[u8]) -> Option<Vec<(Vec<u8>, Vec<u8>)>> {
+        None
+    }
+    /// Name for report tables.
+    fn name(&self) -> &'static str;
+}
+
+/// A Π-tree with its store, autocommitting one forced transaction per
+/// operation: reads take S record locks, so every completed operation's
+/// effect is committed — the strongest surface the paper's protocol
+/// offers, and the one the linearizability claim is made for.
+pub struct PiCheckIndex {
+    _store: CrashableStore,
+    tree: PiTree,
+}
+
+impl std::fmt::Debug for PiCheckIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PiCheckIndex").finish_non_exhaustive()
+    }
+}
+
+impl PiCheckIndex {
+    /// Build over a fresh in-memory store.
+    pub fn new(pool_frames: usize, cfg: PiTreeConfig) -> PiCheckIndex {
+        let store = CrashableStore::create(pool_frames, 1 << 20).expect("store");
+        let tree = PiTree::create(Arc::clone(&store.store), 1, cfg).expect("tree");
+        PiCheckIndex {
+            _store: store,
+            tree,
+        }
+    }
+
+    /// The wrapped tree (for stats and validation).
+    pub fn tree(&self) -> &PiTree {
+        &self.tree
+    }
+}
+
+impl CheckIndex for PiCheckIndex {
+    fn insert(&self, key: &[u8], value: &[u8]) -> Option<bool> {
+        loop {
+            let mut txn = self.tree.begin();
+            match self.tree.insert(&mut txn, key, value) {
+                Ok(created) => {
+                    txn.commit().expect("commit");
+                    return Some(created);
+                }
+                Err(pitree_pagestore::StoreError::LockFailed { .. }) => {
+                    // Deadlock victim: abort and retry, like any client.
+                    let _ = txn.abort(Some(&self.tree.undo_handler()));
+                }
+                Err(e) => panic!("insert failed: {e}"),
+            }
+        }
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        loop {
+            let txn = self.tree.begin();
+            match self.tree.get(&txn, key) {
+                Ok(got) => {
+                    txn.commit().expect("commit");
+                    return got;
+                }
+                Err(pitree_pagestore::StoreError::LockFailed { .. }) => {
+                    let _ = txn.abort(None);
+                }
+                Err(e) => panic!("get failed: {e}"),
+            }
+        }
+    }
+
+    fn delete(&self, key: &[u8]) -> bool {
+        loop {
+            let mut txn = self.tree.begin();
+            match self.tree.delete(&mut txn, key) {
+                Ok(existed) => {
+                    txn.commit().expect("commit");
+                    return existed;
+                }
+                Err(pitree_pagestore::StoreError::LockFailed { .. }) => {
+                    let _ = txn.abort(Some(&self.tree.undo_handler()));
+                }
+                Err(e) => panic!("delete failed: {e}"),
+            }
+        }
+    }
+
+    fn scan(&self, from: &[u8], to: &[u8]) -> Option<Vec<(Vec<u8>, Vec<u8>)>> {
+        Some(self.tree.scan(from, to).expect("scan"))
+    }
+
+    fn name(&self) -> &'static str {
+        "pi-tree"
+    }
+}
+
+/// Adapter lifting any baseline [`ConcurrentIndex`] to the check surface
+/// (no created flag, no scan — the checkers constrain accordingly).
+#[derive(Debug)]
+pub struct BaselineIndex<T: ConcurrentIndex>(pub T);
+
+impl<T: ConcurrentIndex> CheckIndex for BaselineIndex<T> {
+    fn insert(&self, key: &[u8], value: &[u8]) -> Option<bool> {
+        self.0.insert(key, value);
+        None
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.0.get(key)
+    }
+
+    fn delete(&self, key: &[u8]) -> bool {
+        self.0.delete(key)
+    }
+
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+}
+
+/// A reference implementation of [`CheckIndex`] over the [`Model`] itself
+/// (sanity fixture: every checker must accept it).
+#[derive(Debug, Default)]
+pub struct ModelIndex {
+    inner: Mutex<Model>,
+}
+
+impl CheckIndex for ModelIndex {
+    fn insert(&self, key: &[u8], value: &[u8]) -> Option<bool> {
+        Some(self.inner.lock().insert(key, value))
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.inner.lock().get(key)
+    }
+
+    fn delete(&self, key: &[u8]) -> bool {
+        self.inner.lock().delete(key)
+    }
+
+    fn scan(&self, from: &[u8], to: &[u8]) -> Option<Vec<(Vec<u8>, Vec<u8>)>> {
+        Some(self.inner.lock().scan(from, to))
+    }
+
+    fn name(&self) -> &'static str {
+        "model"
+    }
+}
+
+// ---- seeded-violation fixtures --------------------------------------------
+
+/// Broken-on-purpose wrapper: silently drops every `drop_every`-th insert
+/// while claiming it happened. The differential oracle must reject it.
+pub struct LostWriteIndex<T: CheckIndex> {
+    inner: T,
+    drop_every: u64,
+    writes: pitree_obs::Counter,
+}
+
+impl<T: CheckIndex> std::fmt::Debug for LostWriteIndex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LostWriteIndex").finish_non_exhaustive()
+    }
+}
+
+impl<T: CheckIndex> LostWriteIndex<T> {
+    /// Wrap `inner`, dropping every `drop_every`-th insert (1-based).
+    pub fn new(inner: T, drop_every: u64) -> LostWriteIndex<T> {
+        assert!(drop_every > 0);
+        LostWriteIndex {
+            inner,
+            drop_every,
+            writes: pitree_obs::Recorder::detached().counter("fixture.writes"),
+        }
+    }
+}
+
+impl<T: CheckIndex> CheckIndex for LostWriteIndex<T> {
+    fn insert(&self, key: &[u8], value: &[u8]) -> Option<bool> {
+        self.writes.inc();
+        if self.writes.get().is_multiple_of(self.drop_every) {
+            // The lie: report "created" based on current state but never
+            // perform the write.
+            return Some(self.inner.get(key).is_none());
+        }
+        self.inner.insert(key, value)
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.inner.get(key)
+    }
+
+    fn delete(&self, key: &[u8]) -> bool {
+        self.inner.delete(key)
+    }
+
+    fn scan(&self, from: &[u8], to: &[u8]) -> Option<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.inner.scan(from, to)
+    }
+
+    fn name(&self) -> &'static str {
+        "fixture:lost-write"
+    }
+}
+
+/// Broken-on-purpose wrapper: remembers the value each key held *before*
+/// its most recent overwrite and serves that stale value on reads. The
+/// linearizability checker must reject histories it produces (a read that
+/// begins after an overwrite's return cannot observe the older value).
+pub struct StaleReadIndex<T: CheckIndex> {
+    inner: T,
+    stale: Mutex<HashMap<Vec<u8>, Option<Vec<u8>>>>,
+}
+
+impl<T: CheckIndex> std::fmt::Debug for StaleReadIndex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StaleReadIndex").finish_non_exhaustive()
+    }
+}
+
+impl<T: CheckIndex> StaleReadIndex<T> {
+    /// Wrap `inner`.
+    pub fn new(inner: T) -> StaleReadIndex<T> {
+        StaleReadIndex {
+            inner,
+            stale: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl<T: CheckIndex> CheckIndex for StaleReadIndex<T> {
+    fn insert(&self, key: &[u8], value: &[u8]) -> Option<bool> {
+        let old = self.inner.get(key);
+        let ret = self.inner.insert(key, value);
+        self.stale.lock().insert(key.to_vec(), old);
+        ret
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        let stale = self.stale.lock();
+        match stale.get(key) {
+            // A key that has been overwritten serves its pre-overwrite
+            // value forever: the seeded stale read.
+            Some(old) => old.clone(),
+            None => {
+                drop(stale);
+                self.inner.get(key)
+            }
+        }
+    }
+
+    fn delete(&self, key: &[u8]) -> bool {
+        self.stale.lock().remove(key);
+        self.inner.delete(key)
+    }
+
+    fn scan(&self, from: &[u8], to: &[u8]) -> Option<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.inner.scan(from, to)
+    }
+
+    fn name(&self) -> &'static str {
+        "fixture:stale-read"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pi_adapter_roundtrip() {
+        let idx = PiCheckIndex::new(256, PiTreeConfig::small_nodes(8, 8));
+        assert_eq!(idx.insert(b"k", b"v"), Some(true));
+        assert_eq!(idx.insert(b"k", b"w"), Some(false));
+        assert_eq!(idx.get(b"k"), Some(b"w".to_vec()));
+        assert_eq!(idx.scan(b"a", b"z").unwrap().len(), 1);
+        assert!(idx.delete(b"k"));
+        assert!(!idx.delete(b"k"));
+    }
+
+    #[test]
+    fn lost_write_fixture_actually_loses() {
+        let idx = LostWriteIndex::new(ModelIndex::default(), 2);
+        idx.insert(b"a", b"1");
+        idx.insert(b"b", b"2"); // dropped
+        assert_eq!(idx.get(b"a"), Some(b"1".to_vec()));
+        assert_eq!(idx.get(b"b"), None);
+    }
+
+    #[test]
+    fn stale_read_fixture_serves_pre_overwrite_value() {
+        let idx = StaleReadIndex::new(ModelIndex::default());
+        idx.insert(b"k", b"v1");
+        assert_eq!(idx.get(b"k"), None, "pre-overwrite value of first insert");
+        idx.insert(b"k", b"v2");
+        assert_eq!(idx.get(b"k"), Some(b"v1".to_vec()));
+    }
+}

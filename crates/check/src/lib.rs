@@ -1,0 +1,64 @@
+//! `pitree-check`: the workspace's correctness tooling.
+//!
+//! Three oracles, one sequential model:
+//!
+//! 1. **Differential** ([`differential`]) — drive the Π-tree and the
+//!    `baselines` trees with identical seeded single-threaded workloads
+//!    and demand op-for-op agreement with the [`model`] spec.
+//! 2. **Linearizability** ([`linear`]) — concurrent harness threads record
+//!    invoke/return events through the `pitree-obs` logical-clock rings
+//!    ([`history`]); a Wing–Gong search with per-key partition pruning
+//!    decides whether some linear order of the history is a legal run of
+//!    the model. This is the executable form of the paper's claim that
+//!    searchers traversing *intermediate* SMO states still see exactly the
+//!    committed record for every key (§1, §3.3).
+//! 3. **Durability** ([`durability`]) — crash–recover sweeps over every
+//!    sampled durable-write boundary, verifying committed-present /
+//!    uncommitted-absent / well-formed after recovery (§4.3), with a
+//!    delta-debugging [`shrink`]er that minimizes a failing script.
+//!
+//! Each layer must also *reject* a deliberately broken implementation —
+//!    the fixtures in [`index`] and [`durability::tail_drop_violation`] —
+//! so the gate in `scripts/verify.sh` proves the oracles have teeth
+//! before trusting their green light. The `pitree-check` binary fronts
+//! all of this over replayable seeds (see `--help`).
+
+#![warn(missing_docs)]
+
+pub mod differential;
+pub mod durability;
+pub mod history;
+pub mod index;
+pub mod linear;
+pub mod model;
+pub mod shrink;
+
+pub use differential::{run_differential, DiffConfig, DiffReport, DiffViolation};
+pub use durability::{sweep_seed, DurConfig, DurReport, DurViolation};
+pub use history::{Call, HistoryLog, OpKind, OpRet};
+pub use index::{BaselineIndex, CheckIndex, ModelIndex, PiCheckIndex};
+pub use linear::{check_history, run_linearizability, LinConfig, LinReport, LinViolation};
+pub use model::Model;
+
+use pitree::PiTreeConfig;
+use pitree_baselines::{LockCouplingTree, OptimisticCouplingTree, SerialSmoTree};
+
+/// Every index the differential layer compares against the model: the
+/// Π-tree (small nodes, so the workload crosses split/post/consolidate
+/// paths) and the three baseline trees.
+pub fn all_indexes() -> Vec<Box<dyn CheckIndex>> {
+    vec![
+        Box::new(PiCheckIndex::new(128, PiTreeConfig::small_nodes(4, 4))),
+        Box::new(BaselineIndex(LockCouplingTree::new(128, 4))),
+        Box::new(BaselineIndex(OptimisticCouplingTree::new(128, 4))),
+        Box::new(BaselineIndex(SerialSmoTree::new(128, 4))),
+    ]
+}
+
+/// The concurrent targets the linearizability layer drives.
+pub fn lin_targets() -> Vec<Box<dyn CheckIndex>> {
+    vec![
+        Box::new(PiCheckIndex::new(256, PiTreeConfig::small_nodes(4, 4))),
+        Box::new(BaselineIndex(LockCouplingTree::new(256, 4))),
+    ]
+}

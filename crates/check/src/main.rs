@@ -1,0 +1,317 @@
+//! `pitree-check` — run the correctness oracles over replayable seeds.
+//!
+//! ```text
+//! pitree-check --sweep <n>      # n-seed sweep of all three layers, summary
+//!                               # table, exit 1 on any violation
+//! pitree-check --fixtures       # prove each oracle rejects its seeded
+//!                               # violation (exit 1 if one is accepted)
+//! pitree-check --replay <seed> [--layer diff|linear|dur]
+//!                               # verbose single-seed run; a durability
+//!                               # failure is minimized by the shrinker
+//! ```
+//!
+//! Seeds are drawn from the same stable corpus generator as the sim kit
+//! (`pitree_sim::prop::case_seed`), so `--sweep` tests identical cases on
+//! every machine and a printed seed replays exactly.
+
+use pitree_check::durability::{fixture_script, tail_drop_violation};
+use pitree_check::index::{LostWriteIndex, ModelIndex, StaleReadIndex};
+use pitree_check::shrink::{shrink_durability, shrink_tail_drop};
+use pitree_check::{
+    all_indexes, lin_targets, run_differential, run_linearizability, sweep_seed, CheckIndex,
+    DiffConfig, DurConfig, LinConfig,
+};
+use pitree_sim::prop::case_seed;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    println!(
+        "usage: pitree-check --sweep <n> | --fixtures | --replay <seed> [--layer diff|linear|dur]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--sweep") => {
+            let Some(n) = args.get(1).and_then(|s| s.parse::<usize>().ok()) else {
+                return usage();
+            };
+            sweep(n)
+        }
+        Some("--fixtures") => fixtures(),
+        Some("--replay") => {
+            let Some(seed) = args.get(1).and_then(|s| parse_seed(s)) else {
+                return usage();
+            };
+            let layer = match args.get(2).map(String::as_str) {
+                Some("--layer") => args.get(3).map(String::as_str),
+                None => None,
+                _ => return usage(),
+            };
+            replay(seed, layer)
+        }
+        _ => usage(),
+    }
+}
+
+/// One summary row, lint-gate style: layer, target, cases, verdict.
+fn row(layer: &str, target: &str, cases: usize, verdict: &str) {
+    println!("{layer:<16} {target:<24} {cases:>3} case(s)  {verdict}");
+}
+
+fn sweep(n: usize) -> ExitCode {
+    let mut violations = 0usize;
+
+    // Layer 1: differential vs the sequential model (per-seed fresh trees).
+    for target in 0..all_indexes().len() {
+        let mut name = "?";
+        let mut failed = None;
+        for i in 0..n {
+            let seed = case_seed("pitree-check.diff", i);
+            let indexes = all_indexes();
+            let idx = indexes[target].as_ref();
+            name = idx.name();
+            if let Err(v) = run_differential(idx, seed, DiffConfig::default()) {
+                failed = Some(v);
+                break;
+            }
+        }
+        match failed {
+            None => row("differential", name, n, "ok"),
+            Some(v) => {
+                row("differential", name, n, "VIOLATION");
+                eprintln!("  {v}");
+                eprintln!("  replay: pitree-check --replay {:#x} --layer diff", v.seed);
+                violations += 1;
+            }
+        }
+    }
+
+    // Layer 2: linearizability of concurrent histories.
+    for target in 0..lin_targets().len() {
+        let mut name = "?";
+        let mut failed = None;
+        for i in 0..n {
+            let seed = case_seed("pitree-check.linear", i);
+            let targets = lin_targets();
+            let idx = targets[target].as_ref();
+            name = idx.name();
+            if let Err(e) = run_linearizability(idx, seed, LinConfig::default()) {
+                failed = Some((seed, e));
+                break;
+            }
+        }
+        match failed {
+            None => row("linearizability", name, n, "ok"),
+            Some((seed, e)) => {
+                row("linearizability", name, n, "VIOLATION");
+                eprintln!("  seed {seed:#x}: {e}");
+                eprintln!("  replay: pitree-check --replay {seed:#x} --layer linear");
+                violations += 1;
+            }
+        }
+    }
+
+    // Layer 3: durability across the crash-point sweep (Π-tree only; the
+    // baselines have no recovery story — that's the paper's point).
+    {
+        let mut tested = 0usize;
+        let mut failed = None;
+        for i in 0..n {
+            let seed = case_seed("pitree-check.dur", i);
+            match sweep_seed(seed, &DurConfig::default()) {
+                Ok(r) => tested += r.crash_points_tested,
+                Err(v) => {
+                    failed = Some(v);
+                    break;
+                }
+            }
+        }
+        match failed {
+            None => row(
+                "durability",
+                "pi-tree",
+                n,
+                &format!("ok ({tested} crash points)"),
+            ),
+            Some(v) => {
+                row("durability", "pi-tree", n, "VIOLATION");
+                eprintln!("  {v}");
+                eprintln!("  replay: pitree-check --replay {:#x} --layer dur", v.seed);
+                violations += 1;
+            }
+        }
+    }
+
+    if violations == 0 {
+        println!("pitree-check: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("pitree-check: {violations} violation(s)");
+        ExitCode::FAILURE
+    }
+}
+
+/// Prove the oracles have teeth: each layer must reject its seeded
+/// violation. An oracle that accepts a broken implementation is itself
+/// the bug.
+fn fixtures() -> ExitCode {
+    let mut accepted = 0usize;
+
+    let seed = case_seed("pitree-check.fixtures", 0);
+
+    let broken = LostWriteIndex::new(ModelIndex::default(), 5);
+    match run_differential(&broken, seed, DiffConfig::default()) {
+        Err(v) => row(
+            "differential",
+            broken.name(),
+            1,
+            &format!("rejected (op {})", v.op),
+        ),
+        Ok(_) => {
+            row(
+                "differential",
+                broken.name(),
+                1,
+                "ACCEPTED (oracle is blind)",
+            );
+            accepted += 1;
+        }
+    }
+
+    let stale = StaleReadIndex::new(ModelIndex::default());
+    let lin_cfg = LinConfig {
+        threads: 1,
+        ops_per_thread: 64,
+        key_domain: 4,
+    };
+    match run_linearizability(&stale, seed, lin_cfg) {
+        Err(_) => row("linearizability", stale.name(), 1, "rejected"),
+        Ok(_) => {
+            row(
+                "linearizability",
+                stale.name(),
+                1,
+                "ACCEPTED (oracle is blind)",
+            );
+            accepted += 1;
+        }
+    }
+
+    let cfg = DurConfig {
+        ops: 24,
+        max_crash_points: 4,
+        ..DurConfig::default()
+    };
+    let script = fixture_script(seed, &cfg);
+    match tail_drop_violation(&script, seed, &cfg) {
+        Some(v) => {
+            let min = shrink_tail_drop(&script, seed, &cfg);
+            row(
+                "durability",
+                "fixture:lost-commit",
+                1,
+                &format!("rejected; shrunk {} -> {} op(s)", script.len(), min.len()),
+            );
+            println!("  violation: {}", v.detail);
+            println!("  minimal schedule: {min:?}");
+        }
+        None => {
+            row(
+                "durability",
+                "fixture:lost-commit",
+                1,
+                "ACCEPTED (oracle is blind)",
+            );
+            accepted += 1;
+        }
+    }
+
+    if accepted == 0 {
+        println!("pitree-check: all seeded violations rejected");
+        ExitCode::SUCCESS
+    } else {
+        println!("pitree-check: {accepted} fixture(s) wrongly accepted");
+        ExitCode::FAILURE
+    }
+}
+
+fn replay(seed: u64, layer: Option<&str>) -> ExitCode {
+    let run_diff = matches!(layer, None | Some("diff"));
+    let run_lin = matches!(layer, None | Some("linear"));
+    let run_dur = matches!(layer, None | Some("dur"));
+    if !(run_diff || run_lin || run_dur) {
+        return usage();
+    }
+    let mut violations = 0usize;
+
+    if run_diff {
+        for idx in all_indexes() {
+            match run_differential(idx.as_ref(), seed, DiffConfig::default()) {
+                Ok(r) => println!(
+                    "differential     {:<24} ok ({} ops, {} final records)",
+                    idx.name(),
+                    r.ops,
+                    r.final_records
+                ),
+                Err(v) => {
+                    println!("differential     {:<24} VIOLATION: {v}", idx.name());
+                    violations += 1;
+                }
+            }
+        }
+    }
+
+    if run_lin {
+        for idx in lin_targets() {
+            match run_linearizability(idx.as_ref(), seed, LinConfig::default()) {
+                Ok(r) => println!(
+                    "linearizability  {:<24} ok ({} calls over {} keys)",
+                    idx.name(),
+                    r.calls,
+                    r.keys
+                ),
+                Err(e) => {
+                    println!("linearizability  {:<24} VIOLATION:\n{e}", idx.name());
+                    violations += 1;
+                }
+            }
+        }
+    }
+
+    if run_dur {
+        let cfg = DurConfig::default();
+        match sweep_seed(seed, &cfg) {
+            Ok(r) => println!(
+                "durability       {:<24} ok ({} of {} crash points swept)",
+                "pi-tree", r.crash_points_tested, r.fault_points
+            ),
+            Err(v) => {
+                println!("durability       {:<24} VIOLATION: {v}", "pi-tree");
+                println!("minimizing the failing script (this re-sweeps each candidate)...");
+                let script = pitree_check::durability::gen_script(seed, &cfg);
+                let min = shrink_durability(&script, seed, &cfg);
+                println!("minimal failing schedule ({} op(s)): {min:?}", min.len());
+                violations += 1;
+            }
+        }
+    }
+
+    if violations == 0 {
+        println!("pitree-check: seed {seed:#x} clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("pitree-check: seed {seed:#x}: {violations} violation(s)");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,91 @@
+//! The sequential specification: a `BTreeMap`-backed model of the
+//! key/record interface every tree in the workspace exposes.
+//!
+//! This is the oracle all three check layers reduce to. The differential
+//! driver compares a system under test against it op by op; the
+//! linearizability checker asks whether some linear order of a concurrent
+//! history is a legal run of it; the durability oracle tracks the
+//! committed-prefix model across a crash and demands the recovered tree
+//! equal it.
+
+use std::collections::BTreeMap;
+
+/// The sequential model: exactly the paper's abstract "single record per
+/// key" search structure (§2.1), with upsert/delete/point-read/range-scan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Model {
+    map: BTreeMap<Vec<u8>, Vec<u8>>,
+}
+
+impl Model {
+    /// An empty model.
+    pub fn new() -> Model {
+        Model::default()
+    }
+
+    /// Upsert. Returns `true` when the key was new (the same contract as
+    /// [`pitree::PiTree::insert`]).
+    pub fn insert(&mut self, key: &[u8], value: &[u8]) -> bool {
+        self.map.insert(key.to_vec(), value.to_vec()).is_none()
+    }
+
+    /// Point read.
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.map.get(key).cloned()
+    }
+
+    /// Delete. Returns whether the key existed.
+    pub fn delete(&mut self, key: &[u8]) -> bool {
+        self.map.remove(key).is_some()
+    }
+
+    /// Range scan of `[from, to)`, sorted by key — the same window
+    /// convention as [`pitree::PiTree::scan`].
+    pub fn scan(&self, from: &[u8], to: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.map
+            .range(from.to_vec()..to.to_vec())
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the model holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate over all `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<u8>, &Vec<u8>)> {
+        self.map.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_delete_contract() {
+        let mut m = Model::new();
+        assert!(m.insert(b"a", b"1"));
+        assert!(!m.insert(b"a", b"2"), "upsert of existing key is not new");
+        assert_eq!(m.get(b"a"), Some(b"2".to_vec()));
+        assert!(m.delete(b"a"));
+        assert!(!m.delete(b"a"));
+        assert_eq!(m.get(b"a"), None);
+    }
+
+    #[test]
+    fn scan_window_is_half_open() {
+        let mut m = Model::new();
+        for k in [b"a", b"b", b"c"] {
+            m.insert(k, b"v");
+        }
+        let hit: Vec<Vec<u8>> = m.scan(b"a", b"c").into_iter().map(|(k, _)| k).collect();
+        assert_eq!(hit, vec![b"a".to_vec(), b"b".to_vec()]);
+    }
+}

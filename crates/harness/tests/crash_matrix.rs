@@ -1,0 +1,300 @@
+//! Crash matrix: table-driven crash–recover–verify runs targeted at each
+//! structure-modification path — leaf split, index-term posting, and
+//! consolidation.
+//!
+//! The sim kit's seeded sweep (`pitree_sim::crash`) crashes wherever a
+//! random workload happens to cross durable-write boundaries; this matrix
+//! instead *aims*: each row hand-crafts a workload whose trigger phase is
+//! known (via `TreeStats`) to perform the targeted SMO, probes the
+//! boundary window `(h0, h1]` that the trigger spans, and then crashes at
+//! every boundary inside that window. That guarantees per-SMO crash
+//! coverage regardless of what the random sweep draws (the paper's §1
+//! point 4: recovery must cope with a crash *during* any structure
+//! change).
+
+use pitree::{CrashableStore, PiTree, PiTreeConfig};
+use pitree_pagestore::fault::{is_injected, InjectorHandle};
+use pitree_pagestore::{StoreError, StoreResult};
+use pitree_sim::CrashPlan;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+type Model = BTreeMap<u64, Vec<u8>>;
+
+fn key(k: u64) -> Vec<u8> {
+    k.to_be_bytes().to_vec()
+}
+
+fn val(k: u64) -> Vec<u8> {
+    format!("cm-{k}").into_bytes()
+}
+
+/// Forced-commit upsert; the model records it only when the commit
+/// returns `Ok` (a commit that returns is durable).
+fn insert(tree: &PiTree, model: &mut Model, k: u64) -> StoreResult<()> {
+    let mut t = tree.begin();
+    if let Err(e) = tree.insert(&mut t, &key(k), &val(k)) {
+        std::mem::forget(t); // dead machine: the txn cannot clean up
+        return Err(e);
+    }
+    t.commit()?;
+    model.insert(k, val(k));
+    Ok(())
+}
+
+fn delete(tree: &PiTree, model: &mut Model, k: u64) -> StoreResult<()> {
+    let mut t = tree.begin();
+    if let Err(e) = tree.delete(&mut t, &key(k)) {
+        std::mem::forget(t);
+        return Err(e);
+    }
+    t.commit()?;
+    model.remove(&k);
+    Ok(())
+}
+
+/// One matrix row: a targeted SMO path.
+struct Row {
+    name: &'static str,
+    cfg: PiTreeConfig,
+    /// Workload before the measured window (SMO prerequisites).
+    setup: fn(&PiTree, &mut Model) -> StoreResult<()>,
+    /// The window that performs the targeted SMO.
+    trigger: fn(&CrashableStore, &PiTree, &mut Model) -> StoreResult<()>,
+    /// Asserts (from probe-run stat deltas) that the SMO really happened.
+    assert_smo: fn(&PiTree, &[(&'static str, u64)]),
+}
+
+fn delta(before: &[(&'static str, u64)], tree: &PiTree, name: &str) -> u64 {
+    let now: u64 = tree
+        .stats()
+        .snapshot()
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0);
+    let was = before
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0);
+    now - was
+}
+
+fn rows() -> Vec<Row> {
+    // All rows drive completions by hand so the probe can place the SMO
+    // precisely inside the trigger window.
+    let mut manual = PiTreeConfig::small_nodes(4, 4);
+    manual.auto_complete = false;
+
+    // Consolidation row: trigger at < 60% so one delete from a 2-entry
+    // leaf (cap 4) schedules it, without having to empty the node.
+    let mut consol = manual;
+    consol.min_utilization = 0.6;
+
+    vec![
+        Row {
+            name: "leaf-split",
+            cfg: manual,
+            setup: |tree, model| {
+                for k in 0..4 {
+                    insert(tree, model, k)?;
+                }
+                Ok(())
+            },
+            trigger: |cs, tree, model| {
+                insert(tree, model, 4)?; // 5th key overflows the leaf
+                cs.store.pool.flush_all()
+            },
+            assert_smo: |tree, before| {
+                assert!(
+                    delta(before, tree, "splits") >= 1,
+                    "trigger did not split a leaf"
+                );
+            },
+        },
+        Row {
+            name: "post-index-term",
+            cfg: manual,
+            setup: |tree, model| {
+                // The first split of a single-leaf tree is a root grow (no
+                // posting); keep inserting until a *non-root* leaf splits
+                // and leaves a pending index-term posting behind.
+                for k in 0..10 {
+                    insert(tree, model, k)?;
+                }
+                Ok(())
+            },
+            trigger: |cs, tree, _model| {
+                tree.run_completions()?; // the posting SMO
+                cs.store.pool.flush_all()
+            },
+            assert_smo: |tree, before| {
+                assert!(
+                    delta(before, tree, "postings_done") >= 1,
+                    "trigger did not post an index term"
+                );
+            },
+        },
+        Row {
+            name: "consolidate",
+            cfg: consol,
+            setup: |tree, model| {
+                for k in 0..8 {
+                    insert(tree, model, k)?;
+                }
+                tree.run_completions()?; // drain the split postings
+                                         // Underflow the *rightmost* leaf (the leftmost is the
+                                         // first child of its parent, which §3.3 refuses to merge)
+                                         // far enough that container + contained fit in one node.
+                for k in [7, 6, 5, 4] {
+                    delete(tree, model, k)?;
+                }
+                Ok(())
+            },
+            trigger: |cs, tree, _model| {
+                tree.run_completions()?; // the consolidation SMO
+                cs.store.pool.flush_all()
+            },
+            assert_smo: |tree, before| {
+                assert!(
+                    delta(before, tree, "consolidations") >= 1,
+                    "trigger did not consolidate"
+                );
+            },
+        },
+    ]
+}
+
+fn build(cfg: PiTreeConfig, plan: &Arc<CrashPlan>) -> (CrashableStore, PiTree) {
+    let cs = CrashableStore::create_with_injector(64, 10_000, Arc::clone(plan) as InjectorHandle)
+        .expect("store setup (disarmed)");
+    let tree = PiTree::create(Arc::clone(&cs.store), 1, cfg).expect("tree setup (disarmed)");
+    (cs, tree)
+}
+
+fn verify_recovery(crashed: &CrashableStore, cfg: PiTreeConfig, model: &Model, ctx: &str) {
+    let (tree, _stats) = PiTree::recover(Arc::clone(&crashed.store), 1, cfg)
+        .unwrap_or_else(|e| panic!("{ctx}: recovery failed: {e}"));
+    let report = tree.validate().unwrap_or_else(|e| panic!("{ctx}: {e}"));
+    assert!(
+        report.is_well_formed(),
+        "{ctx}: recovered tree ill-formed: {:?}",
+        report.violations
+    );
+    assert_eq!(
+        report.records,
+        model.len(),
+        "{ctx}: committed records lost or resurrected"
+    );
+    for (k, v) in model {
+        let got = tree
+            .get_unlocked(&key(*k))
+            .unwrap_or_else(|e| panic!("{ctx}: get {k}: {e}"));
+        assert_eq!(got.as_ref(), Some(v), "{ctx}: key {k} wrong after recovery");
+    }
+    tree.run_completions()
+        .unwrap_or_else(|e| panic!("{ctx}: completions: {e}"));
+    tree.run_completions()
+        .unwrap_or_else(|e| panic!("{ctx}: completions: {e}"));
+    let report = tree.validate().unwrap();
+    assert!(
+        report.is_well_formed(),
+        "{ctx}: ill-formed after lazy completion: {:?}",
+        report.violations
+    );
+    assert_eq!(
+        report.records,
+        model.len(),
+        "{ctx}: completion changed records"
+    );
+}
+
+fn expect_injected(res: StoreResult<()>, ctx: &str) {
+    match res {
+        Err(ref e) if is_injected(e) => {}
+        Err(e) => panic!("{ctx}: non-injected error: {e}"),
+        Ok(()) => panic!("{ctx}: trigger completed although the plan should have fired"),
+    }
+}
+
+fn is_lock_failed(e: &StoreError) -> bool {
+    matches!(e, StoreError::LockFailed { .. })
+}
+
+/// Probe a row once (no crash), assert the SMO happened in the trigger
+/// window, and return `(h0, h1]`: the boundary window to crash inside.
+fn probe(row: &Row) -> (u64, u64) {
+    let plan = CrashPlan::count_only();
+    let (cs, tree) = build(row.cfg, &plan);
+    plan.arm();
+    let mut model = Model::new();
+    (row.setup)(&tree, &mut model).unwrap_or_else(|e| panic!("{}: setup: {e}", row.name));
+    let h0 = plan.hits();
+    let before = tree.stats().snapshot();
+    (row.trigger)(&cs, &tree, &mut model).unwrap_or_else(|e| panic!("{}: trigger: {e}", row.name));
+    let h1 = plan.hits();
+    (row.assert_smo)(&tree, &before);
+    assert!(
+        h1 > h0,
+        "{}: trigger window crossed no durable-write boundary",
+        row.name
+    );
+    let report = tree.validate().unwrap();
+    assert!(report.is_well_formed(), "{}: probe end state", row.name);
+    assert_eq!(
+        report.records,
+        model.len(),
+        "{}: probe model diverges",
+        row.name
+    );
+    (h0, h1)
+}
+
+/// Crash a row at boundary `n`, then recover and verify.
+fn crash_at(row: &Row, n: u64) {
+    let plan = CrashPlan::fire_at(n);
+    let (cs, tree) = build(row.cfg, &plan);
+    plan.arm();
+    let mut model = Model::new();
+    let ctx = format!("{} crash-point {n}", row.name);
+    let res = (row.setup)(&tree, &mut model).and_then(|()| (row.trigger)(&cs, &tree, &mut model));
+    expect_injected(res, &ctx);
+    assert!(plan.fired(), "{ctx}: plan did not fire");
+    drop(tree);
+    let crashed = cs
+        .crash()
+        .unwrap_or_else(|e| panic!("{ctx}: snapshot: {e}"));
+    verify_recovery(&crashed, row.cfg, &model, &ctx);
+}
+
+#[test]
+fn crash_matrix_covers_every_smo_path() {
+    for row in rows() {
+        let (h0, h1) = probe(&row);
+        for n in (h0 + 1)..=h1 {
+            crash_at(&row, n);
+        }
+    }
+}
+
+/// The matrix rows are meaningful only if their trigger windows really
+/// contain the targeted SMO — this meta-test keeps the table honest if
+/// node caps or completion policies change.
+#[test]
+fn matrix_windows_are_nonempty_and_targeted() {
+    for row in rows() {
+        let (h0, h1) = probe(&row);
+        assert!(h1 > h0, "{}: empty crash window", row.name);
+    }
+}
+
+/// Guard for a subtlety the matrix relies on: with `auto_complete` off,
+/// an op that fails with a lock error surfaces it as `LockFailed` (not a
+/// panic), so `expect_injected` correctly distinguishes injected crashes.
+#[test]
+fn lock_failed_is_distinguishable_from_injected() {
+    let err = StoreError::LockFailed { deadlock: true };
+    assert!(is_lock_failed(&err));
+    assert!(!is_injected(&err));
+}

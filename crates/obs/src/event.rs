@@ -64,6 +64,15 @@ pub enum EventKind {
     /// SMO: consolidation attempt finished (`a` = container page id,
     /// `b` = outcome: 0 done, 1 no-op).
     SmoConsolidate,
+    /// Checker harness: an operation was invoked (`a` = op code `<< 56` |
+    /// key, `b` = argument payload). Recorded by `pitree-check` history
+    /// harnesses; the invoke/return clock interval is the real-time window
+    /// the linearizability checker preserves.
+    OpInvoke,
+    /// Checker harness: an operation returned (`a` = op code `<< 56` | key,
+    /// `b` = encoded result). Pairs with the same thread's preceding
+    /// [`EventKind::OpInvoke`].
+    OpReturn,
 }
 
 impl EventKind {
@@ -93,6 +102,8 @@ impl EventKind {
             EventKind::SmoRootGrow => "smo_root_grow",
             EventKind::SmoPost => "smo_post",
             EventKind::SmoConsolidate => "smo_consolidate",
+            EventKind::OpInvoke => "op_invoke",
+            EventKind::OpReturn => "op_return",
         }
     }
 }

@@ -3,7 +3,8 @@
 # with --offline: the workspace has no external dependencies by design
 # (DESIGN.md §5), so a registry is never consulted.
 #
-#   ./scripts/verify.sh          # fmt + clippy + pitree-lint + build + tests + sim sweep
+#   ./scripts/verify.sh          # fmt + clippy + pitree-lint + build + tests
+#                                # + sim sweep + pitree-check oracles
 #   SKIP_LINT=1 ./scripts/verify.sh   # skip fmt/clippy (e.g. toolchain lacks them)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -36,6 +37,12 @@ cargo test --offline -q
 
 step "sim acceptance sweep (64 seeds, crash-recover-verify + shake)"
 cargo test --offline -q -p pitree-sim --test sim_sweep -- --nocapture
+
+step "pitree-check fixtures (each oracle must reject its seeded violation)"
+cargo run --offline --release -q -p pitree-check -- --fixtures
+
+step "pitree-check sweep (differential + linearizability + durability, 8 seeds)"
+cargo run --offline --release -q -p pitree-check -- --sweep 8
 
 step "bench target compiles (bench-ext feature)"
 cargo build --offline -p pitree-bench --benches --features bench-ext
