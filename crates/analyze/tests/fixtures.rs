@@ -228,6 +228,36 @@ fn panic_free_out_of_scope_elsewhere() {
     assert!(!rules_of("crates/core/src/tree.rs", src).contains(&RuleId::PanicFreeRecovery));
 }
 
+#[test]
+fn panic_free_covers_log_manager() {
+    // The group-commit log manager parses volatile tail frames in
+    // `force_to`; a torn frame is an input, so unwrap-class aborts are
+    // protocol violations there just as in recovery.rs.
+    let fires = r#"
+fn force_to(&self, lsn: Lsn) -> StoreResult<()> {
+    let len = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
+    self.force_until(len as u64, Some(lsn))
+}
+"#;
+    assert!(
+        rules_of("crates/wal/src/log.rs", fires).contains(&RuleId::PanicFreeRecovery),
+        "unwrap on a torn tail frame must fire in log.rs"
+    );
+
+    let quiet = r#"
+fn force_to(&self, lsn: Lsn) -> StoreResult<()> {
+    let Some(len) = le_u32_at(&tail.buf, off) else {
+        return Err(StoreError::Corrupt(format!("torn volatile tail at {lsn}")));
+    };
+    self.force_until(len as u64, Some(lsn))
+}
+"#;
+    assert!(
+        !rules_of("crates/wal/src/log.rs", quiet).contains(&RuleId::PanicFreeRecovery),
+        "checked parsing with typed errors is the sanctioned shape"
+    );
+}
+
 // ---- R5: sync-hygiene -----------------------------------------------------
 
 #[test]

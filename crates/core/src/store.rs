@@ -228,6 +228,6 @@ mod tests {
         assert!(cs.durable_log_len() > 0);
         let cs2 = cs.crash_with_log_prefix(0).unwrap();
         assert_eq!(cs2.durable_log_len(), 0);
-        assert!(cs2.store.log.scan(None).is_empty());
+        assert!(cs2.store.log.scan(None).unwrap().is_empty());
     }
 }

@@ -41,7 +41,7 @@ fn main() {
         pages: HashSet<pitree_pagestore::PageId>,
     }
     let mut actions: HashMap<ActionId, Acc> = HashMap::new();
-    for rec in cs.store.log.scan(None) {
+    for rec in cs.store.log.scan(None).expect("scan") {
         match rec.kind {
             RecordKind::Begin { identity } => {
                 actions.insert(

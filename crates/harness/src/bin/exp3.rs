@@ -63,7 +63,7 @@ fn main() {
         drop(tree);
         cs.store.log.force_all().unwrap();
 
-        let records = cs.store.log.scan(None);
+        let records = cs.store.log.scan(None).expect("scan");
         let mut cuts: Vec<u64> = records
             .iter()
             .enumerate()

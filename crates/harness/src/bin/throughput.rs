@@ -1,0 +1,264 @@
+//! Multi-threaded throughput benchmark over the **file-backed** store —
+//! the configuration where log-force latency is real (`FileLogStore`
+//! issues `sync_data` per force), so group commit's batching shows up as
+//! wall-clock throughput rather than as a synthetic counter.
+//!
+//! For each thread count (1/4/8) the bench builds a fresh store in a
+//! scratch directory, preloads a key range, then runs a mixed workload
+//! (50% point reads, 40% upserts, 10% deletes; every write is a forced
+//! user-transaction commit) from per-thread seeded RNG forks. Results —
+//! ops/s, per-op p95/p99 latency, and the WAL/pool concurrency metrics
+//! (`wal.group_size` p50, `wal.force_waiters`, `buf.shard_conflicts`) —
+//! are written as JSON to `BENCH_throughput.json` (or `--out PATH`).
+//!
+//! `--smoke` runs a tiny fixed config (1/2 threads, few ops) so CI can
+//! assert the bench runs and emits well-formed JSON without making any
+//! timing assertions. EXPERIMENTS.md S4 records the full-mode numbers.
+//!
+//! Run with: `cargo run --release -p pitree-harness --bin throughput`
+
+use pitree::{PiTree, PiTreeConfig, Store};
+use pitree_obs::{Hist, Recorder, Stopwatch};
+use pitree_sim::SimRng;
+use std::sync::Arc;
+
+struct Config {
+    smoke: bool,
+    threads: Vec<usize>,
+    load_keys: u64,
+    ops_per_thread: u64,
+    key_space: u64,
+    pool_frames: usize,
+}
+
+impl Config {
+    fn full() -> Config {
+        Config {
+            smoke: false,
+            threads: vec![1, 4, 8],
+            load_keys: 2_000,
+            ops_per_thread: 2_000,
+            key_space: 4_000,
+            pool_frames: 256,
+        }
+    }
+
+    fn smoke() -> Config {
+        Config {
+            smoke: true,
+            threads: vec![1, 2],
+            load_keys: 100,
+            ops_per_thread: 50,
+            key_space: 200,
+            pool_frames: 64,
+        }
+    }
+}
+
+fn key_bytes(k: u64) -> [u8; 8] {
+    k.to_be_bytes()
+}
+
+/// Autocommitting driver, one forced user transaction per write (the
+/// same retry-on-deadlock loop as [`pitree_harness::PiTreeIndex`]).
+struct Driver {
+    tree: PiTree,
+    op_get_ns: Hist,
+    op_insert_ns: Hist,
+    op_delete_ns: Hist,
+}
+
+impl Driver {
+    fn insert(&self, key: &[u8], value: &[u8]) {
+        let t = Stopwatch::start();
+        loop {
+            let mut txn = self.tree.begin();
+            match self.tree.insert(&mut txn, key, value) {
+                Ok(_) => {
+                    txn.commit().expect("commit");
+                    self.op_insert_ns.record(t.elapsed_ns());
+                    return;
+                }
+                Err(pitree_pagestore::StoreError::LockFailed { .. }) => {
+                    let _ = txn.abort(Some(&self.tree.undo_handler()));
+                }
+                Err(e) => panic!("insert failed: {e}"),
+            }
+        }
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        let t = Stopwatch::start();
+        let got = self.tree.get_unlocked(key).expect("get");
+        self.op_get_ns.record(t.elapsed_ns());
+        got
+    }
+
+    fn delete(&self, key: &[u8]) -> bool {
+        let t = Stopwatch::start();
+        loop {
+            let mut txn = self.tree.begin();
+            match self.tree.delete(&mut txn, key) {
+                Ok(hit) => {
+                    txn.commit().expect("commit");
+                    self.op_delete_ns.record(t.elapsed_ns());
+                    return hit;
+                }
+                Err(pitree_pagestore::StoreError::LockFailed { .. }) => {
+                    let _ = txn.abort(Some(&self.tree.undo_handler()));
+                }
+                Err(e) => panic!("delete failed: {e}"),
+            }
+        }
+    }
+}
+
+struct RunResult {
+    threads: usize,
+    total_ops: u64,
+    elapsed_ns: u64,
+    get_p95: u64,
+    get_p99: u64,
+    insert_p95: u64,
+    insert_p99: u64,
+    group_size_p50: u64,
+    forces: u64,
+    force_waiters: u64,
+    shard_conflicts: u64,
+}
+
+fn run_one(cfg: &Config, threads: usize, dir: &std::path::Path) -> RunResult {
+    let store = Store::open_file(dir, cfg.pool_frames, 1 << 20).expect("store");
+    let tree = PiTree::create(Arc::clone(&store), 1, PiTreeConfig::default()).expect("tree");
+    let rec: Recorder = tree.recorder().clone();
+    let driver = Driver {
+        tree,
+        op_get_ns: rec.hist("op.get_ns"),
+        op_insert_ns: rec.hist("op.insert_ns"),
+        op_delete_ns: rec.hist("op.delete_ns"),
+    };
+
+    let mut rng = SimRng::new(0xbe9c);
+    for k in 0..cfg.load_keys {
+        driver.insert(&key_bytes(k), b"preload-value");
+    }
+
+    let forks: Vec<SimRng> = (0..threads).map(|_| rng.fork()).collect();
+    let wall = Stopwatch::start();
+    std::thread::scope(|s| {
+        for mut fork in forks {
+            let driver = &driver;
+            s.spawn(move || {
+                for _ in 0..cfg.ops_per_thread {
+                    let k = fork.below(cfg.key_space);
+                    match fork.below(100) {
+                        0..=49 => {
+                            let _ = driver.get(&key_bytes(k));
+                        }
+                        50..=89 => driver.insert(&key_bytes(k), b"updated-value"),
+                        _ => {
+                            let _ = driver.delete(&key_bytes(k));
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let elapsed_ns = wall.elapsed_ns().max(1);
+
+    let (_, g95, g99, _) = driver.op_get_ns.percentiles();
+    let (_, i95, i99, _) = driver.op_insert_ns.percentiles();
+    let (gs50, _, _, _) = rec.hist("wal.group_size").percentiles();
+    RunResult {
+        threads,
+        total_ops: cfg.ops_per_thread * threads as u64,
+        elapsed_ns,
+        get_p95: g95,
+        get_p99: g99,
+        insert_p95: i95,
+        insert_p99: i99,
+        group_size_p50: gs50,
+        forces: rec.counter("wal.forces").get(),
+        force_waiters: rec.counter("wal.force_waiters").get(),
+        shard_conflicts: rec.counter("buf.shard_conflicts").get(),
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out = String::from("BENCH_throughput.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!("unknown arg {other} (usage: throughput [--smoke] [--out PATH])"),
+        }
+    }
+    let cfg = if smoke {
+        Config::smoke()
+    } else {
+        Config::full()
+    };
+
+    let scratch = std::env::temp_dir().join(format!("pitree-throughput-{}", std::process::id()));
+    let mut runs = Vec::new();
+    for &threads in &cfg.threads {
+        let dir = scratch.join(format!("t{threads}"));
+        let r = run_one(&cfg, threads, &dir);
+        let ops_per_sec = r.total_ops as f64 / (r.elapsed_ns as f64 / 1e9);
+        eprintln!(
+            "threads={:<2} ops={:<6} {:>9.0} ops/s  get p99 {:>7}ns  insert p99 {:>8}ns  \
+             group p50 {}  forces {}  waiters {}  shard-conflicts {}",
+            r.threads,
+            r.total_ops,
+            ops_per_sec,
+            r.get_p99,
+            r.insert_p99,
+            r.group_size_p50,
+            r.forces,
+            r.force_waiters,
+            r.shard_conflicts,
+        );
+        runs.push(r);
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"throughput\",\n  \"mode\": \"{}\",\n",
+        if cfg.smoke { "smoke" } else { "full" }
+    ));
+    json.push_str(&format!(
+        "  \"config\": {{\"pool_frames\": {}, \"load_keys\": {}, \"ops_per_thread\": {}, \
+         \"key_space\": {}, \"mix\": \"50% get / 40% insert / 10% delete\"}},\n",
+        cfg.pool_frames, cfg.load_keys, cfg.ops_per_thread, cfg.key_space
+    ));
+    json.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let ops_per_sec = r.total_ops as f64 / (r.elapsed_ns as f64 / 1e9);
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"total_ops\": {}, \"elapsed_ns\": {}, \
+             \"ops_per_sec\": {:.0}, \"get_p95_ns\": {}, \"get_p99_ns\": {}, \
+             \"insert_p95_ns\": {}, \"insert_p99_ns\": {}, \"wal_group_size_p50\": {}, \
+             \"wal_forces\": {}, \"wal_force_waiters\": {}, \"buf_shard_conflicts\": {}}}{}\n",
+            r.threads,
+            r.total_ops,
+            r.elapsed_ns,
+            ops_per_sec,
+            r.get_p95,
+            r.get_p99,
+            r.insert_p95,
+            r.insert_p99,
+            r.group_size_p50,
+            r.forces,
+            r.force_waiters,
+            r.shard_conflicts,
+            if i + 1 == runs.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, &json).expect("write bench json");
+    eprintln!("wrote {out}");
+}

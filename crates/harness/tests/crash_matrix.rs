@@ -298,3 +298,138 @@ fn lock_failed_is_distinguishable_from_injected() {
     assert!(is_lock_failed(&err));
     assert!(!is_injected(&err));
 }
+
+// ---- Group-commit crash windows (§4.3.1) ----------------------------------
+//
+// The lock-split log manager opens two windows the SMO matrix above cannot
+// reach: (a) the leader's batch is durably in the store but the in-memory
+// `flushed` watermark was never published, and (b) the leader has already
+// woken some followers with `Ok` when the machine dies mid-stream. Both
+// must leave recovery with exactly the committed state.
+
+/// Crash in the "batch written, `flushed` not yet published" window: the
+/// durable log contains a committed action that no in-memory watermark
+/// (and no acknowledgment) ever covered. Recovery reads the store, not
+/// the watermark, so the action must come back — exactly once.
+#[test]
+fn crash_between_batch_write_and_flushed_publish() {
+    use pitree_wal::{ActionIdentity, RecordKind};
+    let cfg = PiTreeConfig::small_nodes(4, 4);
+    let cs = CrashableStore::create(64, 10_000).unwrap();
+    let tree = PiTree::create(Arc::clone(&cs.store), 1, cfg).unwrap();
+    let mut model = Model::new();
+    for k in 0..6 {
+        insert(&tree, &mut model, k).unwrap();
+    }
+
+    // Freeze the window by hand: append a committed action, push the
+    // volatile tail into the store the way the leader's batch write does,
+    // and then "crash" before anything updates `flushed`.
+    let log = &cs.store.log;
+    let a = log.next_action_id();
+    let b = log.append(
+        a,
+        pitree_pagestore::Lsn::ZERO,
+        RecordKind::Begin {
+            identity: ActionIdentity::Transaction,
+        },
+    );
+    let c = log.append(a, b, RecordKind::Commit);
+    let batch = log.unflushed_tail();
+    assert!(!batch.is_empty());
+    log.store().append(&batch).unwrap();
+    assert!(
+        log.flushed_lsn() < c,
+        "the point of this test: publish must not have happened"
+    );
+
+    drop(tree);
+    let crashed = cs.crash().unwrap();
+    // The unacknowledged action is durable exactly once (the restart log
+    // manager must not re-append the stale volatile tail).
+    let recs = crashed.store.log.scan(None).unwrap();
+    assert_eq!(
+        recs.iter().filter(|r| r.action == a).count(),
+        2,
+        "Begin+Commit of the unpublished batch, exactly once"
+    );
+    assert!(recs
+        .iter()
+        .any(|r| r.lsn == c && matches!(r.kind, RecordKind::Commit)));
+    verify_recovery(&crashed, cfg, &model, "batch-written-flushed-unpublished");
+}
+
+/// Crash mid-stream while group commit is running multi-threaded: some
+/// followers were already woken with `Ok` (their batches made it), later
+/// forces die with the injected storage error. Every force that returned
+/// `Ok` must be durable after recovery; nothing acknowledged may be lost.
+#[test]
+fn crash_after_leader_woke_some_followers() {
+    use pitree_pagestore::Lsn;
+    use pitree_wal::{ActionIdentity, RecordKind};
+    use std::collections::HashSet;
+
+    let cfg = PiTreeConfig::small_nodes(4, 4);
+    let plan = CrashPlan::fire_at(12);
+    let (cs, tree) = build(cfg, &plan);
+    let mut model = Model::new();
+    for k in 0..6 {
+        insert(&tree, &mut model, k).unwrap();
+    }
+    // Arm only now: the countdown covers the concurrent commit stream.
+    plan.arm();
+
+    let log = &cs.store.log;
+    let acked: Vec<Lsn> = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let a = log.next_action_id();
+                        let b = log.append(
+                            a,
+                            Lsn::ZERO,
+                            RecordKind::Begin {
+                                identity: ActionIdentity::Transaction,
+                            },
+                        );
+                        let c = log.append(a, b, RecordKind::Commit);
+                        match log.force_to(c) {
+                            Ok(()) => mine.push(c),
+                            Err(ref e) if is_injected(e) => break mine,
+                            Err(e) => panic!("unexpected force error: {e}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("worker"))
+            .collect()
+    });
+    assert!(plan.fired(), "the commit stream must outlive the countdown");
+    assert!(
+        !acked.is_empty(),
+        "some forces must have been acknowledged before the crash"
+    );
+
+    drop(tree);
+    let crashed = cs.crash().unwrap();
+    let durable: HashSet<u64> = crashed
+        .store
+        .log
+        .scan(None)
+        .unwrap()
+        .iter()
+        .map(|r| r.lsn.0)
+        .collect();
+    for lsn in &acked {
+        assert!(
+            durable.contains(&lsn.0),
+            "force_to({lsn}) returned Ok but the record is gone after crash"
+        );
+    }
+    verify_recovery(&crashed, cfg, &model, "leader-woke-some-followers");
+}

@@ -44,6 +44,16 @@ impl<T: ?Sized> Mutex<T> {
         strip(self.0.lock())
     }
 
+    /// Acquire the mutex without blocking; `None` if it is held. Poisoning
+    /// is stripped like [`Mutex::lock`].
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Get the protected value through a unique reference, without locking.
     pub fn get_mut(&mut self) -> &mut T {
         strip(self.0.get_mut())
@@ -110,6 +120,16 @@ mod tests {
         let m = Mutex::new(1u32);
         *m.lock() += 1;
         assert_eq!(*m.lock(), 2);
+    }
+
+    #[test]
+    fn try_lock_contended_and_free() {
+        let m = Mutex::new(5u32);
+        {
+            let _g = m.lock();
+            assert!(m.try_lock().is_none());
+        }
+        assert_eq!(*m.try_lock().expect("uncontended"), 5);
     }
 
     #[test]

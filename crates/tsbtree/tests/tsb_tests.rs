@@ -282,7 +282,7 @@ fn crash_log_prefix_sweep() {
     }
     drop(tree);
     cs.store.log.force_all().unwrap();
-    let records = cs.store.log.scan(None);
+    let records = cs.store.log.scan(None).expect("scan");
     for (idx, rec) in records.iter().enumerate() {
         if idx % 4 != 0 {
             continue;

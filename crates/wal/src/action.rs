@@ -350,6 +350,7 @@ mod tests {
         act.rollback(&pool, None).unwrap();
         let recs: Vec<_> = log
             .scan(None)
+            .expect("scan")
             .into_iter()
             .filter(|r| r.action == id)
             .collect();

@@ -1,4 +1,4 @@
-//! The log manager: append, force, and scan.
+//! The log manager: append, group-commit force, and scan.
 //!
 //! LSNs are `offset + 1` where `offset` is the record frame's byte position,
 //! so `Lsn::ZERO` stays free as the null LSN. Frames are
@@ -6,17 +6,42 @@
 //! at a torn tail, which the crash harness exploits by truncating the durable
 //! log at arbitrary byte positions.
 //!
-//! Durability is split between the in-memory tail (`buf`) and a [`LogStore`]
-//! holding what has been *forced*. Atomic-action commits are **not** forced
-//! (§4.3.1, "relative durability"); forces happen at user-transaction commit
-//! and through the buffer pool's WAL hook before a dirty page write.
+//! Durability is split between the volatile tail (`LogTail`) and a
+//! [`LogStore`] holding what has been *forced*. Atomic-action commits are
+//! **not** forced (§4.3.1, "relative durability"); forces happen at
+//! user-transaction commit and through the buffer pool's WAL hook before a
+//! dirty page write.
+//!
+//! # Lock-split group commit
+//!
+//! Two small mutexes replace the old monolithic `Mutex<LogInner>` that was
+//! held across the durable `store.append()`:
+//!
+//! * `tail` guards only the volatile tail bytes — [`LogManager::append`]
+//!   holds it for a few `extend_from_slice` calls and never across I/O.
+//! * `force` guards the leader/follower protocol: the first committer to
+//!   find no leader active becomes the **leader**, takes the current group
+//!   goal (the max target offset of every registered force), drains the
+//!   tail up to that goal *outside* the tail mutex, writes one batch to the
+//!   store, publishes `flushed` through an `AtomicU64`, and notifies the
+//!   condvar. Followers whose target the batch covered return without
+//!   touching the store — their commit is durable because the leader's
+//!   batch covered their LSN (the paper's §4.3.1 "relatively durable" rule,
+//!   applied across threads). Followers the batch missed elect the next
+//!   leader.
+//!
+//! Only the unflushed suffix is retained in memory (`base` + tail), so log
+//! memory is O(unflushed); [`LogManager::read`] falls back to the store for
+//! already-forced LSNs. On the single-threaded paths every force drains
+//! exactly the bytes the old design wrote, so the durable byte stream (and
+//! the crash-point sequence the sim kit counts) is unchanged.
 
 use crate::codec::checksum;
 use crate::record::{ActionId, LogRecord, RecordKind};
 use pitree_obs::{Counter, EventKind, Hist, Recorder, Stopwatch};
 use pitree_pagestore::buffer::WalFlush;
 use pitree_pagestore::fault::{FaultSite, InjectorHandle};
-use pitree_pagestore::sync::Mutex;
+use pitree_pagestore::sync::{Condvar, Mutex};
 use pitree_pagestore::{Lsn, StoreError, StoreResult};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -36,6 +61,22 @@ pub trait LogStore: Send + Sync {
     fn set_master(&self, lsn: Lsn);
     /// The recorded master LSN.
     fn master(&self) -> Lsn;
+    /// Read `len` bytes starting at byte `offset` of the durable log.
+    /// Backs [`LogManager::read`] for already-forced LSNs; implementations
+    /// should override the default whole-log copy with a ranged read.
+    fn read_range(&self, offset: u64, len: usize) -> StoreResult<Vec<u8>> {
+        let all = self.durable_bytes()?;
+        let start = offset as usize;
+        let end = start.checked_add(len);
+        end.and_then(|e| all.get(start..e))
+            .map(<[u8]>::to_vec)
+            .ok_or_else(|| {
+                StoreError::Corrupt(format!(
+                    "log range {offset}+{len} beyond durable end {}",
+                    all.len()
+                ))
+            })
+    }
 }
 
 /// In-memory durable log used by tests and the crash harness.
@@ -78,7 +119,7 @@ impl MemLogStore {
         let durable = self.durable.lock();
         let cut = (len as usize).min(durable.len());
         MemLogStore {
-            durable: Mutex::new(durable[..cut].to_vec()),
+            durable: Mutex::new(durable.get(..cut).map(<[u8]>::to_vec).unwrap_or_default()),
             master: AtomicU64::new(self.master.load(Ordering::SeqCst)),
             injector: None,
         }
@@ -119,6 +160,21 @@ impl LogStore for MemLogStore {
 
     fn master(&self) -> Lsn {
         Lsn(self.master.load(Ordering::SeqCst))
+    }
+
+    fn read_range(&self, offset: u64, len: usize) -> StoreResult<Vec<u8>> {
+        let durable = self.durable.lock();
+        let start = offset as usize;
+        start
+            .checked_add(len)
+            .and_then(|end| durable.get(start..end))
+            .map(<[u8]>::to_vec)
+            .ok_or_else(|| {
+                StoreError::Corrupt(format!(
+                    "log range {offset}+{len} beyond durable end {}",
+                    durable.len()
+                ))
+            })
     }
 }
 
@@ -187,13 +243,34 @@ impl LogStore for FileLogStore {
     fn master(&self) -> Lsn {
         Lsn(self.master.load(Ordering::SeqCst))
     }
+
+    fn read_range(&self, offset: u64, len: usize) -> StoreResult<Vec<u8>> {
+        let mut f = self.file.lock();
+        let mut out = vec![0u8; len];
+        f.seek(SeekFrom::Start(offset))
+            .and_then(|_| f.read_exact(&mut out))
+            .map_err(|e| StoreError::Corrupt(format!("log range {offset}+{len}: {e}")))?;
+        Ok(out)
+    }
 }
 
-struct LogInner {
-    /// The whole log, durable prefix + volatile tail.
+/// The volatile tail: bytes appended but not yet handed to the store.
+/// `base` is the byte offset in log space of `buf[0]`; bytes below `base`
+/// are either durable (`< flushed`) or inside the current leader's in-flight
+/// batch (`>= flushed`, only while a leader is active).
+struct LogTail {
+    base: u64,
     buf: Vec<u8>,
-    /// Bytes already in the durable store.
-    flushed: u64,
+}
+
+/// Leader/follower election state for the group-commit force path.
+struct ForceState {
+    /// A leader is currently draining/writing a batch.
+    leader: bool,
+    /// Highest target byte offset any registered force call needs durable.
+    goal: u64,
+    /// Force calls currently inside the slow path (group-size accounting).
+    pending: u64,
 }
 
 /// Stable numeric code for a record kind, used as the `b` payload of
@@ -211,16 +288,30 @@ pub fn record_kind_code(kind: &RecordKind) -> u64 {
     }
 }
 
+/// Little-endian u32 at `off`, or `None` when the slice is too short.
+fn le_u32_at(buf: &[u8], off: usize) -> Option<u32> {
+    let bytes: [u8; 4] = buf.get(off..off.checked_add(4)?)?.try_into().ok()?;
+    Some(u32::from_le_bytes(bytes))
+}
+
 /// The log manager. Shared via `Arc`; also registered as the buffer pool's
 /// [`WalFlush`] hook.
 pub struct LogManager {
-    inner: Mutex<LogInner>,
+    tail: Mutex<LogTail>,
+    force: Mutex<ForceState>,
+    force_cv: Condvar,
+    /// Bytes durably in the store (published by the group-commit leader).
+    flushed: AtomicU64,
+    /// Total bytes ever appended (`base + buf.len()`, updated under `tail`).
+    tail_end: AtomicU64,
     store: Arc<dyn LogStore>,
     next_action: AtomicU64,
     rec: Recorder,
     appends: Counter,
     forces: Counter,
+    force_waiters: Counter,
     force_ns: Hist,
+    group_size: Hist,
 }
 
 impl std::fmt::Debug for LogManager {
@@ -230,9 +321,10 @@ impl std::fmt::Debug for LogManager {
 }
 
 impl LogManager {
-    /// A log manager over `store`, reading back any existing durable
-    /// contents (recovery will scan them). Records into a fresh private
-    /// registry; see [`LogManager::open_observed`].
+    /// A log manager over `store`; existing durable contents stay in the
+    /// store (recovery will scan them) and only the unflushed suffix is
+    /// ever buffered in memory. Records into a fresh private registry; see
+    /// [`LogManager::open_observed`].
     pub fn open(store: Arc<dyn LogStore>) -> StoreResult<LogManager> {
         LogManager::open_observed(store, Recorder::detached())
     }
@@ -241,15 +333,27 @@ impl LogManager {
     /// `rec`'s registry (the store assembly shares one registry across all
     /// layers).
     pub fn open_observed(store: Arc<dyn LogStore>, rec: Recorder) -> StoreResult<LogManager> {
-        let buf = store.durable_bytes()?;
-        let flushed = buf.len() as u64;
+        let durable = store.durable_len();
         Ok(LogManager {
-            inner: Mutex::new(LogInner { buf, flushed }),
+            tail: Mutex::new(LogTail {
+                base: durable,
+                buf: Vec::new(),
+            }),
+            force: Mutex::new(ForceState {
+                leader: false,
+                goal: durable,
+                pending: 0,
+            }),
+            force_cv: Condvar::new(),
+            flushed: AtomicU64::new(durable),
+            tail_end: AtomicU64::new(durable),
             store,
             next_action: AtomicU64::new(1),
             appends: rec.counter("wal.appends"),
             forces: rec.counter("wal.forces"),
+            force_waiters: rec.counter("wal.force_waiters"),
             force_ns: rec.hist("wal.force_ns"),
+            group_size: rec.hist("wal.group_size"),
             rec,
         })
     }
@@ -275,7 +379,8 @@ impl LogManager {
         self.next_action.fetch_max(floor + 1, Ordering::SeqCst);
     }
 
-    /// Append a record, returning its LSN. Does not force.
+    /// Append a record, returning its LSN. Does not force. The tail mutex
+    /// is held only for the in-memory copy — never across I/O.
     pub fn append(&self, action: ActionId, prev: Lsn, kind: RecordKind) -> Lsn {
         let rec = LogRecord {
             lsn: Lsn::ZERO,
@@ -285,82 +390,237 @@ impl LogManager {
         };
         let kind_code = record_kind_code(&rec.kind);
         let body = rec.encode_body();
-        let mut inner = self.inner.lock();
-        let lsn = Lsn(inner.buf.len() as u64 + 1);
-        inner
-            .buf
+        let mut tail = self.tail.lock();
+        let lsn = Lsn(tail.base + tail.buf.len() as u64 + 1);
+        tail.buf
             .extend_from_slice(&(body.len() as u32).to_le_bytes());
-        inner.buf.extend_from_slice(&checksum(&body).to_le_bytes());
-        inner.buf.extend_from_slice(&body);
-        drop(inner);
+        tail.buf.extend_from_slice(&checksum(&body).to_le_bytes());
+        tail.buf.extend_from_slice(&body);
+        self.tail_end
+            .store(tail.base + tail.buf.len() as u64, Ordering::Release);
+        drop(tail);
         self.appends.inc();
         self.rec.event(EventKind::WalAppend, lsn.0, kind_code);
         lsn
     }
 
-    /// Read the record at `lsn` (from the in-memory image, which includes
-    /// the volatile tail).
+    /// Read the record at `lsn` — from the volatile tail when it is still
+    /// buffered, otherwise from the durable store (the tail no longer
+    /// retains the flushed prefix).
     pub fn read(&self, lsn: Lsn) -> StoreResult<LogRecord> {
-        let inner = self.inner.lock();
-        read_at(&inner.buf, lsn)
+        let off = lsn
+            .0
+            .checked_sub(1)
+            .ok_or_else(|| StoreError::Corrupt("null lsn".into()))?;
+        loop {
+            {
+                let tail = self.tail.lock();
+                if off >= tail.base {
+                    return read_at_base(&tail.buf, tail.base, lsn);
+                }
+            }
+            if self.flushed.load(Ordering::Acquire) > off {
+                return self.read_durable(off, lsn);
+            }
+            // `off` sits in a leader's in-flight batch (drained from the
+            // tail, not yet published). Wait for the force to settle.
+            let st = self.force.lock();
+            if st.leader {
+                drop(self.force_cv.wait(st));
+            }
+        }
     }
 
-    /// Current end of log (the LSN the *next* record will get).
+    /// Decode one frame from the durable store. `off` is a frame start
+    /// strictly below `flushed` (batches end on frame boundaries, so the
+    /// whole frame is durable).
+    fn read_durable(&self, off: u64, lsn: Lsn) -> StoreResult<LogRecord> {
+        let header = self.store.read_range(off, 8)?;
+        let len = le_u32_at(&header, 0)
+            .ok_or_else(|| StoreError::Corrupt(format!("short log header at {lsn}")))?
+            as usize;
+        let sum = le_u32_at(&header, 4)
+            .ok_or_else(|| StoreError::Corrupt(format!("short log header at {lsn}")))?;
+        let body = self.store.read_range(off + 8, len)?;
+        if checksum(&body) != sum {
+            return Err(StoreError::Corrupt(format!("bad checksum at {lsn}")));
+        }
+        LogRecord::decode_body(lsn, &body)
+    }
+
+    /// Current end of log (the LSN the *next* record will get). Lock-free.
     pub fn tail_lsn(&self) -> Lsn {
-        Lsn(self.inner.lock().buf.len() as u64 + 1)
+        Lsn(self.tail_end.load(Ordering::Acquire) + 1)
     }
 
-    /// LSN up to which the log is durable.
+    /// LSN up to which the log is durable. Lock-free.
     pub fn flushed_lsn(&self) -> Lsn {
-        Lsn(self.inner.lock().flushed)
+        Lsn(self.flushed.load(Ordering::Acquire))
     }
 
-    /// Force the log through the record that *starts* at `lsn`.
+    /// Force the log through the record that *starts* at `lsn`. Returns a
+    /// typed error (never panics) if `lsn` points into a torn or truncated
+    /// volatile tail.
     pub fn force_to(&self, lsn: Lsn) -> StoreResult<()> {
-        let mut inner = self.inner.lock();
         if lsn == Lsn::ZERO {
             return Ok(());
         }
-        let off = (lsn.0 - 1) as usize;
-        if off as u64 >= inner.flushed && off < inner.buf.len() {
-            let len = u32::from_le_bytes(inner.buf[off..off + 4].try_into().unwrap()) as usize;
-            let end = (off + 8 + len) as u64;
-            let start = inner.flushed as usize;
-            let timer = Stopwatch::start();
-            self.store.append(&inner.buf[start..end as usize])?;
-            self.force_ns.record(timer.elapsed_ns());
-            inner.flushed = end;
-            let bytes = end - start as u64;
-            drop(inner);
-            self.forces.inc();
-            self.rec.event(EventKind::WalForce, lsn.0, bytes);
+        let off = lsn.0 - 1;
+        if self.flushed.load(Ordering::Acquire) > off {
+            return Ok(()); // the whole frame is durable (frame-aligned batches)
         }
-        Ok(())
+        // Resolve the target: the end offset of the frame starting at `off`.
+        let target = {
+            let tail = self.tail.lock();
+            let end_total = tail.base + tail.buf.len() as u64;
+            if off >= end_total {
+                return Ok(()); // at/past the log end: nothing to force
+            }
+            if off < tail.base {
+                // Already drained by a batch (durable or in flight); the
+                // frame ended at or before the drained boundary.
+                tail.base
+            } else {
+                let rel = (off - tail.base) as usize;
+                let len = le_u32_at(&tail.buf, rel)
+                    .ok_or_else(|| StoreError::Corrupt(format!("torn volatile tail at {lsn}")))?
+                    as u64;
+                let end = off + 8 + len;
+                if end > end_total {
+                    return Err(StoreError::Corrupt(format!(
+                        "torn record at {lsn}: frame ends at {end}, tail at {end_total}"
+                    )));
+                }
+                end
+            }
+        };
+        self.force_until(target, Some(lsn))
     }
 
     /// Force the entire log.
     pub fn force_all(&self) -> StoreResult<()> {
-        let mut inner = self.inner.lock();
-        let start = inner.flushed as usize;
-        if start < inner.buf.len() {
-            let timer = Stopwatch::start();
-            self.store.append(&inner.buf[start..])?;
-            self.force_ns.record(timer.elapsed_ns());
-            let end = inner.buf.len() as u64;
-            inner.flushed = end;
-            let bytes = end - start as u64;
-            drop(inner);
-            self.forces.inc();
-            self.rec.event(EventKind::WalForce, end, bytes);
-        }
-        Ok(())
+        let target = self.tail_end.load(Ordering::Acquire);
+        self.force_until(target, None)
     }
 
-    /// Scan all records in the in-memory image from `from` (or the start).
-    /// Stops at the first torn/corrupt frame.
-    pub fn scan(&self, from: Option<Lsn>) -> Vec<LogRecord> {
-        let inner = self.inner.lock();
-        scan_bytes(&inner.buf, from)
+    /// Group-commit slow path: make bytes `< target` durable, either by
+    /// leading a batch or by riding a concurrent leader's.
+    fn force_until(&self, target: u64, lsn_for_event: Option<Lsn>) -> StoreResult<()> {
+        if self.flushed.load(Ordering::Acquire) >= target {
+            return Ok(());
+        }
+        let mut st = self.force.lock();
+        st.pending += 1;
+        if st.goal < target {
+            st.goal = target;
+        }
+        let mut waited = false;
+        let result = loop {
+            if self.flushed.load(Ordering::Acquire) >= target {
+                break Ok(());
+            }
+            if st.leader {
+                // A leader is writing; its batch may cover us. Wait for it.
+                if !waited {
+                    waited = true;
+                    self.force_waiters.inc();
+                }
+                st = self.force_cv.wait(st);
+                continue;
+            }
+            // Become the leader for everything registered so far.
+            st.leader = true;
+            let goal = st.goal;
+            let group = st.pending;
+            drop(st);
+            let res = self.lead_force(goal, group, lsn_for_event);
+            st = self.force.lock();
+            st.leader = false;
+            self.force_cv.notify_all();
+            if res.is_err() {
+                break res;
+            }
+            // Loop: `flushed` now covers `target` (goal >= target).
+        };
+        st.pending -= 1;
+        drop(st);
+        result
+    }
+
+    /// Leader: drain the tail up to `goal`, write one batch, publish
+    /// `flushed`. Runs with **no** lock held across the store write.
+    fn lead_force(&self, goal: u64, group: u64, lsn_for_event: Option<Lsn>) -> StoreResult<()> {
+        let (batch_base, batch) = {
+            let mut tail = self.tail.lock();
+            let end = goal.min(tail.base + tail.buf.len() as u64);
+            if end <= tail.base {
+                return Ok(()); // covered by an earlier batch
+            }
+            let take = (end - tail.base) as usize;
+            let rest = tail.buf.split_off(take);
+            let batch = std::mem::replace(&mut tail.buf, rest);
+            let batch_base = tail.base;
+            tail.base = end;
+            (batch_base, batch)
+        };
+        let timer = Stopwatch::start();
+        let res = self.store.append(&batch);
+        self.force_ns.record(timer.elapsed_ns());
+        match res {
+            Ok(()) => {
+                let end = batch_base + batch.len() as u64;
+                self.flushed.store(end, Ordering::Release);
+                self.forces.inc();
+                self.group_size.record(group);
+                let event_lsn = lsn_for_event.map_or(end, |l| l.0);
+                self.rec
+                    .event(EventKind::WalForce, event_lsn, batch.len() as u64);
+                Ok(())
+            }
+            Err(e) => {
+                // Splice the batch back in front of the tail so the log
+                // image stays contiguous; a later force (or a follower
+                // promoted to leader) retries the same bytes.
+                let mut tail = self.tail.lock();
+                let rest = std::mem::take(&mut tail.buf);
+                let mut restored = batch;
+                restored.extend_from_slice(&rest);
+                tail.buf = restored;
+                tail.base = batch_base;
+                Err(e)
+            }
+        }
+    }
+
+    /// Scan all records from `from` (or the start): the durable prefix
+    /// concatenated with the volatile tail. Stops at the first torn/corrupt
+    /// frame.
+    pub fn scan(&self, from: Option<Lsn>) -> StoreResult<Vec<LogRecord>> {
+        loop {
+            let durable = self.store.durable_bytes()?;
+            {
+                let tail = self.tail.lock();
+                if durable.len() as u64 == tail.base {
+                    let mut all = durable;
+                    all.extend_from_slice(&tail.buf);
+                    return Ok(scan_bytes(&all, from));
+                }
+            }
+            // A leader's batch is in flight between the snapshot and the
+            // tail (durable is a stale prefix of `base`). Wait and retry.
+            let st = self.force.lock();
+            if st.leader {
+                drop(self.force_cv.wait(st));
+            }
+        }
+    }
+
+    /// A copy of the volatile (unforced) tail bytes — the part of the log a
+    /// crash would lose. Exposed for crash-harness tests that freeze the
+    /// "batch written, `flushed` not yet published" window.
+    pub fn unflushed_tail(&self) -> Vec<u8> {
+        let tail = self.tail.lock();
+        tail.buf.clone()
     }
 }
 
@@ -372,19 +632,28 @@ impl WalFlush for LogManager {
 
 /// Decode the record whose frame starts at `lsn` within `buf`.
 pub fn read_at(buf: &[u8], lsn: Lsn) -> StoreResult<LogRecord> {
-    let off = (lsn
+    read_at_base(buf, 0, lsn)
+}
+
+/// [`read_at`] against a buffer whose first byte sits at log offset `base`.
+fn read_at_base(buf: &[u8], base: u64, lsn: Lsn) -> StoreResult<LogRecord> {
+    let abs = lsn
         .0
         .checked_sub(1)
-        .ok_or_else(|| StoreError::Corrupt("null lsn".into()))?) as usize;
-    if off + 8 > buf.len() {
-        return Err(StoreError::Corrupt(format!("lsn {lsn} beyond log end")));
-    }
-    let len = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
-    let sum = u32::from_le_bytes(buf[off + 4..off + 8].try_into().unwrap());
-    if off + 8 + len > buf.len() {
-        return Err(StoreError::Corrupt(format!("torn record at {lsn}")));
-    }
-    let body = &buf[off + 8..off + 8 + len];
+        .ok_or_else(|| StoreError::Corrupt("null lsn".into()))?;
+    let off = abs
+        .checked_sub(base)
+        .ok_or_else(|| StoreError::Corrupt(format!("lsn {lsn} below buffer base {base}")))?
+        as usize;
+    let len = le_u32_at(buf, off)
+        .ok_or_else(|| StoreError::Corrupt(format!("lsn {lsn} beyond log end")))?
+        as usize;
+    let sum = le_u32_at(buf, off + 4)
+        .ok_or_else(|| StoreError::Corrupt(format!("lsn {lsn} beyond log end")))?;
+    let body = off
+        .checked_add(8)
+        .and_then(|s| s.checked_add(len).and_then(|e| buf.get(s..e)))
+        .ok_or_else(|| StoreError::Corrupt(format!("torn record at {lsn}")))?;
     if checksum(body) != sum {
         return Err(StoreError::Corrupt(format!("bad checksum at {lsn}")));
     }
@@ -397,9 +666,8 @@ pub fn scan_bytes(buf: &[u8], from: Option<Lsn>) -> Vec<LogRecord> {
     let mut out = Vec::new();
     let mut lsn = from.unwrap_or(Lsn(1));
     while let Ok(rec) = read_at(buf, lsn) {
-        let len = {
-            let off = (lsn.0 - 1) as usize;
-            u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize
+        let Some(len) = le_u32_at(buf, (lsn.0 - 1) as usize) else {
+            break;
         };
         lsn = Lsn(lsn.0 + 8 + len as u64);
         out.push(rec);
@@ -464,6 +732,75 @@ mod tests {
     }
 
     #[test]
+    fn read_falls_back_to_store_after_force() {
+        // The flushed prefix is no longer retained in memory; reads of old
+        // LSNs must come back from the store.
+        let (_s, log) = mgr();
+        let a = log.next_action_id();
+        let l1 = log.append(a, Lsn::ZERO, RecordKind::Commit);
+        log.force_all().unwrap();
+        assert!(
+            log.unflushed_tail().is_empty(),
+            "forced bytes must leave the volatile tail"
+        );
+        let r1 = log.read(l1).unwrap();
+        assert!(matches!(r1.kind, RecordKind::Commit));
+        // And a record appended afterwards still reads from the tail.
+        let l2 = log.append(a, l1, RecordKind::End);
+        let r2 = log.read(l2).unwrap();
+        assert!(matches!(r2.kind, RecordKind::End));
+        assert_eq!(r2.prev, l1);
+    }
+
+    #[test]
+    fn force_to_torn_tail_is_an_error_not_a_panic() {
+        // Regression for the old `buf[off..off + 4].try_into().unwrap()`:
+        // a force targeting an LSN whose frame header is cut off by the
+        // tail end must surface `StoreError::Corrupt`.
+        let (_s, log) = mgr();
+        let a = log.next_action_id();
+        let l1 = log.append(a, Lsn::ZERO, RecordKind::Commit);
+        {
+            // Truncate the volatile tail mid-header (2 bytes into l1's frame).
+            let mut tail = log.tail.lock();
+            tail.buf.truncate(2);
+            log.tail_end
+                .store(tail.base + tail.buf.len() as u64, Ordering::Release);
+        }
+        assert!(matches!(
+            log.force_to(l1),
+            Err(StoreError::Corrupt(msg)) if msg.contains("torn volatile tail")
+        ));
+        // A frame whose header survives but whose body is cut short is also
+        // a typed error.
+        let (_s2, log2) = mgr();
+        let l1 = log2.append(a, Lsn::ZERO, RecordKind::Commit);
+        {
+            let mut tail = log2.tail.lock();
+            let cut = tail.buf.len() - 3;
+            tail.buf.truncate(cut);
+            log2.tail_end
+                .store(tail.base + tail.buf.len() as u64, Ordering::Release);
+        }
+        assert!(matches!(
+            log2.force_to(l1),
+            Err(StoreError::Corrupt(msg)) if msg.contains("torn record")
+        ));
+    }
+
+    #[test]
+    fn lsn_reads_are_consistent_without_locks() {
+        let (_s, log) = mgr();
+        assert_eq!(log.tail_lsn(), Lsn(1));
+        assert_eq!(log.flushed_lsn(), Lsn(0));
+        let a = log.next_action_id();
+        let l1 = log.append(a, Lsn::ZERO, RecordKind::Commit);
+        assert!(log.tail_lsn() > l1);
+        log.force_all().unwrap();
+        assert_eq!(log.flushed_lsn().0 + 1, log.tail_lsn().0);
+    }
+
+    #[test]
     fn scan_recovers_all_records() {
         let (_s, log) = mgr();
         let a = log.next_action_id();
@@ -490,12 +827,24 @@ mod tests {
             );
         }
         log.append(a, prev, RecordKind::Commit);
-        let recs = log.scan(None);
+        let recs = log.scan(None).unwrap();
         assert_eq!(recs.len(), 7);
         // Chain integrity.
         for w in recs.windows(2) {
             assert_eq!(w[1].prev, w[0].lsn);
         }
+    }
+
+    #[test]
+    fn scan_spans_durable_prefix_and_volatile_tail() {
+        let (_s, log) = mgr();
+        let a = log.next_action_id();
+        let l1 = log.append(a, Lsn::ZERO, RecordKind::Commit);
+        log.force_all().unwrap();
+        log.append(a, l1, RecordKind::End);
+        let recs = log.scan(None).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert!(matches!(recs[1].kind, RecordKind::End));
     }
 
     #[test]
@@ -531,7 +880,7 @@ mod tests {
         log.append(a, Lsn::ZERO, RecordKind::Commit);
         log.force_all().unwrap();
         let log2 = LogManager::open(Arc::clone(&store) as Arc<dyn LogStore>).unwrap();
-        assert_eq!(log2.scan(None).len(), 1);
+        assert_eq!(log2.scan(None).unwrap().len(), 1);
         assert_eq!(log2.flushed_lsn().0, store.durable_len());
     }
 
@@ -542,6 +891,14 @@ mod tests {
         assert_eq!(store.master(), Lsn(42));
         let snap = store.snapshot();
         assert_eq!(snap.master(), Lsn(42));
+    }
+
+    #[test]
+    fn read_range_default_and_override_agree() {
+        let store = MemLogStore::new();
+        store.append(b"0123456789").unwrap();
+        assert_eq!(store.read_range(3, 4).unwrap(), b"3456");
+        assert!(store.read_range(8, 4).is_err());
     }
 
     #[test]

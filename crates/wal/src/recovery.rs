@@ -90,7 +90,7 @@ pub fn recover(
         }
     }
 
-    let records = log.scan(Some(scan_from));
+    let records = log.scan(Some(scan_from))?;
     let mut max_action = 0u64;
     for rec in &records {
         stats.scanned += 1;
@@ -120,7 +120,7 @@ pub fn recover(
     // seeded from a checkpoint, older records are covered by the dirty-page
     // table; otherwise we scan from the log start.)
     let redo_records: Vec<LogRecord> = if redo_start < scan_from {
-        log.scan(Some(redo_start))
+        log.scan(Some(redo_start))?
     } else {
         records
     };

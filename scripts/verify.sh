@@ -58,4 +58,13 @@ for metric in latch.acquire_s buf.misses wal.appends lock.acquires \
   grep -q "$metric" <<<"$out" || { echo "obstop report missing $metric" >&2; exit 1; }
 done
 
+step "throughput smoke (group-commit bench emits well-formed JSON; no timing asserts)"
+tp_out="$(mktemp)"
+trap 'rm -f "$tp_out"' EXIT
+cargo run --offline --release -q --bin throughput -- --smoke --out "$tp_out" >/dev/null
+for key in '"bench": "throughput"' '"mode": "smoke"' '"threads"' '"ops_per_sec"' \
+           '"wal_group_size_p50"' '"wal_force_waiters"' '"buf_shard_conflicts"'; do
+  grep -q "$key" "$tp_out" || { echo "throughput smoke output missing $key" >&2; exit 1; }
+done
+
 printf '\nverify.sh: all checks passed\n'
