@@ -9,18 +9,24 @@
 //! line and the [shrinker](crate::shrink) can re-drive candidate scripts
 //! through [`script_violation`] while minimizing.
 //!
-//! The seeded-violation fixture lives here too:
+//! The seeded-violation fixtures live here too:
 //! [`tail_drop_violation`] runs a workload to completion, then crashes
 //! with the durable log truncated one byte short — chopping the final
 //! forced commit record. That simulates a log device that acknowledged a
 //! force it never made durable (the paper's §4.3 premise is exactly that
 //! this must not happen), and the oracle is required to report the lost
-//! committed write.
+//! committed write. [`ack_before_durable_violation`] models the early-
+//! lock-release client bug — acknowledging a commit at publish time,
+//! before the durable watermark covers its LSN — and the oracle must see
+//! the lost write. [`elr_chain_violation`] sweeps log-prefix crashes over
+//! a pipelined chain of commits that each jump the predecessor's released
+//! lock, demanding the recovered value be exactly the last commit the
+//! prefix covers.
 
 use crate::model::Model;
 use pitree::{CrashableStore, PiTree, PiTreeConfig};
 use pitree_pagestore::fault::{is_injected, InjectorHandle};
-use pitree_pagestore::StoreResult;
+use pitree_pagestore::{Lsn, StoreError, StoreResult};
 use pitree_sim::fault::CrashPlan;
 use pitree_sim::SimRng;
 use std::sync::Arc;
@@ -141,6 +147,20 @@ fn build(cfg: &DurConfig, plan: &Arc<CrashPlan>) -> (CrashableStore, PiTree) {
     (cs, tree)
 }
 
+/// A forced commit's ack is only legal once the durable watermark covers
+/// its LSN — the early-lock-release contract. Checked after every commit
+/// the sweep performs, so a regression that acks at publish surfaces as a
+/// violation at whatever crash point next loses the volatile tail.
+fn check_ack_watermark(cs: &CrashableStore, lsn: Lsn) -> StoreResult<()> {
+    let flushed = cs.store.log.flushed_lsn();
+    if flushed < lsn {
+        return Err(StoreError::Corrupt(format!(
+            "commit acked at lsn {lsn} before the durable watermark ({flushed}) covered it"
+        )));
+    }
+    Ok(())
+}
+
 /// Run the script, updating `model` only when a forced commit returns
 /// `Ok` — so at any crash the model is exactly the committed data.
 fn apply_script(
@@ -159,7 +179,8 @@ fn apply_script(
                     std::mem::forget(t);
                     return Err(e);
                 }
-                t.commit()?;
+                let lsn = t.commit()?;
+                check_ack_watermark(cs, lsn)?;
                 model.insert(&key_bytes(k), &v);
             }
             DurOp::Delete(k) => {
@@ -168,7 +189,8 @@ fn apply_script(
                     std::mem::forget(t);
                     return Err(e);
                 }
-                t.commit()?;
+                let lsn = t.commit()?;
+                check_ack_watermark(cs, lsn)?;
                 model.delete(&key_bytes(k));
             }
             DurOp::Flush => cs.store.pool.flush_all()?,
@@ -342,6 +364,137 @@ pub fn fixture_script(seed: u64, cfg: &DurConfig) -> Vec<DurOp> {
     script
 }
 
+/// The early-lock-release seeded-violation fixture: run `script` to
+/// completion, then model the client bug the ELR protocol must never
+/// hide — acknowledging a commit at publish time. The transaction
+/// publishes (locks released, `PendingCommit` dropped without
+/// `wait_durable`), the "acked" write goes into the model, and the
+/// machine dies with the commit record still in the volatile tail. The
+/// oracle is required to report the lost write; `None` means it went
+/// blind.
+pub fn ack_before_durable_violation(
+    script: &[DurOp],
+    seed: u64,
+    cfg: &DurConfig,
+) -> Option<DurViolation> {
+    let cs = CrashableStore::create(cfg.pool_frames, cfg.max_pages).expect("store");
+    let tree = PiTree::create(Arc::clone(&cs.store), 1, cfg.tree_cfg).expect("tree");
+    let mut model = Model::new();
+    apply_script(&cs, &tree, script, &mut model).expect("fault-free run");
+    // The bug under test: publish, tell the client "committed", never wait
+    // for the watermark. (An off-domain key the script cannot overwrite.)
+    let key = key_bytes(cfg.key_domain + 1);
+    let mut t = tree.begin();
+    tree.insert(&mut t, &key, b"acked-at-publish")
+        .expect("fixture insert");
+    let pc = t.commit_publish();
+    assert!(
+        !pc.is_durable(),
+        "fixture needs the published commit to still sit in the volatile tail"
+    );
+    drop(pc); // the premature ack
+    model.insert(&key, b"acked-at-publish");
+    drop(tree);
+    let crashed = cs.crash().expect("snapshot");
+    verify(&crashed, cfg, &model).map(|detail| DurViolation {
+        seed,
+        crash_point: 0,
+        site: "commit acked at publish".into(),
+        detail,
+    })
+}
+
+fn chain_val(i: usize) -> Vec<u8> {
+    format!("elr-{i}").into_bytes()
+}
+
+/// End offset (exclusive) of the frame starting at `lsn` in the durable
+/// log image: 8-byte header (length + checksum) plus the body length.
+fn frame_end(durable: &[u8], lsn: Lsn) -> u64 {
+    let off = (lsn.0 - 1) as usize;
+    let len = u32::from_le_bytes(durable[off..off + 4].try_into().expect("frame header"));
+    (off + 8 + len as usize) as u64
+}
+
+/// Early-lock-release pipelined-chain sweep: a seeded chain of
+/// transactions updates one key back to back, each *publishing* its
+/// commit (locks released, registry entry gone) before any of them is
+/// durable — so every successor jumps the predecessor's released lock.
+/// Acks (`wait_durable`) happen only after the whole chain has published,
+/// and each must find the watermark covering its LSN.
+///
+/// Then the oracle replays a log-prefix crash just before and exactly at
+/// every commit frame's end. The recovered value must be exactly the last
+/// commit the prefix covers: a cut at `end(i)` recovers value `i`; a cut
+/// one byte short tears commit `i`, making it a loser whose update is
+/// undone back to value `i-1` (or the pre-chain base). Anything else is a
+/// lost update or a reordering across the jumped lock. Returns the number
+/// of prefix cuts verified.
+pub fn elr_chain_violation(seed: u64, cfg: &DurConfig) -> Result<usize, DurViolation> {
+    let mut rng = SimRng::new(seed);
+    let chain_len = rng.range_usize(3..7);
+    let key = key_bytes(rng.below(cfg.key_domain));
+    let fail = |cut: u64, detail: String| DurViolation {
+        seed,
+        crash_point: cut,
+        site: "elr chain log prefix".into(),
+        detail,
+    };
+    let cs = CrashableStore::create(cfg.pool_frames, cfg.max_pages).expect("store");
+    let tree = PiTree::create(Arc::clone(&cs.store), 1, cfg.tree_cfg).expect("tree");
+    // Base committed value: what any cut below the chain must recover.
+    let mut t = tree.begin();
+    tree.insert(&mut t, &key, b"elr-base").expect("base insert");
+    t.commit().expect("base commit");
+    let base_len = cs.durable_log_len();
+
+    // Publish the whole chain before acking any of it.
+    let pending: Vec<_> = (0..chain_len)
+        .map(|i| {
+            let mut t = tree.begin();
+            tree.insert(&mut t, &key, &chain_val(i))
+                .expect("chain insert");
+            t.commit_publish()
+        })
+        .collect();
+    let mut commit_lsns = Vec::new();
+    for pc in pending {
+        let lsn = match pc.wait_durable() {
+            Ok(lsn) => lsn,
+            Err(e) => return Err(fail(0, format!("wait_durable failed: {e}"))),
+        };
+        if let Err(e) = check_ack_watermark(&cs, lsn) {
+            return Err(fail(0, e.to_string()));
+        }
+        commit_lsns.push(lsn);
+    }
+    drop(tree);
+    let durable = cs.store.log.store().durable_bytes().expect("durable bytes");
+
+    let mut checked = 0usize;
+    for (i, &lsn) in commit_lsns.iter().enumerate() {
+        let end = frame_end(&durable, lsn);
+        debug_assert!(end > base_len);
+        for (cut, committed) in [(end - 1, i.checked_sub(1)), (end, Some(i))] {
+            let want = match committed {
+                Some(j) => chain_val(j),
+                None => b"elr-base".to_vec(),
+            };
+            let crashed = match cs.crash_with_log_prefix(cut) {
+                Ok(c) => c,
+                Err(e) => return Err(fail(cut, format!("snapshot failed: {e}"))),
+            };
+            let mut model = Model::new();
+            model.insert(&key, &want);
+            if let Some(detail) = verify(&crashed, cfg, &model) {
+                return Err(fail(cut, detail));
+            }
+            checked += 1;
+        }
+    }
+    Ok(checked)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -369,5 +522,22 @@ mod tests {
             .expect("oracle must detect the lost committed write");
         assert_eq!(v.crash_point, 0);
         assert!(v.site.contains("tail"));
+    }
+
+    #[test]
+    fn elr_chain_sweep_accepts_the_real_tree() {
+        let checked = elr_chain_violation(0xe1_5eed, &small()).expect("elr chain sweep must pass");
+        // chain_len >= 3, two cuts per commit.
+        assert!(checked >= 6, "swept only {checked} prefix cuts");
+    }
+
+    #[test]
+    fn ack_before_durable_fixture_is_rejected() {
+        let cfg = small();
+        let script = gen_script(0xd0_5eed, &cfg);
+        let v = ack_before_durable_violation(&script, 0xd0_5eed, &cfg)
+            .expect("oracle must detect the prematurely acked commit");
+        assert_eq!(v.crash_point, 0);
+        assert!(v.site.contains("publish"));
     }
 }

@@ -123,6 +123,96 @@ impl CheckIndex for PiCheckIndex {
     }
 }
 
+/// The Π-tree under early lock release: every write *publishes* its
+/// commit first — record locks released at log append, so concurrent
+/// operations are free to jump in while the force is still in flight —
+/// and returns only once `wait_durable` sees the watermark cover the
+/// commit LSN (the ack point). Reads are the same forced transactions as
+/// [`PiCheckIndex`]; a reader that observed a jumped writer's value acks
+/// through its own forced commit, which covers that writer's earlier LSN.
+/// Histories this adapter produces must therefore still linearize, and
+/// the checker holds ELR to exactly that.
+pub struct PiElrIndex {
+    _store: CrashableStore,
+    tree: PiTree,
+}
+
+impl std::fmt::Debug for PiElrIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PiElrIndex").finish_non_exhaustive()
+    }
+}
+
+impl PiElrIndex {
+    /// Build over a fresh in-memory store.
+    pub fn new(pool_frames: usize, cfg: PiTreeConfig) -> PiElrIndex {
+        let store = CrashableStore::create(pool_frames, 1 << 20).expect("store");
+        let tree = PiTree::create(Arc::clone(&store.store), 1, cfg).expect("tree");
+        PiElrIndex {
+            _store: store,
+            tree,
+        }
+    }
+}
+
+impl CheckIndex for PiElrIndex {
+    fn insert(&self, key: &[u8], value: &[u8]) -> Option<bool> {
+        loop {
+            let mut txn = self.tree.begin();
+            match self.tree.insert(&mut txn, key, value) {
+                Ok(created) => {
+                    txn.commit_publish().wait_durable().expect("ack");
+                    return Some(created);
+                }
+                Err(pitree_pagestore::StoreError::LockFailed { .. }) => {
+                    let _ = txn.abort(Some(&self.tree.undo_handler()));
+                }
+                Err(e) => panic!("insert failed: {e}"),
+            }
+        }
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        loop {
+            let txn = self.tree.begin();
+            match self.tree.get(&txn, key) {
+                Ok(got) => {
+                    txn.commit().expect("commit");
+                    return got;
+                }
+                Err(pitree_pagestore::StoreError::LockFailed { .. }) => {
+                    let _ = txn.abort(None);
+                }
+                Err(e) => panic!("get failed: {e}"),
+            }
+        }
+    }
+
+    fn delete(&self, key: &[u8]) -> bool {
+        loop {
+            let mut txn = self.tree.begin();
+            match self.tree.delete(&mut txn, key) {
+                Ok(existed) => {
+                    txn.commit_publish().wait_durable().expect("ack");
+                    return existed;
+                }
+                Err(pitree_pagestore::StoreError::LockFailed { .. }) => {
+                    let _ = txn.abort(Some(&self.tree.undo_handler()));
+                }
+                Err(e) => panic!("delete failed: {e}"),
+            }
+        }
+    }
+
+    fn scan(&self, from: &[u8], to: &[u8]) -> Option<Vec<(Vec<u8>, Vec<u8>)>> {
+        Some(self.tree.scan(from, to).expect("scan"))
+    }
+
+    fn name(&self) -> &'static str {
+        "pi-tree-elr"
+    }
+}
+
 /// Adapter lifting any baseline [`ConcurrentIndex`] to the check surface
 /// (no created flag, no scan — the checkers constrain accordingly).
 #[derive(Debug)]
@@ -303,6 +393,16 @@ mod tests {
         assert_eq!(idx.insert(b"k", b"w"), Some(false));
         assert_eq!(idx.get(b"k"), Some(b"w".to_vec()));
         assert_eq!(idx.scan(b"a", b"z").unwrap().len(), 1);
+        assert!(idx.delete(b"k"));
+        assert!(!idx.delete(b"k"));
+    }
+
+    #[test]
+    fn elr_adapter_roundtrip() {
+        let idx = PiElrIndex::new(256, PiTreeConfig::small_nodes(8, 8));
+        assert_eq!(idx.insert(b"k", b"v"), Some(true));
+        assert_eq!(idx.insert(b"k", b"w"), Some(false));
+        assert_eq!(idx.get(b"k"), Some(b"w".to_vec()));
         assert!(idx.delete(b"k"));
         assert!(!idx.delete(b"k"));
     }

@@ -18,7 +18,9 @@
 //!    delta-debugging [`shrink`]er that minimizes a failing script.
 //!
 //! Each layer must also *reject* a deliberately broken implementation —
-//!    the fixtures in [`index`] and [`durability::tail_drop_violation`] —
+//! the fixtures in [`index`], [`durability::tail_drop_violation`], and
+//! [`durability::ack_before_durable_violation`] (a commit acknowledged at
+//! publish, before the durable watermark covered it) —
 //! so the gate in `scripts/verify.sh` proves the oracles have teeth
 //! before trusting their green light. The `pitree-check` binary fronts
 //! all of this over replayable seeds (see `--help`).
@@ -34,9 +36,12 @@ pub mod model;
 pub mod shrink;
 
 pub use differential::{run_differential, DiffConfig, DiffReport, DiffViolation};
-pub use durability::{sweep_seed, DurConfig, DurReport, DurViolation};
+pub use durability::{
+    ack_before_durable_violation, elr_chain_violation, sweep_seed, DurConfig, DurReport,
+    DurViolation,
+};
 pub use history::{Call, HistoryLog, OpKind, OpRet};
-pub use index::{BaselineIndex, CheckIndex, ModelIndex, PiCheckIndex};
+pub use index::{BaselineIndex, CheckIndex, ModelIndex, PiCheckIndex, PiElrIndex};
 pub use linear::{check_history, run_linearizability, LinConfig, LinReport, LinViolation};
 pub use model::Model;
 
@@ -55,10 +60,14 @@ pub fn all_indexes() -> Vec<Box<dyn CheckIndex>> {
     ]
 }
 
-/// The concurrent targets the linearizability layer drives.
+/// The concurrent targets the linearizability layer drives: the Π-tree
+/// with per-op forced commits, the same tree under early lock release
+/// (commits published before they are durable, acks at the watermark),
+/// and a baseline.
 pub fn lin_targets() -> Vec<Box<dyn CheckIndex>> {
     vec![
         Box::new(PiCheckIndex::new(256, PiTreeConfig::small_nodes(4, 4))),
+        Box::new(PiElrIndex::new(256, PiTreeConfig::small_nodes(4, 4))),
         Box::new(BaselineIndex(LockCouplingTree::new(256, 4))),
     ]
 }

@@ -14,7 +14,10 @@
 //! (`pitree_sim::prop::case_seed`), so `--sweep` tests identical cases on
 //! every machine and a printed seed replays exactly.
 
-use pitree_check::durability::{fixture_script, tail_drop_violation};
+use pitree_check::durability::{
+    ack_before_durable_violation, elr_chain_violation, fixture_script, gen_script,
+    tail_drop_violation,
+};
 use pitree_check::index::{LostWriteIndex, ModelIndex, StaleReadIndex};
 use pitree_check::shrink::{shrink_durability, shrink_tail_drop};
 use pitree_check::{
@@ -153,6 +156,38 @@ fn sweep(n: usize) -> ExitCode {
         }
     }
 
+    // Layer 3b: early-lock-release pipelined chains over log-prefix
+    // crashes — acks only after the watermark, no lost update when a
+    // successor jumps a released lock.
+    {
+        let mut cuts = 0usize;
+        let mut failed = None;
+        for i in 0..n {
+            let seed = case_seed("pitree-check.elr", i);
+            match elr_chain_violation(seed, &DurConfig::default()) {
+                Ok(c) => cuts += c,
+                Err(v) => {
+                    failed = Some(v);
+                    break;
+                }
+            }
+        }
+        match failed {
+            None => row(
+                "durability-elr",
+                "pi-tree",
+                n,
+                &format!("ok ({cuts} prefix cuts)"),
+            ),
+            Some(v) => {
+                row("durability-elr", "pi-tree", n, "VIOLATION");
+                eprintln!("  {v}");
+                eprintln!("  replay: pitree-check --replay {:#x} --layer dur", v.seed);
+                violations += 1;
+            }
+        }
+    }
+
     if violations == 0 {
         println!("pitree-check: clean");
         ExitCode::SUCCESS
@@ -237,6 +272,26 @@ fn fixtures() -> ExitCode {
         }
     }
 
+    // The ELR contract: an ack is only legal once the watermark covers
+    // the commit. Model the client that acks at publish; the oracle must
+    // see the lost write after the crash.
+    let elr_script = gen_script(seed, &cfg);
+    match ack_before_durable_violation(&elr_script, seed, &cfg) {
+        Some(v) => {
+            row("durability", "fixture:ack-before-durable", 1, "rejected");
+            println!("  violation: {}", v.detail);
+        }
+        None => {
+            row(
+                "durability",
+                "fixture:ack-before-durable",
+                1,
+                "ACCEPTED (oracle is blind)",
+            );
+            accepted += 1;
+        }
+    }
+
     if accepted == 0 {
         println!("pitree-check: all seeded violations rejected");
         ExitCode::SUCCESS
@@ -302,6 +357,13 @@ fn replay(seed: u64, layer: Option<&str>) -> ExitCode {
                 let script = pitree_check::durability::gen_script(seed, &cfg);
                 let min = shrink_durability(&script, seed, &cfg);
                 println!("minimal failing schedule ({} op(s)): {min:?}", min.len());
+                violations += 1;
+            }
+        }
+        match elr_chain_violation(seed, &cfg) {
+            Ok(c) => println!("durability-elr   {:<24} ok ({c} prefix cuts)", "pi-tree"),
+            Err(v) => {
+                println!("durability-elr   {:<24} VIOLATION: {v}", "pi-tree");
                 violations += 1;
             }
         }

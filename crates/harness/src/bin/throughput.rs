@@ -5,22 +5,37 @@
 //!
 //! For each thread count (1/4/8) the bench builds a fresh store in a
 //! scratch directory, preloads a key range, then runs a mixed workload
-//! (50% point reads, 40% upserts, 10% deletes; every write is a forced
-//! user-transaction commit) from per-thread seeded RNG forks. Results —
-//! ops/s, per-op p95/p99 latency, and the WAL/pool concurrency metrics
-//! (`wal.group_size` p50, `wal.force_waiters`, `buf.shard_conflicts`) —
-//! are written as JSON to `BENCH_throughput.json` (or `--out PATH`).
+//! (50% point reads, 40% upserts, 10% deletes) from per-thread seeded RNG
+//! forks. Writes are **pipelined** user transactions: each commit is
+//! *published* (record locks released at log append — the commit is
+//! visible to successors) and the ack (`wait_durable`, the durable
+//! watermark covering the commit LSN) is deferred behind a small
+//! per-thread window, the way a connection handler overlaps the next
+//! request with the previous commit's force. Publish latency is the
+//! client-visible op latency (`insert_p95_ns`); the deferred ack wait is
+//! reported separately (`ack_p95_ns`). Results — ops/s, per-op p95/p99
+//! latency, and the WAL/pool concurrency metrics (`wal.group_size` p50,
+//! `wal.linger_ns` p50, `txn.elr_released`, `wal.force_waiters`,
+//! `buf.shard_conflicts`) — are written as JSON to
+//! `BENCH_throughput.json` (or `--out PATH`).
 //!
-//! `--smoke` runs a tiny fixed config (1/2 threads, few ops) so CI can
-//! assert the bench runs and emits well-formed JSON without making any
-//! timing assertions. EXPERIMENTS.md S4 records the full-mode numbers.
+//! `--smoke` runs a tiny fixed config (1/4 threads, few ops) so CI can
+//! assert the bench runs, emits well-formed JSON, and actually forms
+//! commit groups at 4 threads. EXPERIMENTS.md S4/S5 record the full-mode
+//! numbers.
 //!
 //! Run with: `cargo run --release -p pitree-harness --bin throughput`
 
 use pitree::{PiTree, PiTreeConfig, Store};
 use pitree_obs::{Hist, Recorder, Stopwatch};
 use pitree_sim::SimRng;
+use pitree_txnlock::PendingCommit;
+use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// Commits a worker may hold published-but-unacked before it must wait
+/// for the oldest one's durability.
+const PIPELINE_DEPTH: usize = 8;
 
 struct Config {
     smoke: bool,
@@ -46,9 +61,9 @@ impl Config {
     fn smoke() -> Config {
         Config {
             smoke: true,
-            threads: vec![1, 2],
+            threads: vec![1, 4],
             load_keys: 100,
-            ops_per_thread: 50,
+            ops_per_thread: 150,
             key_space: 200,
             pool_frames: 64,
         }
@@ -59,25 +74,27 @@ fn key_bytes(k: u64) -> [u8; 8] {
     k.to_be_bytes()
 }
 
-/// Autocommitting driver, one forced user transaction per write (the
-/// same retry-on-deadlock loop as [`pitree_harness::PiTreeIndex`]).
+/// Autocommitting driver (the same retry-on-deadlock loop as
+/// [`pitree_harness::PiTreeIndex`]), publishing each write's commit and
+/// handing the pending ack back to the caller's pipeline window.
 struct Driver {
     tree: PiTree,
     op_get_ns: Hist,
     op_insert_ns: Hist,
     op_delete_ns: Hist,
+    op_ack_ns: Hist,
 }
 
 impl Driver {
-    fn insert(&self, key: &[u8], value: &[u8]) {
+    fn insert_publish(&self, key: &[u8], value: &[u8]) -> PendingCommit<'_> {
         let t = Stopwatch::start();
         loop {
             let mut txn = self.tree.begin();
             match self.tree.insert(&mut txn, key, value) {
                 Ok(_) => {
-                    txn.commit().expect("commit");
+                    let pc = txn.commit_publish();
                     self.op_insert_ns.record(t.elapsed_ns());
-                    return;
+                    return pc;
                 }
                 Err(pitree_pagestore::StoreError::LockFailed { .. }) => {
                     let _ = txn.abort(Some(&self.tree.undo_handler()));
@@ -94,15 +111,15 @@ impl Driver {
         got
     }
 
-    fn delete(&self, key: &[u8]) -> bool {
+    fn delete_publish(&self, key: &[u8]) -> PendingCommit<'_> {
         let t = Stopwatch::start();
         loop {
             let mut txn = self.tree.begin();
             match self.tree.delete(&mut txn, key) {
-                Ok(hit) => {
-                    txn.commit().expect("commit");
+                Ok(_) => {
+                    let pc = txn.commit_publish();
                     self.op_delete_ns.record(t.elapsed_ns());
-                    return hit;
+                    return pc;
                 }
                 Err(pitree_pagestore::StoreError::LockFailed { .. }) => {
                     let _ = txn.abort(Some(&self.tree.undo_handler()));
@@ -110,6 +127,14 @@ impl Driver {
                 Err(e) => panic!("delete failed: {e}"),
             }
         }
+    }
+
+    /// Ack the oldest pending commit: wait until the durable watermark
+    /// covers its LSN, recording the wait as ack latency.
+    fn ack(&self, pc: PendingCommit<'_>) {
+        let t = Stopwatch::start();
+        pc.wait_durable().expect("ack");
+        self.op_ack_ns.record(t.elapsed_ns());
     }
 }
 
@@ -121,7 +146,11 @@ struct RunResult {
     get_p99: u64,
     insert_p95: u64,
     insert_p99: u64,
+    ack_p95: u64,
+    ack_p99: u64,
     group_size_p50: u64,
+    linger_p50: u64,
+    elr_released: u64,
     forces: u64,
     force_waiters: u64,
     shard_conflicts: u64,
@@ -136,11 +165,23 @@ fn run_one(cfg: &Config, threads: usize, dir: &std::path::Path) -> RunResult {
         op_get_ns: rec.hist("op.get_ns"),
         op_insert_ns: rec.hist("op.insert_ns"),
         op_delete_ns: rec.hist("op.delete_ns"),
+        op_ack_ns: rec.hist("op.ack_ns"),
     };
 
     let mut rng = SimRng::new(0xbe9c);
-    for k in 0..cfg.load_keys {
-        driver.insert(&key_bytes(k), b"preload-value");
+    {
+        // Preload through the same pipeline window the workload uses, so
+        // the group-size histogram reflects the protocol, not the loader.
+        let mut pending: VecDeque<PendingCommit<'_>> = VecDeque::new();
+        for k in 0..cfg.load_keys {
+            pending.push_back(driver.insert_publish(&key_bytes(k), b"preload-value"));
+            if pending.len() >= PIPELINE_DEPTH {
+                driver.ack(pending.pop_front().expect("non-empty pipeline"));
+            }
+        }
+        for pc in pending {
+            driver.ack(pc);
+        }
     }
 
     let forks: Vec<SimRng> = (0..threads).map(|_| rng.fork()).collect();
@@ -149,17 +190,26 @@ fn run_one(cfg: &Config, threads: usize, dir: &std::path::Path) -> RunResult {
         for mut fork in forks {
             let driver = &driver;
             s.spawn(move || {
+                let mut pending: VecDeque<PendingCommit<'_>> = VecDeque::new();
                 for _ in 0..cfg.ops_per_thread {
                     let k = fork.below(cfg.key_space);
                     match fork.below(100) {
                         0..=49 => {
                             let _ = driver.get(&key_bytes(k));
                         }
-                        50..=89 => driver.insert(&key_bytes(k), b"updated-value"),
-                        _ => {
-                            let _ = driver.delete(&key_bytes(k));
-                        }
+                        50..=89 => pending
+                            .push_back(driver.insert_publish(&key_bytes(k), b"updated-value")),
+                        _ => pending.push_back(driver.delete_publish(&key_bytes(k))),
                     }
+                    if pending.len() >= PIPELINE_DEPTH {
+                        driver.ack(pending.pop_front().expect("non-empty pipeline"));
+                    }
+                }
+                // Every published commit is acked before the clock stops:
+                // the measured ops/s is durable throughput, not a tail of
+                // un-forced commits.
+                for pc in pending {
+                    driver.ack(pc);
                 }
             });
         }
@@ -168,7 +218,9 @@ fn run_one(cfg: &Config, threads: usize, dir: &std::path::Path) -> RunResult {
 
     let (_, g95, g99, _) = driver.op_get_ns.percentiles();
     let (_, i95, i99, _) = driver.op_insert_ns.percentiles();
+    let (_, a95, a99, _) = driver.op_ack_ns.percentiles();
     let (gs50, _, _, _) = rec.hist("wal.group_size").percentiles();
+    let (ln50, _, _, _) = rec.hist("wal.linger_ns").percentiles();
     RunResult {
         threads,
         total_ops: cfg.ops_per_thread * threads as u64,
@@ -177,7 +229,11 @@ fn run_one(cfg: &Config, threads: usize, dir: &std::path::Path) -> RunResult {
         get_p99: g99,
         insert_p95: i95,
         insert_p99: i99,
+        ack_p95: a95,
+        ack_p99: a99,
         group_size_p50: gs50,
+        linger_p50: ln50,
+        elr_released: rec.counter("txn.elr_released").get(),
         forces: rec.counter("wal.forces").get(),
         force_waiters: rec.counter("wal.force_waiters").get(),
         shard_conflicts: rec.counter("buf.shard_conflicts").get(),
@@ -209,13 +265,17 @@ fn main() {
         let ops_per_sec = r.total_ops as f64 / (r.elapsed_ns as f64 / 1e9);
         eprintln!(
             "threads={:<2} ops={:<6} {:>9.0} ops/s  get p99 {:>7}ns  insert p99 {:>8}ns  \
-             group p50 {}  forces {}  waiters {}  shard-conflicts {}",
+             ack p99 {:>8}ns  group p50 {}  linger p50 {}ns  elr {}  forces {}  waiters {}  \
+             shard-conflicts {}",
             r.threads,
             r.total_ops,
             ops_per_sec,
             r.get_p99,
             r.insert_p99,
+            r.ack_p99,
             r.group_size_p50,
+            r.linger_p50,
+            r.elr_released,
             r.forces,
             r.force_waiters,
             r.shard_conflicts,
@@ -232,8 +292,9 @@ fn main() {
     ));
     json.push_str(&format!(
         "  \"config\": {{\"pool_frames\": {}, \"load_keys\": {}, \"ops_per_thread\": {}, \
-         \"key_space\": {}, \"mix\": \"50% get / 40% insert / 10% delete\"}},\n",
-        cfg.pool_frames, cfg.load_keys, cfg.ops_per_thread, cfg.key_space
+         \"key_space\": {}, \"pipeline_depth\": {}, \
+         \"mix\": \"50% get / 40% insert / 10% delete\"}},\n",
+        cfg.pool_frames, cfg.load_keys, cfg.ops_per_thread, cfg.key_space, PIPELINE_DEPTH
     ));
     json.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
@@ -241,8 +302,10 @@ fn main() {
         json.push_str(&format!(
             "    {{\"threads\": {}, \"total_ops\": {}, \"elapsed_ns\": {}, \
              \"ops_per_sec\": {:.0}, \"get_p95_ns\": {}, \"get_p99_ns\": {}, \
-             \"insert_p95_ns\": {}, \"insert_p99_ns\": {}, \"wal_group_size_p50\": {}, \
-             \"wal_forces\": {}, \"wal_force_waiters\": {}, \"buf_shard_conflicts\": {}}}{}\n",
+             \"insert_p95_ns\": {}, \"insert_p99_ns\": {}, \"ack_p95_ns\": {}, \
+             \"ack_p99_ns\": {}, \"wal_group_size_p50\": {}, \"wal_linger_p50_ns\": {}, \
+             \"txn_elr_released\": {}, \"wal_forces\": {}, \"wal_force_waiters\": {}, \
+             \"buf_shard_conflicts\": {}}}{}\n",
             r.threads,
             r.total_ops,
             r.elapsed_ns,
@@ -251,7 +314,11 @@ fn main() {
             r.get_p99,
             r.insert_p95,
             r.insert_p99,
+            r.ack_p95,
+            r.ack_p99,
             r.group_size_p50,
+            r.linger_p50,
+            r.elr_released,
             r.forces,
             r.force_waiters,
             r.shard_conflicts,

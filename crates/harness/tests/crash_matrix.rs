@@ -433,3 +433,171 @@ fn crash_after_leader_woke_some_followers() {
     }
     verify_recovery(&crashed, cfg, &model, "leader-woke-some-followers");
 }
+
+// ---- Linger / early-lock-release crash windows ------------------------------
+//
+// The adaptive linger window and commit pipelining open three more windows:
+// (c) a crash during the linger itself, with committed-in-log transactions
+// sitting in the undrained tail; (d) a crash after a transaction released
+// its locks at log-append but before the group's force completed; and
+// (e) a crash after the group's batch is durably written but before the
+// watermark publish, with a *dependent* pipelined transaction in the same
+// batch. In every case: unacknowledged commits may vanish, acknowledged
+// ones may not, and a dependent commit can never outlive its predecessor.
+
+/// (c) Crash during the linger window with an undrained tail. A committer
+/// has published its commit (locks released — a successor can already
+/// update the same key) and parked behind the held window; the machine
+/// dies before any batch is drained. Neither transaction was acknowledged,
+/// so recovery must show neither.
+#[test]
+fn crash_during_linger_with_undrained_tail() {
+    use pitree_txnlock::LockMode;
+
+    let cfg = PiTreeConfig::small_nodes(4, 4);
+    let cs = CrashableStore::create(64, 10_000).unwrap();
+    let tree = PiTree::create(Arc::clone(&cs.store), 1, cfg).unwrap();
+    let mut model = Model::new();
+    for k in 0..6 {
+        insert(&tree, &mut model, k).unwrap();
+    }
+
+    let log = &cs.store.log;
+    log.set_linger_hold(true);
+    let crashed = std::thread::scope(|s| {
+        // T1 commits key 50 through the full ack path: its publish releases
+        // the locks, then its force elects it leader and parks in the held
+        // linger window.
+        let t1 = s.spawn(|| {
+            let mut t = tree.begin();
+            tree.insert(&mut t, &key(50), b"t1-linger").unwrap();
+            t.commit()
+        });
+        while log.pending_forces() < 1 {
+            std::thread::yield_now();
+        }
+        // Early lock release is what makes this window interesting: while
+        // T1's commit is parked short of durability, T2 jumps the released
+        // key lock and publishes a dependent update.
+        let t2 = tree.begin();
+        t2.try_lock(&tree.key_lock(&key(50)), LockMode::X)
+            .expect("T1 published: its key lock must already be free");
+        drop(t2.commit_publish());
+        let mut t3 = tree.begin();
+        tree.insert(&mut t3, &key(50), b"t2-linger").unwrap();
+        let pc = t3.commit_publish();
+        assert!(
+            !pc.is_durable(),
+            "nothing can be durable while the window is held"
+        );
+        drop(pc);
+
+        // The machine dies mid-linger: both commits live only in the
+        // undrained volatile tail.
+        let crashed = cs.crash().unwrap();
+        // Release the (simulated-past) window so T1's thread can finish
+        // against the original, still-running store.
+        log.set_linger_hold(false);
+        t1.join().expect("t1 thread").expect("t1 commit");
+        crashed
+    });
+    // Neither T1 nor T2 was acknowledged; the model keeps neither.
+    verify_recovery(&crashed, cfg, &model, "linger-undrained-tail");
+}
+
+/// (d) Crash after early lock release, before the group's force completes:
+/// the transaction's locks are gone (a successor observed that), its commit
+/// record is in the log, but the batch write dies with an injected fault.
+/// The commit was never acknowledged, so recovery must not show it.
+#[test]
+fn crash_after_lock_release_before_group_force_completes() {
+    use pitree_txnlock::LockMode;
+
+    let cfg = PiTreeConfig::small_nodes(4, 4);
+    let plan = CrashPlan::fire_at(1);
+    let (cs, tree) = build(cfg, &plan);
+    let mut model = Model::new();
+    for k in 0..6 {
+        insert(&tree, &mut model, k).unwrap();
+    }
+    plan.arm(); // next durable write is the doomed group force
+
+    let mut t = tree.begin();
+    tree.insert(&mut t, &key(99), &val(99)).unwrap();
+    let pc = t.commit_publish();
+    // Locks are already released — the crash window the oracle must cover.
+    let t2 = tree.begin();
+    t2.try_lock(&tree.key_lock(&key(99)), LockMode::X)
+        .expect("early lock release: successor must get the lock before the force");
+    std::mem::forget(t2); // dead machine: the successor never cleans up
+    let elr = cs.store.pool.recorder().counter("txn.elr_released").get();
+    assert!(
+        elr >= 7,
+        "every user commit releases at log-append (6 setup + 1)"
+    );
+
+    expect_injected(pc.wait_durable().map(|_| ()), "elr-before-force");
+    assert!(plan.fired());
+
+    drop(tree);
+    let crashed = cs.crash().unwrap();
+    verify_recovery(&crashed, cfg, &model, "elr-before-force");
+}
+
+/// (e) Crash between the group's durable batch write and the watermark
+/// publish, with a dependent pipelined transaction in the batch: T2 jumped
+/// T1's released lock and overwrote the same key, both commits landed in
+/// one store append, and the machine died before `flushed` moved. Recovery
+/// reads the store, not the watermark: both commits are honoured — exactly
+/// once — and the dependent write wins.
+#[test]
+fn crash_between_group_write_and_publish_with_dependent_txn() {
+    use pitree_wal::RecordKind;
+
+    let cfg = PiTreeConfig::small_nodes(4, 4);
+    let cs = CrashableStore::create(64, 10_000).unwrap();
+    let tree = PiTree::create(Arc::clone(&cs.store), 1, cfg).unwrap();
+    let mut model = Model::new();
+    for k in 0..6 {
+        insert(&tree, &mut model, k).unwrap();
+    }
+
+    let mut t1 = tree.begin();
+    let a1 = t1.id();
+    tree.insert(&mut t1, &key(77), b"predecessor").unwrap();
+    let pc1 = t1.commit_publish();
+    // Dependent pipelined transaction: sees T1's write, overwrites it.
+    let mut t2 = tree.begin();
+    let a2 = t2.id();
+    tree.insert(&mut t2, &key(77), b"dependent").unwrap();
+    let pc2 = t2.commit_publish();
+
+    // The group's batch write happens (both commits durable in one append),
+    // but the crash lands before the watermark publish or any ack.
+    let log = &cs.store.log;
+    let batch = log.unflushed_tail();
+    assert!(!batch.is_empty());
+    log.store().append(&batch).unwrap();
+    assert!(
+        log.flushed_lsn() < pc1.lsn(),
+        "watermark must not be published"
+    );
+    assert!(!pc1.is_durable() && !pc2.is_durable());
+    drop(pc1);
+    drop(pc2);
+
+    drop(tree);
+    let crashed = cs.crash().unwrap();
+    let recs = crashed.store.log.scan(None).unwrap();
+    for a in [a1, a2] {
+        assert_eq!(
+            recs.iter()
+                .filter(|r| r.action == a && matches!(r.kind, RecordKind::Commit))
+                .count(),
+            1,
+            "each pipelined commit must be durable exactly once"
+        );
+    }
+    model.insert(77, b"dependent".to_vec());
+    verify_recovery(&crashed, cfg, &model, "group-write-publish-dependent");
+}

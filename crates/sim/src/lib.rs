@@ -15,6 +15,10 @@
 //!   a simulated crash at the *n*-th durable-write boundary (page write or
 //!   log append). After firing, every subsequent durable write also fails:
 //!   the machine is dead, the durable image is frozen.
+//! * [`schedule`] — a deterministic commit-schedule rig for the
+//!   group-commit WAL: scripted committer-arrival schedules executed behind
+//!   a held linger window, so group formation reproduces byte-for-byte
+//!   under a fixed seed.
 //! * [`crash`] and [`mod@shake`] — the two closed loops built from those parts:
 //!   a crash–recover–verify sweep that kills the system at every injected
 //!   boundary of a seeded workload and checks recovery against a `BTreeMap`
@@ -30,9 +34,11 @@ pub mod crash;
 pub mod fault;
 pub mod prop;
 pub mod rng;
+pub mod schedule;
 pub mod shake;
 
 pub use crash::{crash_recover_verify, CrashConfig, CrashReport};
 pub use fault::CrashPlan;
 pub use rng::SimRng;
+pub use schedule::{gen_schedule, run_schedule, CountingStore, ScheduleOutcome};
 pub use shake::{shake, ShakeConfig, ShakeReport};

@@ -10,9 +10,18 @@
 //! posting of the index term for splits cannot occur until and unless T
 //! commits" (§4.2.2) — a split performed inside a transaction queues its
 //! posting as a commit hook.
+//!
+//! Commit is split in two for group-commit pipelining: [`Txn::commit_publish`]
+//! appends the `Commit` record and releases locks immediately (**early lock
+//! release** — the transaction can no longer abort once its commit is in
+//! the log), returning a [`PendingCommit`] whose
+//! [`wait_durable`](PendingCommit::wait_durable) blocks on the durable
+//! watermark before acknowledging and running hooks. [`Txn::commit`] is the
+//! two steps back to back.
 
 use crate::modes::LockMode;
 use crate::table::{LockError, LockName, LockTable};
+use pitree_obs::Counter;
 use pitree_pagestore::buffer::{BufferPool, PinnedPage};
 use pitree_pagestore::latch::XGuard;
 use pitree_pagestore::page::Page;
@@ -75,6 +84,9 @@ pub struct TxnManager {
     pool: Arc<BufferPool>,
     locks: LockTable,
     registry: ActiveRegistry,
+    /// User-transaction commits whose locks were released at log-append,
+    /// ahead of the durable watermark (early lock release).
+    elr_released: Counter,
 }
 
 impl std::fmt::Debug for TxnManager {
@@ -88,12 +100,14 @@ impl TxnManager {
     /// lock table's wait safety net. The lock table records into the pool's
     /// registry, so one [`pitree_obs::Registry::report`] covers all layers.
     pub fn new(log: Arc<LogManager>, pool: Arc<BufferPool>, lock_timeout: Duration) -> TxnManager {
-        let locks = LockTable::with_recorder(lock_timeout, pool.recorder().clone());
+        let rec = pool.recorder().clone();
+        let locks = LockTable::with_recorder(lock_timeout, rec.clone());
         TxnManager {
             log,
             pool,
             locks,
             registry: ActiveRegistry::default(),
+            elr_released: rec.counter("txn.elr_released"),
         }
     }
 
@@ -228,10 +242,18 @@ impl<'a> Txn<'a> {
         self.hooks.push(Box::new(hook));
     }
 
-    /// Commit. User transactions force the log; atomic actions rely on
-    /// relative durability (§4.3.1). Locks are released, then commit hooks
-    /// run.
-    pub fn commit(self) -> StoreResult<Lsn> {
+    /// Publish this action's commit without waiting for durability: append
+    /// the `Commit` record, release every database lock (early lock
+    /// release), and deregister. Past this point the action is *committed
+    /// in the log* — it can no longer abort, and successors may acquire the
+    /// released locks and build on its writes — but it is **not yet
+    /// acknowledged**: externally visible success must wait for
+    /// [`PendingCommit::wait_durable`], which blocks until the durable
+    /// watermark covers the commit LSN and then runs the deferred commit
+    /// hooks. Dependent pipelined commits need no extra bookkeeping: a
+    /// successor's commit record lands later in the same log, so any force
+    /// covering it covers this one first (prefix forcing).
+    pub fn commit_publish(self) -> PendingCommit<'a> {
         let Txn {
             mgr,
             inner,
@@ -239,16 +261,27 @@ impl<'a> Txn<'a> {
             hooks,
         } = self;
         let id = inner.id();
-        let lsn = match inner.identity() {
-            ActionIdentity::Transaction => inner.commit_force()?,
-            _ => inner.commit(),
-        };
+        let forced = matches!(inner.identity(), ActionIdentity::Transaction);
+        let lsn = inner.commit_append();
         mgr.locks.release_all(id);
         mgr.registry.deregister(id);
-        for hook in hooks {
-            hook();
+        if forced {
+            mgr.elr_released.inc();
         }
-        Ok(lsn)
+        PendingCommit {
+            mgr,
+            lsn,
+            forced,
+            hooks,
+        }
+    }
+
+    /// Commit and acknowledge. User transactions force the log; atomic
+    /// actions rely on relative durability (§4.3.1). Locks are released at
+    /// log-append, the ack waits for the durable watermark, then commit
+    /// hooks run.
+    pub fn commit(self) -> StoreResult<Lsn> {
+        self.commit_publish().wait_durable()
     }
 
     /// Roll back: undo every logged update (page-oriented or via `handler`
@@ -266,6 +299,60 @@ impl<'a> Txn<'a> {
         mgr.registry.deregister(id);
         drop(hooks);
         Ok(())
+    }
+}
+
+/// A transaction past its commit point: the `Commit` record is in the log
+/// and its locks are released, but the acknowledgement — and the deferred
+/// commit hooks of §4.2.2 — still wait on the durable watermark. Dropping
+/// the handle abandons the ack (and the hooks), not the commit: the record
+/// is in the log and rides whatever force comes next.
+#[must_use = "a published commit is acknowledged only by wait_durable()"]
+pub struct PendingCommit<'a> {
+    mgr: &'a TxnManager,
+    lsn: Lsn,
+    forced: bool,
+    hooks: Vec<Box<dyn FnOnce() + Send + 'a>>,
+}
+
+impl std::fmt::Debug for PendingCommit<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingCommit")
+            .field("lsn", &self.lsn)
+            .field("forced", &self.forced)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PendingCommit<'_> {
+    /// LSN of the published `Commit` record.
+    pub fn lsn(&self) -> Lsn {
+        self.lsn
+    }
+
+    /// Whether the durable watermark already covers the commit record
+    /// (batches are frame-aligned, so covering the frame start covers it
+    /// whole).
+    pub fn is_durable(&self) -> bool {
+        self.mgr.log.flushed_lsn() >= self.lsn
+    }
+
+    /// Block until the commit is durable — joining (or leading) a
+    /// group-commit force — then run the deferred commit hooks and return
+    /// the commit LSN. This is the acknowledgement point: only after it
+    /// returns may success be reported externally. Atomic actions
+    /// (relatively durable, §4.3.1) return immediately. On a force error
+    /// the hooks are skipped and the commit stays unacknowledged, but the
+    /// record remains in the log and recovery honours it if a later force
+    /// lands it.
+    pub fn wait_durable(self) -> StoreResult<Lsn> {
+        if self.forced {
+            self.mgr.log.force_to(self.lsn)?;
+        }
+        for hook in self.hooks {
+            hook();
+        }
+        Ok(self.lsn)
     }
 }
 
@@ -411,6 +498,55 @@ mod tests {
             other => panic!("expected checkpoint, got {other:?}"),
         }
         t.commit().unwrap();
+    }
+
+    #[test]
+    fn commit_publish_releases_locks_before_durability() {
+        let m = mgr();
+        let name = LockName::Key(b"elr".to_vec());
+        let page = m.pool().fetch_or_create(PageId(5), PageType::Node).unwrap();
+        let mut t = m.begin(ActionIdentity::Transaction);
+        t.lock(&name, LockMode::X).unwrap();
+        {
+            let mut g = page.x();
+            t.apply(
+                &page,
+                &mut g,
+                PageOp::InsertSlot {
+                    slot: 0,
+                    bytes: b"v".to_vec(),
+                },
+            )
+            .unwrap();
+        }
+        let pc = t.commit_publish();
+        // Committed in the log, not yet durable, not yet acknowledged…
+        assert!(!pc.is_durable(), "publish must not force the log");
+        assert!(m.registry().is_empty());
+        // …but a successor can already jump the released lock.
+        let t2 = m.begin(ActionIdentity::Transaction);
+        t2.try_lock(&name, LockMode::X)
+            .expect("early lock release: successor must acquire the lock");
+        std::mem::forget(t2);
+        let lsn = pc.wait_durable().unwrap();
+        assert!(m.log().flushed_lsn() >= lsn, "ack implies durable");
+        assert_eq!(m.pool().recorder().counter("txn.elr_released").get(), 1);
+    }
+
+    #[test]
+    fn commit_hooks_run_at_ack_not_at_publish() {
+        let m = mgr();
+        let ran = Arc::new(AtomicBool::new(false));
+        let r2 = Arc::clone(&ran);
+        let mut t = m.begin(ActionIdentity::Transaction);
+        t.on_commit(move || r2.store(true, Ordering::SeqCst));
+        let pc = t.commit_publish();
+        assert!(
+            !ran.load(Ordering::SeqCst),
+            "hooks are externally visible results: they wait for the watermark"
+        );
+        pc.wait_durable().unwrap();
+        assert!(ran.load(Ordering::SeqCst));
     }
 
     #[test]

@@ -154,6 +154,23 @@ impl<'a> AtomicAction<'a> {
         self.last
     }
 
+    /// Commit for the pipelined path: append the `Commit` record and emit
+    /// the commit event, but do not wait for a force. Past this point the
+    /// action can no longer abort — it is *committed in the log* — yet it
+    /// is not durable: callers acknowledge only once
+    /// [`LogManager::flushed_lsn`] covers the returned LSN (early lock
+    /// release over the §4.3.1 durable-watermark discipline). The event
+    /// payload still distinguishes forced-class commits so observability
+    /// matches [`AtomicAction::commit`] / [`AtomicAction::commit_force`].
+    pub fn commit_append(mut self) -> Lsn {
+        self.last = self.log.append(self.id, self.last, RecordKind::Commit);
+        let rec = self.log.recorder();
+        rec.counter("action.commits").inc();
+        let forced_class = matches!(self.identity, ActionIdentity::Transaction);
+        rec.event(EventKind::ActionCommit, self.id.0, u64::from(forced_class));
+        self.last
+    }
+
     /// Commit and force the log (user-transaction commit). Everything
     /// earlier in the log — including unforced atomic-action commits whose
     /// results this transaction may depend on — becomes durable with it.

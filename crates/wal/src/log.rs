@@ -30,6 +30,16 @@
 //!   applied across threads). Followers the batch missed elect the next
 //!   leader.
 //!
+//! A freshly elected leader does not drain immediately: it **lingers** for a
+//! bounded adaptive window (see [`LogManager::linger_budget_ns`]) so commits
+//! already in flight register and ride its batch instead of the next one —
+//! eager election produced degenerate groups of one whenever the first
+//! committer won the race. The budget starts at zero, doubles while batches
+//! actually group (or late arrivals keep queuing), and halves after solo
+//! batches, so single-threaded runs never take a timed wait and stay
+//! byte-deterministic. Deterministic tests can freeze the window with
+//! [`LogManager::set_linger_hold`].
+//!
 //! Only the unflushed suffix is retained in memory (`base` + tail), so log
 //! memory is O(unflushed); [`LogManager::read`] falls back to the store for
 //! already-forced LSNs. On the single-threaded paths every force drains
@@ -46,7 +56,7 @@ use pitree_pagestore::{Lsn, StoreError, StoreResult};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Durable log storage.
@@ -261,17 +271,34 @@ impl LogStore for FileLogStore {
 struct LogTail {
     base: u64,
     buf: Vec<u8>,
+    /// End offsets (ascending) of the commit frames still in `buf` —
+    /// drained per batch so `wal.group_size` reports how many commits each
+    /// force made durable, which is the group-commit size whether the
+    /// committers are blocking on the force or have published and moved on.
+    commit_ends: Vec<u64>,
 }
 
 /// Leader/follower election state for the group-commit force path.
 struct ForceState {
     /// A leader is currently draining/writing a batch.
     leader: bool,
-    /// Highest target byte offset any registered force call needs durable.
-    goal: u64,
-    /// Force calls currently inside the slow path (group-size accounting).
+    /// Force calls currently inside the slow path (cohort accounting for
+    /// the linger adaptation and the scripted-schedule rig).
     pending: u64,
+    /// Scripted-schedule freeze: while set, an elected leader parks inside
+    /// its linger window until [`LogManager::set_linger_hold`] releases it.
+    linger_hold: bool,
 }
+
+/// Default cap on the adaptive linger window: long enough to absorb a
+/// committing cohort already in flight, short enough to bound the latency a
+/// leader adds to its own commit.
+const LINGER_MAX_DEFAULT_NS: u64 = 200_000;
+/// Smallest non-zero budget the adaptation grows to from a cold start.
+const LINGER_STEP_NS: u64 = 25_000;
+/// Floor for a single timed wait inside the linger loop (condvar timeouts
+/// below this are dominated by wakeup jitter).
+const LINGER_SLICE_MIN_NS: u64 = 20_000;
 
 /// Stable numeric code for a record kind, used as the `b` payload of
 /// [`EventKind::WalAppend`] events (documented in `OBSERVABILITY.md`).
@@ -306,12 +333,21 @@ pub struct LogManager {
     tail_end: AtomicU64,
     store: Arc<dyn LogStore>,
     next_action: AtomicU64,
+    /// Current adaptive linger budget in ns (0 = drain immediately, the
+    /// single-threaded behaviour — and the cold-start value, so sequential
+    /// runs never take a timed wait and stay byte-deterministic).
+    linger_cur: AtomicU64,
+    /// Upper bound the adaptation may grow `linger_cur` to.
+    linger_max: AtomicU64,
+    /// Whether the budget adapts; pinned by [`LogManager::pin_linger_ns`].
+    linger_adaptive: AtomicBool,
     rec: Recorder,
     appends: Counter,
     forces: Counter,
     force_waiters: Counter,
     force_ns: Hist,
     group_size: Hist,
+    linger_ns: Hist,
 }
 
 impl std::fmt::Debug for LogManager {
@@ -338,22 +374,27 @@ impl LogManager {
             tail: Mutex::new(LogTail {
                 base: durable,
                 buf: Vec::new(),
+                commit_ends: Vec::new(),
             }),
             force: Mutex::new(ForceState {
                 leader: false,
-                goal: durable,
                 pending: 0,
+                linger_hold: false,
             }),
             force_cv: Condvar::new(),
             flushed: AtomicU64::new(durable),
             tail_end: AtomicU64::new(durable),
             store,
             next_action: AtomicU64::new(1),
+            linger_cur: AtomicU64::new(0),
+            linger_max: AtomicU64::new(LINGER_MAX_DEFAULT_NS),
+            linger_adaptive: AtomicBool::new(true),
             appends: rec.counter("wal.appends"),
             forces: rec.counter("wal.forces"),
             force_waiters: rec.counter("wal.force_waiters"),
             force_ns: rec.hist("wal.force_ns"),
             group_size: rec.hist("wal.group_size"),
+            linger_ns: rec.hist("wal.linger_ns"),
             rec,
         })
     }
@@ -389,6 +430,7 @@ impl LogManager {
             kind,
         };
         let kind_code = record_kind_code(&rec.kind);
+        let is_commit = matches!(rec.kind, RecordKind::Commit);
         let body = rec.encode_body();
         let mut tail = self.tail.lock();
         let lsn = Lsn(tail.base + tail.buf.len() as u64 + 1);
@@ -396,8 +438,11 @@ impl LogManager {
             .extend_from_slice(&(body.len() as u32).to_le_bytes());
         tail.buf.extend_from_slice(&checksum(&body).to_le_bytes());
         tail.buf.extend_from_slice(&body);
-        self.tail_end
-            .store(tail.base + tail.buf.len() as u64, Ordering::Release);
+        let end = tail.base + tail.buf.len() as u64;
+        if is_commit {
+            tail.commit_ends.push(end);
+        }
+        self.tail_end.store(end, Ordering::Release);
         drop(tail);
         self.appends.inc();
         self.rec.event(EventKind::WalAppend, lsn.0, kind_code);
@@ -511,9 +556,6 @@ impl LogManager {
         }
         let mut st = self.force.lock();
         st.pending += 1;
-        if st.goal < target {
-            st.goal = target;
-        }
         let mut waited = false;
         let result = loop {
             if self.flushed.load(Ordering::Acquire) >= target {
@@ -528,14 +570,32 @@ impl LogManager {
                 st = self.force_cv.wait(st);
                 continue;
             }
-            // Become the leader for everything registered so far.
+            // Become the leader. Before draining, linger briefly so
+            // committers already in flight register and ride this batch —
+            // the eager-election bug drained only the leader's own bytes
+            // and pushed every concurrent commit into the *next* round.
             st.leader = true;
-            let goal = st.goal;
+            st = self.linger(st);
+            // Group is snapshotted *after* the linger window, so the batch
+            // covers everyone who arrived during it.
             let group = st.pending;
             drop(st);
-            let res = self.lead_force(goal, group, lsn_for_event);
+            let res = self.lead_force(lsn_for_event);
             st = self.force.lock();
             st.leader = false;
+            if self.linger_adaptive.load(Ordering::Relaxed) {
+                // AIMD: a batch that grouped (or left late arrivals still
+                // pending) says the window pays for itself; a solo batch
+                // with a quiet queue says halve it back toward zero.
+                let cur = self.linger_cur.load(Ordering::Relaxed);
+                let next = if group >= 2 || st.pending > group {
+                    let max = self.linger_max.load(Ordering::Relaxed);
+                    cur.saturating_mul(2).max(LINGER_STEP_NS).min(max)
+                } else {
+                    cur / 2
+                };
+                self.linger_cur.store(next, Ordering::Relaxed);
+            }
             self.force_cv.notify_all();
             if res.is_err() {
                 break res;
@@ -547,21 +607,105 @@ impl LogManager {
         result
     }
 
-    /// Leader: drain the tail up to `goal`, write one batch, publish
-    /// `flushed`. Runs with **no** lock held across the store write.
-    fn lead_force(&self, goal: u64, group: u64, lsn_for_event: Option<Lsn>) -> StoreResult<()> {
-        let (batch_base, batch) = {
+    /// Leader-side bounded linger: freshly elected, wait a short adaptive
+    /// window for committers already in flight to register so their commits
+    /// ride this batch. Exits after a quiet slice (no new registrations —
+    /// the cohort has assembled) or when the budget runs out; with a zero
+    /// budget (the cold-start and single-threaded steady state) no timed
+    /// wait is taken at all, keeping sequential runs byte-deterministic.
+    /// While [`LogManager::set_linger_hold`] holds the window open, the
+    /// leader parks on the condvar instead of the clock, which lets
+    /// scripted commit schedules assemble a cohort deterministically.
+    fn linger<'g>(
+        &self,
+        mut st: pitree_pagestore::sync::MutexGuard<'g, ForceState>,
+    ) -> pitree_pagestore::sync::MutexGuard<'g, ForceState> {
+        let budget = self.linger_cur.load(Ordering::Relaxed);
+        if budget == 0 && !st.linger_hold {
+            return st;
+        }
+        let timer = Stopwatch::start();
+        loop {
+            while st.linger_hold {
+                st = self.force_cv.wait(st);
+            }
+            let spent = timer.elapsed_ns();
+            if spent >= budget {
+                break;
+            }
+            let before = st.pending;
+            let slice = (budget / 4).max(LINGER_SLICE_MIN_NS).min(budget - spent);
+            let (g, _) = self
+                .force_cv
+                .wait_timeout(st, std::time::Duration::from_nanos(slice));
+            st = g;
+            if st.linger_hold {
+                continue;
+            }
+            if st.pending <= before {
+                break; // quiet slice: waiters are no longer trending up
+            }
+        }
+        self.linger_ns.record(timer.elapsed_ns());
+        st
+    }
+
+    /// Number of force calls currently registered in the group-commit slow
+    /// path. Test instrumentation: scripted schedules use it to know when a
+    /// cohort has fully assembled behind a held linger window.
+    pub fn pending_forces(&self) -> u64 {
+        self.force.lock().pending
+    }
+
+    /// Hold every elected leader inside its linger window (`true`) or
+    /// release it (`false`). With the window held, commits and force
+    /// registrations proceed but no batch is drained — the deterministic
+    /// freeze the commit-schedule rig and the linger-crash tests build on.
+    pub fn set_linger_hold(&self, hold: bool) {
+        let mut st = self.force.lock();
+        st.linger_hold = hold;
+        drop(st);
+        self.force_cv.notify_all();
+    }
+
+    /// Pin the linger budget to `ns` and disable adaptation (benchmarks and
+    /// tests that need a fixed window).
+    pub fn pin_linger_ns(&self, ns: u64) {
+        self.linger_adaptive.store(false, Ordering::Relaxed);
+        self.linger_cur.store(ns, Ordering::Relaxed);
+    }
+
+    /// Cap the adaptive linger window; `0` disables lingering entirely.
+    pub fn set_max_linger_ns(&self, ns: u64) {
+        self.linger_max.store(ns, Ordering::Relaxed);
+        self.linger_cur.fetch_min(ns, Ordering::Relaxed);
+    }
+
+    /// The current linger budget in nanoseconds (adaptive unless pinned).
+    pub fn linger_budget_ns(&self) -> u64 {
+        self.linger_cur.load(Ordering::Relaxed)
+    }
+
+    /// Leader: drain the **whole** tail as of drain time, write one batch,
+    /// publish `flushed`. Draining past the leader's own goal is always
+    /// safe (more of the log durable, still frame-aligned — appends are
+    /// atomic under the tail mutex) and it is what makes pipelined commits
+    /// group: the oldest ack's force carries every commit published behind
+    /// it. Runs with **no** lock held across the store write.
+    fn lead_force(&self, lsn_for_event: Option<Lsn>) -> StoreResult<()> {
+        let (batch_base, batch, batch_commits) = {
             let mut tail = self.tail.lock();
-            let end = goal.min(tail.base + tail.buf.len() as u64);
+            let end = tail.base + tail.buf.len() as u64;
             if end <= tail.base {
                 return Ok(()); // covered by an earlier batch
             }
-            let take = (end - tail.base) as usize;
-            let rest = tail.buf.split_off(take);
-            let batch = std::mem::replace(&mut tail.buf, rest);
+            let batch = std::mem::take(&mut tail.buf);
             let batch_base = tail.base;
             tail.base = end;
-            (batch_base, batch)
+            // Commit frames ending inside the batch are the ones this force
+            // makes durable (batches end on frame boundaries).
+            let batch_commits = std::mem::take(&mut tail.commit_ends);
+            (batch_base, batch, batch_commits)
         };
         let timer = Stopwatch::start();
         let res = self.store.append(&batch);
@@ -571,7 +715,12 @@ impl LogManager {
                 let end = batch_base + batch.len() as u64;
                 self.flushed.store(end, Ordering::Release);
                 self.forces.inc();
-                self.group_size.record(group);
+                // The group-commit size: commit records this single store
+                // append made durable. Batches carrying no commit (e.g. a
+                // page-flush WAL force over updates only) are not groups.
+                if !batch_commits.is_empty() {
+                    self.group_size.record(batch_commits.len() as u64);
+                }
                 let event_lsn = lsn_for_event.map_or(end, |l| l.0);
                 self.rec
                     .event(EventKind::WalForce, event_lsn, batch.len() as u64);
@@ -587,6 +736,10 @@ impl LogManager {
                 restored.extend_from_slice(&rest);
                 tail.buf = restored;
                 tail.base = batch_base;
+                let rest_ends = std::mem::take(&mut tail.commit_ends);
+                let mut restored_ends = batch_commits;
+                restored_ends.extend(rest_ends);
+                tail.commit_ends = restored_ends;
                 Err(e)
             }
         }
@@ -719,16 +872,23 @@ mod tests {
     }
 
     #[test]
-    fn force_to_is_partial() {
+    fn force_to_drains_greedily() {
+        // `force_to(lsn)` guarantees durability *through* `lsn`'s frame and
+        // the leader drains the whole tail available at drain time — the
+        // greedy batch that lets the oldest pipelined ack carry every
+        // commit published behind it.
         let (store, log) = mgr();
         let a = log.next_action_id();
         let l1 = log.append(a, Lsn::ZERO, RecordKind::Commit);
-        let _l2 = log.append(a, l1, RecordKind::End);
+        let l2 = log.append(a, l1, RecordKind::End);
         log.force_to(l1).unwrap();
+        assert!(log.flushed_lsn() >= l1, "forced frame must be durable");
         let durable = store.durable_bytes().unwrap();
         let recs = scan_bytes(&durable, None);
-        assert_eq!(recs.len(), 1);
+        assert_eq!(recs.len(), 2, "the greedy leader drains the whole tail");
         assert!(matches!(recs[0].kind, RecordKind::Commit));
+        assert!(log.flushed_lsn() >= l2);
+        assert!(log.unflushed_tail().is_empty());
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //! 3. Followers ride the leader's batch: commits that arrive while a
 //!    force is in flight are absorbed into one store append ("relative
 //!    durability" — the leader's force carries them).
+//! 4. Groups actually FORM: with a linger window pinned open, concurrent
+//!    committers batch at `group_size_p50 >= threads/2` — the eager
+//!    election of the original design measured p50 = 1 because the first
+//!    arrival drained only its own bytes.
 
 use pitree_obs::Registry;
 use pitree_pagestore::sync::{Condvar, Mutex};
@@ -100,6 +104,50 @@ fn single_threaded_durable_bytes_are_deterministic() {
     let b = run(0x5eed);
     assert_eq!(a, b, "same seed must produce a byte-identical durable log");
     assert_ne!(run(0x0dd5eed), a, "different seed should differ");
+}
+
+#[test]
+fn linger_forms_groups_of_at_least_half_the_threads() {
+    const THREADS: u64 = 8;
+    const ROUNDS: u64 = 40;
+    let reg = Registry::new();
+    let log = Arc::new(
+        LogManager::open_observed(
+            Arc::new(MemLogStore::new()) as Arc<dyn LogStore>,
+            reg.recorder(),
+        )
+        .unwrap(),
+    );
+    // Pin a generous window so the test exercises group FORMATION, not the
+    // adaptation schedule: the cohort assembles, a quiet slice ends the
+    // linger, and the whole round drains as one batch.
+    log.pin_linger_ns(2_000_000);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let log = Arc::clone(&log);
+            s.spawn(move || {
+                for i in 0..ROUNDS {
+                    let action = ActionId(1 + t * 1000 + i);
+                    let b = log.append(action, Lsn::ZERO, begin());
+                    let c = log.append(action, b, RecordKind::Commit);
+                    log.force_to(c).unwrap();
+                }
+            });
+        }
+    });
+    // Hist buckets are log2: a reported p50 >= 4 can only come from true
+    // group sizes >= 4 (= THREADS/2).
+    let (p50, _, _, _) = reg.recorder().hist("wal.group_size").percentiles();
+    assert!(
+        p50 >= THREADS / 2,
+        "group_size_p50 = {p50}, want >= {} — the linger window failed to \
+         absorb the committing cohort",
+        THREADS / 2
+    );
+    assert_eq!(
+        log.scan(None).unwrap().len(),
+        (THREADS * ROUNDS * 2) as usize
+    );
 }
 
 /// A store whose `append` blocks until the test opens a gate, so the test

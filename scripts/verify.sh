@@ -58,13 +58,29 @@ for metric in latch.acquire_s buf.misses wal.appends lock.acquires \
   grep -q "$metric" <<<"$out" || { echo "obstop report missing $metric" >&2; exit 1; }
 done
 
-step "throughput smoke (group-commit bench emits well-formed JSON; no timing asserts)"
+step "commit-schedule determinism (two fixed seeds, run twice each)"
+for i in 1 2; do
+  cargo test --offline -q -p pitree-wal --test commit_schedule -- \
+    seeded_schedule >/dev/null
+done
+
+step "throughput smoke (group-commit bench emits well-formed JSON; groups must form)"
 tp_out="$(mktemp)"
 trap 'rm -f "$tp_out"' EXIT
 cargo run --offline --release -q --bin throughput -- --smoke --out "$tp_out" >/dev/null
 for key in '"bench": "throughput"' '"mode": "smoke"' '"threads"' '"ops_per_sec"' \
-           '"wal_group_size_p50"' '"wal_force_waiters"' '"buf_shard_conflicts"'; do
+           '"wal_group_size_p50"' '"ack_p95_ns"' '"txn_elr_released"' \
+           '"wal_linger_p50_ns"' '"wal_force_waiters"' '"buf_shard_conflicts"'; do
   grep -q "$key" "$tp_out" || { echo "throughput smoke output missing $key" >&2; exit 1; }
 done
+# Group commit must actually group: at >= 4 threads the median commits per
+# forced batch must be at least 2 (the regression this gate exists for
+# measured p50 = 1 at every thread count).
+while read -r threads p50; do
+  if [[ "$threads" -ge 4 && "$p50" -lt 2 ]]; then
+    echo "wal_group_size_p50 = $p50 at $threads threads: group commit is not grouping" >&2
+    exit 1
+  fi
+done < <(sed -n 's/.*"threads": \([0-9]*\),.*"wal_group_size_p50": \([0-9]*\),.*/\1 \2/p' "$tp_out")
 
 printf '\nverify.sh: all checks passed\n'
