@@ -258,6 +258,39 @@ fn force_to(&self, lsn: Lsn) -> StoreResult<()> {
     );
 }
 
+#[test]
+fn panic_free_covers_instant_restart() {
+    // On-demand redo runs inside every post-crash fetch: a panic there
+    // takes down the *serving* store, not a recovery tool, so the
+    // instant-restart module is held to the same standard.
+    let fires = r#"
+fn redo_page(&self, page: &PinnedPage<'_>) -> StoreResult<()> {
+    let shard = &self.plan[page_shard(page.id(), self.plan.len())];
+    let records = shard.lock().remove(&page.id()).unwrap();
+    self.replay(page, records)
+}
+"#;
+    assert!(
+        rules_of("crates/wal/src/instant.rs", fires).contains(&RuleId::PanicFreeRecovery),
+        "indexing + unwrap in the redo plan must fire in instant.rs"
+    );
+
+    let quiet = r#"
+fn redo_page(&self, page: &PinnedPage<'_>) -> StoreResult<()> {
+    let slot = self.shard_slot(page.id())?;
+    let records = match slot.lock().remove(&page.id()) {
+        Some(r) => r,
+        None => return Ok(()),
+    };
+    self.replay(page, records)
+}
+"#;
+    assert!(
+        !rules_of("crates/wal/src/instant.rs", quiet).contains(&RuleId::PanicFreeRecovery),
+        "checked shard lookup with typed errors is the sanctioned shape"
+    );
+}
+
 // ---- R5: sync-hygiene -----------------------------------------------------
 
 #[test]

@@ -143,6 +143,33 @@ impl PiTree {
         Ok((tree, stats))
     }
 
+    /// Open the tree with **instant restart**: analysis + undo only, then
+    /// serve traffic immediately, with redo running per page at first pin.
+    /// Returns the tree plus the [`pitree_wal::InstantRecovery`] plan —
+    /// call [`pitree_wal::InstantRecovery::drive`] on background threads to
+    /// finish redo while the tree serves (or let traffic drain it).
+    ///
+    /// Sound for the Π-tree by §4.3.2: an interrupted structure change
+    /// leaves the tree well-formed but intermediate, and normal traffic
+    /// detects and completes it lazily — so serving against a partially
+    /// redone store is just serving an older well-formed state of each
+    /// not-yet-touched page. See `RECOVERY.md` for the full argument.
+    pub fn recover_instant(
+        store: Arc<Store>,
+        tree_id: u32,
+        cfg: PiTreeConfig,
+    ) -> StoreResult<(
+        PiTree,
+        Arc<pitree_wal::InstantRecovery>,
+        pitree_wal::RecoveryStats,
+    )> {
+        let handler = crate::undo::DeferredHandler::new(Arc::clone(&store), tree_id, cfg);
+        let (plan, stats) = pitree_wal::start_instant(&store.pool, &store.log, Some(&handler))?;
+        // `open` reads the meta page, which redoes it on demand if needed.
+        let tree = PiTree::open(store, tree_id, cfg)?;
+        Ok((tree, plan, stats))
+    }
+
     // ---- accessors ------------------------------------------------------------
 
     /// The underlying store.

@@ -601,3 +601,143 @@ fn crash_between_group_write_and_publish_with_dependent_txn() {
     model.insert(77, b"dependent".to_vec());
     verify_recovery(&crashed, cfg, &model, "group-write-publish-dependent");
 }
+
+// ---- Instant-restart / fuzzy-checkpoint crash windows ----------------------
+//
+// Fuzzy checkpoints and the two-stage restart (analysis, then on-demand +
+// parallel REDO) open three windows none of the rows above reach: (f) a
+// crash that tears the checkpoint record itself after the master pointer
+// was published; (g) a second crash in the middle of *parallel* REDO, with
+// one shard's pages already flushed and the rest untouched; and (h) a read
+// served from a page the background REDO has not reached yet. The oracles:
+// a torn checkpoint must degrade to a full-scan analysis (never a failed
+// recovery), a half-redone image must recover to exactly the committed
+// state (REDO is idempotent under the per-page LSN check), and a
+// mid-recovery read must return committed data.
+
+/// (f) Crash while the checkpoint record is half-written: sweep every
+/// durable-log prefix across the checkpoint record's byte range *without*
+/// rolling back the master pointer — the exact image a crash between
+/// `set_master` publication and a torn final force leaves behind. Reading
+/// the master must fail, analysis must fall back to a full scan, and every
+/// committed record must survive.
+#[test]
+fn crash_with_checkpoint_record_half_written() {
+    let cfg = PiTreeConfig::small_nodes(4, 4);
+    let cs = CrashableStore::create(64, 10_000).unwrap();
+    let tree = PiTree::create(Arc::clone(&cs.store), 1, cfg).unwrap();
+    let mut model = Model::new();
+    for k in 0..12 {
+        insert(&tree, &mut model, k).unwrap();
+    }
+
+    let ckpt = cs.store.txns.checkpoint().expect("checkpoint");
+    let ckpt_start = ckpt.0 - 1; // frame offset of the checkpoint record
+    let ckpt_end = cs.durable_log_len(); // checkpoint is the last forced record
+    assert!(ckpt_end > ckpt_start, "checkpoint record must be durable");
+    assert_eq!(
+        cs.store.log.store().master(),
+        ckpt,
+        "master must point at the record the sweep is about to tear"
+    );
+
+    drop(tree);
+    // Cut at the record boundary, mid-header, mid-body, and one short.
+    for cut in [
+        ckpt_start,
+        ckpt_start + 4,
+        (ckpt_start + ckpt_end) / 2,
+        ckpt_end - 1,
+    ] {
+        let crashed = cs.crash_with_log_prefix(cut).unwrap();
+        assert_eq!(
+            crashed.store.log.store().master(),
+            ckpt,
+            "the sweep relies on the master outliving the torn record"
+        );
+        assert!(
+            crashed.store.log.read(ckpt).is_err(),
+            "cut {cut}: the checkpoint record should be unreadable"
+        );
+        verify_recovery(&crashed, cfg, &model, &format!("torn-checkpoint cut {cut}"));
+    }
+}
+
+/// (g) Crash mid-parallel-REDO with one worker's shards complete: start an
+/// instant restart, let exactly one of four partitions drain, flush the
+/// half-redone pages, crash again, and recover stop-the-world. The second
+/// recovery sees pages at wildly different LSNs — some fully redone and
+/// flushed, some stale — and must converge to the committed state (the
+/// per-page `page_lsn < record_lsn` check makes replay idempotent).
+#[test]
+fn crash_mid_parallel_redo_with_one_shard_complete() {
+    let cfg = PiTreeConfig::small_nodes(4, 4);
+    let cs = CrashableStore::create(8, 10_000).unwrap();
+    let tree = PiTree::create(Arc::clone(&cs.store), 1, cfg).unwrap();
+    let mut model = Model::new();
+    for k in 0..30 {
+        insert(&tree, &mut model, k).unwrap();
+    }
+    drop(tree);
+
+    let mid = cs.crash().unwrap();
+    let (tree_mid, plan, _) =
+        PiTree::recover_instant(Arc::clone(&mid.store), 1, cfg).expect("instant recover");
+    let before = plan.pending_page_count();
+    assert!(before > 0, "nothing pending: the row tests nothing");
+    // One worker of four drains its partition; the other three never run.
+    plan.drive_partition(&mid.store.pool, 0, 4)
+        .expect("partition 0");
+    let after = plan.pending_page_count();
+    assert!(
+        after < before,
+        "partition 0 must have redone at least one page"
+    );
+    drop(tree_mid);
+    mid.store.pool.flush_all().expect("flush half-redone image");
+
+    let crashed = mid.crash().unwrap();
+    verify_recovery(&crashed, cfg, &model, "mid-parallel-redo");
+}
+
+/// (h) A get served from a not-yet-redone page: after `recover_instant`
+/// opens the store, read every committed key while the REDO plan is still
+/// pending. Each read must return the committed value (the first pin
+/// replays the page inline — `recovery.on_demand_redos` counts it), and
+/// draining the plan afterwards must change nothing.
+#[test]
+fn get_served_from_not_yet_redone_page() {
+    let cfg = PiTreeConfig::small_nodes(4, 4);
+    let cs = CrashableStore::create(8, 10_000).unwrap();
+    let tree = PiTree::create(Arc::clone(&cs.store), 1, cfg).unwrap();
+    let mut model = Model::new();
+    for k in 0..30 {
+        insert(&tree, &mut model, k).unwrap();
+    }
+    drop(tree);
+
+    let crashed = cs.crash().unwrap();
+    let (tree, plan, _) =
+        PiTree::recover_instant(Arc::clone(&crashed.store), 1, cfg).expect("instant recover");
+    assert!(plan.pending_page_count() > 0, "nothing pending");
+    for (k, v) in &model {
+        let got = tree.get_unlocked(&key(*k)).expect("get mid-recovery");
+        assert_eq!(
+            got.as_ref(),
+            Some(v),
+            "key {k}: wrong value served from a half-recovered store"
+        );
+    }
+    let on_demand = crashed
+        .store
+        .recorder()
+        .counter("recovery.on_demand_redos")
+        .get();
+    assert!(
+        on_demand > 0,
+        "reads never hit a pending page: the row tests nothing"
+    );
+    plan.drive(&crashed.store.pool, 2).expect("drain");
+    assert!(plan.is_complete());
+    verify_recovery(&crashed, cfg, &model, "on-demand-read");
+}

@@ -1,0 +1,233 @@
+//! Instant-restart integration oracles.
+//!
+//! The heart of this file is the **determinism oracle**: recovery must be
+//! a pure function of the durable crash image, no matter which engine
+//! replays it. One seeded workload is crashed once, and the same image is
+//! recovered three ways — stop-the-world serial REDO, instant restart
+//! with parallel background REDO, and instant restart where foreground
+//! traffic triggers on-demand REDO before the background workers drain
+//! the rest. All three must produce byte-identical pages ("repeating
+//! history" has exactly one answer — §4.3.1's invariant restated as an
+//! executable test).
+//!
+//! The second half exercises the **fuzzy-checkpoint trigger**: armed via
+//! [`pitree_txnlock::TxnManager::set_checkpoint_every_bytes`], commits
+//! under load must advance the master LSN without quiescing writers, and
+//! a crash that lands after several checkpoints must still recover the
+//! committed state exactly (analysis now starts at the checkpoint, not
+//! the log head).
+
+use pitree::{CrashableStore, PiTree, PiTreeConfig};
+use pitree_pagestore::PageId;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+type Model = BTreeMap<u64, Vec<u8>>;
+
+fn key(k: u64) -> Vec<u8> {
+    k.to_be_bytes().to_vec()
+}
+
+fn val(k: u64, tag: &str) -> Vec<u8> {
+    format!("{tag}-{k}").into_bytes()
+}
+
+/// Forced-commit upsert; the model records it only when the commit
+/// returns (a commit that returns is durable).
+fn insert(tree: &PiTree, model: &mut Model, k: u64, tag: &str) {
+    let mut t = tree.begin();
+    tree.insert(&mut t, &key(k), &val(k, tag)).expect("insert");
+    t.commit().expect("commit");
+    model.insert(k, val(k, tag));
+}
+
+fn delete(tree: &PiTree, model: &mut Model, k: u64) {
+    let mut t = tree.begin();
+    tree.delete(&mut t, &key(k)).expect("delete");
+    t.commit().expect("commit");
+    model.remove(&k);
+}
+
+/// Read every allocated page's logical image through the pool.
+fn page_images(cs: &CrashableStore, max_pages: u64) -> Vec<(u64, Vec<u8>)> {
+    let mut out = Vec::new();
+    for pid in 0..max_pages {
+        let id = PageId(pid);
+        if cs
+            .store
+            .space
+            .is_allocated(&cs.store.pool, id)
+            .expect("space map")
+        {
+            let page = cs.store.pool.fetch(id).expect("fetch");
+            let g = page.s();
+            out.push((pid, g.as_bytes().to_vec()));
+        }
+    }
+    out
+}
+
+fn check_model(tree: &PiTree, model: &Model, ctx: &str) {
+    for (k, v) in model {
+        let got = tree
+            .get_unlocked(&key(*k))
+            .unwrap_or_else(|e| panic!("{ctx}: get {k}: {e}"));
+        assert_eq!(got.as_ref(), Some(v), "{ctx}: key {k} wrong");
+    }
+    let report = tree.validate().unwrap_or_else(|e| panic!("{ctx}: {e}"));
+    assert!(
+        report.is_well_formed(),
+        "{ctx}: ill-formed: {:?}",
+        report.violations
+    );
+    assert_eq!(report.records, model.len(), "{ctx}: record count");
+}
+
+/// Build a crash image with committed SMOs (splits + a consolidation), a
+/// loser transaction for undo, and dirty pages beyond what eviction
+/// happened to write back — then return the pre-crash store + model.
+fn crashed_workload() -> (CrashableStore, Model) {
+    let cfg = PiTreeConfig::small_nodes(4, 4);
+    // A tiny pool: eviction flushes *some* pages, so REDO has real work
+    // and pages differ in how far their disk image lags the log.
+    let cs = CrashableStore::create(8, 10_000).expect("store");
+    let tree = PiTree::create(Arc::clone(&cs.store), 1, cfg).expect("tree");
+    let mut model = Model::new();
+    for k in 0..40 {
+        insert(&tree, &mut model, k, "base");
+    }
+    for k in (0..40).step_by(3) {
+        insert(&tree, &mut model, k, "updated");
+    }
+    for k in (1..40).step_by(7) {
+        delete(&tree, &mut model, k);
+    }
+    // A loser: logged updates with no commit. The dead machine never
+    // cleans it up (forget, not drop — drop would roll back politely).
+    let mut loser = tree.begin();
+    tree.insert(&mut loser, &key(500), b"loser-uncommitted")
+        .expect("loser insert");
+    // Force the loser's updates into the durable log (no commit record):
+    // recovery must see it and undo it, not lose it with the tail.
+    cs.store.log.force_all().expect("force loser tail");
+    std::mem::forget(loser);
+    drop(tree);
+    (cs, model)
+}
+
+/// Same crash image, three replay engines, one answer: the page images
+/// after serial REDO, parallel background REDO, and traffic-first
+/// on-demand REDO must be byte-identical.
+#[test]
+fn serial_parallel_and_on_demand_redo_agree_byte_for_byte() {
+    let cfg = PiTreeConfig::small_nodes(4, 4);
+    let (cs, model) = crashed_workload();
+
+    // (a) stop-the-world serial recovery.
+    let serial = cs.crash().expect("snapshot a");
+    let (tree_a, stats_a) =
+        PiTree::recover(Arc::clone(&serial.store), 1, cfg).expect("serial recover");
+    assert!(stats_a.redone > 0, "workload left nothing to redo");
+    assert!(
+        !stats_a.losers.is_empty(),
+        "the forced-but-uncommitted loser must be found and undone"
+    );
+    check_model(&tree_a, &model, "serial");
+    drop(tree_a);
+
+    // (b) instant restart, background REDO on 4 workers, no traffic.
+    let parallel = cs.crash().expect("snapshot b");
+    let (tree_b, plan_b, _) =
+        PiTree::recover_instant(Arc::clone(&parallel.store), 1, cfg).expect("instant recover b");
+    plan_b
+        .drive(&parallel.store.pool, 4)
+        .expect("parallel drive");
+    assert!(plan_b.is_complete());
+    check_model(&tree_b, &model, "parallel");
+    drop(tree_b);
+
+    // (c) instant restart, traffic triggers on-demand REDO first, then
+    // background workers drain the remainder.
+    let on_demand = cs.crash().expect("snapshot c");
+    let (tree_c, plan_c, _) =
+        PiTree::recover_instant(Arc::clone(&on_demand.store), 1, cfg).expect("instant recover c");
+    for (k, v) in &model {
+        let got = tree_c.get_unlocked(&key(*k)).expect("get mid-recovery");
+        assert_eq!(
+            got.as_ref(),
+            Some(v),
+            "key {k} served wrong value from a half-recovered store"
+        );
+    }
+    plan_c
+        .drive(&on_demand.store.pool, 2)
+        .expect("drain after traffic");
+    assert!(plan_c.is_complete());
+    check_model(&tree_c, &model, "on-demand");
+    drop(tree_c);
+
+    let img_a = page_images(&serial, 10_000);
+    let img_b = page_images(&parallel, 10_000);
+    let img_c = page_images(&on_demand, 10_000);
+    assert_eq!(
+        img_a.len(),
+        img_b.len(),
+        "allocated page sets diverge (serial vs parallel)"
+    );
+    for ((pa, ba), (pb, bb)) in img_a.iter().zip(img_b.iter()) {
+        assert_eq!(pa, pb, "allocated page sets diverge");
+        assert_eq!(ba, bb, "page {pa}: serial and parallel REDO disagree");
+    }
+    for ((pa, ba), (pc, bc)) in img_a.iter().zip(img_c.iter()) {
+        assert_eq!(pa, pc, "allocated page sets diverge");
+        assert_eq!(ba, bc, "page {pa}: serial and on-demand REDO disagree");
+    }
+}
+
+/// The log-bytes trigger takes fuzzy checkpoints inline with commits:
+/// the master LSN advances under load with no quiesce, the trigger
+/// re-arms (several checkpoints over enough log), and a crash landing
+/// after all of that recovers exactly the committed state with analysis
+/// seeded from the last checkpoint.
+#[test]
+fn auto_checkpoint_trigger_advances_master_under_load() {
+    let cfg = PiTreeConfig::small_nodes(4, 4);
+    let cs = CrashableStore::create(32, 10_000).expect("store");
+    let tree = PiTree::create(Arc::clone(&cs.store), 1, cfg).expect("tree");
+    let rec = cs.store.recorder().clone();
+
+    cs.store.txns.set_checkpoint_every_bytes(2048);
+    let mut model = Model::new();
+    for k in 0..120 {
+        insert(&tree, &mut model, k % 50, "ckpt");
+    }
+
+    let taken = rec.counter("wal.ckpt_taken").get();
+    assert!(taken >= 2, "trigger must re-arm (took {taken} checkpoints)");
+    assert_eq!(rec.counter("wal.ckpt_failed").get(), 0);
+    let master = cs.store.log.store().master();
+    assert!(master.0 > 0, "master LSN never advanced");
+    assert!(
+        cs.store.log.bytes_since_checkpoint() < cs.durable_log_len(),
+        "last checkpoint should bound the analysis scan below the full log"
+    );
+
+    drop(tree);
+    let crashed = cs.crash().expect("snapshot");
+    let (tree, stats) = PiTree::recover(Arc::clone(&crashed.store), 1, cfg).expect("recover");
+    assert!(
+        stats.analysis_start >= master,
+        "analysis started at {} but the master checkpoint is {}",
+        stats.analysis_start,
+        master
+    );
+    check_model(&tree, &model, "post-checkpoint crash");
+
+    // And the instant path honours the same checkpoint.
+    let crashed2 = cs.crash().expect("snapshot 2");
+    let (tree2, plan, stats2) =
+        PiTree::recover_instant(Arc::clone(&crashed2.store), 1, cfg).expect("instant recover");
+    assert!(stats2.analysis_start >= master);
+    plan.drive(&crashed2.store.pool, 2).expect("drive");
+    check_model(&tree2, &model, "post-checkpoint instant");
+}

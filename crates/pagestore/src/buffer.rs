@@ -20,6 +20,21 @@
 //! the *frame's* I/O, not on the shard) while unrelated fetches in the same
 //! shard proceed. Pools small enough for the existing eviction tests
 //! (≤ 16 frames) get a single shard, preserving exact clock semantics.
+//!
+//! # Instant recovery
+//!
+//! During instant restart the recovery layer installs a [`RedoHook`] via
+//! [`BufferPool::begin_recovery`]. While the hook is installed, every fetch
+//! replays the page's pending redo records before the pin is handed out, and
+//! a `PageNotFound` miss for a page the hook still owes records is formatted
+//! fresh instead of failing (the page may exist only in the log). The hook is
+//! uninstalled automatically once it reports itself complete.
+//!
+//! Checkpoint visibility invariant: a frame's `pid` and dirty flag are never
+//! cleared *before* its write-back I/O completes (eviction and
+//! [`BufferPool::flush_all`] both clear after the write). A fuzzy checkpoint
+//! taken mid-write therefore still lists the page in its dirty-page table —
+//! conservative, never lossy.
 
 use crate::disk::DiskManager;
 use crate::error::{StoreError, StoreResult};
@@ -37,6 +52,25 @@ use std::sync::{Arc, OnceLock};
 pub trait WalFlush: Send + Sync {
     /// Ensure all log records with LSN ≤ `lsn` are durable.
     fn flush_to(&self, lsn: Lsn) -> StoreResult<()>;
+}
+
+/// Hook through which the pool replays a page's pending redo records the
+/// first time it is pinned during instant recovery. Implemented by the
+/// instant-recovery plan in `pitree-wal`.
+pub trait RedoHook: Send + Sync {
+    /// Replay any pending redo records for `page`. Idempotent and a no-op
+    /// when the page owes nothing. Called with the page pinned but
+    /// unlatched; the hook takes its own X latch for the replay.
+    fn redo(&self, page: &PinnedPage<'_>) -> StoreResult<()>;
+
+    /// Whether `pid` still has pending redo records — i.e. the page may
+    /// exist only in the log, not yet on disk, and a `PageNotFound` miss
+    /// should format a fresh frame for the hook to fill.
+    fn pending(&self, pid: PageId) -> bool;
+
+    /// Whether every page's redo has completed (the pool uninstalls the
+    /// hook once this reports `true`).
+    fn is_complete(&self) -> bool;
 }
 
 struct Frame {
@@ -166,6 +200,12 @@ pub struct BufferPool {
     shards: Box<[Shard]>,
     disk: Arc<dyn DiskManager>,
     wal: OnceLock<Arc<dyn WalFlush>>,
+    /// Instant-recovery redo hook; present only between
+    /// [`BufferPool::begin_recovery`] and [`BufferPool::end_recovery`].
+    redo: Mutex<Option<Arc<dyn RedoHook>>>,
+    /// Fast-path flag mirroring `redo.is_some()` so fetches outside
+    /// recovery pay one relaxed-ish atomic load, not a mutex.
+    recovering: AtomicBool,
     rec: Recorder,
     stats: PoolStats,
     flushes: Counter,
@@ -238,6 +278,8 @@ impl BufferPool {
             shards,
             disk,
             wal: OnceLock::new(),
+            redo: Mutex::new(None),
+            recovering: AtomicBool::new(false),
             stats: PoolStats::new(&rec),
             flushes: rec.counter("buf.flushes"),
             shard_conflicts: rec.counter("buf.shard_conflicts"),
@@ -276,8 +318,45 @@ impl BufferPool {
     /// The shard owning `pid` (Fibonacci hashing — deterministic, no
     /// `RandomState`, so same-seed runs shard identically).
     fn shard_of(&self, pid: PageId) -> usize {
-        let h = pid.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        ((h >> 48) as usize) % self.shards.len()
+        page_shard(pid, self.shards.len())
+    }
+
+    /// Install an instant-recovery redo hook: until [`BufferPool::end_recovery`]
+    /// (or until the hook reports [`RedoHook::is_complete`]), every fetch
+    /// replays the page's pending redo records before the pin is returned.
+    pub fn begin_recovery(&self, hook: Arc<dyn RedoHook>) {
+        *self.redo.lock() = Some(hook);
+        self.recovering.store(true, Ordering::SeqCst);
+    }
+
+    /// Uninstall the redo hook; fetches go back to the plain path.
+    pub fn end_recovery(&self) {
+        self.recovering.store(false, Ordering::SeqCst);
+        *self.redo.lock() = None;
+    }
+
+    /// Whether an instant-recovery redo hook is currently installed.
+    pub fn is_recovering(&self) -> bool {
+        self.recovering.load(Ordering::SeqCst)
+    }
+
+    fn redo_hook(&self) -> Option<Arc<dyn RedoHook>> {
+        if !self.recovering.load(Ordering::SeqCst) {
+            return None;
+        }
+        self.redo.lock().clone()
+    }
+
+    /// Replay `page`'s pending redo records through the installed hook, if
+    /// any; uninstalls the hook once it reports complete.
+    fn run_redo(&self, page: &PinnedPage<'_>) -> StoreResult<()> {
+        if let Some(hook) = self.redo_hook() {
+            hook.redo(page)?;
+            if hook.is_complete() {
+                self.end_recovery();
+            }
+        }
+        Ok(())
     }
 
     /// Lock a shard, counting contended acquisitions (`buf.shard_conflicts`).
@@ -317,11 +396,15 @@ impl BufferPool {
                     self.stats.hits.inc();
                     shard.hits.inc();
                     self.rec.event(EventKind::BufHit, pid.0, 0);
-                    return Ok(PinnedPage {
+                    let pinned = PinnedPage {
                         pool: self,
                         frame: idx,
                         pid,
-                    });
+                    };
+                    if self.recovering.load(Ordering::SeqCst) {
+                        self.run_redo(&pinned)?;
+                    }
+                    return Ok(pinned);
                 }
                 Some(_) => {
                     // Another thread is doing I/O for this page; wait on the
@@ -345,8 +428,14 @@ impl BufferPool {
         };
         let frame = &self.frames[victim];
         frame.io_pending.store(true, Ordering::SeqCst);
-        let old_pid = frame.pid.lock().take();
-        let old_dirty = frame.dirty.swap(false, Ordering::SeqCst);
+        // Peek at the victim's identity — do NOT clear it yet. The pid and
+        // dirty flag must stay set until the write-back I/O completes so a
+        // fuzzy checkpoint taken mid-eviction still sees the page in
+        // `dirty_pages()`; clearing first would open a window where a dirty
+        // page is invisible to the checkpoint's dirty-page table and its
+        // records sit below the recovered redo horizon.
+        let old_pid = *frame.pid.lock();
+        let old_dirty = old_pid.is_some() && frame.dirty.load(Ordering::SeqCst);
         if let Some(old) = old_pid {
             if old_dirty {
                 st.table.insert(
@@ -358,6 +447,7 @@ impl BufferPool {
                 );
             } else {
                 st.table.remove(&old);
+                *frame.pid.lock() = None;
             }
         }
         st.table.insert(
@@ -378,6 +468,10 @@ impl BufferPool {
                 };
                 match res {
                     Ok(()) => {
+                        // Only now — image durably written — may the frame
+                        // forget the old page and drop its dirty flag.
+                        *frame.pid.lock() = None;
+                        frame.dirty.store(false, Ordering::SeqCst);
                         self.stats.dirty_evictions.inc();
                         self.rec.event(EventKind::BufEvictDirty, old.0, 0);
                         let mut st = self.lock_shard(shard);
@@ -386,10 +480,8 @@ impl BufferPool {
                         shard.cv.notify_all();
                     }
                     Err(e) => {
-                        // Put the victim back exactly as it was: still
-                        // resident, still dirty, nothing lost.
-                        *frame.pid.lock() = Some(old);
-                        frame.dirty.store(true, Ordering::SeqCst);
+                        // The frame still carries the page (pid and dirty
+                        // were never cleared); just restore the table entry.
                         frame.io_pending.store(false, Ordering::SeqCst);
                         let mut st = self.lock_shard(shard);
                         st.table.remove(&pid);
@@ -412,7 +504,13 @@ impl BufferPool {
         let timer = Stopwatch::start();
         let page = match self.disk.read_page(pid) {
             Ok(p) => p,
-            Err(StoreError::PageNotFound(_)) if create.is_some() => Page::new(create.unwrap()),
+            // A page the redo hook still owes records may exist only in the
+            // log: hand the hook a fresh frame to replay into.
+            Err(StoreError::PageNotFound(_))
+                if create.is_some() || self.redo_hook().is_some_and(|h| h.pending(pid)) =>
+            {
+                Page::new(create.unwrap_or(PageType::Free))
+            }
             Err(e) => {
                 // The frame stays free (any dirty victim is already safely
                 // on disk); just retract the Busy entry.
@@ -446,11 +544,15 @@ impl BufferPool {
         );
         drop(st);
         shard.cv.notify_all();
-        Ok(PinnedPage {
+        let pinned = PinnedPage {
             pool: self,
             frame: victim,
             pid,
-        })
+        };
+        if self.recovering.load(Ordering::SeqCst) {
+            self.run_redo(&pinned)?;
+        }
+        Ok(pinned)
     }
 
     /// Clock sweep over the shard's frame range. Two sweeps: the first
@@ -505,18 +607,22 @@ impl BufferPool {
                 Some(p) => p,
                 None => continue,
             };
-            if frame.dirty.swap(false, Ordering::SeqCst) {
-                let g = frame.latch.s();
-                // Re-check identity: the frame cannot have been re-used while
-                // we hold the S latch only if it was pinned; guard against
-                // the race by re-reading the pid.
-                if *frame.pid.lock() == Some(pid) {
-                    self.write_back(pid, &g)?;
-                    self.flushes.inc();
-                    self.rec.event(EventKind::BufFlush, pid.0, 0);
-                } else {
-                    frame.dirty.store(true, Ordering::SeqCst);
-                }
+            if !frame.dirty.load(Ordering::SeqCst) {
+                continue;
+            }
+            let g = frame.latch.s();
+            // Re-check identity under the latch: the frame may have been
+            // re-used between the peek and the S acquisition.
+            if *frame.pid.lock() == Some(pid) {
+                self.write_back(pid, &g)?;
+                // Clear only after the write succeeds: a concurrent fuzzy
+                // checkpoint must keep seeing the page as dirty until its
+                // image is truly on disk, and a failed write must leave the
+                // flag set. No updater can race the clear — marking dirty
+                // happens under the X latch, excluded by our S guard.
+                frame.dirty.store(false, Ordering::SeqCst);
+                self.flushes.inc();
+                self.rec.event(EventKind::BufFlush, pid.0, 0);
             }
         }
         Ok(())
@@ -535,6 +641,15 @@ impl BufferPool {
         }
         out
     }
+}
+
+/// The shard index of `pid` in a partition of `shards` shards, using the
+/// same Fibonacci hash as the pool's page table. Public so parallel-redo
+/// partitioning replays each pool shard's pages on a single worker,
+/// mirroring run-time placement.
+pub fn page_shard(pid: PageId, shards: usize) -> usize {
+    let h = pid.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((h >> 48) as usize) % shards.max(1)
 }
 
 /// Outcome of one clock sweep.

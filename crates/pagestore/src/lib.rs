@@ -31,7 +31,7 @@ pub mod pageops;
 pub mod space;
 pub mod sync;
 
-pub use buffer::{BufferPool, PinnedPage};
+pub use buffer::{page_shard, BufferPool, PinnedPage, RedoHook};
 pub use disk::{DiskManager, MemDisk};
 pub use error::{StoreError, StoreResult};
 pub use fault::{FaultInjector, FaultSite};

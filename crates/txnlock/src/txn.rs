@@ -30,7 +30,7 @@ use pitree_pagestore::{Lsn, PageOp, StoreResult};
 use pitree_wal::recovery::LogicalUndoHandler;
 use pitree_wal::{take_checkpoint, ActionId, ActionIdentity, AtomicAction, LogManager};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -87,6 +87,17 @@ pub struct TxnManager {
     /// User-transaction commits whose locks were released at log-append,
     /// ahead of the durable watermark (early lock release).
     elr_released: Counter,
+    /// Fuzzy-checkpoint trigger: take a checkpoint once this many log bytes
+    /// have been appended since the last one. 0 (the default) disables the
+    /// trigger — callers opt in with
+    /// [`TxnManager::set_checkpoint_every_bytes`], keeping byte-for-byte
+    /// log determinism for workloads that don't.
+    ckpt_every: AtomicU64,
+    /// At most one thread runs the checkpoint; others skip and move on.
+    ckpt_busy: AtomicBool,
+    /// Checkpoints that failed (e.g. injected log faults); the trigger
+    /// re-arms and a later commit retries (`wal.ckpt_failed`).
+    ckpt_failed: Counter,
 }
 
 impl std::fmt::Debug for TxnManager {
@@ -108,6 +119,9 @@ impl TxnManager {
             locks,
             registry: ActiveRegistry::default(),
             elr_released: rec.counter("txn.elr_released"),
+            ckpt_every: AtomicU64::new(0),
+            ckpt_busy: AtomicBool::new(false),
+            ckpt_failed: rec.counter("wal.ckpt_failed"),
         }
     }
 
@@ -148,6 +162,37 @@ impl TxnManager {
     /// Take a fuzzy checkpoint including the live-action table.
     pub fn checkpoint(&self) -> StoreResult<Lsn> {
         take_checkpoint(&self.pool, &self.log, self.registry.snapshot())
+    }
+
+    /// Arm (or with 0, disarm) the automatic fuzzy-checkpoint trigger:
+    /// after every commit publish, if at least `bytes` of log have been
+    /// appended since the last checkpoint, one thread takes a checkpoint
+    /// inline. Bounds the redo scan of a future recovery to roughly
+    /// `bytes` of log regardless of how long the store has been up.
+    pub fn set_checkpoint_every_bytes(&self, bytes: u64) {
+        self.ckpt_every.store(bytes, Ordering::SeqCst);
+    }
+
+    /// Run the checkpoint trigger: no-op unless armed, due, and no other
+    /// thread is mid-checkpoint. A failed checkpoint is counted
+    /// (`wal.ckpt_failed`) and the trigger re-arms — the store keeps
+    /// running on the old master, it just has more log to replay.
+    fn maybe_checkpoint(&self) {
+        let every = self.ckpt_every.load(Ordering::SeqCst);
+        if every == 0 || self.log.bytes_since_checkpoint() < every {
+            return;
+        }
+        if self
+            .ckpt_busy
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return;
+        }
+        if self.checkpoint().is_err() {
+            self.ckpt_failed.inc();
+        }
+        self.ckpt_busy.store(false, Ordering::SeqCst);
     }
 }
 
@@ -268,6 +313,7 @@ impl<'a> Txn<'a> {
         if forced {
             mgr.elr_released.inc();
         }
+        mgr.maybe_checkpoint();
         PendingCommit {
             mgr,
             lsn,

@@ -128,6 +128,17 @@ impl<'a> AtomicAction<'a> {
         op: PageOp,
         undo: UndoInfo,
     ) -> StoreResult<Lsn> {
+        // Mark the frame dirty *before* the append so a fuzzy checkpoint
+        // running concurrently can never observe the update record in the
+        // log while the page is still absent from its dirty-page table
+        // (which would leave the record below the recovered redo horizon).
+        // The conservative recovery LSN — the current tail — is ≤ the
+        // record's LSN, so the redo scan can only start earlier, never miss.
+        // The §4.3.1 ordering this inverts is write-back vs append, and
+        // that is still enforced: the page content changes only after the
+        // append below, and write-back forces the log to the page LSN.
+        // pitree-lint: allow(log-before-dirty) conservative pre-append dirty marking closes the fuzzy-checkpoint DPT race; content changes only after the append
+        page.mark_dirty_at(self.log.tail_lsn());
         let lsn = self.log.append(
             self.id,
             self.last,
@@ -139,7 +150,6 @@ impl<'a> AtomicAction<'a> {
         );
         op.apply(g)?;
         g.set_lsn(lsn);
-        page.mark_dirty_at(lsn);
         self.last = lsn;
         self.updates += 1;
         Ok(lsn)
@@ -204,6 +214,9 @@ impl<'a> AtomicAction<'a> {
                         UndoInfo::Physiological(inv) => {
                             let page = pool.fetch(pid)?;
                             let mut g = page.x();
+                            // Same pre-append marking as `apply_with_undo`:
+                            // the CLR must be in the checkpoint's redo range.
+                            page.mark_dirty_at(self.log.tail_lsn());
                             let clr = self.log.append(
                                 self.id,
                                 self.last,
@@ -215,7 +228,6 @@ impl<'a> AtomicAction<'a> {
                             );
                             inv.apply(&mut g)?;
                             g.set_lsn(clr);
-                            page.mark_dirty_at(clr);
                             self.last = clr;
                         }
                         UndoInfo::Logical { tag, payload } => {

@@ -1,0 +1,486 @@
+//! Instant restart: open for traffic after analysis, redo per page.
+//!
+//! Classic [`crate::recovery::recover`] is stop-the-world: no operation can
+//! be served until every record in the redo range has been replayed, so MTTR
+//! grows linearly with log volume. This module implements the Sauer–Härder
+//! style upgrade (PAPERS.md "fast, REDO-only recovery"; Lomet, "Implementing
+//! Performance Competitive Logical Recovery"), which the paper's own §4.3.2
+//! makes sound for the Π-tree: interrupted structure changes need no special
+//! measures, so a tree that is *partially* redone is merely a tree in an
+//! intermediate-but-well-formed state.
+//!
+//! [`start_instant`] runs analysis, partitions the redo range into per-page
+//! record lists (a *redo plan*), installs the plan as the buffer pool's
+//! [`RedoHook`], runs undo, and returns. From that moment the store serves
+//! traffic: any fetch of a page that still owes records replays exactly
+//! those records, under the plan shard's mutex, before the pin is handed
+//! out — time-to-first-op is O(analysis), not O(log). A background
+//! [`InstantRecovery::drive`] walks the remaining plan on N worker threads,
+//! partitioned by [`page_shard`] so each pool shard's pages are replayed by
+//! one worker, mirroring run-time placement.
+//!
+//! # Soundness
+//!
+//! * **Per-page exclusion** — a page's plan entry is removed and replayed
+//!   under its plan-shard mutex; a racing second pinner blocks on that mutex
+//!   and finds the entry gone. LSN comparison (`page LSN < record LSN`)
+//!   makes replay idempotent on top of that.
+//! * **Undo sees redone state** — undo runs with the hook installed, so its
+//!   own fetches trigger on-demand redo of each loser page first; CLRs are
+//!   always computed against fully-repeated history.
+//! * **Traffic sees redone state** — every pin goes through the hook until
+//!   the plan is empty, at which point the pool uninstalls it
+//!   ([`RedoHook::is_complete`]).
+//! * **No deadlock** — the hook acquires `plan-shard mutex → page X latch`.
+//!   Any thread holding a page latch after the hook is installed pinned that
+//!   page through the hook, so its plan entry is already gone and no replayer
+//!   can be waiting on that page's latch.
+//!
+//! Byte-equivalence of serial, parallel, and on-demand redo is gated by the
+//! determinism test in `pitree-harness` (`tests/instant_restart.rs`); the
+//! crash matrix covers crash-mid-parallel-redo and reads served against a
+//! half-recovered store. `RECOVERY.md` has the full walkthrough.
+
+use crate::log::LogManager;
+use crate::record::RecordKind;
+use crate::recovery::{analyze, undo_pass, LogicalUndoHandler, RecoveryStats};
+use pitree_obs::{Counter, Stopwatch};
+use pitree_pagestore::buffer::{page_shard, BufferPool, PinnedPage, RedoHook};
+use pitree_pagestore::page::PageType;
+use pitree_pagestore::sync::Mutex;
+use pitree_pagestore::{Lsn, PageId, PageOp, StoreError, StoreResult};
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Number of plan shards. Matches the buffer pool's shard-count cap so a
+/// [`InstantRecovery::drive`] worker's partition aligns with pool shards.
+const REDO_SHARDS: usize = 16;
+
+/// One plan shard: the pending pages hashed here, each with its redo
+/// records in log order.
+type PlanShard = Mutex<HashMap<PageId, Vec<(Lsn, PageOp)>>>;
+
+thread_local! {
+    /// Set while this thread is inside [`InstantRecovery::drive_partition`],
+    /// so the hook can tell background replay from traffic-triggered
+    /// (`recovery.on_demand_redos`) replay.
+    static IN_DRIVE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The redo plan of an instant restart: per-page, LSN-ordered record lists,
+/// sharded by [`page_shard`]. Installed as the pool's [`RedoHook`] by
+/// [`start_instant`]; drained on demand by traffic and/or in the background
+/// by [`InstantRecovery::drive`].
+pub struct InstantRecovery {
+    /// `plan[s]` holds the pending pages whose `page_shard(pid, REDO_SHARDS)`
+    /// is `s`. Each entry is the page's redo records in log order.
+    plan: Box<[PlanShard]>,
+    /// Pages still owing redo; 0 ⇒ complete and the pool drops the hook.
+    pending_pages: AtomicUsize,
+    /// `recovery.redo_pages`: pages replayed (background + on demand).
+    redo_pages: Counter,
+    /// `recovery.on_demand_redos`: pages replayed because traffic touched
+    /// them before the background pass did.
+    on_demand: Counter,
+}
+
+impl std::fmt::Debug for InstantRecovery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InstantRecovery")
+            .field("pending_pages", &self.pending_pages.load(Ordering::SeqCst))
+            .finish_non_exhaustive()
+    }
+}
+
+impl InstantRecovery {
+    /// The plan shard that owns `pid`.
+    fn shard_slot(&self, pid: PageId) -> StoreResult<&PlanShard> {
+        let idx = page_shard(pid, self.plan.len());
+        self.plan.get(idx).ok_or_else(|| {
+            StoreError::Corrupt(format!("redo plan shard {idx} out of range for page {pid}"))
+        })
+    }
+
+    /// Pages still owing redo records.
+    pub fn pending_page_count(&self) -> usize {
+        self.pending_pages.load(Ordering::SeqCst)
+    }
+
+    /// Whether every page's redo has completed.
+    pub fn is_complete(&self) -> bool {
+        self.pending_page_count() == 0
+    }
+
+    /// Replay `page`'s pending records, if any. The plan-shard mutex is held
+    /// across the replay: that is the per-page exclusion that keeps two
+    /// first-pinners from applying the same records concurrently.
+    fn redo_page(&self, page: &PinnedPage<'_>) -> StoreResult<()> {
+        let pid = page.id();
+        let mut shard = self.shard_slot(pid)?.lock();
+        let records = match shard.remove(&pid) {
+            Some(r) => r,
+            None => return Ok(()),
+        };
+        let mut g = page.x();
+        let mut marked = false;
+        for (lsn, op) in &records {
+            if g.lsn() < *lsn {
+                if !marked {
+                    // pitree-lint: allow(log-before-dirty) redo replays records that are already durable in the log
+                    page.mark_dirty_at(*lsn);
+                    marked = true;
+                }
+                if let Err(e) = op.apply(&mut g) {
+                    // Put the plan entry back so a retry (or the background
+                    // drive) sees the page as still pending; the applied
+                    // prefix is skipped by the LSN check on the next pass.
+                    drop(g);
+                    shard.insert(pid, records);
+                    return Err(e);
+                }
+                g.set_lsn(*lsn);
+            }
+        }
+        drop(g);
+        self.pending_pages.fetch_sub(1, Ordering::SeqCst);
+        self.redo_pages.inc();
+        if !IN_DRIVE.with(Cell::get) {
+            self.on_demand.inc();
+        }
+        Ok(())
+    }
+
+    /// Whether `pid` still owes redo records.
+    fn pending_for(&self, pid: PageId) -> bool {
+        match self.shard_slot(pid) {
+            Ok(slot) => slot.lock().contains_key(&pid),
+            Err(_) => false,
+        }
+    }
+
+    /// Replay every remaining page of this worker's plan shards
+    /// (`shard % stride == worker`). Fetching a pending page through the
+    /// pool routes it back into the installed hook — the fetch is the
+    /// replay; pages another thread drained in the meantime are no-ops.
+    ///
+    /// Public (not just used by [`InstantRecovery::drive`]) so the crash
+    /// matrix can complete one worker's partition and crash with the rest of
+    /// the plan still pending.
+    pub fn drive_partition(
+        &self,
+        pool: &BufferPool,
+        worker: usize,
+        stride: usize,
+    ) -> StoreResult<()> {
+        let stride = stride.max(1);
+        IN_DRIVE.with(|c| c.set(true));
+        let res = self.drive_partition_inner(pool, worker, stride);
+        IN_DRIVE.with(|c| c.set(false));
+        res
+    }
+
+    fn drive_partition_inner(
+        &self,
+        pool: &BufferPool,
+        worker: usize,
+        stride: usize,
+    ) -> StoreResult<()> {
+        for (si, shard) in self.plan.iter().enumerate() {
+            if si % stride != worker {
+                continue;
+            }
+            let pids: Vec<PageId> = shard.lock().keys().copied().collect();
+            for pid in pids {
+                // `fetch_or_create`, not `fetch`: a page that only ever
+                // lived in the log has no disk image yet. Already-drained
+                // pages resolve to a pool hit or a clean disk read.
+                let _pin = pool.fetch_or_create(pid, PageType::Free)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Background redo: replay the whole remaining plan on `workers`
+    /// threads, each owning the plan shards `s ≡ w (mod workers)`. Returns
+    /// when the plan is fully drained (traffic may have helped); uninstalls
+    /// the pool hook if this call finished the plan.
+    pub fn drive(&self, pool: &Arc<BufferPool>, workers: usize) -> StoreResult<()> {
+        let workers = workers.clamp(1, REDO_SHARDS);
+        let result: StoreResult<()> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| s.spawn(move || self.drive_partition(pool, w, workers)))
+                .collect();
+            let mut first_err = None;
+            for h in handles {
+                match h.join() {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => {
+                        first_err.get_or_insert(e);
+                    }
+                    Err(_) => {
+                        first_err.get_or_insert(StoreError::Corrupt(
+                            "parallel-redo worker panicked".to_string(),
+                        ));
+                    }
+                }
+            }
+            match first_err {
+                Some(e) => Err(e),
+                None => Ok(()),
+            }
+        });
+        result?;
+        if self.is_complete() {
+            pool.end_recovery();
+        }
+        Ok(())
+    }
+}
+
+impl RedoHook for InstantRecovery {
+    fn redo(&self, page: &PinnedPage<'_>) -> StoreResult<()> {
+        self.redo_page(page)
+    }
+
+    fn pending(&self, pid: PageId) -> bool {
+        self.pending_for(pid)
+    }
+
+    fn is_complete(&self) -> bool {
+        InstantRecovery::is_complete(self)
+    }
+}
+
+/// Instant restart: analysis + redo-plan build + undo, then open.
+///
+/// Returns once the store is safe to serve traffic — O(analysis scan), not
+/// O(log). The returned [`InstantRecovery`] is already installed as `pool`'s
+/// [`RedoHook`] (unless the plan is empty, in which case recovery is already
+/// complete); call [`InstantRecovery::drive`] on worker threads to finish
+/// redo in the background while serving.
+///
+/// The returned [`RecoveryStats`] covers analysis and undo; per-page redo
+/// work is reported through the `recovery.redo_pages` and
+/// `recovery.on_demand_redos` counters as it happens instead of
+/// `RecoveryStats::redone`.
+pub fn start_instant(
+    pool: &Arc<BufferPool>,
+    log: &LogManager,
+    handler: Option<&dyn LogicalUndoHandler>,
+) -> StoreResult<(Arc<InstantRecovery>, RecoveryStats)> {
+    let mut stats = RecoveryStats::default();
+    let rec = log.recorder().clone();
+    let timer = Stopwatch::start();
+
+    let analysis = analyze(log, &mut stats)?;
+
+    // Build the redo plan: per-page, LSN-ordered record lists. Log order
+    // within a page is preserved by construction (the scan is in LSN order).
+    let plan: Box<[PlanShard]> = (0..REDO_SHARDS)
+        .map(|_| Mutex::new(HashMap::new()))
+        .collect();
+    let mut pages = 0usize;
+    for r in &analysis.redo_records {
+        let (pid, op) = match &r.kind {
+            RecordKind::Update { pid, redo, .. } => (*pid, redo),
+            RecordKind::Clr { pid, redo, .. } => (*pid, redo),
+            _ => continue,
+        };
+        let idx = page_shard(pid, REDO_SHARDS);
+        let slot = plan.get(idx).ok_or_else(|| {
+            StoreError::Corrupt(format!("redo plan shard {idx} out of range for page {pid}"))
+        })?;
+        let mut shard = slot.lock();
+        let entry = shard.entry(pid).or_default();
+        if entry.is_empty() {
+            pages += 1;
+        }
+        entry.push((r.lsn, op.clone()));
+    }
+
+    let ir = Arc::new(InstantRecovery {
+        plan,
+        pending_pages: AtomicUsize::new(pages),
+        redo_pages: rec.counter("recovery.redo_pages"),
+        on_demand: rec.counter("recovery.on_demand_redos"),
+    });
+    rec.hist("recovery.analysis_ns").record(timer.elapsed_ns());
+
+    if pages > 0 {
+        pool.begin_recovery(Arc::clone(&ir) as Arc<dyn RedoHook>);
+    }
+
+    // Undo runs with the hook installed: each loser page it touches is
+    // redone on first pin, so compensation always sees repeated history.
+    let timer = Stopwatch::start();
+    undo_pass(pool, log, handler, &analysis.active, &mut stats)?;
+    log.reserve_action_ids(analysis.max_action);
+    log.force_all()?;
+    rec.hist("recovery.undo_ns").record(timer.elapsed_ns());
+
+    Ok((ir, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::AtomicAction;
+    use crate::log::{LogStore, MemLogStore};
+    use crate::record::ActionIdentity;
+    use crate::recovery::{recover, take_checkpoint};
+    use pitree_pagestore::{DiskManager, MemDisk};
+
+    struct World {
+        disk: Arc<MemDisk>,
+        store: Arc<MemLogStore>,
+        pool: Arc<BufferPool>,
+        log: Arc<LogManager>,
+    }
+
+    fn world() -> World {
+        let disk = Arc::new(MemDisk::new());
+        let store = Arc::new(MemLogStore::new());
+        let pool = Arc::new(BufferPool::new(
+            Arc::clone(&disk) as Arc<dyn DiskManager>,
+            32,
+        ));
+        let log = Arc::new(LogManager::open(Arc::clone(&store) as Arc<dyn LogStore>).unwrap());
+        pool.set_wal_hook(Arc::clone(&log) as Arc<_>);
+        World {
+            disk,
+            store,
+            pool,
+            log,
+        }
+    }
+
+    fn crash(w: &World) -> World {
+        let disk = Arc::new(w.disk.snapshot());
+        let store = Arc::new(w.store.snapshot());
+        let pool = Arc::new(BufferPool::new(
+            Arc::clone(&disk) as Arc<dyn DiskManager>,
+            32,
+        ));
+        let log = Arc::new(LogManager::open(Arc::clone(&store) as Arc<dyn LogStore>).unwrap());
+        pool.set_wal_hook(Arc::clone(&log) as Arc<_>);
+        World {
+            disk,
+            store,
+            pool,
+            log,
+        }
+    }
+
+    fn put(w: &World, pid: PageId, slot: u16, bytes: &[u8]) {
+        let page = w.pool.fetch_or_create(pid, PageType::Free).unwrap();
+        let mut act = AtomicAction::begin(&w.log, ActionIdentity::SystemTransaction);
+        {
+            let mut g = page.x();
+            if g.page_type().unwrap() == PageType::Free {
+                act.apply(&page, &mut g, PageOp::Format { ty: PageType::Node })
+                    .unwrap();
+            }
+            act.apply(
+                &page,
+                &mut g,
+                PageOp::InsertSlot {
+                    slot,
+                    bytes: bytes.to_vec(),
+                },
+            )
+            .unwrap();
+        }
+        act.commit_force().unwrap();
+    }
+
+    #[test]
+    fn on_demand_redo_serves_first_fetch() {
+        let w = world();
+        put(&w, PageId(7), 0, b"seven");
+        put(&w, PageId(8), 0, b"eight");
+        let w2 = crash(&w);
+        let (ir, stats) = start_instant(&w2.pool, &w2.log, None).unwrap();
+        assert!(stats.losers.is_empty());
+        assert!(!ir.is_complete());
+        assert!(w2.pool.is_recovering());
+        // First fetch replays only that page.
+        let page = w2.pool.fetch(PageId(7)).unwrap();
+        assert_eq!(page.s().get(0).unwrap(), b"seven");
+        assert_eq!(ir.pending_page_count(), 1);
+        // Draining the rest completes recovery and drops the hook.
+        ir.drive(&w2.pool, 2).unwrap();
+        assert!(ir.is_complete());
+        assert!(!w2.pool.is_recovering());
+        let page8 = w2.pool.fetch(PageId(8)).unwrap();
+        assert_eq!(page8.s().get(0).unwrap(), b"eight");
+    }
+
+    #[test]
+    fn instant_and_serial_recovery_agree() {
+        let w = world();
+        for i in 0..12u64 {
+            put(&w, PageId(10 + i % 4), (i / 4) as u16, &i.to_be_bytes());
+        }
+        // Serial baseline.
+        let ws = crash(&w);
+        recover(&ws.pool, &ws.log, None).unwrap();
+        // Instant with background drive.
+        let wi = crash(&w);
+        let (ir, _) = start_instant(&wi.pool, &wi.log, None).unwrap();
+        ir.drive(&wi.pool, 4).unwrap();
+        for pid in 10..14u64 {
+            let ps = ws.pool.fetch(PageId(pid)).unwrap();
+            let pi = wi.pool.fetch(PageId(pid)).unwrap();
+            assert_eq!(ps.s().as_bytes(), pi.s().as_bytes(), "page {pid} diverged");
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_complete_immediately() {
+        let w = world();
+        put(&w, PageId(7), 0, b"x");
+        w.pool.flush_all().unwrap();
+        take_checkpoint(&w.pool, &w.log, vec![]).unwrap();
+        let w2 = crash(&w);
+        let (ir, _) = start_instant(&w2.pool, &w2.log, None).unwrap();
+        assert!(ir.is_complete());
+        assert!(!w2.pool.is_recovering(), "no plan ⇒ hook never installed");
+        let page = w2.pool.fetch(PageId(7)).unwrap();
+        assert_eq!(page.s().get(0).unwrap(), b"x");
+    }
+
+    #[test]
+    fn undo_compensates_against_redone_pages() {
+        let w = world();
+        put(&w, PageId(7), 0, b"base");
+        // Durable update without a durable commit: a loser.
+        let page = w.pool.fetch(PageId(7)).unwrap();
+        let mut act = AtomicAction::begin(&w.log, ActionIdentity::SeparateTransaction);
+        {
+            let mut g = page.x();
+            act.apply(
+                &page,
+                &mut g,
+                PageOp::InsertSlot {
+                    slot: 1,
+                    bytes: b"half".to_vec(),
+                },
+            )
+            .unwrap();
+        }
+        w.log.force_all().unwrap();
+        act.commit(); // volatile only
+        drop(page);
+        let w2 = crash(&w);
+        let (ir, stats) = start_instant(&w2.pool, &w2.log, None).unwrap();
+        assert_eq!(stats.losers.len(), 1);
+        assert!(stats.clrs_written >= 1);
+        ir.drive(&w2.pool, 2).unwrap();
+        let page = w2.pool.fetch(PageId(7)).unwrap();
+        let g = page.s();
+        assert_eq!(g.slot_count(), 1, "loser insert must be undone");
+        assert_eq!(g.get(0).unwrap(), b"base");
+    }
+}

@@ -15,6 +15,11 @@
 //!   treats them uniformly.
 //! * **Recovery** ([`recovery::recover`]) — ARIES-style analysis / redo /
 //!   undo with CLRs, supporting both page-oriented and logical UNDO (§4.2).
+//! * **Instant restart** ([`instant::start_instant`]) — fuzzy checkpoints
+//!   ([`recovery::take_checkpoint`]) bound the redo horizon; after analysis
+//!   and undo the store opens for traffic, with redo running per page on
+//!   first pin and/or in the background partitioned by buffer-pool shard
+//!   ([`instant::InstantRecovery::drive`]). See `RECOVERY.md`.
 //!
 //! Everything here is tree-agnostic: log payloads are the physiological
 //! [`pitree_pagestore::PageOp`]s, so the same recovery code serves the
@@ -22,11 +27,13 @@
 
 pub mod action;
 pub mod codec;
+pub mod instant;
 pub mod log;
 pub mod record;
 pub mod recovery;
 
 pub use action::AtomicAction;
+pub use instant::{start_instant, InstantRecovery};
 pub use log::{FileLogStore, LogManager, LogStore, MemLogStore};
 pub use record::{ActionId, ActionIdentity, LogRecord, RecordKind, UndoInfo};
 pub use recovery::{recover, take_checkpoint, LogicalUndoHandler, RecoveryStats};

@@ -333,6 +333,9 @@ pub struct LogManager {
     tail_end: AtomicU64,
     store: Arc<dyn LogStore>,
     next_action: AtomicU64,
+    /// `tail_end` as of the last fuzzy checkpoint ([`LogManager::note_checkpoint`]);
+    /// [`LogManager::bytes_since_checkpoint`] drives the log-volume trigger.
+    ckpt_end: AtomicU64,
     /// Current adaptive linger budget in ns (0 = drain immediately, the
     /// single-threaded behaviour — and the cold-start value, so sequential
     /// runs never take a timed wait and stay byte-deterministic).
@@ -386,6 +389,7 @@ impl LogManager {
             tail_end: AtomicU64::new(durable),
             store,
             next_action: AtomicU64::new(1),
+            ckpt_end: AtomicU64::new(durable),
             linger_cur: AtomicU64::new(0),
             linger_max: AtomicU64::new(LINGER_MAX_DEFAULT_NS),
             linger_adaptive: AtomicBool::new(true),
@@ -418,6 +422,22 @@ impl LogManager {
     /// highest id seen in the log).
     pub fn reserve_action_ids(&self, floor: u64) {
         self.next_action.fetch_max(floor + 1, Ordering::SeqCst);
+    }
+
+    /// Record that a fuzzy checkpoint just covered everything appended so
+    /// far; resets [`LogManager::bytes_since_checkpoint`].
+    pub fn note_checkpoint(&self) {
+        self.ckpt_end
+            .store(self.tail_end.load(Ordering::Acquire), Ordering::Release);
+    }
+
+    /// Log bytes appended since the last [`LogManager::note_checkpoint`]
+    /// (or since open). The checkpoint trigger in `pitree-txnlock` compares
+    /// this against its configured threshold.
+    pub fn bytes_since_checkpoint(&self) -> u64 {
+        self.tail_end
+            .load(Ordering::Acquire)
+            .saturating_sub(self.ckpt_end.load(Ordering::Acquire))
     }
 
     /// Append a record, returning its LSN. Does not force. The tail mutex
@@ -745,18 +765,32 @@ impl LogManager {
         }
     }
 
-    /// Scan all records from `from` (or the start): the durable prefix
+    /// Scan all records from `from` (or the start): the durable suffix
     /// concatenated with the volatile tail. Stops at the first torn/corrupt
     /// frame.
+    ///
+    /// Only bytes from `from` onward are read from the store, so a scan
+    /// seeded at the master checkpoint costs O(log written since that
+    /// checkpoint), not O(total log) — the property that keeps restart
+    /// analysis time bounded by the checkpoint interval rather than the
+    /// age of the database (see `RECOVERY.md`).
     pub fn scan(&self, from: Option<Lsn>) -> StoreResult<Vec<LogRecord>> {
+        let from_off = from.map_or(0, |l| l.0.saturating_sub(1));
         loop {
-            let durable = self.store.durable_bytes()?;
+            let durable_len = self.store.durable_len();
             {
                 let tail = self.tail.lock();
-                if durable.len() as u64 == tail.base {
-                    let mut all = durable;
+                if durable_len == tail.base {
+                    // The suffix starts inside the durable prefix (read
+                    // just that range) or inside the tail (read nothing).
+                    let base = from_off.min(tail.base);
+                    let mut all = if base < tail.base {
+                        self.store.read_range(base, (tail.base - base) as usize)?
+                    } else {
+                        Vec::new()
+                    };
                     all.extend_from_slice(&tail.buf);
-                    return Ok(scan_bytes(&all, from));
+                    return Ok(scan_bytes_base(&all, base, from));
                 }
             }
             // A leader's batch is in flight between the snapshot and the
@@ -816,10 +850,16 @@ fn read_at_base(buf: &[u8], base: u64, lsn: Lsn) -> StoreResult<LogRecord> {
 /// Decode every complete record in `buf` starting at `from`; stops cleanly
 /// at a torn tail.
 pub fn scan_bytes(buf: &[u8], from: Option<Lsn>) -> Vec<LogRecord> {
+    scan_bytes_base(buf, 0, from)
+}
+
+/// [`scan_bytes`] against a buffer whose first byte sits at log offset
+/// `base` (a `from` below the buffer is clamped to its start).
+fn scan_bytes_base(buf: &[u8], base: u64, from: Option<Lsn>) -> Vec<LogRecord> {
     let mut out = Vec::new();
-    let mut lsn = from.unwrap_or(Lsn(1));
-    while let Ok(rec) = read_at(buf, lsn) {
-        let Some(len) = le_u32_at(buf, (lsn.0 - 1) as usize) else {
+    let mut lsn = from.unwrap_or(Lsn(base + 1)).max(Lsn(base + 1));
+    while let Ok(rec) = read_at_base(buf, base, lsn) {
+        let Some(len) = le_u32_at(buf, (lsn.0 - 1 - base) as usize) else {
             break;
         };
         lsn = Lsn(lsn.0 + 8 + len as u64);
@@ -1005,6 +1045,46 @@ mod tests {
         let recs = log.scan(None).unwrap();
         assert_eq!(recs.len(), 2);
         assert!(matches!(recs[1].kind, RecordKind::End));
+    }
+
+    /// A seeded scan must read only the suffix, and that suffix must equal
+    /// the tail of a full scan — whether `from` lands in the durable prefix
+    /// or inside the volatile tail.
+    #[test]
+    fn seeded_scan_equals_full_scan_suffix() {
+        let (_s, log) = mgr();
+        let a = log.next_action_id();
+        let mut lsns = Vec::new();
+        let mut prev = Lsn::ZERO;
+        for i in 0..4 {
+            prev = log.append(
+                a,
+                prev,
+                RecordKind::Update {
+                    pid: PageId(i),
+                    redo: PageOp::InsertSlot {
+                        slot: 0,
+                        bytes: vec![i as u8],
+                    },
+                    undo: UndoInfo::Physiological(PageOp::RemoveSlot { slot: 0 }),
+                },
+            );
+            lsns.push(prev);
+            if i == 1 {
+                log.force_all().unwrap(); // records 0/1 durable, 2/3 volatile
+            }
+        }
+        let full = log.scan(None).unwrap();
+        assert_eq!(full.len(), 4);
+        for (i, &from) in lsns.iter().enumerate() {
+            let suffix = log.scan(Some(from)).unwrap();
+            assert_eq!(suffix.len(), 4 - i, "scan from record {i}");
+            assert_eq!(suffix[0].lsn, from);
+            assert_eq!(
+                suffix.iter().map(|r| r.lsn).collect::<Vec<_>>(),
+                full[i..].iter().map(|r| r.lsn).collect::<Vec<_>>()
+            );
+        }
     }
 
     #[test]

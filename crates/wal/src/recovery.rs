@@ -9,6 +9,25 @@
 //! the tree well-formed, the recovered tree is well-formed — possibly in an
 //! *intermediate* state (split done, index term not posted), which normal
 //! processing later detects and completes (§5.1).
+//!
+//! Recovery reads only the *durable* log: the group-commit tail
+//! (`crate::log`) buffers unforced records in memory, so after a crash they
+//! simply do not exist. A torn frame at the durable tail ends the scan at the
+//! last whole record (committed-prefix semantics), and a corrupt frame in the
+//! middle of the log surfaces as [`StoreError::Corrupt`] — recovery returns
+//! typed errors and never panics (`pitree-lint`'s `panic-free-recovery` rule
+//! enforces this mechanically).
+//!
+//! Two entry points share the passes extracted here:
+//!
+//! * [`recover`] — classic stop-the-world ARIES: analysis, full serial redo,
+//!   undo. Simple and the baseline the MTTR bench measures against.
+//! * `crate::instant` — instant restart: after analysis and undo the
+//!   store opens for traffic, and redo happens per page (on first pin, or in
+//!   the background partitioned by buffer-pool shard). See `RECOVERY.md`.
+//!
+//! [`take_checkpoint`] writes the fuzzy checkpoint (dirty-page table +
+//! active-action table) that bounds both analysis and the redo horizon.
 
 use crate::log::LogManager;
 use crate::record::{ActionId, ActionIdentity, LogRecord, RecordKind, UndoInfo};
@@ -55,21 +74,25 @@ fn last_lsn(last_lsns: &HashMap<ActionId, Lsn>, action: ActionId) -> StoreResult
     })
 }
 
-/// Run full crash recovery over `pool` + `log`.
-///
-/// `handler` is required if the log can contain logical-undo records (i.e.
-/// the tree was configured with non-page-oriented UNDO).
-pub fn recover(
-    pool: &BufferPool,
-    log: &LogManager,
-    handler: Option<&dyn LogicalUndoHandler>,
-) -> StoreResult<RecoveryStats> {
-    let mut stats = RecoveryStats::default();
-    let rec = log.recorder().clone();
-    let pass_timer = Stopwatch::start();
+/// What the analysis pass learned, shared by stop-the-world [`recover`] and
+/// instant restart (`crate::instant`): the loser table, the highest action
+/// id seen, where the scan started, and every record the redo pass must
+/// consider (already bounded below by the checkpoint's dirty-page table).
+pub(crate) struct Analysis {
+    /// Actions with no durable `Commit`/`End`: identity + last known LSN.
+    pub active: HashMap<ActionId, (ActionIdentity, Lsn)>,
+    /// Highest action id seen (recovery reserves past it).
+    pub max_action: u64,
+    /// Records from the redo horizon (min dirty-page recovery LSN) onward.
+    pub redo_records: Vec<LogRecord>,
+}
 
-    // ---- Analysis -----------------------------------------------------------
-    // Seed from the master checkpoint when present, then scan forward.
+/// Analysis pass: seed from the master checkpoint when present (falling back
+/// to a full scan if the master points at a torn or missing record — the
+/// master is only advanced *after* its checkpoint is durable, so a readable
+/// master always names a whole checkpoint), then scan forward building the
+/// active-action table and the redo record list.
+pub(crate) fn analyze(log: &LogManager, stats: &mut RecoveryStats) -> StoreResult<Analysis> {
     let master = log.store().master();
     let mut active: HashMap<ActionId, (ActionIdentity, Lsn)> = HashMap::new();
     let mut redo_start = Lsn(1);
@@ -111,20 +134,48 @@ pub fn recover(
         }
     }
 
-    rec.hist("recovery.analysis_ns")
-        .record(pass_timer.elapsed_ns());
-    let pass_timer = Stopwatch::start();
-
-    // ---- Redo: repeat history ----------------------------------------------
-    // Scan from the earliest point that might concern a dirty page. (When we
-    // seeded from a checkpoint, older records are covered by the dirty-page
-    // table; otherwise we scan from the log start.)
-    let redo_records: Vec<LogRecord> = if redo_start < scan_from {
+    // Redo must start at the earliest point that might concern a dirty page.
+    // (When seeded from a checkpoint, older records are covered by the
+    // dirty-page table; otherwise the scan already began at the log start.)
+    let redo_records = if redo_start < scan_from {
         log.scan(Some(redo_start))?
     } else {
         records
     };
-    for rec in &redo_records {
+    stats.analysis_start = scan_from;
+    Ok(Analysis {
+        active,
+        max_action,
+        redo_records,
+    })
+}
+
+/// Run full crash recovery over `pool` + `log`.
+///
+/// `handler` is required if the log can contain logical-undo records (i.e.
+/// the tree was configured with non-page-oriented UNDO).
+///
+/// This is the stop-the-world path: the store is unavailable until every
+/// page is redone. `crate::instant::start_instant` opens after analysis +
+/// undo and redoes pages on demand; both paths produce byte-identical pages
+/// (gated by the determinism test in `pitree-harness`).
+pub fn recover(
+    pool: &BufferPool,
+    log: &LogManager,
+    handler: Option<&dyn LogicalUndoHandler>,
+) -> StoreResult<RecoveryStats> {
+    let mut stats = RecoveryStats::default();
+    let rec = log.recorder().clone();
+    let pass_timer = Stopwatch::start();
+
+    let analysis = analyze(log, &mut stats)?;
+
+    rec.hist("recovery.analysis_ns")
+        .record(pass_timer.elapsed_ns());
+    let pass_timer = Stopwatch::start();
+
+    // ---- Redo: repeat history, serially ------------------------------------
+    for rec in &analysis.redo_records {
         let (pid, op) = match &rec.kind {
             RecordKind::Update { pid, redo, .. } => (*pid, redo),
             RecordKind::Clr { pid, redo, .. } => (*pid, redo),
@@ -146,12 +197,31 @@ pub fn recover(
     rec.hist("recovery.redo_ns").record(pass_timer.elapsed_ns());
     let pass_timer = Stopwatch::start();
 
-    // ---- Undo: roll back losers ---------------------------------------------
-    // Multi-chain undo in globally descending LSN order, writing CLRs so a
-    // crash during recovery's own undo is safe.
+    undo_pass(pool, log, handler, &analysis.active, &mut stats)?;
+
+    log.reserve_action_ids(analysis.max_action);
+    log.force_all()?;
+    rec.hist("recovery.undo_ns").record(pass_timer.elapsed_ns());
+    Ok(stats)
+}
+
+/// Undo pass: roll back losers. Multi-chain undo in globally descending LSN
+/// order, writing CLRs so a crash during recovery's own undo is safe.
+///
+/// Under instant restart this runs *while the on-demand redo hook is
+/// installed*: each `pool.fetch` below replays the touched page's pending
+/// redo records before the undo reads it, so undo always compensates against
+/// fully-redone state.
+pub(crate) fn undo_pass(
+    pool: &BufferPool,
+    log: &LogManager,
+    handler: Option<&dyn LogicalUndoHandler>,
+    active: &HashMap<ActionId, (ActionIdentity, Lsn)>,
+    stats: &mut RecoveryStats,
+) -> StoreResult<()> {
     let mut cursors: HashMap<ActionId, Lsn> = HashMap::new();
     let mut last_lsns: HashMap<ActionId, Lsn> = HashMap::new();
-    for (a, (id, last)) in &active {
+    for (a, (id, last)) in active {
         stats.losers.push((*a, *id));
         cursors.insert(*a, *last);
         last_lsns.insert(*a, *last);
@@ -219,22 +289,30 @@ pub fn recover(
             }
         }
     }
-
-    log.reserve_action_ids(max_action);
-    log.force_all()?;
-    rec.hist("recovery.undo_ns").record(pass_timer.elapsed_ns());
-    stats.analysis_start = scan_from;
-    Ok(stats)
+    Ok(())
 }
 
 /// Take a fuzzy checkpoint: log the active-action and dirty-page tables,
 /// force the log, and point the master record at the checkpoint.
+///
+/// Fuzzy means no quiescing: updates keep flowing while the tables are
+/// snapshotted. Soundness rests on two orderings enforced elsewhere —
+/// every updater marks its page dirty *before* appending the update record
+/// (`crate::action`), so a page absent from the dirty-page table has all
+/// its records at or past the checkpoint LSN; and the buffer pool clears a
+/// frame's dirty flag only *after* write-back I/O completes, so a page
+/// mid-write still shows up in the table. The master is advanced only after
+/// the checkpoint record is durable: a crash mid-checkpoint leaves the old
+/// master, whose checkpoint is still whole.
 pub fn take_checkpoint(
     pool: &BufferPool,
     log: &LogManager,
     active: Vec<(ActionId, ActionIdentity, Lsn)>,
 ) -> StoreResult<Lsn> {
+    let rec = log.recorder();
+    let timer = Stopwatch::start();
     let dirty = pool.dirty_pages();
+    rec.hist("wal.ckpt_dirty").record(dirty.len() as u64);
     let lsn = log.append(
         ActionId(0),
         Lsn::ZERO,
@@ -242,7 +320,10 @@ pub fn take_checkpoint(
     );
     log.force_all()?;
     log.store().set_master(lsn);
-    log.recorder().event(EventKind::WalCheckpoint, lsn.0, 0);
+    log.note_checkpoint();
+    rec.counter("wal.ckpt_taken").inc();
+    rec.hist("wal.ckpt_ns").record(timer.elapsed_ns());
+    rec.event(EventKind::WalCheckpoint, lsn.0, 0);
     Ok(lsn)
 }
 

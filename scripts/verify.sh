@@ -66,7 +66,8 @@ done
 
 step "throughput smoke (group-commit bench emits well-formed JSON; groups must form)"
 tp_out="$(mktemp)"
-trap 'rm -f "$tp_out"' EXIT
+mttr_out="$(mktemp)"
+trap 'rm -f "$tp_out" "$mttr_out"' EXIT
 cargo run --offline --release -q --bin throughput -- --smoke --out "$tp_out" >/dev/null
 for key in '"bench": "throughput"' '"mode": "smoke"' '"threads"' '"ops_per_sec"' \
            '"wal_group_size_p50"' '"ack_p95_ns"' '"txn_elr_released"' \
@@ -82,5 +83,22 @@ while read -r threads p50; do
     exit 1
   fi
 done < <(sed -n 's/.*"threads": \([0-9]*\),.*"wal_group_size_p50": \([0-9]*\),.*/\1 \2/p' "$tp_out")
+
+step "mttr smoke (instant restart: first op must beat stop-the-world replay)"
+cargo run --offline --release -q --bin mttr -- --smoke --out "$mttr_out" >/dev/null
+for key in '"bench": "mttr"' '"mode": "smoke"' '"first_op_ns"' '"full_replay_ns"' \
+           '"ttfo_speedup"' '"full_recovery_ns"' '"redo_pages"' \
+           '"on_demand_redos"' '"post_checkpoint_bytes"'; do
+  grep -q "$key" "$mttr_out" || { echo "mttr smoke output missing $key" >&2; exit 1; }
+done
+# Instant restart must answer its first op well before a full replay
+# would: gate at 2x so the check is robust to warm-cache CI machines
+# (the committed full-mode BENCH_mttr.json shows the cold-cache margin).
+while read -r full first; do
+  if (( first * 2 > full )); then
+    echo "first_op_ns=$first vs full_replay_ns=$full: instant restart is not instant" >&2
+    exit 1
+  fi
+done < <(sed -n 's/.*"full_replay_ns": \([0-9]*\),.*"first_op_ns": \([0-9]*\),.*/\1 \2/p' "$mttr_out")
 
 printf '\nverify.sh: all checks passed\n'
