@@ -223,7 +223,7 @@ fn test_flags(path: &str, tokens: &[Token], fns: &[FnSpan]) -> Vec<bool> {
 }
 
 /// Index of the `]` matching the `[` at `open`.
-fn matching_bracket(tokens: &[Token], open: usize) -> usize {
+pub(crate) fn matching_bracket(tokens: &[Token], open: usize) -> usize {
     let mut d = 0i32;
     for (j, t) in tokens.iter().enumerate().skip(open) {
         if t.is_punct('[') {

@@ -1,5 +1,6 @@
-//! Scan driver: walks the workspace, applies rules, resolves
-//! `// pitree-lint:` suppressions, and audits the suppressions themselves.
+//! Scan driver: walks the workspace, runs the flow analyses and the
+//! token-tier rules, resolves `// pitree-lint:` suppressions, and audits
+//! the suppressions themselves.
 //!
 //! Suppression grammar (inside any comment):
 //!
@@ -12,9 +13,17 @@
 //! `allow-file` covers the whole file. Every allow must suppress at least
 //! one finding in the scan, or it is reported as `stale-allow` — the
 //! violation it excused is gone and the annotation must go with it.
+//!
+//! The scan is whole-workspace because the flow rules are interprocedural:
+//! the call graph, the latch-order graph, and the log-before-dirty
+//! summaries all need every file at once. Token rules still apply
+//! per-file afterwards, with the linear log-before-dirty scan re-armed
+//! only for files the structural parser could not follow.
 
 use crate::context::FileCx;
-use crate::rules::{run_all, Finding, RuleId};
+use crate::flow;
+use crate::parse::{parse_file, FileAst};
+use crate::rules::{run_token, Finding, RuleId};
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -26,6 +35,13 @@ struct Allow {
     rule: RuleId,
     whole_file: bool,
     used: usize,
+}
+
+impl Allow {
+    /// Whether this allow covers a finding of `rule` at `line`.
+    fn covers(&self, rule: RuleId, line: u32) -> bool {
+        self.rule == rule && (self.whole_file || self.line == line || self.line + 1 == line)
+    }
 }
 
 /// Scan outcome for a set of files.
@@ -40,6 +56,9 @@ pub struct Report {
     pub fired: BTreeMap<RuleId, usize>,
     /// Per-rule suppressed finding counts.
     pub allowed: BTreeMap<RuleId, usize>,
+    /// The latch-acquisition order graph (paper §4.1) in DOT form, with an
+    /// `// acyclic: true|false` header line for cheap CI gating.
+    pub latch_dot: String,
 }
 
 impl Report {
@@ -82,43 +101,84 @@ impl Report {
     }
 }
 
-/// Lint a single source text as the file at workspace-relative `path`.
-/// This is the unit-test entry point; the directory scan calls it per file.
-pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
-    lint_file(path, src).0
+/// Scan a set of `(workspace-relative path, source)` pairs as one unit.
+/// This is the core entry point: flow rules see all files together.
+pub fn scan_sources(files: &[(String, String)]) -> Report {
+    let cxs: Vec<FileCx> = files.iter().map(|(p, s)| FileCx::new(p, s)).collect();
+    let mut allows: Vec<Vec<Allow>> = Vec::with_capacity(cxs.len());
+    let mut findings: Vec<Finding> = Vec::new();
+    for cx in &cxs {
+        let (a, f) = parse_allows(cx);
+        allows.push(a);
+        findings.extend(f);
+    }
+    let asts: Vec<FileAst> = cxs.iter().map(parse_file).collect();
+
+    let mut allowed: BTreeMap<RuleId, usize> = BTreeMap::new();
+    let (flow_findings, latch_dot) = {
+        let mut sanction = |fi: usize, line: u32, rule: RuleId| -> bool {
+            if let Some(a) = allows[fi].iter_mut().find(|a| a.covers(rule, line)) {
+                a.used += 1;
+                *allowed.entry(rule).or_insert(0) += 1;
+                true
+            } else {
+                false
+            }
+        };
+        flow::analyze(&asts, &mut sanction)
+    };
+    findings.extend(flow_findings);
+
+    // Token tier. The linear log-before-dirty scan only re-arms for files
+    // the structural parser could not follow.
+    for (i, cx) in cxs.iter().enumerate() {
+        for f in run_token(cx, !asts[i].parsed) {
+            if let Some(a) = allows[i].iter_mut().find(|a| a.covers(f.rule, f.line)) {
+                a.used += 1;
+                *allowed.entry(f.rule).or_insert(0) += 1;
+            } else {
+                findings.push(f);
+            }
+        }
+    }
+
+    // Stale-suppression audit.
+    for (i, cx) in cxs.iter().enumerate() {
+        for a in &allows[i] {
+            if a.used == 0 {
+                findings.push(Finding {
+                    path: cx.path.clone(),
+                    line: a.line,
+                    rule: RuleId::StaleAllow,
+                    msg: format!(
+                        "allow({}) suppresses nothing; the violation it excused is gone — \
+                         remove the annotation",
+                        a.rule
+                    ),
+                });
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    let mut fired = BTreeMap::new();
+    for f in &findings {
+        *fired.entry(f.rule).or_insert(0) += 1;
+    }
+    Report {
+        findings,
+        files: cxs.len(),
+        fired,
+        allowed,
+        latch_dot,
+    }
 }
 
-/// Lint one file: surviving findings plus per-rule suppressed counts.
-fn lint_file(path: &str, src: &str) -> (Vec<Finding>, BTreeMap<RuleId, usize>) {
-    let cx = FileCx::new(path, src);
-    let (mut allows, mut findings) = parse_allows(&cx);
-    let mut suppressed = BTreeMap::new();
-    for f in run_all(&cx) {
-        if let Some(a) = allows.iter_mut().find(|a| {
-            a.rule == f.rule && (a.whole_file || a.line == f.line || a.line + 1 == f.line)
-        }) {
-            a.used += 1;
-            *suppressed.entry(f.rule).or_insert(0) += 1;
-        } else {
-            findings.push(f);
-        }
-    }
-    for a in &allows {
-        if a.used == 0 {
-            findings.push(Finding {
-                path: cx.path.clone(),
-                line: a.line,
-                rule: RuleId::StaleAllow,
-                msg: format!(
-                    "allow({}) suppresses nothing; the violation it excused is gone — \
-                     remove the annotation",
-                    a.rule
-                ),
-            });
-        }
-    }
-    findings.sort_by_key(|f| (f.line, f.rule));
-    (findings, suppressed)
+/// Lint a single source text as the file at workspace-relative `path`.
+/// This is the unit-test entry point; interprocedural rules see only this
+/// one file.
+pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+    scan_sources(&[(path.to_string(), src.to_string())]).findings
 }
 
 /// Extract `pitree-lint:` directives from the file's comments. Malformed
@@ -217,26 +277,14 @@ pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
 
 /// Scan the workspace rooted at `root`.
 pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
-    let mut report = Report::default();
+    let mut sources = Vec::new();
     for abs in collect_rs_files(root)? {
         let rel = abs
             .strip_prefix(root)
             .unwrap_or(&abs)
             .to_string_lossy()
             .replace('\\', "/");
-        let src = fs::read_to_string(&abs)?;
-        report.files += 1;
-        let (findings, suppressed) = lint_file(&rel, &src);
-        for f in findings {
-            *report.fired.entry(f.rule).or_insert(0) += 1;
-            report.findings.push(f);
-        }
-        for (rule, n) in suppressed {
-            *report.allowed.entry(rule).or_insert(0) += n;
-        }
+        sources.push((rel, fs::read_to_string(&abs)?));
     }
-    report
-        .findings
-        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
-    Ok(report)
+    Ok(scan_sources(&sources))
 }

@@ -1,0 +1,989 @@
+//! pitree-flow: path-sensitive dataflow rules over per-function CFGs and
+//! the whole-workspace call graph.
+//!
+//! Four analyses run here, each a forward dataflow fixpoint over
+//! [`crate::cfg::Cfg`] blocks followed by a single reporting pass:
+//!
+//! 1. **Latch-acquisition order graph** (paper §4.1) — the set of held
+//!    latch *classes* is tracked through every path; each acquisition made
+//!    while something is held adds an edge `held-class → new-class`. The
+//!    graph is emitted as a DOT artifact, and a cycle among blocking
+//!    (non-`try_`) edges in the quotient graph (page-role classes
+//!    collapsed, since ordering *within* the page family is the runtime
+//!    search-order argument) is a hard failure: deadlock freedom as a
+//!    checked theorem.
+//! 2. **Guard lifetime** — a latch guard leaked via `forget`, held across
+//!    a blocking wait on any path, or dropped twice on some path.
+//! 3. **Log-before-dirty** (paper §4.3.1) — every path to a page-dirtying
+//!    call must pass a WAL append first, in the same function or in a
+//!    caller (interprocedural, via always-appends call-graph summaries).
+//! 4. **Interprocedural no-wait** (paper §4.2.2) — a blocking lock
+//!    acquisition reachable through any call chain from an SMO
+//!    completion/post/consolidate entry point.
+//!
+//! The `sanction` callback consults `// pitree-lint: allow(...)`
+//! directives: it returns `true` when a would-be finding at
+//! `(file, line)` is suppressed, marking the allow used.
+
+use crate::callgraph::CallGraph;
+use crate::cfg::{lower, Cfg};
+use crate::parse::{Event, FileAst, FnDef};
+use crate::rules::{Finding, RuleId};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Files whose internals implement the latch/buffer machinery itself;
+/// their acquisitions are the mechanism, not uses of the discipline.
+const EXEMPT: [&str; 3] = [
+    "crates/pagestore/src/latch.rs",
+    "crates/pagestore/src/buffer.rs",
+    "crates/pagestore/src/sync.rs",
+];
+
+/// SMO completion-path entry files for the interprocedural No-Wait rule.
+/// Sites *inside* these files are the token rule's responsibility; flow
+/// adds the call chains that leave them.
+const NO_WAIT_ENTRIES: [&str; 3] = [
+    "crates/core/src/completion.rs",
+    "crates/core/src/post.rs",
+    "crates/core/src/consolidate.rs",
+];
+
+/// Suppression oracle: `(file index, line, rule)` → suppressed?
+pub type Sanction<'a> = dyn FnMut(usize, u32, RuleId) -> bool + 'a;
+
+struct FlowFn<'a> {
+    file: usize,
+    def: &'a FnDef,
+    cfg: Cfg,
+}
+
+/// Run all flow rules over the parsed workspace. Returns the findings
+/// (suppressions already applied via `sanction`) and the latch-order
+/// graph in DOT form.
+pub fn analyze(asts: &[FileAst], sanction: &mut Sanction<'_>) -> (Vec<Finding>, String) {
+    let mut fns: Vec<FlowFn<'_>> = Vec::new();
+    for (fi, ast) in asts.iter().enumerate() {
+        if !ast.parsed || EXEMPT.contains(&ast.path.as_str()) {
+            continue;
+        }
+        for def in &ast.fns {
+            if def.is_test {
+                continue;
+            }
+            fns.push(FlowFn {
+                file: fi,
+                def,
+                cfg: lower(&def.body),
+            });
+        }
+    }
+    let cg = CallGraph::new(
+        &fns.iter()
+            .map(|f| (f.def.name.clone(), f.def.params, f.def.has_self))
+            .collect::<Vec<_>>(),
+    );
+
+    let mut findings = Vec::new();
+    let dot = latch_order_graph(asts, &fns, &cg, sanction, &mut findings);
+    guard_lifetime(asts, &fns, sanction, &mut findings);
+    log_before_dirty(asts, &fns, &cg, sanction, &mut findings);
+    no_wait_reach(asts, &fns, &cg, sanction, &mut findings);
+    (findings, dot)
+}
+
+// ---- dataflow scaffolding -------------------------------------------------
+
+/// Forward worklist fixpoint: per-block *in*-states. `None` = unreachable.
+fn fixpoint<S: Clone + PartialEq>(
+    cfg: &Cfg,
+    init: S,
+    join: impl Fn(&S, &S) -> S,
+    step: impl Fn(&S, &Event) -> S,
+) -> Vec<Option<S>> {
+    let mut input: Vec<Option<S>> = vec![None; cfg.blocks.len()];
+    input[cfg.entry] = Some(init);
+    let mut work = vec![cfg.entry];
+    let mut guard = 0usize;
+    while let Some(b) = work.pop() {
+        guard += 1;
+        if guard > 100_000 {
+            break; // non-monotone join bug containment; never expected
+        }
+        let Some(mut s) = input[b].clone() else {
+            continue;
+        };
+        for e in &cfg.blocks[b].events {
+            s = step(&s, e);
+        }
+        for &succ in &cfg.blocks[b].succs {
+            let merged = match &input[succ] {
+                None => s.clone(),
+                Some(old) => join(old, &s),
+            };
+            if input[succ].as_ref() != Some(&merged) {
+                input[succ] = Some(merged);
+                work.push(succ);
+            }
+        }
+    }
+    input
+}
+
+/// Replay each reachable block once from its in-state, calling `visit` on
+/// every (state-before, event) pair. Findings are emitted here, exactly
+/// once per program point.
+fn visit_events<S: Clone>(
+    cfg: &Cfg,
+    input: &[Option<S>],
+    step: impl Fn(&S, &Event) -> S,
+    mut visit: impl FnMut(&S, &Event),
+) {
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        let Some(s0) = &input[b] else {
+            continue;
+        };
+        let mut s = s0.clone();
+        for e in &blk.events {
+            visit(&s, e);
+            s = step(&s, e);
+        }
+    }
+}
+
+// ---- rule 1: latch-acquisition order graph (§4.1) -------------------------
+
+/// Latch class of an acquisition receiver, from the workspace's naming
+/// conventions (guard/pin variables name their role in the SMO).
+fn latch_class(recv: Option<&str>) -> &'static str {
+    let Some(r) = recv else { return "node" };
+    if r.contains("alloc") {
+        "alloc"
+    } else if r == "smo" {
+        "smo"
+    } else if r.starts_with("bm") {
+        "spacemap"
+    } else if r.starts_with("meta") {
+        "meta"
+    } else if r == "n_pin" {
+        "contained"
+    } else if r.starts_with("hist") || matches!(r, "hp" | "hpin" | "hg") {
+        "history"
+    } else if r.starts_with("new") || matches!(r, "np" | "n1_pin" | "n2_pin" | "ng") {
+        "newpage"
+    } else if r.starts_with("parent") || matches!(r, "pg" | "u") {
+        "parent"
+    } else if r.starts_with("child") || matches!(r, "cpin" | "cp" | "c_pin" | "cg") {
+        "child"
+    } else if r.starts_with("sib") || r.starts_with("next") || r == "sp" {
+        "sibling"
+    } else if r.starts_with("root") {
+        "root"
+    } else {
+        "node"
+    }
+}
+
+/// Quotient for the cycle check: the page-role classes collapse into one
+/// node, because ordering among tree pages is the *runtime* search-order
+/// argument (checked by the latch rank assertions), not a static total
+/// order between roles.
+fn quot(class: &str) -> &'static str {
+    match class {
+        "alloc" => "alloc",
+        "spacemap" => "spacemap",
+        "smo" => "smo",
+        _ => "page",
+    }
+}
+
+/// An edge participates in the static cycle check unless both endpoints
+/// are tree pages (the quotient's internal structure).
+fn cycle_relevant(from: &str, to: &str) -> bool {
+    !(quot(from) == "page" && quot(to) == "page")
+}
+
+/// Held latch guards: (variable, class).
+type Held = BTreeSet<(String, String)>;
+
+fn held_step(s: &Held, e: &Event) -> Held {
+    let mut s = s.clone();
+    match e {
+        Event::Acquire {
+            var: Some(v), recv, ..
+        } => {
+            s.retain(|(x, _)| x != v);
+            s.insert((v.clone(), latch_class(recv.as_deref()).to_string()));
+        }
+        Event::Promote { recv, var, .. } => {
+            let cls = recv
+                .as_deref()
+                .and_then(|r| s.iter().find(|(x, _)| x == r).map(|(_, c)| c.clone()))
+                .unwrap_or_else(|| "node".to_string());
+            if let Some(r) = recv {
+                s.retain(|(x, _)| x != r);
+            }
+            if let Some(v) = var {
+                s.retain(|(x, _)| x != v);
+                s.insert((v.clone(), cls));
+            }
+        }
+        Event::DropVar { var, .. } => s.retain(|(x, _)| x != var),
+        Event::AssignVar { dst, src, .. } => {
+            let src_cls = s.iter().find(|(x, _)| x == src).map(|(_, c)| c.clone());
+            s.retain(|(x, _)| x != dst && x != src);
+            if let Some(c) = src_cls {
+                s.insert((dst.clone(), c));
+            }
+        }
+        Event::Call { moved, .. } => s.retain(|(x, _)| !moved.contains(x)),
+        _ => {}
+    }
+    s
+}
+
+#[derive(Debug)]
+struct EdgeInfo {
+    count: usize,
+    file: usize,
+    line: u32,
+    /// All occurrences carry an `allow(latch-cycle)`: drawn gray, out of
+    /// the cycle check.
+    exempt: bool,
+}
+
+fn latch_order_graph(
+    asts: &[FileAst],
+    fns: &[FlowFn<'_>],
+    cg: &CallGraph,
+    sanction: &mut Sanction<'_>,
+    findings: &mut Vec<Finding>,
+) -> String {
+    // Interprocedural summaries: classes a function blocking-acquires,
+    // directly or through any callee (union fixpoint).
+    let mut acq: Vec<BTreeSet<String>> = fns
+        .iter()
+        .map(|f| {
+            let mut set = BTreeSet::new();
+            for blk in &f.cfg.blocks {
+                for e in &blk.events {
+                    if let Event::Acquire {
+                        blocking: true,
+                        recv,
+                        ..
+                    } = e
+                    {
+                        set.insert(latch_class(recv.as_deref()).to_string());
+                    }
+                }
+            }
+            set
+        })
+        .collect();
+    // Summaries flow only through *unambiguous* call resolutions: with
+    // name/arity matching, a popular name (`apply`, `insert`) resolves to
+    // many unrelated functions and would union every class into every
+    // call site, saturating the graph into uselessness. Dropping ambiguous
+    // edges under-approximates; the runtime latch-rank checker still
+    // covers what the static graph cannot see.
+    let callees: Vec<Vec<usize>> = fns
+        .iter()
+        .map(|f| {
+            let mut out = Vec::new();
+            for blk in &f.cfg.blocks {
+                for e in &blk.events {
+                    if let Event::Call {
+                        name, args, method, ..
+                    } = e
+                    {
+                        let cands = cg.resolve(name, *args, *method);
+                        if let [one] = cands[..] {
+                            out.push(one);
+                        }
+                    }
+                }
+            }
+            out
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for i in 0..fns.len() {
+            for &c in &callees[i] {
+                if c == i {
+                    continue;
+                }
+                let extra: Vec<String> = acq[c].difference(&acq[i]).cloned().collect();
+                if !extra.is_empty() {
+                    acq[i].extend(extra);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Collect edges: (from-class, to-class, blocking) → info.
+    let mut edges: BTreeMap<(String, String, bool), EdgeInfo> = BTreeMap::new();
+    for f in fns {
+        let input = fixpoint(
+            &f.cfg,
+            Held::new(),
+            |a, b| a.union(b).cloned().collect(),
+            held_step,
+        );
+        visit_events(&f.cfg, &input, held_step, |s, e| {
+            let mut record = |to: &str, blocking: bool, line: u32| {
+                for (_, from) in s.iter() {
+                    let key = (from.clone(), to.to_string(), blocking);
+                    let relevant = blocking && cycle_relevant(from, to);
+                    let ok = relevant && sanction(f.file, line, RuleId::LatchCycle);
+                    let info = edges.entry(key).or_insert(EdgeInfo {
+                        count: 0,
+                        file: f.file,
+                        line,
+                        exempt: true,
+                    });
+                    info.count += 1;
+                    if relevant {
+                        info.exempt &= ok;
+                    }
+                }
+            };
+            match e {
+                Event::Acquire {
+                    recv,
+                    blocking,
+                    line,
+                    ..
+                } => record(latch_class(recv.as_deref()), *blocking, *line),
+                Event::Call {
+                    name,
+                    args,
+                    method,
+                    line,
+                    ..
+                } if !s.is_empty() => {
+                    // Same unambiguous-resolution restriction as the
+                    // summary fixpoint above.
+                    if let [c] = cg.resolve(name, *args, *method)[..] {
+                        for cls in acq[c].clone() {
+                            record(&cls, true, *line);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        });
+    }
+
+    // Quotient cycle check over blocking, non-exempt, cycle-relevant edges.
+    let mut q: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    let mut site: BTreeMap<(&str, &str), (usize, u32)> = BTreeMap::new();
+    for ((from, to, blocking), info) in &edges {
+        if !*blocking || info.exempt || !cycle_relevant(from, to) {
+            continue;
+        }
+        let (qf, qt) = (quot(from), quot(to));
+        q.entry(qf).or_default().insert(qt);
+        site.entry((qf, qt)).or_insert((info.file, info.line));
+    }
+    let cycle = find_cycle(&q);
+    if let Some(path) = &cycle {
+        let (fi, line) = path
+            .windows(2)
+            .find_map(|w| site.get(&(w[0], w[1])).copied())
+            .unwrap_or((0, 0));
+        findings.push(Finding {
+            path: asts.get(fi).map(|a| a.path.clone()).unwrap_or_default(),
+            line,
+            rule: RuleId::LatchCycle,
+            msg: format!(
+                "latch-acquisition order graph has a cycle: {}; a global \
+                 acquisition order is what makes latching deadlock-free \
+                 (paper 4.1) — see the DOT artifact",
+                path.join(" -> ")
+            ),
+        });
+    }
+
+    // DOT artifact.
+    let mut dot = String::new();
+    dot.push_str("// pitree-flow latch-acquisition order graph (paper 4.1)\n");
+    dot.push_str(&format!("// acyclic: {}\n", cycle.is_none()));
+    dot.push_str("digraph latch_order {\n  rankdir=LR;\n");
+    for ((from, to, blocking), info) in &edges {
+        let path = asts.get(info.file).map(|a| a.path.as_str()).unwrap_or("?");
+        let mut attrs = vec![format!("label=\"{}x {}:{}\"", info.count, path, info.line)];
+        if !*blocking {
+            attrs.push("style=dashed".to_string());
+        } else if info.exempt && cycle_relevant(from, to) {
+            attrs.push("color=gray".to_string());
+        }
+        dot.push_str(&format!(
+            "  \"{from}\" -> \"{to}\" [{}];\n",
+            attrs.join(", ")
+        ));
+    }
+    dot.push_str("}\n");
+    dot
+}
+
+/// DFS cycle search; returns a closed node path `a -> ... -> a` if found.
+fn find_cycle<'a>(g: &BTreeMap<&'a str, BTreeSet<&'a str>>) -> Option<Vec<&'a str>> {
+    let mut color: BTreeMap<&str, u8> = BTreeMap::new(); // 0 white 1 gray 2 black
+    let mut stack: Vec<&str> = Vec::new();
+    fn dfs<'a>(
+        n: &'a str,
+        g: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+        color: &mut BTreeMap<&'a str, u8>,
+        stack: &mut Vec<&'a str>,
+    ) -> Option<Vec<&'a str>> {
+        color.insert(n, 1);
+        stack.push(n);
+        if let Some(succs) = g.get(n) {
+            for &m in succs {
+                match color.get(m).copied().unwrap_or(0) {
+                    0 => {
+                        if let Some(c) = dfs(m, g, color, stack) {
+                            return Some(c);
+                        }
+                    }
+                    1 => {
+                        let start = stack.iter().position(|&x| x == m).unwrap_or(0);
+                        let mut path: Vec<&str> = stack[start..].to_vec();
+                        path.push(m);
+                        return Some(path);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        stack.pop();
+        color.insert(n, 2);
+        None
+    }
+    for &n in g.keys() {
+        if color.get(n).copied().unwrap_or(0) == 0 {
+            if let Some(c) = dfs(n, g, &mut color, &mut stack) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+// ---- rule 2: guard lifetime -----------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Liveness {
+    /// Held on every path here.
+    Live,
+    /// Released on every path here.
+    Dropped,
+    /// Held on some path, released on another.
+    Mixed,
+}
+
+type Guards = BTreeMap<String, (Liveness, u32)>;
+
+fn guard_step(s: &Guards, e: &Event) -> Guards {
+    let mut s = s.clone();
+    match e {
+        Event::Acquire {
+            var: Some(v), line, ..
+        } => {
+            s.insert(v.clone(), (Liveness::Live, *line));
+        }
+        Event::Promote { recv, var, line } => {
+            if let Some(r) = recv {
+                s.remove(r);
+            }
+            if let Some(v) = var {
+                s.insert(v.clone(), (Liveness::Live, *line));
+            }
+        }
+        Event::DropVar {
+            var,
+            implicit: true,
+            ..
+        } => {
+            s.remove(var);
+        }
+        Event::DropVar { var, line, .. } if s.contains_key(var) => {
+            s.insert(var.clone(), (Liveness::Dropped, *line));
+        }
+        Event::AssignVar { dst, src, .. } => {
+            if let Some(st) = s.remove(src) {
+                s.insert(dst.clone(), st);
+            } else {
+                s.remove(dst);
+            }
+        }
+        Event::Forget { var: Some(v), .. } => {
+            s.remove(v);
+        }
+        Event::Call { moved, .. } => {
+            for m in moved {
+                s.remove(m);
+            }
+        }
+        _ => {}
+    }
+    s
+}
+
+fn guard_join(a: &Guards, b: &Guards) -> Guards {
+    let mut out = Guards::new();
+    for k in a.keys().chain(b.keys()) {
+        if out.contains_key(k) {
+            continue;
+        }
+        let v = match (a.get(k), b.get(k)) {
+            (Some(&(x, lx)), Some(&(y, ly))) => {
+                let st = if x == y { x } else { Liveness::Mixed };
+                (st, lx.min(ly))
+            }
+            (Some(&(x, l)), None) | (None, Some(&(x, l))) => {
+                // Absent on one side = never acquired there = not held.
+                let st = if x == Liveness::Dropped {
+                    Liveness::Dropped
+                } else {
+                    Liveness::Mixed
+                };
+                (st, l)
+            }
+            (None, None) => unreachable!(),
+        };
+        out.insert(k.clone(), v);
+    }
+    out
+}
+
+fn guard_lifetime(
+    asts: &[FileAst],
+    fns: &[FlowFn<'_>],
+    sanction: &mut Sanction<'_>,
+    findings: &mut Vec<Finding>,
+) {
+    let mut seen: BTreeSet<(usize, u32, String)> = BTreeSet::new();
+    for f in fns {
+        let input = fixpoint(&f.cfg, Guards::new(), guard_join, guard_step);
+        visit_events(&f.cfg, &input, guard_step, |s, e| {
+            let mut emit = |line: u32, msg: String, key: String| {
+                if !seen.insert((f.file, line, key)) {
+                    return;
+                }
+                if sanction(f.file, line, RuleId::GuardLifetime) {
+                    return;
+                }
+                findings.push(Finding {
+                    path: asts[f.file].path.clone(),
+                    line,
+                    rule: RuleId::GuardLifetime,
+                    msg,
+                });
+            };
+            match e {
+                Event::DropVar {
+                    var,
+                    line,
+                    implicit: false,
+                } => {
+                    if let Some(&(Liveness::Dropped, first)) = s.get(var) {
+                        emit(
+                            *line,
+                            format!(
+                                "guard `{var}` in `{}` is dropped twice (earlier release \
+                                 at line {first}); a double release corrupts the latch \
+                                 state machine",
+                                f.def.name
+                            ),
+                            format!("dd:{var}"),
+                        );
+                    }
+                }
+                Event::Forget { var: Some(v), line }
+                    if s.get(v).is_some_and(|&(st, _)| st != Liveness::Dropped) =>
+                {
+                    emit(
+                        *line,
+                        format!(
+                            "latch guard `{v}` in `{}` is leaked via forget(...); \
+                             the latch is never released and every later acquirer \
+                             deadlocks",
+                            f.def.name
+                        ),
+                        format!("leak:{v}"),
+                    );
+                }
+                Event::Wait { what, line } => {
+                    let held: Vec<&str> = s
+                        .iter()
+                        .filter(|(_, &(st, _))| st != Liveness::Dropped)
+                        .map(|(k, _)| k.as_str())
+                        .collect();
+                    if !held.is_empty() {
+                        emit(
+                            *line,
+                            format!(
+                                "blocking wait `{what}(...)` in `{}` while latch guard(s) \
+                                 `{}` may still be held on some path; release latches \
+                                 before blocking (paper 4.2.2)",
+                                f.def.name,
+                                held.join("`, `")
+                            ),
+                            format!("wait:{what}"),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        });
+    }
+}
+
+// ---- rule 3: log-before-dirty as dataflow (§4.3.1) ------------------------
+
+fn log_before_dirty(
+    asts: &[FileAst],
+    fns: &[FlowFn<'_>],
+    cg: &CallGraph,
+    sanction: &mut Sanction<'_>,
+    findings: &mut Vec<Finding>,
+) {
+    // always_appends[f]: every path through f reaches an append before
+    // returning. Increasing fixpoint, AND-join over paths.
+    let mut always = vec![false; fns.len()];
+    loop {
+        let mut changed = false;
+        for (i, f) in fns.iter().enumerate() {
+            if always[i] {
+                continue;
+            }
+            let input = fixpoint(
+                &f.cfg,
+                false,
+                |a, b| *a && *b,
+                |s, e| logged_step(*s, e, cg, &always),
+            );
+            let exit = input[f.cfg.exit].unwrap_or(false);
+            if exit {
+                always[i] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Phase A: per-function local facts under the final summaries.
+    // local[f]: dirty sites not dominated by an append inside f.
+    // unlogged[f]: call sites still unlogged, with their candidates.
+    let mut local: Vec<Vec<(u32, String)>> = vec![Vec::new(); fns.len()];
+    let mut unlogged: Vec<Vec<(u32, Vec<usize>)>> = vec![Vec::new(); fns.len()];
+    let mut callers: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); fns.len()];
+    for (i, f) in fns.iter().enumerate() {
+        let input = fixpoint(
+            &f.cfg,
+            false,
+            |a, b| *a && *b,
+            |s, e| logged_step(*s, e, cg, &always),
+        );
+        visit_events(
+            &f.cfg,
+            &input,
+            |s, e| logged_step(*s, e, cg, &always),
+            |s, e| match e {
+                Event::Dirty { method, line }
+                    if !*s && !sanction(f.file, *line, RuleId::LogBeforeDirty) =>
+                {
+                    local[i].push((*line, method.clone()));
+                }
+                Event::Call {
+                    name,
+                    args,
+                    method,
+                    line,
+                    ..
+                } => {
+                    let cands = cg.resolve(name, *args, *method);
+                    for &c in &cands {
+                        callers[c].insert(i);
+                    }
+                    if !*s && !cands.is_empty() {
+                        unlogged[i].push((*line, cands));
+                    }
+                }
+                _ => {}
+            },
+        );
+    }
+
+    // Phase B: req[f] = some path through f dirties without a dominating
+    // append, locally or through an unlogged call chain.
+    let mut req: Vec<bool> = local.iter().map(|l| !l.is_empty()).collect();
+    loop {
+        let mut changed = false;
+        for i in 0..fns.len() {
+            if req[i] {
+                continue;
+            }
+            if unlogged[i]
+                .iter()
+                .any(|(_, cands)| cands.iter().any(|&c| req[c]))
+            {
+                req[i] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Phase C: report from root functions (no workspace callers): any
+    // caller could still discharge the obligation, so only chains that
+    // begin at an entry no one wraps are definite violations.
+    let mut reported: BTreeSet<(usize, u32)> = BTreeSet::new();
+    for (root, f) in fns.iter().enumerate() {
+        if !req[root] || !callers[root].is_empty() {
+            continue;
+        }
+        let _ = f;
+        let mut stack = vec![(root, vec![fns[root].def.name.clone()])];
+        let mut visited = BTreeSet::new();
+        while let Some((i, chain)) = stack.pop() {
+            if !visited.insert(i) {
+                continue;
+            }
+            for (line, method) in &local[i] {
+                if !reported.insert((fns[i].file, *line)) {
+                    continue;
+                }
+                let via = if chain.len() > 1 {
+                    format!(" (reached via `{}`)", chain.join("` -> `"))
+                } else {
+                    String::new()
+                };
+                findings.push(Finding {
+                    path: asts[fns[i].file].path.clone(),
+                    line: *line,
+                    rule: RuleId::LogBeforeDirty,
+                    msg: format!(
+                        "`{}` calls `{method}` on a path with no earlier WAL append, \
+                         in this function or any caller{via}; log before dirtying \
+                         (paper 4.3.1)",
+                        fns[i].def.name
+                    ),
+                });
+            }
+            for (_, cands) in &unlogged[i] {
+                for &c in cands {
+                    if req[c] && !visited.contains(&c) {
+                        let mut chain2 = chain.clone();
+                        chain2.push(fns[c].def.name.clone());
+                        stack.push((c, chain2));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Transfer for the "a WAL append dominates this point" predicate.
+fn logged_step(s: bool, e: &Event, cg: &CallGraph, always: &[bool]) -> bool {
+    if s {
+        return true;
+    }
+    match e {
+        Event::Append { .. } => true,
+        Event::Call {
+            name, args, method, ..
+        } => {
+            let cands = cg.resolve(name, *args, *method);
+            !cands.is_empty() && cands.iter().all(|&c| always[c])
+        }
+        _ => false,
+    }
+}
+
+// ---- rule 4: interprocedural no-wait (§4.2.2) -----------------------------
+
+fn no_wait_reach(
+    asts: &[FileAst],
+    fns: &[FlowFn<'_>],
+    cg: &CallGraph,
+    sanction: &mut Sanction<'_>,
+    findings: &mut Vec<Finding>,
+) {
+    let is_entry_file = |fi: usize| NO_WAIT_ENTRIES.contains(&asts[fi].path.as_str());
+    let in_core = |fi: usize| asts[fi].path.starts_with("crates/core/src/");
+
+    // BFS from every entry function over in-core call edges.
+    let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut entry_of: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for (i, f) in fns.iter().enumerate() {
+        if is_entry_file(f.file) {
+            entry_of.insert(i, i);
+            queue.push_back(i);
+        }
+    }
+    while let Some(i) = queue.pop_front() {
+        for blk in &fns[i].cfg.blocks {
+            for e in &blk.events {
+                if let Event::Call {
+                    name, args, method, ..
+                } = e
+                {
+                    for c in cg.resolve(name, *args, *method) {
+                        if in_core(fns[c].file) && !entry_of.contains_key(&c) {
+                            entry_of.insert(c, entry_of[&i]);
+                            parent.insert(c, i);
+                            queue.push_back(c);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut reported: BTreeSet<(usize, u32)> = BTreeSet::new();
+    for (&i, &entry) in &entry_of {
+        let f = &fns[i];
+        // Sites inside the entry files belong to the token rule.
+        if is_entry_file(f.file) {
+            continue;
+        }
+        for blk in &f.cfg.blocks {
+            for e in &blk.events {
+                let Event::BlockingLock { what, line } = e else {
+                    continue;
+                };
+                if !reported.insert((f.file, *line)) {
+                    continue;
+                }
+                if sanction(f.file, *line, RuleId::NoWait) {
+                    continue;
+                }
+                // Reconstruct the call chain entry -> ... -> f.
+                let mut chain = vec![f.def.name.as_str()];
+                let mut cur = i;
+                while let Some(&p) = parent.get(&cur) {
+                    chain.push(fns[p].def.name.as_str());
+                    cur = p;
+                }
+                chain.reverse();
+                findings.push(Finding {
+                    path: asts[f.file].path.clone(),
+                    line: *line,
+                    rule: RuleId::NoWait,
+                    msg: format!(
+                        "blocking `{what}(...)` reachable from SMO completion entry \
+                         `{}` via `{}`; completion paths hold latches, so every lock \
+                         probe on them must be conditional (paper 4.2.2)",
+                        fns[entry].def.name,
+                        chain.join("` -> `")
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileCx;
+    use crate::parse::parse_file;
+
+    fn run(files: &[(&str, &str)]) -> (Vec<Finding>, String) {
+        let asts: Vec<FileAst> = files
+            .iter()
+            .map(|(p, s)| parse_file(&FileCx::new(p, s)))
+            .collect();
+        let mut never = |_: usize, _: u32, _: RuleId| false;
+        analyze(&asts, &mut never)
+    }
+
+    #[test]
+    fn inverted_order_is_a_cycle() {
+        let (f, dot) = run(&[(
+            "crates/core/src/fake.rs",
+            "fn a(&self, pin: &Pin, store: &S) { let g = pin.x(); let a = store.space.lock_alloc(); }\n\
+             fn b(&self, pin: &Pin, store: &S) { let a = store.space.lock_alloc(); let g = pin.x(); }",
+        )]);
+        assert!(f.iter().any(|x| x.rule == RuleId::LatchCycle), "{f:?}");
+        assert!(dot.contains("// acyclic: false"));
+    }
+
+    #[test]
+    fn stratified_order_is_acyclic() {
+        let (f, dot) = run(&[(
+            "crates/core/src/fake.rs",
+            "fn a(&self, pin: &Pin, store: &S) { let g = pin.x(); let a = store.space.lock_alloc(); }",
+        )]);
+        assert!(!f.iter().any(|x| x.rule == RuleId::LatchCycle), "{f:?}");
+        assert!(dot.contains("// acyclic: true"));
+        assert!(dot.contains("\"node\" -> \"alloc\""));
+    }
+
+    #[test]
+    fn wait_while_latched_fires() {
+        let (f, _) = run(&[(
+            "crates/core/src/fake.rs",
+            "fn a(&self, pin: &Pin, wal: &W) { let g = pin.x(); wal.force(); drop(g); }",
+        )]);
+        assert!(f.iter().any(|x| x.rule == RuleId::GuardLifetime), "{f:?}");
+    }
+
+    #[test]
+    fn drop_before_wait_is_quiet() {
+        let (f, _) = run(&[(
+            "crates/core/src/fake.rs",
+            "fn a(&self, pin: &Pin, wal: &W) { let g = pin.x(); drop(g); wal.force(); }",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn branch_conditional_append_fires_lbd() {
+        // Token rule would see an append earlier in the token stream; only
+        // the path-sensitive analysis sees the unlogged else-path.
+        let (f, _) = run(&[(
+            "crates/core/src/fake.rs",
+            "fn a(&self, c: bool, wal: &W, pin: &P) { if c { wal.append(r); } pin.mark_dirty(); }",
+        )]);
+        assert!(f.iter().any(|x| x.rule == RuleId::LogBeforeDirty), "{f:?}");
+    }
+
+    #[test]
+    fn interprocedural_append_discharges_lbd() {
+        let (f, _) = run(&[(
+            "crates/core/src/fake.rs",
+            "fn apply(&self, pin: &P) { pin.mark_dirty(); }\n\
+             fn run(&self, wal: &W, pin: &P) { wal.append(r); self.apply(pin); }",
+        )]);
+        assert!(!f.iter().any(|x| x.rule == RuleId::LogBeforeDirty), "{f:?}");
+    }
+
+    #[test]
+    fn no_wait_chain_is_interprocedural() {
+        let (f, _) = run(&[
+            (
+                "crates/core/src/completion.rs",
+                "fn finish(&self, store: &S) { self.alloc_page(store); }",
+            ),
+            (
+                "crates/core/src/split.rs",
+                "fn alloc_page(&self, store: &S) { let a = store.space.lock_alloc(); }",
+            ),
+        ]);
+        let hit = f.iter().find(|x| x.rule == RuleId::NoWait);
+        assert!(hit.is_some(), "{f:?}");
+        assert!(hit.unwrap().msg.contains("finish"), "{f:?}");
+    }
+}

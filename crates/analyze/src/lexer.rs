@@ -226,11 +226,20 @@ fn raw_prefix(b: &[char], i: usize) -> (usize, bool) {
     let n = b.len();
     let c0 = b[i];
     let c1 = if i + 1 < n { b[i + 1] } else { '\0' };
+    // `r#` only opens a raw string when hashes are followed by a quote;
+    // otherwise it is a raw identifier (`r#type`) and must lex as ident.
+    let hashes_then_quote = |mut j: usize| {
+        while j < n && b[j] == '#' {
+            j += 1;
+        }
+        j < n && b[j] == '"'
+    };
     match (c0, c1) {
-        ('r', '"') | ('r', '#') => (1, true),
+        ('r', '"') => (1, true),
+        ('r', '#') if hashes_then_quote(i + 1) => (1, true),
         ('b', '"') => (2, false),
         ('b', '\'') => (2, false),
-        ('b', 'r') if i + 2 < n && (b[i + 2] == '"' || b[i + 2] == '#') => (2, true),
+        ('b', 'r') if i + 2 < n && (b[i + 2] == '"' || hashes_then_quote(i + 2)) => (2, true),
         _ => (0, false),
     }
 }
@@ -366,5 +375,54 @@ mod tests {
     fn doc_comment_markers_trimmed() {
         let (_, comments) = lex("/// pitree-lint: allow(latch-order) why\nfn f() {}");
         assert_eq!(comments[0].text, "pitree-lint: allow(latch-order) why");
+    }
+
+    #[test]
+    fn raw_identifiers_do_not_open_raw_strings() {
+        // A raw identifier (`r#type`) must not be read as an unterminated
+        // raw string that swallows the rest of the file.
+        let (toks, _) = lex("let r#type = 1; let r#fn = 2; visible.mark_dirty();");
+        assert!(toks.iter().any(|t| t.is_ident("visible")));
+        assert!(toks.iter().any(|t| t.is_ident("mark_dirty")));
+        // `r#` splits into the ident `r` plus `#` punct plus the keyword.
+        assert!(toks.iter().any(|t| t.is_ident("r")));
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_terminate_correctly() {
+        // The inner `"#` must not close an `r##"..."##` string early.
+        let (toks, _) = lex(r####"let x = r##"a "# b"##; after"####);
+        assert!(toks.iter().any(|t| t.is_ident("after")));
+        assert!(!toks.iter().any(|t| t.is_ident("b")));
+    }
+
+    #[test]
+    fn deeply_nested_block_comments() {
+        let (toks, comments) = lex("/* 1 /* 2 /* 3 */ 2 */ 1 */ survivor");
+        assert_eq!(toks.len(), 1);
+        assert!(toks[0].is_ident("survivor"));
+        assert_eq!(comments.len(), 1);
+    }
+
+    #[test]
+    fn brace_char_literals_do_not_skew_depth() {
+        // '{' and '}' as char literals must not unbalance brace tracking.
+        let (toks, _) = lex("fn f() { let a = '{'; let b = '}'; } fn g() {}");
+        let opens = toks.iter().filter(|t| t.is_punct('{')).count();
+        let closes = toks.iter().filter(|t| t.is_punct('}')).count();
+        assert_eq!(opens, 2);
+        assert_eq!(closes, 2);
+        assert!(toks.iter().any(|t| t.is_ident("g")));
+    }
+
+    #[test]
+    fn lifetime_before_ident_is_not_a_char() {
+        let (toks, _) = lex("fn f<'long>(x: &'long str) -> &'long str { x }");
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokKind::Lifetime && t.text == "long")
+                .count(),
+            3
+        );
     }
 }

@@ -1,24 +1,39 @@
-//! `pitree-lint`: a std-only static analyzer that enforces the workspace's
-//! Π-tree protocol disciplines at the source level.
+//! `pitree-lint` / `pitree-flow`: a std-only static analyzer that enforces
+//! the workspace's Π-tree protocol disciplines at the source level.
 //!
 //! The correctness of the paper's protocol (Lomet & Salzberg, SIGMOD 1992)
 //! rests on conventions a compiler cannot see: top-down latch order with
 //! U→X promotion (§4.1), the No-Wait Rule for completion paths (§4.2.2),
 //! log-before-dirty WAL discipline (§4.3.1), and panic-free redo/undo
 //! (§4.3.2). The runtime debug checks (latch rank stack, sim sweeps) catch
-//! violations on the interleavings we happen to execute; this linter
+//! violations on the interleavings we happen to execute; this analyzer
 //! catches the violating *code shapes* on every path.
 //!
-//! No `syn`, no dependencies: a light lexer strips comments and literals,
-//! and each rule pattern-matches the token stream with just enough
-//! structure (brace depth, `fn` spans, test regions). See
-//! [`rules`] for the rule catalogue and DESIGN.md §8 for the
+//! No `syn`, no dependencies. Two tiers:
+//!
+//! - **flow tier** ([`parse`] → [`mod@cfg`] → [`callgraph`] → [`flow`]): a
+//!   recursive-descent structural parser over the token stream builds
+//!   per-function CFGs (branches, loops, match arms, early returns, `?`)
+//!   and a whole-workspace call graph, and abstract interpretation over
+//!   latch-guard states proves the latch-order, guard-lifetime,
+//!   log-before-dirty, and no-wait disciplines on *every* path — including
+//!   through helper calls. The latch-acquisition order graph is emitted as
+//!   a DOT artifact with cycle detection.
+//! - **token tier** ([`rules`]): the original per-file pattern rules,
+//!   which also serve as the fallback when a file defeats the structural
+//!   parser — the gate never weakens.
+//!
+//! See [`rules`] for the rule catalogue and DESIGN.md §8 for the
 //! rule-to-paper-section map.
 
+pub mod callgraph;
+pub mod cfg;
 pub mod context;
 pub mod engine;
+pub mod flow;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 
-pub use engine::{lint_source, scan_workspace, Report};
+pub use engine::{lint_source, scan_sources, scan_workspace, Report};
 pub use rules::{Finding, RuleId};

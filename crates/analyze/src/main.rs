@@ -3,6 +3,8 @@
 //! ```text
 //! pitree-lint [ROOT]       # scan (default: current directory), print
 //!                          # findings + rule summary, exit 1 on findings
+//! pitree-lint --dot PATH   # also write the latch-acquisition order graph
+//!                          # (paper 4.1) as DOT to PATH
 //! pitree-lint --list-rules # print the rule catalogue and exit
 //! ```
 
@@ -11,7 +13,9 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
-    for arg in std::env::args().skip(1) {
+    let mut dot_out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--list-rules" => {
                 for rule in analyze::RuleId::ALL {
@@ -19,8 +23,15 @@ fn main() -> ExitCode {
                 }
                 return ExitCode::SUCCESS;
             }
+            "--dot" => {
+                let Some(path) = args.next() else {
+                    eprintln!("pitree-lint: --dot needs a path");
+                    return ExitCode::from(2);
+                };
+                dot_out = Some(PathBuf::from(path));
+            }
             "--help" | "-h" => {
-                println!("usage: pitree-lint [ROOT] [--list-rules]");
+                println!("usage: pitree-lint [ROOT] [--dot PATH] [--list-rules]");
                 return ExitCode::SUCCESS;
             }
             other => root = PathBuf::from(other),
@@ -33,6 +44,12 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(path) = dot_out {
+        if let Err(e) = std::fs::write(&path, &report.latch_dot) {
+            eprintln!("pitree-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
     for f in &report.findings {
         println!("{f}");
     }

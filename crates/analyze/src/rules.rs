@@ -37,6 +37,13 @@ pub enum RuleId {
     /// R6: the simulation kit and sim-driven tests stay deterministic — no
     /// wall clocks, entropy, or environment reads.
     Determinism,
+    /// F1 §4.1 (flow): the workspace latch-acquisition order graph must be
+    /// acyclic — a cycle among blocking acquisitions is a potential
+    /// deadlock no interleaving test is guaranteed to hit.
+    LatchCycle,
+    /// F2 (flow): latch-guard lifetime — leaked via `forget`, held across a
+    /// blocking wait on some path, or dropped twice.
+    GuardLifetime,
     /// Meta: malformed suppression (missing reason, unknown rule).
     LintAllow,
     /// Meta: a suppression that no longer suppresses anything.
@@ -45,13 +52,15 @@ pub enum RuleId {
 
 impl RuleId {
     /// All real (suppressible) rules.
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 8] = [
         RuleId::LatchOrder,
         RuleId::NoWait,
         RuleId::LogBeforeDirty,
         RuleId::PanicFreeRecovery,
         RuleId::SyncHygiene,
         RuleId::Determinism,
+        RuleId::LatchCycle,
+        RuleId::GuardLifetime,
     ];
 
     /// The kebab-case id used in reports and `allow(...)` directives.
@@ -63,6 +72,8 @@ impl RuleId {
             RuleId::PanicFreeRecovery => "panic-free-recovery",
             RuleId::SyncHygiene => "sync-hygiene",
             RuleId::Determinism => "determinism",
+            RuleId::LatchCycle => "latch-cycle",
+            RuleId::GuardLifetime => "guard-lifetime",
             RuleId::LintAllow => "lint-allow",
             RuleId::StaleAllow => "stale-allow",
         }
@@ -82,6 +93,8 @@ impl RuleId {
             RuleId::PanicFreeRecovery => "redo/undo paths return errors, never panic (paper 4.3.2)",
             RuleId::SyncHygiene => "raw std::sync / Instant only in pagestore::sync and obs",
             RuleId::Determinism => "sim kit and sim tests are clock/entropy/env free",
+            RuleId::LatchCycle => "workspace latch-acquisition order graph is acyclic (paper 4.1)",
+            RuleId::GuardLifetime => "guards are not leaked, double-dropped, or held over waits",
             RuleId::LintAllow => "suppressions carry a rule id and a reason",
             RuleId::StaleAllow => "suppressions that fire nothing are removed",
         }
@@ -117,12 +130,17 @@ impl fmt::Display for Finding {
     }
 }
 
-/// Run every rule over `cx`.
-pub fn run_all(cx: &FileCx) -> Vec<Finding> {
+/// Run the token-tier rules over `cx`. The linear log-before-dirty scan is
+/// subsumed by the path-sensitive flow analysis and only runs as a
+/// fallback (`include_log_before_dirty`) when the file failed structural
+/// parsing, so the gate never weakens mid-transition.
+pub fn run_token(cx: &FileCx, include_log_before_dirty: bool) -> Vec<Finding> {
     let mut out = Vec::new();
     latch_order(cx, &mut out);
     no_wait(cx, &mut out);
-    log_before_dirty(cx, &mut out);
+    if include_log_before_dirty {
+        log_before_dirty(cx, &mut out);
+    }
     panic_free_recovery(cx, &mut out);
     sync_hygiene(cx, &mut out);
     determinism(cx, &mut out);

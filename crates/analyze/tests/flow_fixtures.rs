@@ -1,0 +1,417 @@
+//! Fixture triplets for the four pitree-flow rules: each rule has a firing
+//! case (fails the gate if the check is ever stubbed out — the
+//! no-blind-oracle discipline), a quiet case (the disciplined shape), and
+//! a suppressed case (`allow(...)` consumes the finding and is itself
+//! marked used, so it does not go stale).
+//!
+//! The firing cases are chosen so the *token* tier cannot see them: the
+//! violation hides behind a branch, a call chain, or a guard move —
+//! exactly what the CFG + call-graph analysis exists to catch.
+
+use analyze::{lint_source, scan_sources, RuleId};
+
+fn scan(files: &[(&str, &str)]) -> analyze::Report {
+    let owned: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    scan_sources(&owned)
+}
+
+fn rules_of(findings: &[analyze::Finding]) -> Vec<RuleId> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+// ---- latch-cycle (§4.1) ---------------------------------------------------
+
+#[test]
+fn latch_cycle_fires_on_inverted_acquisition_order() {
+    // One function latches page-then-alloc, another alloc-then-page: no
+    // global acquisition order exists, which is a potential deadlock no
+    // single function exhibits. Each function alone passes every token
+    // rule.
+    let report = scan(&[(
+        "crates/core/src/fake.rs",
+        "pub fn forward(pin: &Pin, store: &Store) {\n\
+         \x20   let g = pin.x();\n\
+         \x20   let alloc = store.space.lock_alloc();\n\
+         }\n\
+         pub fn backward(pin: &Pin, store: &Store) {\n\
+         \x20   let alloc = store.space.lock_alloc();\n\
+         \x20   let g = pin.x();\n\
+         }\n",
+    )]);
+    assert!(
+        rules_of(&report.findings).contains(&RuleId::LatchCycle),
+        "{:?}",
+        report.findings
+    );
+    assert!(report.latch_dot.contains("// acyclic: false"));
+}
+
+#[test]
+fn latch_cycle_quiet_on_stratified_order() {
+    let report = scan(&[(
+        "crates/core/src/fake.rs",
+        "pub fn forward(pin: &Pin, store: &Store) {\n\
+         \x20   let g = pin.x();\n\
+         \x20   let alloc = store.space.lock_alloc();\n\
+         }\n",
+    )]);
+    assert!(report.clean(), "{:?}", report.findings);
+    assert!(report.latch_dot.contains("// acyclic: true"));
+    assert!(report.latch_dot.contains("\"node\" -> \"alloc\""));
+}
+
+#[test]
+fn latch_cycle_try_edges_are_dashed_and_exempt() {
+    // A try_-acquisition against the order is the paper's own sanctioned
+    // climb shape (§5.2.2b): rendered dashed, excluded from the check.
+    let report = scan(&[(
+        "crates/core/src/fake.rs",
+        "pub fn forward(pin: &Pin, store: &Store) {\n\
+         \x20   let g = pin.x();\n\
+         \x20   let alloc = store.space.lock_alloc();\n\
+         }\n\
+         pub fn climb(pin: &Pin, store: &Store) {\n\
+         \x20   let alloc = store.space.lock_alloc();\n\
+         \x20   let g = pin.try_x();\n\
+         }\n",
+    )]);
+    assert!(report.clean(), "{:?}", report.findings);
+    assert!(report.latch_dot.contains("// acyclic: true"));
+    assert!(report.latch_dot.contains("style=dashed"));
+}
+
+#[test]
+fn latch_cycle_suppressed_edge_is_out_of_the_check_and_not_stale() {
+    let report = scan(&[(
+        "crates/core/src/fake.rs",
+        "pub fn forward(pin: &Pin, store: &Store) {\n\
+         \x20   let g = pin.x();\n\
+         \x20   let alloc = store.space.lock_alloc();\n\
+         }\n\
+         pub fn backward(pin: &Pin, store: &Store) {\n\
+         \x20   let alloc = store.space.lock_alloc();\n\
+         \x20   // pitree-lint: allow(latch-cycle) fixture: edge vetted by hand\n\
+         \x20   let g = pin.x();\n\
+         }\n",
+    )]);
+    assert!(report.clean(), "{:?}", report.findings);
+    assert!(report.latch_dot.contains("// acyclic: true"));
+    assert_eq!(report.allowed.get(&RuleId::LatchCycle), Some(&1));
+}
+
+// ---- guard-lifetime -------------------------------------------------------
+
+#[test]
+fn guard_lifetime_fires_on_wait_while_latched() {
+    let f = lint_source(
+        "crates/core/src/fake.rs",
+        "pub fn publish(pin: &Pin, wal: &Wal) {\n\
+         \x20   let g = pin.x();\n\
+         \x20   wal.force();\n\
+         \x20   drop(g);\n\
+         }\n",
+    );
+    assert!(rules_of(&f).contains(&RuleId::GuardLifetime), "{f:?}");
+}
+
+#[test]
+fn guard_lifetime_fires_on_wait_with_guard_held_on_one_path_only() {
+    // The else path drops the guard; the then path still holds it across
+    // the force. A linear scan sees a drop "before" the wait.
+    let f = lint_source(
+        "crates/core/src/fake.rs",
+        "pub fn publish(pin: &Pin, wal: &Wal, fast: bool) {\n\
+         \x20   let g = pin.x();\n\
+         \x20   if fast {\n\
+         \x20       g.touch();\n\
+         \x20   } else {\n\
+         \x20       drop(g);\n\
+         \x20   }\n\
+         \x20   wal.force();\n\
+         }\n",
+    );
+    assert!(rules_of(&f).contains(&RuleId::GuardLifetime), "{f:?}");
+}
+
+#[test]
+fn guard_lifetime_fires_on_forget_leak() {
+    let f = lint_source(
+        "crates/core/src/fake.rs",
+        "pub fn leak(pin: &Pin) {\n\
+         \x20   let g = pin.x();\n\
+         \x20   forget(g);\n\
+         }\n",
+    );
+    assert!(rules_of(&f).contains(&RuleId::GuardLifetime), "{f:?}");
+}
+
+#[test]
+fn guard_lifetime_fires_on_double_drop() {
+    let f = lint_source(
+        "crates/core/src/fake.rs",
+        "pub fn twice(pin: &Pin) {\n\
+         \x20   let g = pin.x();\n\
+         \x20   drop(g);\n\
+         \x20   drop(g);\n\
+         }\n",
+    );
+    assert!(rules_of(&f).contains(&RuleId::GuardLifetime), "{f:?}");
+}
+
+#[test]
+fn guard_lifetime_quiet_when_dropped_before_wait() {
+    let f = lint_source(
+        "crates/core/src/fake.rs",
+        "pub fn publish(pin: &Pin, wal: &Wal) {\n\
+         \x20   let g = pin.x();\n\
+         \x20   g.touch();\n\
+         \x20   drop(g);\n\
+         \x20   wal.force();\n\
+         }\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn guard_lifetime_quiet_when_guard_moves_into_a_call() {
+    // Passing the guard by value hands its release to the callee; the wait
+    // afterwards runs unlatched.
+    let f = lint_source(
+        "crates/core/src/fake.rs",
+        "pub fn handoff(pin: &Pin, wal: &Wal, q: &Queue) {\n\
+         \x20   let g = pin.x();\n\
+         \x20   q.push(g);\n\
+         \x20   wal.force();\n\
+         }\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn guard_lifetime_suppressed_is_consumed_not_stale() {
+    let f = lint_source(
+        "crates/core/src/fake.rs",
+        "pub fn publish(pin: &Pin, wal: &Wal) {\n\
+         \x20   let g = pin.x();\n\
+         \x20   // pitree-lint: allow(guard-lifetime) fixture: wait is bounded and the latch is private\n\
+         \x20   wal.force();\n\
+         \x20   drop(g);\n\
+         }\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// ---- log-before-dirty as dataflow (§4.3.1) --------------------------------
+
+#[test]
+fn flow_lbd_fires_on_branch_conditional_append() {
+    // The token rule sees an append earlier in the token stream and stays
+    // quiet; only path-sensitivity sees the unlogged else-path.
+    let f = lint_source(
+        "crates/core/src/fake.rs",
+        "pub fn apply(wal: &Wal, pin: &Pin, logged: bool) {\n\
+         \x20   if logged {\n\
+         \x20       wal.append(rec);\n\
+         \x20   }\n\
+         \x20   pin.mark_dirty();\n\
+         }\n",
+    );
+    assert!(rules_of(&f).contains(&RuleId::LogBeforeDirty), "{f:?}");
+}
+
+#[test]
+fn flow_lbd_fires_through_a_call_chain() {
+    // The dirty sits in a helper; the uncalled root never appends. The
+    // old per-function scan cannot connect the two.
+    let f = lint_source(
+        "crates/core/src/fake.rs",
+        "pub fn entry(this: &T, pin: &Pin) {\n\
+         \x20   poke(pin);\n\
+         }\n\
+         fn poke(pin: &Pin) {\n\
+         \x20   pin.mark_dirty();\n\
+         }\n",
+    );
+    let hit = f.iter().find(|x| x.rule == RuleId::LogBeforeDirty);
+    assert!(hit.is_some(), "{f:?}");
+    assert!(hit.unwrap().msg.contains("entry"), "{f:?}");
+}
+
+#[test]
+fn flow_lbd_quiet_when_append_dominates_every_path() {
+    let f = lint_source(
+        "crates/core/src/fake.rs",
+        "pub fn apply(wal: &Wal, pin: &Pin, retry: bool) -> R<()> {\n\
+         \x20   wal.append(rec)?;\n\
+         \x20   if retry {\n\
+         \x20       pin.mark_dirty();\n\
+         \x20   } else {\n\
+         \x20       pin.mark_dirty_at(0);\n\
+         \x20   }\n\
+         \x20   Ok(())\n\
+         }\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn flow_lbd_quiet_when_a_caller_discharges_the_obligation() {
+    // Interprocedural: the only caller appends first, so the helper's
+    // dirty is logged on every real path.
+    let f = lint_source(
+        "crates/core/src/fake.rs",
+        "pub fn entry(wal: &Wal, pin: &Pin) {\n\
+         \x20   wal.append(rec);\n\
+         \x20   poke(pin);\n\
+         }\n\
+         fn poke(pin: &Pin) {\n\
+         \x20   pin.mark_dirty();\n\
+         }\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn flow_lbd_suppressed_is_consumed_not_stale() {
+    let f = lint_source(
+        "crates/core/src/fake.rs",
+        "pub fn mkfs(pin: &Pin) {\n\
+         \x20   // pitree-lint: allow(log-before-dirty) fixture: formatting a fresh store, no WAL yet\n\
+         \x20   pin.mark_dirty();\n\
+         }\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// ---- interprocedural no-wait (§4.2.2) -------------------------------------
+
+#[test]
+fn flow_no_wait_fires_through_a_cross_file_call_chain() {
+    // completion.rs itself is clean under the token rule; the blocking
+    // probe hides two calls away in another core file.
+    let report = scan(&[
+        (
+            "crates/core/src/completion.rs",
+            "pub fn finish(this: &T, store: &Store) {\n\
+             \x20   grow(this, store);\n\
+             }\n",
+        ),
+        (
+            "crates/core/src/split.rs",
+            "pub fn grow(this: &T, store: &Store) {\n\
+             \x20   reserve(this, store);\n\
+             }\n\
+             fn reserve(this: &T, store: &Store) {\n\
+             \x20   let alloc = store.space.lock_alloc();\n\
+             }\n",
+        ),
+    ]);
+    let hit = report
+        .findings
+        .iter()
+        .find(|x| x.rule == RuleId::NoWait)
+        .unwrap_or_else(|| panic!("{:?}", report.findings));
+    assert_eq!(hit.path, "crates/core/src/split.rs");
+    assert!(hit.msg.contains("finish"), "{hit:?}");
+    assert!(hit.msg.contains("reserve"), "{hit:?}");
+}
+
+#[test]
+fn flow_no_wait_quiet_when_not_reachable_from_completion_paths() {
+    // The same blocking probe is fine when only the ordinary insert path
+    // (not an SMO completion entry) reaches it.
+    let report = scan(&[
+        (
+            "crates/core/src/completion.rs",
+            "pub fn finish(this: &T) {\n\
+             \x20   this.step();\n\
+             }\n",
+        ),
+        (
+            "crates/core/src/tree.rs",
+            "pub fn insert(this: &T, store: &Store) {\n\
+             \x20   reserve(this, store);\n\
+             }\n\
+             fn reserve(this: &T, store: &Store) {\n\
+             \x20   let alloc = store.space.lock_alloc();\n\
+             }\n",
+        ),
+    ]);
+    assert!(
+        !rules_of(&report.findings).contains(&RuleId::NoWait),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn flow_no_wait_suppressed_is_consumed_not_stale() {
+    let report = scan(&[
+        (
+            "crates/core/src/completion.rs",
+            "pub fn finish(this: &T, store: &Store) {\n\
+             \x20   reserve(this, store);\n\
+             }\n",
+        ),
+        (
+            "crates/core/src/split.rs",
+            "pub fn reserve(this: &T, store: &Store) {\n\
+             \x20   // pitree-lint: allow(no-wait) fixture: allocation latch ranks last, cannot invert\n\
+             \x20   let alloc = store.space.lock_alloc();\n\
+             }\n",
+        ),
+    ]);
+    assert!(report.clean(), "{:?}", report.findings);
+    assert_eq!(report.allowed.get(&RuleId::NoWait), Some(&1));
+}
+
+// ---- artifact + fallback tier ---------------------------------------------
+
+#[test]
+fn dot_artifact_has_header_edges_and_sites() {
+    let report = scan(&[(
+        "crates/core/src/fake.rs",
+        "pub fn forward(pin: &Pin, store: &Store) {\n\
+         \x20   let g = pin.x();\n\
+         \x20   let alloc = store.space.lock_alloc();\n\
+         }\n",
+    )]);
+    let dot = &report.latch_dot;
+    assert!(dot.starts_with("// pitree-flow latch-acquisition order graph (paper 4.1)"));
+    assert!(dot.contains("digraph latch_order"));
+    assert!(dot.contains("\"node\" -> \"alloc\""));
+    assert!(dot.contains("crates/core/src/fake.rs:3"), "{dot}");
+}
+
+#[test]
+fn raw_identifiers_do_not_blind_the_scan() {
+    // `r#type` must lex as an identifier, not open a raw string that
+    // swallows the violation after it (lexer hardening, end to end).
+    let f = lint_source(
+        "crates/core/src/fake.rs",
+        "pub fn apply(pin: &Pin) {\n\
+         \x20   let r#type = 1;\n\
+         \x20   pin.mark_dirty();\n\
+         }\n",
+    );
+    assert!(rules_of(&f).contains(&RuleId::LogBeforeDirty), "{f:?}");
+}
+
+#[test]
+fn token_lbd_rearms_when_the_parser_gives_up() {
+    // A file the structural parser cannot follow falls back to the token
+    // tier, so the gate never weakens: an unbalanced-brace construct plus
+    // an unlogged dirty must still fire via the linear scan.
+    let src = "pub fn weird(pin: &Pin) { if x { pin.mark_dirty(); } }";
+    // Sanity: this parses, so the flow rule owns it...
+    assert!(
+        rules_of(&lint_source("crates/core/src/fake.rs", src)).contains(&RuleId::LogBeforeDirty)
+    );
+    // ...and a parse-defeating body still reports through the fallback.
+    let broken = "pub fn weird(pin: &Pin) { match x { }; pin.mark_dirty(); }";
+    let f = lint_source("crates/core/src/fake.rs", broken);
+    assert!(rules_of(&f).contains(&RuleId::LogBeforeDirty), "{f:?}");
+}

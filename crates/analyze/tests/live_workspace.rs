@@ -29,6 +29,25 @@ fn workspace_is_clean_with_no_stale_allows() {
 }
 
 #[test]
+fn workspace_latch_order_graph_is_acyclic_and_stratified() {
+    // The deadlock-freedom theorem (paper 4.1): the live workspace's
+    // latch-acquisition order graph must be a DAG, and the strata we
+    // designed must actually appear as edges — page latches before the
+    // allocation latch before the space-map lock. If the parser ever
+    // silently stopped seeing acquisitions, the missing edges fail this
+    // test rather than vacuously passing the cycle check.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = analyze::scan_workspace(&root).expect("workspace scan");
+    let dot = &report.latch_dot;
+    assert!(dot.contains("// acyclic: true"), "{dot}");
+    assert!(dot.contains("\"alloc\" -> \"spacemap\""), "{dot}");
+    assert!(
+        dot.matches(" -> ").count() >= 4,
+        "the live graph should have several strata:\n{dot}"
+    );
+}
+
+#[test]
 fn workspace_suppressions_are_all_in_use() {
     // `clean()` already fails on stale allows; this asserts the flip side —
     // the allows that do exist are really suppressing something, so the

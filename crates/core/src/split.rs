@@ -63,6 +63,7 @@ pub(crate) enum SplitCandidates<'a> {
 pub(crate) fn alloc_page<'a>(tree: &'a PiTree, chain: &mut Txn<'_>) -> StoreResult<PinnedPage<'a>> {
     let store = tree.store();
     let pid = {
+        // pitree-lint: allow(no-wait) allocation latch ranks last in the §4.1.1 order (the flow graph proves no inverse alloc->page edge), so blocking here cannot deadlock a completion path
         let mut alloc = store.space.lock_alloc();
         let (pid, bm_pid, bit) = alloc.find_free(&store.pool)?;
         let bm = store.pool.fetch(bm_pid)?;

@@ -27,10 +27,33 @@ if [[ -z "${SKIP_LINT:-}" ]]; then
 fi
 
 step "pitree-lint (protocol discipline gate; prints the per-rule summary)"
-cargo run --offline -q -p analyze -- .
+mkdir -p target
+cargo run --offline -q -p analyze -- . --dot target/latch_order.dot
+
+step "latch-order graph is acyclic (paper 4.1; artifact: target/latch_order.dot)"
+grep -q '^// acyclic: true$' target/latch_order.dot || {
+  echo "latch-acquisition order graph has a cycle; see target/latch_order.dot" >&2
+  exit 1
+}
+# The graph must also be non-trivial: if the parser silently stopped seeing
+# acquisitions the cycle check would pass vacuously.
+edges="$(grep -c ' -> ' target/latch_order.dot || true)"
+if [[ "$edges" -lt 4 ]]; then
+  echo "latch-order graph has only $edges edges; the flow analysis is blind" >&2
+  exit 1
+fi
 
 step "cargo build --release (-D warnings)"
 RUSTFLAGS="-D warnings" cargo build --release --offline
+
+step "pitree-lint wall-clock budget (whole-workspace flow analysis stays cheap)"
+lint_start=$SECONDS
+./target/release/pitree-lint . >/dev/null
+lint_elapsed=$(( SECONDS - lint_start ))
+if [[ "$lint_elapsed" -ge 10 ]]; then
+  echo "pitree-lint took ${lint_elapsed}s (budget 10s); the fixpoints are diverging" >&2
+  exit 1
+fi
 
 step "cargo test (workspace)"
 cargo test --offline -q
@@ -100,5 +123,8 @@ while read -r full first; do
     exit 1
   fi
 done < <(sed -n 's/.*"full_replay_ns": \([0-9]*\),.*"first_op_ns": \([0-9]*\),.*/\1 \2/p' "$mttr_out")
+
+step "ThreadSanitizer suites (skips cleanly without an instrumented nightly)"
+./scripts/tsan.sh
 
 printf '\nverify.sh: all checks passed\n'
