@@ -126,15 +126,15 @@ pub fn gen_script(seed: u64, cfg: &DurConfig) -> Vec<DurOp> {
         .collect()
 }
 
-fn key_bytes(k: u64) -> Vec<u8> {
+pub(crate) fn key_bytes(k: u64) -> Vec<u8> {
     k.to_be_bytes().to_vec()
 }
 
-fn val_bytes(k: u64, op_index: usize) -> Vec<u8> {
+pub(crate) fn val_bytes(k: u64, op_index: usize) -> Vec<u8> {
     format!("v{k}-{op_index}").into_bytes()
 }
 
-fn build(cfg: &DurConfig, plan: &Arc<CrashPlan>) -> (CrashableStore, PiTree) {
+pub(crate) fn build(cfg: &DurConfig, plan: &Arc<CrashPlan>) -> (CrashableStore, PiTree) {
     // Setup is disarmed: mkfs/root creation are not crash points.
     let cs = CrashableStore::create_with_injector(
         cfg.pool_frames,
@@ -151,7 +151,7 @@ fn build(cfg: &DurConfig, plan: &Arc<CrashPlan>) -> (CrashableStore, PiTree) {
 /// its LSN — the early-lock-release contract. Checked after every commit
 /// the sweep performs, so a regression that acks at publish surfaces as a
 /// violation at whatever crash point next loses the volatile tail.
-fn check_ack_watermark(cs: &CrashableStore, lsn: Lsn) -> StoreResult<()> {
+pub(crate) fn check_ack_watermark(cs: &CrashableStore, lsn: Lsn) -> StoreResult<()> {
     let flushed = cs.store.log.flushed_lsn();
     if flushed < lsn {
         return Err(StoreError::Corrupt(format!(
@@ -204,7 +204,7 @@ fn apply_script(
 
 /// Recover `crashed` and compare against the committed `model`. Returns a
 /// description of the first discrepancy, `None` when recovery is correct.
-fn verify(crashed: &CrashableStore, cfg: &DurConfig, model: &Model) -> Option<String> {
+pub(crate) fn verify(crashed: &CrashableStore, cfg: &DurConfig, model: &Model) -> Option<String> {
     let (tree, _stats) = match PiTree::recover(Arc::clone(&crashed.store), 1, cfg.tree_cfg) {
         Ok(t) => t,
         Err(e) => return Some(format!("recovery failed: {e}")),

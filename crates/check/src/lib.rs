@@ -33,6 +33,7 @@ pub mod history;
 pub mod index;
 pub mod linear;
 pub mod model;
+pub mod scenario;
 pub mod shrink;
 
 pub use differential::{run_differential, DiffConfig, DiffReport, DiffViolation};
@@ -44,6 +45,7 @@ pub use history::{Call, HistoryLog, OpKind, OpRet};
 pub use index::{BaselineIndex, CheckIndex, ModelIndex, PiCheckIndex, PiElrIndex};
 pub use linear::{check_history, run_linearizability, LinConfig, LinReport, LinViolation};
 pub use model::Model;
+pub use scenario::{differential_twin, durability_twin, ScenOp, TwinReport};
 
 use pitree::PiTreeConfig;
 use pitree_baselines::{LockCouplingTree, OptimisticCouplingTree, SerialSmoTree};

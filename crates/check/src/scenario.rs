@@ -1,0 +1,368 @@
+//! Scenario-twin oracle entry points.
+//!
+//! The million-key scenario harness (EXPERIMENTS.md S7) cannot be oracle-
+//! checked at full scale — a crash-point sweep over a 1M-key workload is
+//! days of work — so every scenario ships a *deterministic twin*: the same
+//! op mix and distribution shape, scaled down to a domain small enough
+//! that pitree-check's differential and durability layers can gate it
+//! exhaustively. The harness generates the twin's explicit [`ScenOp`]
+//! stream (from the very `Workload`/`Zipf` samplers the bench uses) and
+//! hands it to the two entry points here:
+//!
+//! * [`differential_twin`] — replays the stream single-threaded against
+//!   the Π-tree and all three baselines, demanding op-for-op agreement
+//!   with the sequential [`Model`] plus a final full-domain sweep.
+//! * [`durability_twin`] — the crash-point sweep engine of
+//!   [`crate::durability`], generalized to streams that interleave reads
+//!   and scans with the writes: every read is verified against the model
+//!   *as the workload runs*, so a stale read inside the crash window
+//!   surfaces as a non-injected violation, not silence.
+//!
+//! Both take the op stream by value from the caller rather than a seed +
+//! generator pair, so the harness's distributions (real Zipf, YCSB mixes,
+//! hot-key storms) gate exactly the code paths its benches exercise.
+
+use crate::durability::{self, DurConfig, DurReport, DurViolation};
+use crate::model::Model;
+use crate::{all_indexes, CheckIndex, DiffViolation};
+use pitree::CrashableStore;
+use pitree::PiTree;
+use pitree_pagestore::fault::is_injected;
+use pitree_pagestore::{StoreError, StoreResult};
+use pitree_sim::fault::CrashPlan;
+
+/// One explicit scenario-twin step. Superset of
+/// [`DurOp`](crate::durability::DurOp): scenarios are read-heavy, so the
+/// twin must carry the reads too — a bench whose oracle only replays the
+/// writes would never catch a wrong-scan-window or stale-read bug on the
+/// exact mix being measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenOp {
+    /// Upsert of key `k` (value derives from key + op index).
+    Insert(u64),
+    /// Delete of key `k`.
+    Delete(u64),
+    /// Point read of key `k`, result checked against the model.
+    Get(u64),
+    /// Range scan `[lo, hi)`, result checked against the model (skipped by
+    /// indexes that do not expose scans).
+    Scan(u64, u64),
+    /// Flush all dirty pages (durability twin only; no-op differentially).
+    Flush,
+    /// Fuzzy checkpoint (durability twin only; no-op differentially).
+    Checkpoint,
+}
+
+fn key_bytes(k: u64) -> Vec<u8> {
+    durability::key_bytes(k)
+}
+
+fn val_bytes(k: u64, i: usize) -> Vec<u8> {
+    durability::val_bytes(k, i)
+}
+
+/// Summary of a passing twin run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TwinReport {
+    /// Operations replayed per index.
+    pub ops: usize,
+    /// Indexes driven to agreement.
+    pub indexes: usize,
+    /// Records in the model at the end.
+    pub final_records: usize,
+}
+
+/// Replay an explicit op stream against every index in [`all_indexes`],
+/// demanding op-for-op agreement with the sequential [`Model`] and a
+/// final full-domain read sweep over every key the stream touched.
+pub fn differential_twin(ops: &[ScenOp], seed: u64) -> Result<TwinReport, DiffViolation> {
+    let mut final_records = 0;
+    let indexes = all_indexes();
+    for index in &indexes {
+        let model = drive_index(index.as_ref(), ops, seed)?;
+        final_records = model.len();
+    }
+    Ok(TwinReport {
+        ops: ops.len(),
+        indexes: indexes.len(),
+        final_records,
+    })
+}
+
+fn drive_index(index: &dyn CheckIndex, ops: &[ScenOp], seed: u64) -> Result<Model, DiffViolation> {
+    let mut model = Model::new();
+    let mut touched = std::collections::BTreeSet::new();
+    let fail = |op: usize, detail: String| DiffViolation {
+        index: index.name(),
+        seed,
+        op,
+        detail,
+    };
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            ScenOp::Insert(k) => {
+                touched.insert(k);
+                let key = key_bytes(k);
+                let val = val_bytes(k, i);
+                let got = index.insert(&key, &val);
+                let want = model.insert(&key, &val);
+                if let Some(created) = got {
+                    if created != want {
+                        return Err(fail(
+                            i,
+                            format!("insert({k}) created={created}, model says {want}"),
+                        ));
+                    }
+                }
+            }
+            ScenOp::Delete(k) => {
+                touched.insert(k);
+                let key = key_bytes(k);
+                let got = index.delete(&key);
+                let want = model.delete(&key);
+                if got != want {
+                    return Err(fail(
+                        i,
+                        format!("delete({k}) existed={got}, model says {want}"),
+                    ));
+                }
+            }
+            ScenOp::Get(k) => {
+                let key = key_bytes(k);
+                let got = index.get(&key);
+                let want = model.get(&key);
+                if got != want {
+                    return Err(fail(i, format!("get({k}) = {got:?}, model says {want:?}")));
+                }
+            }
+            ScenOp::Scan(lo, hi) => {
+                let (lo_b, hi_b) = (key_bytes(lo), key_bytes(hi));
+                if let Some(got) = index.scan(&lo_b, &hi_b) {
+                    let want = model.scan(&lo_b, &hi_b);
+                    if got != want {
+                        return Err(fail(
+                            i,
+                            format!(
+                                "scan([{lo},{hi})) returned {} pairs, model has {}",
+                                got.len(),
+                                want.len()
+                            ),
+                        ));
+                    }
+                }
+            }
+            // Buffer/log management has no differential meaning on the
+            // in-memory adapters; the durability twin covers it.
+            ScenOp::Flush | ScenOp::Checkpoint => {}
+        }
+    }
+    for &k in &touched {
+        let key = key_bytes(k);
+        let got = index.get(&key);
+        let want = model.get(&key);
+        if got != want {
+            return Err(fail(
+                usize::MAX,
+                format!("final sweep: get({k}) = {got:?}, model says {want:?}"),
+            ));
+        }
+    }
+    Ok(model)
+}
+
+/// Run the stream against a crashable Π-tree, updating the model only on
+/// committed writes and verifying every read against it in-line. A read
+/// mismatch mid-workload comes back as `StoreError::Corrupt`, which the
+/// sweep engine reports as a non-injected violation.
+fn apply_scen_script(
+    cs: &CrashableStore,
+    tree: &PiTree,
+    script: &[ScenOp],
+    model: &mut Model,
+) -> StoreResult<()> {
+    for (i, op) in script.iter().enumerate() {
+        match *op {
+            ScenOp::Insert(k) => {
+                let v = val_bytes(k, i);
+                let mut t = tree.begin();
+                if let Err(e) = tree.insert(&mut t, &key_bytes(k), &v) {
+                    // A dead machine can't clean the txn up either.
+                    std::mem::forget(t);
+                    return Err(e);
+                }
+                let lsn = t.commit()?;
+                durability::check_ack_watermark(cs, lsn)?;
+                model.insert(&key_bytes(k), &v);
+            }
+            ScenOp::Delete(k) => {
+                let mut t = tree.begin();
+                if let Err(e) = tree.delete(&mut t, &key_bytes(k)) {
+                    std::mem::forget(t);
+                    return Err(e);
+                }
+                let lsn = t.commit()?;
+                durability::check_ack_watermark(cs, lsn)?;
+                model.delete(&key_bytes(k));
+            }
+            ScenOp::Get(k) => {
+                let got = tree.get_unlocked(&key_bytes(k))?;
+                let want = model.get(&key_bytes(k));
+                if got != want {
+                    return Err(StoreError::Corrupt(format!(
+                        "twin read divergence at op {i}: get({k}) = {got:?}, model says {want:?}"
+                    )));
+                }
+            }
+            ScenOp::Scan(lo, hi) => {
+                let got = tree.scan(&key_bytes(lo), &key_bytes(hi))?;
+                let want = model.scan(&key_bytes(lo), &key_bytes(hi));
+                if got != want {
+                    return Err(StoreError::Corrupt(format!(
+                        "twin scan divergence at op {i}: [{lo},{hi}) returned {} pairs, \
+                         model has {}",
+                        got.len(),
+                        want.len()
+                    )));
+                }
+            }
+            ScenOp::Flush => cs.store.pool.flush_all()?,
+            ScenOp::Checkpoint => {
+                cs.store.txns.checkpoint()?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Crash-point sweep over an explicit scenario stream: probe the fault
+/// space with a no-crash run (reads verified in-line throughout), then
+/// crash at a strided sample of durable-write boundaries, recover, and
+/// demand exactly the committed model back — the
+/// [`script_violation`](crate::durability::script_violation) engine with
+/// the scenario's own op mix.
+pub fn durability_twin(
+    script: &[ScenOp],
+    seed: u64,
+    cfg: &DurConfig,
+) -> Result<DurReport, DurViolation> {
+    // Probe: measure the boundary space and verify the no-crash run.
+    let plan = CrashPlan::count_only();
+    let (cs, tree) = durability::build(cfg, &plan);
+    plan.arm();
+    let mut probe_model = Model::new();
+    if let Err(e) = apply_scen_script(&cs, &tree, script, &mut probe_model) {
+        return Err(DurViolation {
+            seed,
+            crash_point: 0,
+            site: "probe".into(),
+            detail: format!("no-crash run failed: {e}"),
+        });
+    }
+    let fault_points = plan.hits();
+    drop(tree);
+
+    let mut points: Vec<u64> = if fault_points == 0 {
+        Vec::new()
+    } else {
+        let stride = (fault_points as usize / cfg.max_crash_points.max(1)).max(1);
+        (1..=fault_points).step_by(stride).collect()
+    };
+    if fault_points > 0 && points.last() != Some(&fault_points) {
+        points.push(fault_points);
+    }
+
+    for &n in &points {
+        let plan = CrashPlan::fire_at(n);
+        let (cs, tree) = durability::build(cfg, &plan);
+        plan.arm();
+        let mut model = Model::new();
+        let res = apply_scen_script(&cs, &tree, script, &mut model);
+        let site = plan.fired_site().unwrap_or_else(|| "?".into());
+        let fail = |detail: String| DurViolation {
+            seed,
+            crash_point: n,
+            site: site.clone(),
+            detail,
+        };
+        match res {
+            Err(ref e) if is_injected(e) => {}
+            Err(e) => return Err(fail(format!("non-injected error: {e}"))),
+            Ok(()) => {
+                return Err(fail(
+                    "workload completed although the plan should have fired".into(),
+                ))
+            }
+        }
+        drop(tree);
+        let crashed = match cs.crash() {
+            Ok(c) => c,
+            Err(e) => return Err(fail(format!("durable snapshot failed: {e}"))),
+        };
+        if let Some(detail) = durability::verify(&crashed, cfg, &model) {
+            return Err(fail(detail));
+        }
+    }
+
+    Ok(DurReport {
+        fault_points,
+        crash_points_tested: points.len(),
+        final_records: probe_model.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed_script() -> Vec<ScenOp> {
+        let mut s = Vec::new();
+        for i in 0..30u64 {
+            s.push(ScenOp::Insert(i % 12));
+            if i % 3 == 0 {
+                s.push(ScenOp::Get(i % 12));
+            }
+            if i % 5 == 0 {
+                s.push(ScenOp::Scan(0, 12));
+            }
+            if i % 7 == 0 {
+                s.push(ScenOp::Delete((i + 1) % 12));
+            }
+            if i % 11 == 0 {
+                s.push(ScenOp::Flush);
+            }
+            if i == 20 {
+                s.push(ScenOp::Checkpoint);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn differential_twin_accepts_all_indexes() {
+        let report = differential_twin(&mixed_script(), 0x7713).expect("twin must pass");
+        assert_eq!(report.indexes, 4);
+        assert!(report.final_records > 0);
+    }
+
+    #[test]
+    fn differential_twin_rejects_lost_write() {
+        use crate::index::{LostWriteIndex, ModelIndex};
+        let broken = LostWriteIndex::new(ModelIndex::default(), 3);
+        let err = drive_index(&broken, &mixed_script(), 0x7713)
+            .expect_err("twin must catch dropped writes");
+        assert_eq!(err.index, "fixture:lost-write");
+    }
+
+    #[test]
+    fn durability_twin_accepts_the_real_tree() {
+        let cfg = DurConfig {
+            ops: 0, // unused: the script is explicit
+            max_crash_points: 4,
+            ..DurConfig::default()
+        };
+        let report =
+            durability_twin(&mixed_script(), 0x7713, &cfg).expect("durability twin must pass");
+        assert!(report.fault_points > 0);
+        assert!(report.crash_points_tested >= 2);
+    }
+}

@@ -1,0 +1,1023 @@
+//! The million-key scenario harness (EXPERIMENTS.md S7): every scenario
+//! in [`pitree_harness::scenario::matrix`] run at full scale — ≥ 1M
+//! preloaded keys over a **file-backed** store with the buffer pool
+//! capped at ~1% of the data — against the engines it compares
+//! (Π-tree, lock-coupling baseline, TSB-tree, hB-tree), with a
+//! deterministic scaled-down twin of the same workload shape gated by
+//! pitree-check's differential and durability oracles under 8 seeds.
+//!
+//! Per scenario the bin emits a versioned `BENCH_scenario_<name>.json`
+//! with one record per engine — durable ops/s, p50/p95/p99 op latency
+//! (from `pitree-obs`), pool pressure (`buf.evictions` /
+//! `buf.writebacks` / hit ratio / `buf.shard_conflicts`), WAL behavior
+//! (`wal.forces`, `wal.group_size` p50), and SMO counts — plus an
+//! `oracle_twin` block recording the seeds and crash points the twin
+//! sweeps covered. A twin failure fails the whole run (exit 1) *after*
+//! writing the JSON, so CI sees both the numbers and the verdict.
+//!
+//! Methodology:
+//!
+//! - The Π-tree/TSB/hB images are built **once** per tree shape (big
+//!   load pool, pipelined commits, `flush_all` + fuzzy checkpoint fence)
+//!   and copied per scenario, so scenarios are independent and the
+//!   measured phase always starts from the same durable image — the
+//!   `mttr` bench's image discipline.
+//! - Measured pools are `max(64, data_pages / 128)` frames ≈ 0.78% of
+//!   the data (the JSON records the exact `pool_pct`), so eviction,
+//!   write-back, and I/O scheduling are live in every measured op.
+//! - The in-memory baselines run over the **same** `BufferPool`
+//!   machinery (MemDisk-backed) at the same frame count: pool pressure
+//!   applies to them too, only durability is off — which biases ops/s
+//!   *for* the baselines and makes the Π-tree's showing conservative.
+//!   Baselines have no range scan; a scan op is modeled as `scan_len`
+//!   point gets (recorded in the JSON as `baseline_scan_model`).
+//! - Writes on the Π-tree use the pipelined publish/ack protocol of the
+//!   `throughput` bench (depth 8); every published commit is acked
+//!   before the clock stops, so ops/s is durable throughput.
+//!
+//! `--smoke` shrinks the population and deadlines so CI can gate the
+//! matrix (JSON shape + twin verdicts) in seconds; `--only NAME` runs a
+//! single scenario; `--out-dir DIR` redirects the JSON files.
+//!
+//! Run with: `cargo run --release -p pitree-harness --bin scenarios`
+
+use pitree::{PiTree, PiTreeConfig, Store};
+use pitree_baselines::{ConcurrentIndex, LockCouplingTree};
+use pitree_check::{differential_twin, durability_twin, DurConfig};
+use pitree_harness::scenario::{hb_twin, matrix, tsb_twin, twin_ops};
+use pitree_harness::{EngineSet, KeyStream, Population, ScenarioSpec};
+use pitree_hb::{point_key, HbConfig, HbTree, Point, Rect};
+use pitree_obs::{Recorder, Stopwatch};
+use pitree_sim::SimRng;
+use pitree_tsb::{Time, TsbConfig, TsbTree};
+use pitree_txnlock::PendingCommit;
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// JSON schema version of `BENCH_scenario_*.json`.
+const VERSION: u32 = 1;
+
+/// Published-but-unacked commits a writer holds before waiting on the
+/// oldest (the `throughput` bench's pipelining protocol).
+const PIPELINE_DEPTH: usize = 8;
+
+/// Pool frames while *building* images only; measured phases use the
+/// ~1% pool computed from the image size.
+const LOAD_POOL_FRAMES: usize = 8192;
+
+/// Baseline node fanout (entries per node) — roughly a 4 KB page of
+/// small records, so baseline tree depth matches the Π-tree's.
+const BASELINE_FANOUT: usize = 64;
+
+struct Config {
+    smoke: bool,
+    load_keys: u64,
+    value_len: usize,
+    ops_target: u64,
+    deadline_ns: u64,
+    twin_seeds: u64,
+    twin_ops: usize,
+    twin_domain: u64,
+    /// Attribute-space side for the 2-attribute scenario.
+    hb_side: u64,
+}
+
+impl Config {
+    fn full() -> Config {
+        Config {
+            smoke: false,
+            load_keys: 1_000_000,
+            value_len: 16,
+            ops_target: 40_000,
+            deadline_ns: 25_000_000_000,
+            twin_seeds: 8,
+            twin_ops: 120,
+            twin_domain: 96,
+            hb_side: 4_096,
+        }
+    }
+
+    fn smoke() -> Config {
+        Config {
+            smoke: true,
+            load_keys: 3_000,
+            value_len: 16,
+            ops_target: 1_000,
+            deadline_ns: 3_000_000_000,
+            twin_seeds: 8,
+            twin_ops: 100,
+            twin_domain: 64,
+            hb_side: 64,
+        }
+    }
+}
+
+fn key_bytes(k: u64) -> [u8; 8] {
+    k.to_be_bytes()
+}
+
+fn value_bytes(k: u64, len: usize) -> Vec<u8> {
+    let mut v = vec![b'v'; len.max(8)];
+    v[..8].copy_from_slice(&k.to_be_bytes());
+    v
+}
+
+/// The i-th point of the deterministic 2-attribute population — the hB
+/// image and its Π-tree composite-key strawman hold the same point set.
+fn point_for(i: u64, side: u64) -> Point {
+    let mut s = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x2a77;
+    let x = pitree_sim::rng::splitmix64(&mut s) % side;
+    let y = pitree_sim::rng::splitmix64(&mut s) % side;
+    [x, y]
+}
+
+/// Pipelined upsert (publish now, ack later) with deadlock retry.
+fn upsert<'t>(tree: &'t PiTree, key: &[u8], value: &[u8]) -> PendingCommit<'t> {
+    loop {
+        let mut t = tree.begin();
+        match tree.insert(&mut t, key, value) {
+            Ok(_) => return t.commit_publish(),
+            Err(pitree_pagestore::StoreError::LockFailed { .. }) => {
+                let _ = t.abort(Some(&tree.undo_handler()));
+            }
+            Err(e) => panic!("upsert failed: {e}"),
+        }
+    }
+}
+
+fn remove<'t>(tree: &'t PiTree, key: &[u8]) -> PendingCommit<'t> {
+    loop {
+        let mut t = tree.begin();
+        match tree.delete(&mut t, key) {
+            Ok(_) => return t.commit_publish(),
+            Err(pitree_pagestore::StoreError::LockFailed { .. }) => {
+                let _ = t.abort(Some(&tree.undo_handler()));
+            }
+            Err(e) => panic!("delete failed: {e}"),
+        }
+    }
+}
+
+fn drain(pending: &mut VecDeque<PendingCommit<'_>>, down_to: usize) {
+    while pending.len() > down_to {
+        pending
+            .pop_front()
+            .expect("non-empty pipeline")
+            .wait_durable()
+            .expect("ack");
+    }
+}
+
+/// Copy the durable image (`store.db`/`store.log`/`store.master`) so each
+/// scenario mutates its own copy of the same fenced image.
+fn copy_image(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).expect("mkdir image copy");
+    for f in ["store.db", "store.log", "store.master"] {
+        let s = src.join(f);
+        if s.exists() {
+            std::fs::copy(&s, dst.join(f)).expect("copy durable file");
+        }
+    }
+}
+
+fn data_pages(dir: &Path) -> u64 {
+    std::fs::metadata(dir.join("store.db"))
+        .expect("image store.db")
+        .len()
+        / pitree_pagestore::PAGE_SIZE as u64
+}
+
+/// The ≤ 1% pool: `data_pages / 128` (≈ 0.78%), floored at 64 frames so
+/// tiny smoke images stay runnable (smoke pools exceed 1%; the JSON's
+/// `pool_pct` records the truth either way).
+fn scaled_pool(pages: u64) -> usize {
+    ((pages / 128).max(64)) as usize
+}
+
+// ---- image builders --------------------------------------------------------
+
+fn build_pi_image(dir: &Path, cfg: &Config, composite: bool) -> u64 {
+    let store = Store::open_file(dir, LOAD_POOL_FRAMES, 1 << 22).expect("load store");
+    let tree = PiTree::create(Arc::clone(&store), 1, PiTreeConfig::default()).expect("tree");
+    let mut pending: VecDeque<PendingCommit<'_>> = VecDeque::new();
+    for k in 0..cfg.load_keys {
+        let key: Vec<u8> = if composite {
+            point_key(&point_for(k, cfg.hb_side))
+        } else {
+            key_bytes(k).to_vec()
+        };
+        pending.push_back(upsert(&tree, &key, &value_bytes(k, cfg.value_len)));
+        if pending.len() >= PIPELINE_DEPTH {
+            drain(&mut pending, PIPELINE_DEPTH - 1);
+        }
+    }
+    drain(&mut pending, 0);
+    drop(pending);
+    store.pool.flush_all().expect("flush image");
+    store.txns.checkpoint().expect("checkpoint image");
+    drop(tree);
+    drop(store);
+    data_pages(dir)
+}
+
+/// Build the TSB image: version 0 of every key, a time fence `t_past`,
+/// then a 10% update wave — so as-of reads at `t_past` traverse history.
+fn build_tsb_image(dir: &Path, cfg: &Config) -> (u64, Time) {
+    let store = Store::open_file(dir, LOAD_POOL_FRAMES, 1 << 22).expect("load store");
+    let tree = TsbTree::create(Arc::clone(&store), 1, TsbConfig::default()).expect("tsb tree");
+    let mut pending: VecDeque<PendingCommit<'_>> = VecDeque::new();
+    for k in 0..cfg.load_keys {
+        let mut t = tree.begin();
+        tree.put(&mut t, &key_bytes(k), &value_bytes(k, cfg.value_len))
+            .expect("tsb put");
+        pending.push_back(t.commit_publish());
+        if pending.len() >= PIPELINE_DEPTH {
+            drain(&mut pending, PIPELINE_DEPTH - 1);
+        }
+    }
+    drain(&mut pending, 0);
+    let t_past = tree.now();
+    for k in (0..cfg.load_keys).step_by(10) {
+        let mut t = tree.begin();
+        tree.put(&mut t, &key_bytes(k), &value_bytes(k + 1, cfg.value_len))
+            .expect("tsb update");
+        pending.push_back(t.commit_publish());
+        if pending.len() >= PIPELINE_DEPTH {
+            drain(&mut pending, PIPELINE_DEPTH - 1);
+        }
+    }
+    drain(&mut pending, 0);
+    drop(pending);
+    store.pool.flush_all().expect("flush image");
+    store.txns.checkpoint().expect("checkpoint image");
+    drop(tree);
+    drop(store);
+    (data_pages(dir), t_past)
+}
+
+fn build_hb_image(dir: &Path, cfg: &Config) -> u64 {
+    let store = Store::open_file(dir, LOAD_POOL_FRAMES, 1 << 22).expect("load store");
+    let tree = HbTree::create(Arc::clone(&store), 1, HbConfig::default()).expect("hb tree");
+    let mut pending: VecDeque<PendingCommit<'_>> = VecDeque::new();
+    for k in 0..cfg.load_keys {
+        let p = point_for(k, cfg.hb_side);
+        let mut t = tree.begin();
+        tree.insert(&mut t, &p, &value_bytes(k, cfg.value_len))
+            .expect("hb insert");
+        pending.push_back(t.commit_publish());
+        if pending.len() >= PIPELINE_DEPTH {
+            drain(&mut pending, PIPELINE_DEPTH - 1);
+        }
+    }
+    drain(&mut pending, 0);
+    drop(pending);
+    store.pool.flush_all().expect("flush image");
+    store.txns.checkpoint().expect("checkpoint image");
+    drop(tree);
+    drop(store);
+    data_pages(dir)
+}
+
+// ---- measured phases -------------------------------------------------------
+
+#[derive(Default)]
+struct EngineResult {
+    name: &'static str,
+    ops: u64,
+    elapsed_ns: u64,
+    p50: u64,
+    p95: u64,
+    p99: u64,
+    pool_hits: u64,
+    pool_misses: u64,
+    evictions: u64,
+    writebacks: u64,
+    shard_conflicts: u64,
+    forces: u64,
+    group_size_p50: u64,
+    splits: u64,
+    consolidations: u64,
+}
+
+impl EngineResult {
+    fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / (self.elapsed_ns.max(1) as f64 / 1e9)
+    }
+}
+
+struct PoolBase {
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    writebacks: u64,
+    shard_conflicts: u64,
+}
+
+fn pool_base(rec: &Recorder) -> PoolBase {
+    PoolBase {
+        hits: rec.counter("buf.hits").get(),
+        misses: rec.counter("buf.misses").get(),
+        evictions: rec.counter("buf.evictions").get(),
+        writebacks: rec.counter("buf.writebacks").get(),
+        shard_conflicts: rec.counter("buf.shard_conflicts").get(),
+    }
+}
+
+fn fill_pool_delta(r: &mut EngineResult, rec: &Recorder, base: &PoolBase) {
+    r.pool_hits = rec.counter("buf.hits").get() - base.hits;
+    r.pool_misses = rec.counter("buf.misses").get() - base.misses;
+    r.evictions = rec.counter("buf.evictions").get() - base.evictions;
+    r.writebacks = rec.counter("buf.writebacks").get() - base.writebacks;
+    r.shard_conflicts = rec.counter("buf.shard_conflicts").get() - base.shard_conflicts;
+}
+
+/// Where a disk-backed phase runs: the prebuilt image it copies, the
+/// scratch dir it copies into, and the (≤ 1%) pool it reopens at.
+struct PhaseIo<'a> {
+    image: &'a Path,
+    dir: &'a Path,
+    pool_frames: usize,
+}
+
+/// Π-tree phase over a copied image: the standard point/scan mix with
+/// pipelined write commits, every published commit acked before the
+/// clock stops.
+fn run_pi_phase(
+    spec: &ScenarioSpec,
+    io: &PhaseIo<'_>,
+    cfg: &Config,
+    pop: Population,
+    seed: u64,
+) -> EngineResult {
+    let (image, dir, pool_frames) = (io.image, io.dir, io.pool_frames);
+    copy_image(image, dir);
+    let store = Store::open_file(dir, pool_frames, 1 << 22).expect("reopen");
+    let (tree, _stats) =
+        PiTree::recover(Arc::clone(&store), 1, PiTreeConfig::default()).expect("recover");
+    let rec = store.recorder().clone();
+    let hist = rec.hist("scen.op_ns");
+    let base = pool_base(&rec);
+    let forces0 = rec.counter("wal.forces").get();
+    let splits0 = tree.stats().splits.get();
+    let cons0 = tree.stats().consolidations.get();
+
+    let mut rng = SimRng::new(seed);
+    let mut stream = KeyStream::new(spec.access, pop.key_space, pop.load_keys);
+    let mut pending: VecDeque<PendingCommit<'_>> = VecDeque::new();
+    let mut ops = 0u64;
+    let wall = Stopwatch::start();
+    while ops < cfg.ops_target && wall.elapsed_ns() < cfg.deadline_ns {
+        let roll = rng.below(100) as u32;
+        let m = &spec.mix;
+        let t0 = Stopwatch::start();
+        if roll < m.get {
+            let k = stream.next_existing(&mut rng);
+            let _ = tree.get_unlocked(&key_bytes(k)).expect("get");
+        } else if roll < m.get + m.insert {
+            let k = stream.next(&mut rng);
+            pending.push_back(upsert(&tree, &key_bytes(k), &value_bytes(k, cfg.value_len)));
+        } else if roll < m.get + m.insert + m.delete {
+            let k = stream.next(&mut rng);
+            pending.push_back(remove(&tree, &key_bytes(k)));
+        } else {
+            let lo = stream.next_existing(&mut rng);
+            let _ = tree
+                .scan(&key_bytes(lo), &key_bytes(lo + m.scan_len))
+                .expect("scan");
+        }
+        if pending.len() >= PIPELINE_DEPTH {
+            drain(&mut pending, PIPELINE_DEPTH - 1);
+        }
+        hist.record(t0.elapsed_ns());
+        ops += 1;
+    }
+    drain(&mut pending, 0);
+    drop(pending);
+    let elapsed_ns = wall.elapsed_ns();
+
+    let (p50, p95, p99, _) = hist.percentiles();
+    let (gs50, _, _, _) = rec.hist("wal.group_size").percentiles();
+    let mut r = EngineResult {
+        name: "pi-tree",
+        ops,
+        elapsed_ns,
+        p50,
+        p95,
+        p99,
+        forces: rec.counter("wal.forces").get() - forces0,
+        group_size_p50: gs50,
+        splits: tree.stats().splits.get() - splits0,
+        consolidations: tree.stats().consolidations.get() - cons0,
+        ..EngineResult::default()
+    };
+    fill_pool_delta(&mut r, &rec, &base);
+    drop(tree);
+    drop(store);
+    let _ = std::fs::remove_dir_all(dir);
+    r
+}
+
+/// Lock-coupling baseline phase: same pool frames, same mix; scans are
+/// modeled as `scan_len` point gets (the baselines expose no range
+/// scan), counted as one op.
+fn run_lc_phase(
+    spec: &ScenarioSpec,
+    pool_frames: usize,
+    cfg: &Config,
+    pop: Population,
+    seed: u64,
+) -> EngineResult {
+    let lc = LockCouplingTree::new(pool_frames, BASELINE_FANOUT);
+    for k in 0..pop.load_keys {
+        lc.insert(&key_bytes(k), &value_bytes(k, cfg.value_len));
+    }
+    let rec = lc.pool().recorder().clone();
+    let hist = rec.hist("scen.op_ns");
+    let base = pool_base(&rec);
+
+    let mut rng = SimRng::new(seed);
+    let mut stream = KeyStream::new(spec.access, pop.key_space, pop.load_keys);
+    let mut ops = 0u64;
+    let wall = Stopwatch::start();
+    while ops < cfg.ops_target && wall.elapsed_ns() < cfg.deadline_ns {
+        let roll = rng.below(100) as u32;
+        let m = &spec.mix;
+        let t0 = Stopwatch::start();
+        if roll < m.get {
+            let k = stream.next_existing(&mut rng);
+            let _ = lc.get(&key_bytes(k));
+        } else if roll < m.get + m.insert {
+            let k = stream.next(&mut rng);
+            lc.insert(&key_bytes(k), &value_bytes(k, cfg.value_len));
+        } else if roll < m.get + m.insert + m.delete {
+            let k = stream.next(&mut rng);
+            let _ = lc.delete(&key_bytes(k));
+        } else {
+            let lo = stream.next_existing(&mut rng);
+            for k in lo..lo + m.scan_len {
+                let _ = lc.get(&key_bytes(k));
+            }
+        }
+        hist.record(t0.elapsed_ns());
+        ops += 1;
+    }
+    let elapsed_ns = wall.elapsed_ns();
+    let (p50, p95, p99, _) = hist.percentiles();
+    let mut r = EngineResult {
+        name: "lock-coupling",
+        ops,
+        elapsed_ns,
+        p50,
+        p95,
+        p99,
+        ..EngineResult::default()
+    };
+    fill_pool_delta(&mut r, &rec, &base);
+    r
+}
+
+/// TSB-tree phase: as-of reads/scans split between the historical fence
+/// and now, forced-commit puts.
+fn run_tsb_phase(
+    spec: &ScenarioSpec,
+    io: &PhaseIo<'_>,
+    cfg: &Config,
+    pop: Population,
+    seed: u64,
+    t_past: Time,
+) -> EngineResult {
+    let (image, dir, pool_frames) = (io.image, io.dir, io.pool_frames);
+    copy_image(image, dir);
+    let store = Store::open_file(dir, pool_frames, 1 << 22).expect("reopen tsb");
+    let (tree, _stats) =
+        TsbTree::recover(Arc::clone(&store), 1, TsbConfig::default()).expect("tsb recover");
+    let rec = store.recorder().clone();
+    let hist = rec.hist("scen.op_ns");
+    let base = pool_base(&rec);
+    let forces0 = rec.counter("wal.forces").get();
+
+    let mut rng = SimRng::new(seed);
+    let mut stream = KeyStream::new(spec.access, pop.key_space, pop.load_keys);
+    let mut ops = 0u64;
+    let wall = Stopwatch::start();
+    while ops < cfg.ops_target && wall.elapsed_ns() < cfg.deadline_ns {
+        let roll = rng.below(100) as u32;
+        let m = &spec.mix;
+        let as_of = if rng.chance(0.5) { t_past } else { tree.now() };
+        let t0 = Stopwatch::start();
+        if roll < m.get {
+            let k = stream.next_existing(&mut rng);
+            let _ = tree.get_as_of(&key_bytes(k), as_of).expect("as-of get");
+        } else if roll < m.get + m.insert {
+            let k = stream.next(&mut rng);
+            let mut t = tree.begin();
+            tree.put(&mut t, &key_bytes(k), &value_bytes(k, cfg.value_len))
+                .expect("put");
+            t.commit().expect("commit");
+        } else {
+            let lo = stream.next_existing(&mut rng);
+            let _ = tree
+                .scan_as_of(&key_bytes(lo), &key_bytes(lo + m.scan_len), as_of)
+                .expect("as-of scan");
+        }
+        hist.record(t0.elapsed_ns());
+        ops += 1;
+    }
+    let elapsed_ns = wall.elapsed_ns();
+    let (p50, p95, p99, _) = hist.percentiles();
+    let mut r = EngineResult {
+        name: "tsb-tree",
+        ops,
+        elapsed_ns,
+        p50,
+        p95,
+        p99,
+        forces: rec.counter("wal.forces").get() - forces0,
+        splits: tree.stats().splits.get(),
+        ..EngineResult::default()
+    };
+    fill_pool_delta(&mut r, &rec, &base);
+    drop(tree);
+    drop(store);
+    let _ = std::fs::remove_dir_all(dir);
+    r
+}
+
+/// hB-tree phase: true 2-attribute window queries plus point inserts.
+fn run_hb_phase(io: &PhaseIo<'_>, cfg: &Config, spec: &ScenarioSpec, seed: u64) -> EngineResult {
+    let (image, dir, pool_frames) = (io.image, io.dir, io.pool_frames);
+    copy_image(image, dir);
+    let store = Store::open_file(dir, pool_frames, 1 << 22).expect("reopen hb");
+    let (tree, _stats) =
+        HbTree::recover(Arc::clone(&store), 1, HbConfig::default()).expect("hb recover");
+    let rec = store.recorder().clone();
+    let hist = rec.hist("scen.op_ns");
+    let base = pool_base(&rec);
+    let forces0 = rec.counter("wal.forces").get();
+
+    let mut rng = SimRng::new(seed);
+    let edge = spec.mix.scan_len.max(1);
+    let mut ops = 0u64;
+    let mut next_new = cfg.load_keys;
+    let wall = Stopwatch::start();
+    while ops < cfg.ops_target && wall.elapsed_ns() < cfg.deadline_ns {
+        let roll = rng.below(100) as u32;
+        let t0 = Stopwatch::start();
+        if roll < spec.mix.insert {
+            let p = point_for(next_new, cfg.hb_side);
+            next_new += 1;
+            let mut t = tree.begin();
+            tree.insert(&mut t, &p, &value_bytes(next_new, cfg.value_len))
+                .expect("hb insert");
+            t.commit().expect("commit");
+        } else {
+            let lo = [
+                rng.below(cfg.hb_side.saturating_sub(edge).max(1)),
+                rng.below(cfg.hb_side.saturating_sub(edge).max(1)),
+            ];
+            let w = Rect {
+                lo,
+                hi: [lo[0] + edge, lo[1] + edge],
+            };
+            let _ = tree.window_query(&w).expect("window query");
+        }
+        hist.record(t0.elapsed_ns());
+        ops += 1;
+    }
+    let elapsed_ns = wall.elapsed_ns();
+    let (p50, p95, p99, _) = hist.percentiles();
+    let mut r = EngineResult {
+        name: "hb-tree",
+        ops,
+        elapsed_ns,
+        p50,
+        p95,
+        p99,
+        forces: rec.counter("wal.forces").get() - forces0,
+        splits: tree.stats().splits.get(),
+        ..EngineResult::default()
+    };
+    fill_pool_delta(&mut r, &rec, &base);
+    drop(tree);
+    drop(store);
+    let _ = std::fs::remove_dir_all(dir);
+    r
+}
+
+/// The multi-attribute strawman: a Π-tree over the concatenated `(x, y)`
+/// key answers a window query by scanning the whole x-slab and filtering
+/// y — exactly the composite-index weakness the hB-tree removes.
+fn run_pi_xy_phase(io: &PhaseIo<'_>, cfg: &Config, spec: &ScenarioSpec, seed: u64) -> EngineResult {
+    let (image, dir, pool_frames) = (io.image, io.dir, io.pool_frames);
+    copy_image(image, dir);
+    let store = Store::open_file(dir, pool_frames, 1 << 22).expect("reopen pi-xy");
+    let (tree, _stats) =
+        PiTree::recover(Arc::clone(&store), 1, PiTreeConfig::default()).expect("recover");
+    let rec = store.recorder().clone();
+    let hist = rec.hist("scen.op_ns");
+    let base = pool_base(&rec);
+    let forces0 = rec.counter("wal.forces").get();
+
+    let mut rng = SimRng::new(seed);
+    let edge = spec.mix.scan_len.max(1);
+    let mut ops = 0u64;
+    let mut next_new = cfg.load_keys;
+    let mut pending: VecDeque<PendingCommit<'_>> = VecDeque::new();
+    let wall = Stopwatch::start();
+    while ops < cfg.ops_target && wall.elapsed_ns() < cfg.deadline_ns {
+        let roll = rng.below(100) as u32;
+        let t0 = Stopwatch::start();
+        if roll < spec.mix.insert {
+            let p = point_for(next_new, cfg.hb_side);
+            next_new += 1;
+            pending.push_back(upsert(
+                &tree,
+                &point_key(&p),
+                &value_bytes(next_new, cfg.value_len),
+            ));
+            if pending.len() >= PIPELINE_DEPTH {
+                drain(&mut pending, PIPELINE_DEPTH - 1);
+            }
+        } else {
+            let lo = [
+                rng.below(cfg.hb_side.saturating_sub(edge).max(1)),
+                rng.below(cfg.hb_side.saturating_sub(edge).max(1)),
+            ];
+            // Scan the full x-slab [x_lo, x_lo+edge) × all y, filter y.
+            let slab = tree
+                .scan(&point_key(&[lo[0], 0]), &point_key(&[lo[0] + edge, 0]))
+                .expect("slab scan");
+            let _hits = slab
+                .iter()
+                .filter(|(k, _)| {
+                    let y = u64::from_be_bytes(k[8..16].try_into().expect("16-byte key"));
+                    y >= lo[1] && y < lo[1] + edge
+                })
+                .count();
+        }
+        hist.record(t0.elapsed_ns());
+        ops += 1;
+    }
+    drain(&mut pending, 0);
+    drop(pending);
+    let elapsed_ns = wall.elapsed_ns();
+    let (p50, p95, p99, _) = hist.percentiles();
+    let mut r = EngineResult {
+        name: "pi-tree-xy",
+        ops,
+        elapsed_ns,
+        p50,
+        p95,
+        p99,
+        forces: rec.counter("wal.forces").get() - forces0,
+        splits: tree.stats().splits.get(),
+        ..EngineResult::default()
+    };
+    fill_pool_delta(&mut r, &rec, &base);
+    drop(tree);
+    drop(store);
+    let _ = std::fs::remove_dir_all(dir);
+    r
+}
+
+// ---- oracle twins ----------------------------------------------------------
+
+struct TwinSummary {
+    seeds: u64,
+    diff_ops: usize,
+    dur_fault_points: u64,
+    dur_crash_points: usize,
+    engine_twin: &'static str,
+}
+
+/// Run every oracle twin for a scenario across the seed battery. The
+/// first failure aborts with a replayable description.
+fn run_twins(spec: &ScenarioSpec, base_seed: u64, cfg: &Config) -> Result<TwinSummary, String> {
+    let dur_cfg = DurConfig {
+        max_crash_points: 6,
+        ..DurConfig::default()
+    };
+    let mut summary = TwinSummary {
+        seeds: cfg.twin_seeds,
+        diff_ops: 0,
+        dur_fault_points: 0,
+        dur_crash_points: 0,
+        engine_twin: "none",
+    };
+    for s in 0..cfg.twin_seeds {
+        let seed = base_seed ^ (s.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let ops = twin_ops(spec, seed, cfg.twin_ops, cfg.twin_domain);
+        let d = differential_twin(&ops, seed).map_err(|v| v.to_string())?;
+        summary.diff_ops += d.ops;
+        let r = durability_twin(&ops, seed, &dur_cfg).map_err(|v| v.to_string())?;
+        summary.dur_fault_points += r.fault_points;
+        summary.dur_crash_points += r.crash_points_tested;
+        match spec.engines {
+            EngineSet::Temporal => {
+                tsb_twin(seed)?;
+                summary.engine_twin = "tsb";
+            }
+            EngineSet::MultiAttr => {
+                hb_twin(seed)?;
+                summary.engine_twin = "hb";
+            }
+            EngineSet::PointVsBaselines => {}
+        }
+    }
+    Ok(summary)
+}
+
+// ---- orchestration ---------------------------------------------------------
+
+struct Images {
+    pi: Option<(PathBuf, u64)>,
+    pi_xy: Option<(PathBuf, u64)>,
+    tsb: Option<(PathBuf, u64, Time)>,
+    hb: Option<(PathBuf, u64)>,
+}
+
+fn json_engine(r: &EngineResult) -> String {
+    format!(
+        "    {{\"name\": \"{}\", \"ops\": {}, \"elapsed_ns\": {}, \"ops_per_sec\": {:.0}, \
+         \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"pool_hits\": {}, \
+         \"pool_misses\": {}, \"evictions\": {}, \"writebacks\": {}, \
+         \"shard_conflicts\": {}, \"forces\": {}, \"group_size_p50\": {}, \"splits\": {}, \
+         \"consolidations\": {}}}",
+        r.name,
+        r.ops,
+        r.elapsed_ns,
+        r.ops_per_sec(),
+        r.p50,
+        r.p95,
+        r.p99,
+        r.pool_hits,
+        r.pool_misses,
+        r.evictions,
+        r.writebacks,
+        r.shard_conflicts,
+        r.forces,
+        r.group_size_p50,
+        r.splits,
+        r.consolidations,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_json(
+    out_dir: &Path,
+    spec: &ScenarioSpec,
+    cfg: &Config,
+    pop: Population,
+    pool_frames: usize,
+    pages: u64,
+    engines: &[EngineResult],
+    twin: &Result<TwinSummary, String>,
+) -> PathBuf {
+    let pool_pct = pool_frames as f64 * 100.0 / pages.max(1) as f64;
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"scenario\",\n  \"scenario\": \"{}\",\n  \"version\": {},\n  \
+         \"mode\": \"{}\",\n  \"what\": \"{}\",\n",
+        spec.name,
+        VERSION,
+        if cfg.smoke { "smoke" } else { "full" },
+        spec.what.replace('"', "'"),
+    ));
+    json.push_str(&format!(
+        "  \"config\": {{\"load_keys\": {}, \"key_space\": {}, \"value_len\": {}, \
+         \"pool_frames\": {}, \"data_pages\": {}, \"pool_pct\": {:.2}, \
+         \"ops_target\": {}, \"deadline_ns\": {}, \"mix\": \"{}\", \"access\": \"{}\", \
+         \"pipeline_depth\": {}, \"baseline_fanout\": {}, \
+         \"baseline_scan_model\": \"scan_len point gets\"}},\n",
+        pop.load_keys,
+        pop.key_space,
+        cfg.value_len,
+        pool_frames,
+        pages,
+        pool_pct,
+        cfg.ops_target,
+        cfg.deadline_ns,
+        spec.mix.describe(),
+        spec.access.describe(),
+        PIPELINE_DEPTH,
+        BASELINE_FANOUT,
+    ));
+    json.push_str("  \"engines\": [\n");
+    for (i, r) in engines.iter().enumerate() {
+        json.push_str(&json_engine(r));
+        json.push_str(if i + 1 == engines.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("  ],\n");
+    match twin {
+        Ok(t) => json.push_str(&format!(
+            "  \"oracle_twin\": {{\"status\": \"pass\", \"seeds\": {}, \
+             \"differential_ops\": {}, \"durability_fault_points\": {}, \
+             \"durability_crash_points\": {}, \"engine_twin\": \"{}\"}}\n",
+            t.seeds, t.diff_ops, t.dur_fault_points, t.dur_crash_points, t.engine_twin,
+        )),
+        Err(e) => json.push_str(&format!(
+            "  \"oracle_twin\": {{\"status\": \"fail\", \"detail\": \"{}\"}}\n",
+            e.replace('"', "'"),
+        )),
+    }
+    json.push_str("}\n");
+    let path = out_dir.join(format!(
+        "BENCH_scenario_{}.json",
+        spec.name.replace('-', "_")
+    ));
+    std::fs::write(&path, &json).expect("write scenario json");
+    path
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_dir = PathBuf::from(".");
+    let mut only: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out-dir" => out_dir = PathBuf::from(args.next().expect("--out-dir needs a path")),
+            "--only" => only = Some(args.next().expect("--only needs a scenario name")),
+            other => panic!(
+                "unknown arg {other} (usage: scenarios [--smoke] [--out-dir DIR] [--only NAME])"
+            ),
+        }
+    }
+    let cfg = if smoke {
+        Config::smoke()
+    } else {
+        Config::full()
+    };
+    std::fs::create_dir_all(&out_dir).expect("create out dir");
+    let scratch = std::env::temp_dir().join(format!("pitree-scenarios-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("create scratch");
+
+    let specs: Vec<_> = matrix()
+        .into_iter()
+        .filter(|s| only.as_deref().is_none_or(|n| n == s.name))
+        .collect();
+    assert!(!specs.is_empty(), "no scenario matches --only filter");
+
+    // Build each tree shape's image once, only if some scenario needs it.
+    let mut images = Images {
+        pi: None,
+        pi_xy: None,
+        tsb: None,
+        hb: None,
+    };
+    for spec in &specs {
+        match spec.engines {
+            EngineSet::PointVsBaselines | EngineSet::Temporal => {
+                if images.pi.is_none() {
+                    let dir = scratch.join("img-pi");
+                    let t = Stopwatch::start();
+                    let pages = build_pi_image(&dir, &cfg, false);
+                    eprintln!(
+                        "image pi: {} keys, {} pages ({} MB), {} ms",
+                        cfg.load_keys,
+                        pages,
+                        pages * 4096 / (1 << 20),
+                        t.elapsed_ns() / 1_000_000
+                    );
+                    images.pi = Some((dir, pages));
+                }
+                if spec.engines == EngineSet::Temporal && images.tsb.is_none() {
+                    let dir = scratch.join("img-tsb");
+                    let t = Stopwatch::start();
+                    let (pages, t_past) = build_tsb_image(&dir, &cfg);
+                    eprintln!(
+                        "image tsb: {} keys (+10% updates), {} pages, {} ms",
+                        cfg.load_keys,
+                        pages,
+                        t.elapsed_ns() / 1_000_000
+                    );
+                    images.tsb = Some((dir, pages, t_past));
+                }
+            }
+            EngineSet::MultiAttr => {
+                if images.hb.is_none() {
+                    let dir = scratch.join("img-hb");
+                    let t = Stopwatch::start();
+                    let pages = build_hb_image(&dir, &cfg);
+                    eprintln!(
+                        "image hb: {} points, {} pages, {} ms",
+                        cfg.load_keys,
+                        pages,
+                        t.elapsed_ns() / 1_000_000
+                    );
+                    images.hb = Some((dir, pages));
+                }
+                if images.pi_xy.is_none() {
+                    let dir = scratch.join("img-pi-xy");
+                    let t = Stopwatch::start();
+                    let pages = build_pi_image(&dir, &cfg, true);
+                    eprintln!(
+                        "image pi-xy: {} points, {} pages, {} ms",
+                        cfg.load_keys,
+                        pages,
+                        t.elapsed_ns() / 1_000_000
+                    );
+                    images.pi_xy = Some((dir, pages));
+                }
+            }
+        }
+    }
+
+    let pop = Population::dense(cfg.load_keys);
+    let mut failures = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let seed = 0x5c3a_0000 ^ (i as u64) << 8;
+        let run_dir = scratch.join(format!("run-{}", spec.name));
+        let mut engines = Vec::new();
+        let (pages, pool_frames) = match spec.engines {
+            EngineSet::PointVsBaselines => {
+                let (image, pages) = images.pi.as_ref().expect("pi image built");
+                let pool = scaled_pool(*pages);
+                let io = PhaseIo {
+                    image,
+                    dir: &run_dir,
+                    pool_frames: pool,
+                };
+                engines.push(run_pi_phase(spec, &io, &cfg, pop, seed));
+                engines.push(run_lc_phase(spec, pool, &cfg, pop, seed));
+                (*pages, pool)
+            }
+            EngineSet::Temporal => {
+                let (tsb_image, tsb_pages, t_past) = images.tsb.as_ref().expect("tsb image");
+                let pool = scaled_pool(*tsb_pages);
+                let tsb_io = PhaseIo {
+                    image: tsb_image,
+                    dir: &run_dir,
+                    pool_frames: pool,
+                };
+                engines.push(run_tsb_phase(spec, &tsb_io, &cfg, pop, seed, *t_past));
+                let (pi_image, pi_pages) = images.pi.as_ref().expect("pi image");
+                let pi_io = PhaseIo {
+                    image: pi_image,
+                    dir: &run_dir,
+                    pool_frames: scaled_pool(*pi_pages),
+                };
+                engines.push(run_pi_phase(spec, &pi_io, &cfg, pop, seed));
+                engines.push(run_lc_phase(spec, pool, &cfg, pop, seed));
+                (*tsb_pages, pool)
+            }
+            EngineSet::MultiAttr => {
+                let (hb_image, hb_pages) = images.hb.as_ref().expect("hb image");
+                let pool = scaled_pool(*hb_pages);
+                let hb_io = PhaseIo {
+                    image: hb_image,
+                    dir: &run_dir,
+                    pool_frames: pool,
+                };
+                engines.push(run_hb_phase(&hb_io, &cfg, spec, seed));
+                let (xy_image, xy_pages) = images.pi_xy.as_ref().expect("pi-xy image");
+                let xy_io = PhaseIo {
+                    image: xy_image,
+                    dir: &run_dir,
+                    pool_frames: scaled_pool(*xy_pages),
+                };
+                engines.push(run_pi_xy_phase(&xy_io, &cfg, spec, seed));
+                (*hb_pages, pool)
+            }
+        };
+
+        let twin = run_twins(spec, seed, &cfg);
+        let path = emit_json(
+            &out_dir,
+            spec,
+            &cfg,
+            pop,
+            pool_frames,
+            pages,
+            &engines,
+            &twin,
+        );
+        let lead = &engines[0];
+        eprintln!(
+            "{:<12} {:>9.0} ops/s ({}) p50 {:>7}ns p99 {:>9}ns evict {:>7} twin {}  -> {}",
+            spec.name,
+            lead.ops_per_sec(),
+            lead.name,
+            lead.p50,
+            lead.p99,
+            lead.evictions,
+            if twin.is_ok() { "pass" } else { "FAIL" },
+            path.display(),
+        );
+        if let Err(e) = twin {
+            failures.push(format!("{}: {e}", spec.name));
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&scratch);
+    if !failures.is_empty() {
+        eprintln!("oracle twin failures:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -14,10 +14,12 @@
 pub mod adapters;
 pub mod completer;
 pub mod obsdemo;
+pub mod scenario;
 pub mod table;
 pub mod workload;
 
 pub use adapters::PiTreeIndex;
 pub use completer::CompletionWorker;
+pub use scenario::{matrix, Access, EngineSet, KeyStream, Mix, Population, ScenarioSpec};
 pub use table::Table;
 pub use workload::{KeyDist, Workload};

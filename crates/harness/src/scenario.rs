@@ -1,0 +1,604 @@
+//! The million-key scenario matrix: workload shapes, population/pool
+//! sizing, and the deterministic oracle twins that gate each scenario.
+//!
+//! The paper's §1 claim is *comparative* — the Π-tree's latch/lock/log
+//! discipline wins under real contention — and contention only exists
+//! when the buffer pool is a small fraction of the data (EXPERIMENTS.md
+//! S7 caps it at ≤ 1%). This module is the spec side of that experiment:
+//! the `scenarios` bin consumes [`ScenarioSpec`]s from [`matrix`], drives
+//! each engine with [`KeyStream`] samples, and gates every scenario with
+//! [`twin_ops`] streams through `pitree-check`'s
+//! [`differential_twin`](pitree_check::differential_twin) /
+//! [`durability_twin`](pitree_check::durability_twin) plus the
+//! engine-specific [`tsb_twin`] / [`hb_twin`] model checks here.
+//!
+//! Every sampler runs on [`SimRng`] + the deterministic
+//! [`Zipf`] generator, so a scenario is a pure
+//! function of its seed: the bench stream at 1M keys and the twin stream
+//! at domain ~100 are the *same shape* drawn from the same code.
+
+use crate::workload::{scramble, Zipf};
+use pitree_check::ScenOp;
+use pitree_sim::SimRng;
+
+/// Key population of a scenario store: how many keys are preloaded and
+/// how wide the key space the workload draws from is. Keeping the two in
+/// one struct (instead of loose `load_keys` / `key_space` knobs) makes
+/// the miss ratio explicit — `key_space > load_keys` means a known
+/// fraction of point reads miss — and gives BENCH JSON one self-
+/// describing config block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Population {
+    /// Keys preloaded before the measured phase.
+    pub load_keys: u64,
+    /// Workload keys are drawn from `0..key_space`.
+    pub key_space: u64,
+}
+
+impl Population {
+    /// Every drawn key was preloaded: reads hit unless deleted.
+    pub fn dense(n: u64) -> Population {
+        Population {
+            load_keys: n,
+            key_space: n,
+        }
+    }
+
+    /// A sparse population: `key_space > load_keys`, so point reads miss
+    /// at a known rate and inserts grow the tree.
+    pub fn sparse(load_keys: u64, key_space: u64) -> Population {
+        assert!(key_space >= load_keys);
+        Population {
+            load_keys,
+            key_space,
+        }
+    }
+
+    /// Expected fraction of uniform point reads that find a key.
+    pub fn hit_fraction(&self) -> f64 {
+        self.load_keys as f64 / self.key_space as f64
+    }
+}
+
+/// Operation mix in percent (must sum to 100). Scans carry their length.
+#[derive(Debug, Clone, Copy)]
+pub struct Mix {
+    /// Point reads.
+    pub get: u32,
+    /// Upserts.
+    pub insert: u32,
+    /// Deletes.
+    pub delete: u32,
+    /// Range scans.
+    pub scan: u32,
+    /// Keys per scan window.
+    pub scan_len: u64,
+}
+
+impl Mix {
+    fn check(&self) {
+        assert_eq!(
+            self.get + self.insert + self.delete + self.scan,
+            100,
+            "mix must sum to 100"
+        );
+    }
+
+    /// Human-readable form for the JSON config block.
+    pub fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        for (pct, what) in [
+            (self.get, "get".to_string()),
+            (self.insert, "insert".to_string()),
+            (self.delete, "delete".to_string()),
+            (self.scan, format!("scan({})", self.scan_len)),
+        ] {
+            if pct > 0 {
+                parts.push(format!("{pct}% {what}"));
+            }
+        }
+        parts.join(" / ")
+    }
+}
+
+/// Which keys the ops aim at.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Access {
+    /// Uniform over the key space.
+    Uniform,
+    /// Bounded Zipf with skew θ, hot ranks scrambled across the space.
+    Zipf(f64),
+    /// Adversarial hot band: every op lands in a `width`-key window at
+    /// the middle of the space, *unscrambled* — so inserts and deletes
+    /// hammer one subtree with repeated splits and consolidations.
+    HotBand {
+        /// Window width in keys.
+        width: u64,
+    },
+    /// Monotonically increasing appends past the preloaded range
+    /// (rightmost-leaf contention; reads sample the appended prefix).
+    Sequential,
+}
+
+impl Access {
+    /// Human-readable form for the JSON config block.
+    pub fn describe(&self) -> String {
+        match self {
+            Access::Uniform => "uniform".into(),
+            Access::Zipf(t) => format!("zipf({t})"),
+            Access::HotBand { width } => format!("hot-band({width})"),
+            Access::Sequential => "sequential".into(),
+        }
+    }
+}
+
+/// Engines a scenario compares (the bin maps these to drivers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineSet {
+    /// Π-tree (file-backed, WAL, pipelined commits) vs. the in-memory
+    /// lock-coupling baseline at the same pool size.
+    PointVsBaselines,
+    /// TSB-tree as-of reads/puts vs. Π-tree current-version ops vs.
+    /// lock-coupling — the temporal scenario.
+    Temporal,
+    /// hB-tree window queries vs. Π-tree over the concatenated-attribute
+    /// key (x-slab scan + y filter), the classic composite-index strawman
+    /// the hB-tree paper argues against.
+    MultiAttr,
+}
+
+/// One scenario of the matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioSpec {
+    /// JSON/file name suffix (`BENCH_scenario_<name>.json`).
+    pub name: &'static str,
+    /// One-line description for the JSON.
+    pub what: &'static str,
+    /// Operation mix.
+    pub mix: Mix,
+    /// Key access shape.
+    pub access: Access,
+    /// Engines under comparison.
+    pub engines: EngineSet,
+}
+
+/// The scenario matrix (EXPERIMENTS.md S7). YCSB letters follow the
+/// standard core workloads; `hot-storm` is the adversarial subtree
+/// hammer; the last two exercise the paper's other two access methods.
+pub fn matrix() -> Vec<ScenarioSpec> {
+    let specs = vec![
+        ScenarioSpec {
+            name: "ycsb-a",
+            what: "update-heavy: 50% reads / 50% upserts, zipf(0.99)",
+            mix: Mix {
+                get: 50,
+                insert: 50,
+                delete: 0,
+                scan: 0,
+                scan_len: 0,
+            },
+            access: Access::Zipf(0.99),
+            engines: EngineSet::PointVsBaselines,
+        },
+        ScenarioSpec {
+            name: "ycsb-b",
+            what: "read-mostly: 95% reads / 5% upserts, zipf(0.99)",
+            mix: Mix {
+                get: 95,
+                insert: 5,
+                delete: 0,
+                scan: 0,
+                scan_len: 0,
+            },
+            access: Access::Zipf(0.99),
+            engines: EngineSet::PointVsBaselines,
+        },
+        ScenarioSpec {
+            name: "ycsb-c",
+            what: "read-only: 100% reads, zipf(0.99)",
+            mix: Mix {
+                get: 100,
+                insert: 0,
+                delete: 0,
+                scan: 0,
+                scan_len: 0,
+            },
+            access: Access::Zipf(0.99),
+            engines: EngineSet::PointVsBaselines,
+        },
+        ScenarioSpec {
+            name: "ycsb-e",
+            what: "short scans: 95% scans(50) / 5% inserts, zipf(0.99) start keys",
+            mix: Mix {
+                get: 0,
+                insert: 5,
+                delete: 0,
+                scan: 95,
+                scan_len: 50,
+            },
+            access: Access::Zipf(0.99),
+            engines: EngineSet::PointVsBaselines,
+        },
+        ScenarioSpec {
+            name: "scan-range",
+            what: "scan-heavy: 60% scans(500) / 30% reads / 10% upserts, uniform",
+            mix: Mix {
+                get: 30,
+                insert: 10,
+                delete: 0,
+                scan: 60,
+                scan_len: 500,
+            },
+            access: Access::Uniform,
+            engines: EngineSet::PointVsBaselines,
+        },
+        ScenarioSpec {
+            name: "hot-storm",
+            what: "adversarial write storm on one subtree: 45% inserts / 45% deletes \
+                   / 10% reads in an unscrambled hot band",
+            mix: Mix {
+                get: 10,
+                insert: 45,
+                delete: 45,
+                scan: 0,
+                scan_len: 0,
+            },
+            access: Access::HotBand { width: 512 },
+            engines: EngineSet::PointVsBaselines,
+        },
+        ScenarioSpec {
+            name: "seq-append",
+            what: "append storm: 80% sequential inserts / 20% reads of the appended \
+                   prefix (rightmost-leaf contention)",
+            mix: Mix {
+                get: 20,
+                insert: 80,
+                delete: 0,
+                scan: 0,
+                scan_len: 0,
+            },
+            access: Access::Sequential,
+            engines: EngineSet::PointVsBaselines,
+        },
+        ScenarioSpec {
+            name: "tsb-asof",
+            what: "temporal: 70% as-of reads / 10% as-of scans(50) / 20% puts; \
+                   TSB-tree vs current-version Π-tree and lock-coupling",
+            mix: Mix {
+                get: 70,
+                insert: 20,
+                delete: 0,
+                scan: 10,
+                scan_len: 50,
+            },
+            access: Access::Zipf(0.99),
+            engines: EngineSet::Temporal,
+        },
+        ScenarioSpec {
+            name: "hb-multiattr",
+            what: "multi-attribute: 70% window queries / 30% point inserts; hB-tree \
+                   vs Π-tree over the concatenated (x,y) key",
+            mix: Mix {
+                get: 0,
+                insert: 30,
+                delete: 0,
+                scan: 70,
+                scan_len: 16, // window edge length in attribute units
+            },
+            access: Access::Uniform,
+            engines: EngineSet::MultiAttr,
+        },
+    ];
+    for s in &specs {
+        s.mix.check();
+    }
+    specs
+}
+
+/// Seeded key sampler for one scenario over a given key space — the same
+/// shape at 1M keys (bench) and at domain ~100 (oracle twin).
+#[derive(Debug)]
+pub struct KeyStream {
+    access: Access,
+    key_space: u64,
+    zipf: Option<Zipf>,
+    next_seq: u64,
+}
+
+impl KeyStream {
+    /// Build a sampler; `append_base` seeds the sequential cursor (the
+    /// preloaded high-water mark, so appends extend the tree).
+    pub fn new(access: Access, key_space: u64, append_base: u64) -> KeyStream {
+        let zipf = match access {
+            Access::Zipf(theta) => Some(Zipf::new(key_space, theta)),
+            _ => None,
+        };
+        KeyStream {
+            access,
+            key_space,
+            zipf,
+            next_seq: append_base,
+        }
+    }
+
+    /// Next target key.
+    pub fn next(&mut self, rng: &mut SimRng) -> u64 {
+        match self.access {
+            Access::Uniform => rng.below(self.key_space),
+            Access::Zipf(_) => {
+                let rank = self
+                    .zipf
+                    .as_ref()
+                    .expect("zipf access has a sampler")
+                    .sample(rng);
+                scramble(rank, self.key_space)
+            }
+            Access::HotBand { width } => {
+                let w = width.min(self.key_space);
+                let base = (self.key_space - w) / 2;
+                base + rng.below(w.max(1))
+            }
+            Access::Sequential => {
+                let k = self.next_seq;
+                self.next_seq += 1;
+                k
+            }
+        }
+    }
+
+    /// A key known to exist already (for reads in append scenarios):
+    /// uniform over `[0, current sequential cursor)`, else [`Self::next`].
+    pub fn next_existing(&mut self, rng: &mut SimRng) -> u64 {
+        match self.access {
+            Access::Sequential => rng.below(self.next_seq.max(1)),
+            _ => self.next(rng),
+        }
+    }
+}
+
+/// Generate a scenario's deterministic twin stream: the same mix and
+/// access shape, scaled down to `domain` keys and `ops` steps, with
+/// flushes and fuzzy checkpoints sprinkled in so the durability twin
+/// crosses eviction and checkpoint boundaries. Pure function of
+/// `(spec, seed, ops, domain)`.
+pub fn twin_ops(spec: &ScenarioSpec, seed: u64, ops: usize, domain: u64) -> Vec<ScenOp> {
+    let mut rng = SimRng::new(seed ^ 0x5ce7_a110);
+    let mut stream = KeyStream::new(spec.access, domain, 0);
+    // Seed a small preload so read-heavy twins have data to read.
+    let mut out: Vec<ScenOp> = (0..domain / 2).map(ScenOp::Insert).collect();
+    for i in 0..ops {
+        let roll = rng.below(100) as u32;
+        let m = &spec.mix;
+        if roll < m.get {
+            out.push(ScenOp::Get(stream.next_existing(&mut rng)));
+        } else if roll < m.get + m.insert {
+            out.push(ScenOp::Insert(stream.next(&mut rng)));
+        } else if roll < m.get + m.insert + m.delete {
+            out.push(ScenOp::Delete(stream.next(&mut rng)));
+        } else {
+            let lo = stream.next_existing(&mut rng);
+            // Scan windows shrink with the domain: ~1/8 of the space.
+            out.push(ScenOp::Scan(lo, lo + (domain / 8).max(2)));
+        }
+        if i % 17 == 13 {
+            out.push(ScenOp::Flush);
+        }
+        if i % 41 == 29 {
+            out.push(ScenOp::Checkpoint);
+        }
+    }
+    out
+}
+
+// ---- engine-specific twins -------------------------------------------------
+
+/// TSB-tree twin: a seeded put/delete history over a small domain with a
+/// brute-force `(key, time) -> value` model, then every key × sampled
+/// time checked through `get_as_of`, plus `scan_as_of` windows — the
+/// temporal scenario's oracle. Returns `Err(description)` on divergence.
+pub fn tsb_twin(seed: u64) -> Result<(), String> {
+    use pitree::CrashableStore;
+    use pitree_tsb::{TsbConfig, TsbTree};
+    use std::sync::Arc;
+
+    let cs = CrashableStore::create(128, 1 << 20).map_err(|e| format!("store: {e}"))?;
+    let tree = TsbTree::create(Arc::clone(&cs.store), 1, TsbConfig::small_nodes(4, 4))
+        .map_err(|e| format!("tree: {e}"))?;
+    let mut rng = SimRng::new(seed ^ 0x75b7);
+    let domain = 16u64;
+    // history[k] = chronological (time, value-or-deleted).
+    let mut history: Vec<Vec<(u64, Option<Vec<u8>>)>> = vec![Vec::new(); domain as usize];
+    for i in 0..120usize {
+        let k = rng.below(domain);
+        let key = k.to_be_bytes();
+        let mut t = tree.begin();
+        if rng.chance(0.75) {
+            let v = format!("t{k}-{i}").into_bytes();
+            let at = tree
+                .put(&mut t, &key, &v)
+                .map_err(|e| format!("put: {e}"))?;
+            t.commit().map_err(|e| format!("commit: {e}"))?;
+            history[k as usize].push((at, Some(v)));
+        } else {
+            let at = tree
+                .delete(&mut t, &key)
+                .map_err(|e| format!("delete: {e}"))?;
+            t.commit().map_err(|e| format!("commit: {e}"))?;
+            history[k as usize].push((at, None));
+        }
+    }
+    let model_at = |k: u64, t: u64| -> Option<Vec<u8>> {
+        history[k as usize]
+            .iter()
+            .rev()
+            .find(|&&(at, _)| at <= t)
+            .and_then(|(_, v)| v.clone())
+    };
+    // Sampled as-of probes: every key at ~8 times across the run.
+    let horizon = tree.now();
+    for k in 0..domain {
+        let key = k.to_be_bytes();
+        for _ in 0..8 {
+            let t = rng.below(horizon + 1);
+            let got = tree
+                .get_as_of(&key, t)
+                .map_err(|e| format!("get_as_of: {e}"))?;
+            let want = model_at(k, t);
+            if got != want {
+                return Err(format!(
+                    "tsb twin (seed {seed:#x}): as-of({k}, t={t}) = {got:?}, model says {want:?}"
+                ));
+            }
+        }
+    }
+    // As-of scans: the whole domain at sampled times.
+    for _ in 0..6 {
+        let t = rng.below(horizon + 1);
+        let got = tree
+            .scan_as_of(&0u64.to_be_bytes(), &domain.to_be_bytes(), t)
+            .map_err(|e| format!("scan_as_of: {e}"))?;
+        let want: Vec<(Vec<u8>, Vec<u8>)> = (0..domain)
+            .filter_map(|k| model_at(k, t).map(|v| (k.to_be_bytes().to_vec(), v)))
+            .collect();
+        if got != want {
+            return Err(format!(
+                "tsb twin (seed {seed:#x}): scan_as_of(t={t}) returned {} pairs, model has {}",
+                got.len(),
+                want.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// hB-tree twin: seeded 2-attribute inserts/deletes with a brute-force
+/// point-set model, window queries checked exactly — the multi-attribute
+/// scenario's oracle. Returns `Err(description)` on divergence.
+pub fn hb_twin(seed: u64) -> Result<(), String> {
+    use pitree::CrashableStore;
+    use pitree_hb::{HbConfig, HbTree, Point, Rect};
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    let cs = CrashableStore::create(128, 1 << 20).map_err(|e| format!("store: {e}"))?;
+    let tree = HbTree::create(Arc::clone(&cs.store), 1, HbConfig::small_nodes(6, 4))
+        .map_err(|e| format!("tree: {e}"))?;
+    let mut rng = SimRng::new(seed ^ 0x4b77);
+    let side = 32u64;
+    let mut model: BTreeMap<Point, Vec<u8>> = BTreeMap::new();
+    for i in 0..150usize {
+        let p: Point = [rng.below(side), rng.below(side)];
+        let mut t = tree.begin();
+        if rng.chance(0.8) {
+            let v = format!("p{}-{}-{i}", p[0], p[1]).into_bytes();
+            tree.insert(&mut t, &p, &v)
+                .map_err(|e| format!("insert: {e}"))?;
+            t.commit().map_err(|e| format!("commit: {e}"))?;
+            model.insert(p, v);
+        } else {
+            tree.delete(&mut t, &p)
+                .map_err(|e| format!("delete: {e}"))?;
+            t.commit().map_err(|e| format!("commit: {e}"))?;
+            model.remove(&p);
+        }
+    }
+    for _ in 0..20 {
+        let lo = [rng.below(side), rng.below(side)];
+        let w = Rect {
+            lo,
+            hi: [lo[0] + 1 + rng.below(side), lo[1] + 1 + rng.below(side)],
+        };
+        let mut got = tree
+            .window_query(&w)
+            .map_err(|e| format!("window_query: {e}"))?;
+        got.sort();
+        let want: Vec<(Point, Vec<u8>)> = model
+            .iter()
+            .filter(|(p, _)| w.contains(p))
+            .map(|(p, v)| (*p, v.clone()))
+            .collect();
+        if got != want {
+            return Err(format!(
+                "hb twin (seed {seed:#x}): window {w:?} returned {} points, model has {}",
+                got.len(),
+                want.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_well_formed() {
+        let m = matrix();
+        assert!(m.len() >= 6, "acceptance wants >= 6 scenarios");
+        let mut names: Vec<_> = m.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), m.len(), "scenario names must be unique");
+    }
+
+    #[test]
+    fn twin_streams_are_deterministic() {
+        for spec in matrix() {
+            let a = twin_ops(&spec, 0xabcd, 100, 96);
+            let b = twin_ops(&spec, 0xabcd, 100, 96);
+            assert_eq!(
+                a, b,
+                "{} twin must be a pure function of its seed",
+                spec.name
+            );
+            let c = twin_ops(&spec, 0xabce, 100, 96);
+            assert_ne!(a, c, "{} twin must vary with the seed", spec.name);
+        }
+    }
+
+    #[test]
+    fn twin_streams_reflect_the_mix() {
+        let m = matrix();
+        let ycsb_c = m.iter().find(|s| s.name == "ycsb-c").unwrap();
+        let ops = twin_ops(ycsb_c, 1, 200, 96);
+        // Read-only mix: no writes beyond the preload prefix.
+        let preload = 96 / 2;
+        assert!(ops[preload..]
+            .iter()
+            .all(|op| !matches!(op, ScenOp::Insert(_) | ScenOp::Delete(_))));
+        let storm = m.iter().find(|s| s.name == "hot-storm").unwrap();
+        let ops = twin_ops(storm, 1, 200, 96);
+        let writes = ops[preload..]
+            .iter()
+            .filter(|op| matches!(op, ScenOp::Insert(_) | ScenOp::Delete(_)))
+            .count();
+        assert!(writes > 120, "hot storm twin is write-heavy: {writes}");
+    }
+
+    #[test]
+    fn hot_band_hits_one_window() {
+        let mut s = KeyStream::new(Access::HotBand { width: 512 }, 1_000_000, 0);
+        let mut rng = SimRng::new(9);
+        for _ in 0..500 {
+            let k = s.next(&mut rng);
+            assert!((499_744..500_256).contains(&k), "escaped the band: {k}");
+        }
+    }
+
+    #[test]
+    fn population_describes_hit_rate() {
+        assert_eq!(Population::dense(100).hit_fraction(), 1.0);
+        assert_eq!(Population::sparse(50, 100).hit_fraction(), 0.5);
+    }
+
+    #[test]
+    fn tsb_twin_accepts_the_tree() {
+        tsb_twin(0x7e57).expect("tsb twin must pass");
+    }
+
+    #[test]
+    fn hb_twin_accepts_the_tree() {
+        hb_twin(0x7e57).expect("hb twin must pass");
+    }
+}

@@ -700,6 +700,143 @@ fn crash_mid_parallel_redo_with_one_shard_complete() {
     verify_recovery(&crashed, cfg, &model, "mid-parallel-redo");
 }
 
+// ---- Eviction write-back crash window (i) ----------------------------------
+//
+// The scenario harness runs at a pool ~1% of the data, so dirty pages are
+// displaced — and written back — constantly *during* user operations, not
+// just at flush points. That opens window (i): the machine dies in the
+// middle of an eviction write-back, with the half-evicted page's log
+// records forced (log-before-dirty) but the page image torn out of the
+// sweep. Recovery must rebuild exactly the committed state, and it must do
+// so through the *instant* path: on-demand REDO first, then the parallel
+// plan drained to completion.
+
+/// Recover the crashed image via `PiTree::recover_instant`, serve every
+/// committed key while the REDO plan may still be pending, drain the plan,
+/// and verify the full committed-version state.
+fn verify_recovery_instant(crashed: &CrashableStore, cfg: PiTreeConfig, model: &Model, ctx: &str) {
+    let (tree, plan, _stats) = PiTree::recover_instant(Arc::clone(&crashed.store), 1, cfg)
+        .unwrap_or_else(|e| panic!("{ctx}: instant recovery failed: {e}"));
+    // Reads during recovery: each pin redoes its page inline if pending.
+    for (k, v) in model {
+        let got = tree
+            .get_unlocked(&key(*k))
+            .unwrap_or_else(|e| panic!("{ctx}: get {k} mid-recovery: {e}"));
+        assert_eq!(
+            got.as_ref(),
+            Some(v),
+            "{ctx}: key {k} wrong while REDO pending"
+        );
+    }
+    plan.drive(&crashed.store.pool, 2)
+        .unwrap_or_else(|e| panic!("{ctx}: drive: {e}"));
+    assert!(plan.is_complete(), "{ctx}: plan not drained");
+    let report = tree.validate().unwrap_or_else(|e| panic!("{ctx}: {e}"));
+    assert!(
+        report.is_well_formed(),
+        "{ctx}: recovered tree ill-formed: {:?}",
+        report.violations
+    );
+    assert_eq!(
+        report.records,
+        model.len(),
+        "{ctx}: committed records lost or resurrected"
+    );
+    for (k, v) in model {
+        let got = tree
+            .get_unlocked(&key(*k))
+            .unwrap_or_else(|e| panic!("{ctx}: get {k}: {e}"));
+        assert_eq!(got.as_ref(), Some(v), "{ctx}: key {k} wrong after drain");
+    }
+}
+
+/// (i) Crash during eviction write-back under hot-key pressure: an
+/// 8-frame pool under a tree an order of magnitude larger, hammered on a
+/// hot band that spans distant leaves. Every durable-write boundary in
+/// the storm window gets a crash — the page-write boundaries among them
+/// are exactly "machine died mid-eviction-write-back" — and each image
+/// recovers through the instant path to the committed state.
+#[test]
+fn crash_during_eviction_writeback_under_hot_keys() {
+    let cfg = PiTreeConfig::small_nodes(4, 4);
+    let hot = [0u64, 8, 16, 24, 32, 39];
+
+    let setup = |tree: &PiTree, model: &mut Model| -> StoreResult<()> {
+        for k in 0..40 {
+            insert(tree, model, k)?;
+        }
+        Ok(())
+    };
+    let storm = |tree: &PiTree, model: &mut Model| -> StoreResult<()> {
+        // Three rounds over the hot band (distant leaves → misses →
+        // dirty displacement) with fresh appends dirtying new pages.
+        for round in 0..3u64 {
+            for &k in &hot {
+                insert(tree, model, k)?;
+            }
+            for k in 0..4 {
+                insert(tree, model, 40 + round * 4 + k)?;
+            }
+        }
+        Ok(())
+    };
+
+    // Probe: find the storm's boundary window and prove it contains
+    // eviction write-backs (not merely log forces).
+    let plan = CrashPlan::count_only();
+    let cs = CrashableStore::create_with_injector(8, 10_000, Arc::clone(&plan) as InjectorHandle)
+        .expect("store setup (disarmed)");
+    let tree = PiTree::create(Arc::clone(&cs.store), 1, cfg).expect("tree setup (disarmed)");
+    plan.arm();
+    let mut model = Model::new();
+    setup(&tree, &mut model).expect("probe setup");
+    let wb = cs.store.pool.recorder().counter("buf.writebacks");
+    let h0 = plan.hits();
+    let wb0 = wb.get();
+    storm(&tree, &mut model).expect("probe storm");
+    let h1 = plan.hits();
+    assert!(h1 > h0, "storm crossed no durable-write boundary");
+    assert!(
+        wb.get() > wb0,
+        "storm performed no eviction write-backs: grow the working set"
+    );
+    drop(tree);
+
+    // Sweep every boundary in the window; the storm must include
+    // page-write crashes (a write-back torn mid-flight).
+    let mut page_write_crashes = 0u32;
+    for n in (h0 + 1)..=h1 {
+        let plan = CrashPlan::fire_at(n);
+        let cs =
+            CrashableStore::create_with_injector(8, 10_000, Arc::clone(&plan) as InjectorHandle)
+                .expect("store setup (disarmed)");
+        let tree = PiTree::create(Arc::clone(&cs.store), 1, cfg).expect("tree setup (disarmed)");
+        plan.arm();
+        let mut model = Model::new();
+        let ctx = format!("eviction-writeback crash-point {n}");
+        let res = setup(&tree, &mut model).and_then(|()| storm(&tree, &mut model));
+        match res {
+            Err(ref e) if is_injected(e) => {
+                if format!("{e}").contains("page-write") {
+                    page_write_crashes += 1;
+                }
+            }
+            Err(e) => panic!("{ctx}: non-injected error: {e}"),
+            Ok(()) => panic!("{ctx}: storm completed although the plan should have fired"),
+        }
+        assert!(plan.fired(), "{ctx}: plan did not fire");
+        drop(tree);
+        let crashed = cs
+            .crash()
+            .unwrap_or_else(|e| panic!("{ctx}: snapshot: {e}"));
+        verify_recovery_instant(&crashed, cfg, &model, &ctx);
+    }
+    assert!(
+        page_write_crashes > 0,
+        "no crash landed on a page-write boundary: the row never tore a write-back"
+    );
+}
+
 /// (h) A get served from a not-yet-redone page: after `recover_instant`
 /// opens the store, read every committed key while the REDO plan is still
 /// pending. Each read must return the committed value (the first pin

@@ -210,6 +210,8 @@ pub struct BufferPool {
     stats: PoolStats,
     flushes: Counter,
     shard_conflicts: Counter,
+    evictions: Counter,
+    writebacks: Counter,
     read_ns: Hist,
     writeback_ns: Hist,
 }
@@ -283,6 +285,8 @@ impl BufferPool {
             stats: PoolStats::new(&rec),
             flushes: rec.counter("buf.flushes"),
             shard_conflicts: rec.counter("buf.shard_conflicts"),
+            evictions: rec.counter("buf.evictions"),
+            writebacks: rec.counter("buf.writebacks"),
             read_ns: rec.hist("buf.read_ns"),
             writeback_ns: rec.hist("buf.writeback_ns"),
             rec,
@@ -436,6 +440,11 @@ impl BufferPool {
         // records sit below the recovered redo horizon.
         let old_pid = *frame.pid.lock();
         let old_dirty = old_pid.is_some() && frame.dirty.load(Ordering::SeqCst);
+        if old_pid.is_some() {
+            // A resident page is being displaced (clean or dirty): this is
+            // the eviction the scenario harness steers by (`buf.evictions`).
+            self.evictions.inc();
+        }
         if let Some(old) = old_pid {
             if old_dirty {
                 st.table.insert(
@@ -597,6 +606,9 @@ impl BufferPool {
         }
         let res = self.disk.write_page(pid, page);
         self.writeback_ns.record(timer.elapsed_ns());
+        if res.is_ok() {
+            self.writebacks.inc();
+        }
         res
     }
 

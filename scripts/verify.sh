@@ -90,7 +90,8 @@ done
 step "throughput smoke (group-commit bench emits well-formed JSON; groups must form)"
 tp_out="$(mktemp)"
 mttr_out="$(mktemp)"
-trap 'rm -f "$tp_out" "$mttr_out"' EXIT
+scen_dir="$(mktemp -d)"
+trap 'rm -f "$tp_out" "$mttr_out"; rm -rf "$scen_dir"' EXIT
 cargo run --offline --release -q --bin throughput -- --smoke --out "$tp_out" >/dev/null
 for key in '"bench": "throughput"' '"mode": "smoke"' '"threads"' '"ops_per_sec"' \
            '"wal_group_size_p50"' '"ack_p95_ns"' '"txn_elr_released"' \
@@ -123,6 +124,31 @@ while read -r full first; do
     exit 1
   fi
 done < <(sed -n 's/.*"full_replay_ns": \([0-9]*\),.*"first_op_ns": \([0-9]*\),.*/\1 \2/p' "$mttr_out")
+
+step "scenario smoke (matrix runs end to end; every oracle twin must pass)"
+scen_start=$SECONDS
+cargo run --offline --release -q --bin scenarios -- --smoke --out-dir "$scen_dir" >/dev/null
+scen_elapsed=$(( SECONDS - scen_start ))
+if [[ "$scen_elapsed" -ge 120 ]]; then
+  echo "scenarios --smoke took ${scen_elapsed}s (budget 120s)" >&2
+  exit 1
+fi
+scen_count=$(ls "$scen_dir"/BENCH_scenario_*.json 2>/dev/null | wc -l)
+if [[ "$scen_count" -lt 6 ]]; then
+  echo "scenarios --smoke emitted only $scen_count BENCH files (need >= 6)" >&2
+  exit 1
+fi
+for f in "$scen_dir"/BENCH_scenario_*.json; do
+  for key in '"bench": "scenario"' '"version"' '"pool_pct"' '"ops_per_sec"' \
+             '"evictions"' '"writebacks"' '"oracle_twin"'; do
+    grep -q "$key" "$f" || { echo "$(basename "$f") missing $key" >&2; exit 1; }
+  done
+  grep -q '"oracle_twin": {"status": "pass"' "$f" || {
+    echo "$(basename "$f"): oracle twin did not pass" >&2
+    sed -n 's/.*"oracle_twin".*/&/p' "$f" >&2
+    exit 1
+  }
+done
 
 step "ThreadSanitizer suites (skips cleanly without an instrumented nightly)"
 ./scripts/tsan.sh
