@@ -30,8 +30,9 @@ pub enum Completion {
         key: Vec<u8>,
         /// The new node.
         node: PageId,
-        /// Saved path from the traversal that scheduled this.
-        path: SavedPath,
+        /// Saved path from the traversal that scheduled this (boxed: the
+        /// inline-array path would otherwise dominate the enum's size).
+        path: Box<SavedPath>,
     },
     /// Try to consolidate the under-utilized node whose low key is `key` at
     /// `level` (§3.3).
@@ -116,7 +117,7 @@ mod tests {
             level,
             key: vec![node as u8],
             node: PageId(node),
-            path: SavedPath::default(),
+            path: Box::new(SavedPath::default()),
         }
     }
 

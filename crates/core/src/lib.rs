@@ -48,7 +48,7 @@ pub use bound::KeyBound;
 pub use completion::{Completion, CompletionQueue};
 pub use config::{ConsolidationPolicy, DeallocPolicy, MoveGranule, PiTreeConfig, UndoPolicy};
 pub use consolidate::{consolidate, ConsolidateOutcome};
-pub use node::{IndexTerm, NodeHeader};
+pub use node::{BoundRef, HeaderRef, IndexTerm, NodeHeader, NodeRef};
 pub use post::{post_index_term, PostOutcome};
 pub use stats::TreeStats;
 pub use store::{CrashableStore, Store};

@@ -90,6 +90,256 @@ impl NodeHeader {
     }
 }
 
+/// One end of a node's interval, borrowed from the encoded slot-0 bytes.
+/// The zero-copy twin of [`KeyBound`]: same tags, same comparison
+/// semantics, no `Vec`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundRef<'a> {
+    /// Below every key.
+    NegInf,
+    /// An actual key value, borrowed from the page frame.
+    Key(&'a [u8]),
+    /// Above every key.
+    PosInf,
+}
+
+impl<'a> BoundRef<'a> {
+    /// Parse from `bytes[*pos..]`, advancing `pos`. Rejects exactly what
+    /// [`KeyBound::decode`] rejects (bad tag, truncated length, truncated
+    /// key) so view-path and write-path corruption checks stay in lockstep.
+    pub fn parse(bytes: &'a [u8], pos: &mut usize) -> StoreResult<BoundRef<'a>> {
+        let tag = *bytes
+            .get(*pos)
+            .ok_or_else(|| StoreError::Corrupt("truncated bound".into()))?;
+        *pos += 1;
+        match tag {
+            0 => Ok(BoundRef::NegInf),
+            2 => Ok(BoundRef::PosInf),
+            1 => {
+                if *pos + 2 > bytes.len() {
+                    return Err(StoreError::Corrupt("truncated bound length".into()));
+                }
+                let len = u16::from_le_bytes([bytes[*pos], bytes[*pos + 1]]) as usize;
+                *pos += 2;
+                if *pos + len > bytes.len() {
+                    return Err(StoreError::Corrupt("truncated bound key".into()));
+                }
+                let k = &bytes[*pos..*pos + len];
+                *pos += len;
+                Ok(BoundRef::Key(k))
+            }
+            t => Err(StoreError::Corrupt(format!("bad bound tag {t}"))),
+        }
+    }
+
+    /// `self ≤ key` when used as a low bound.
+    #[inline]
+    pub fn le_key(&self, key: &[u8]) -> bool {
+        match self {
+            BoundRef::NegInf => true,
+            BoundRef::Key(k) => *k <= key,
+            BoundRef::PosInf => false,
+        }
+    }
+
+    /// `key < self` when used as a high bound.
+    #[inline]
+    pub fn gt_key(&self, key: &[u8]) -> bool {
+        match self {
+            BoundRef::NegInf => false,
+            BoundRef::Key(k) => key < *k,
+            BoundRef::PosInf => true,
+        }
+    }
+
+    /// `key ≤ self` when used as a high bound — the scan-termination test
+    /// (`high > to || high == to`) without re-encoding `to` as a bound.
+    #[inline]
+    pub fn ge_key(&self, key: &[u8]) -> bool {
+        match self {
+            BoundRef::NegInf => false,
+            BoundRef::Key(k) => key <= *k,
+            BoundRef::PosInf => true,
+        }
+    }
+
+    /// The byte key used when this bound appears as an index-term key
+    /// (mirrors [`KeyBound::as_entry_key`]).
+    #[inline]
+    pub fn as_entry_key(&self) -> &'a [u8] {
+        match self {
+            BoundRef::NegInf => b"",
+            BoundRef::Key(k) => k,
+            BoundRef::PosInf => panic!("PosInf is never an index-term key"),
+        }
+    }
+
+    /// Materialize the owned bound (write paths only).
+    pub fn to_bound(self) -> KeyBound {
+        match self {
+            BoundRef::NegInf => KeyBound::NegInf,
+            BoundRef::Key(k) => KeyBound::Key(k.to_vec()),
+            BoundRef::PosInf => KeyBound::PosInf,
+        }
+    }
+}
+
+/// Borrowed, zero-copy view of a node header: the scalars are copied out of
+/// the slot-0 bytes, the bounds stay as slices into the frame. Containment
+/// and routing checks are in-place byte comparisons — no `Vec`, no
+/// [`NodeHeader`] clone. Sound because the caller holds a latch guard on the
+/// page for the lifetime `'a` (DESIGN.md §11).
+///
+/// [`NodeHeader::encode`]/[`NodeHeader::decode`] remain the write-path/SMO
+/// representation; this view serves the read hot path.
+#[derive(Debug, Clone, Copy)]
+pub struct HeaderRef<'a> {
+    level: u8,
+    side: PageId,
+    low: BoundRef<'a>,
+    high: BoundRef<'a>,
+}
+
+impl<'a> HeaderRef<'a> {
+    /// Parse slot-0 record bytes. Accepts and rejects byte-for-byte the same
+    /// inputs as [`NodeHeader::decode`] (short header, bad bound tag,
+    /// truncated bound, trailing bytes) — a property test pins the parity.
+    pub fn parse(bytes: &'a [u8]) -> StoreResult<HeaderRef<'a>> {
+        if bytes.len() < 9 {
+            return Err(StoreError::Corrupt("node header too short".into()));
+        }
+        let level = bytes[0];
+        let side = PageId(u64::from_le_bytes(bytes[1..9].try_into().unwrap()));
+        let mut pos = 9;
+        let low = BoundRef::parse(bytes, &mut pos)?;
+        let high = BoundRef::parse(bytes, &mut pos)?;
+        if pos != bytes.len() {
+            return Err(StoreError::Corrupt("trailing bytes in node header".into()));
+        }
+        Ok(HeaderRef {
+            level,
+            side,
+            low,
+            high,
+        })
+    }
+
+    /// View the header of a node page.
+    #[inline]
+    pub fn read(page: &'a Page) -> StoreResult<HeaderRef<'a>> {
+        HeaderRef::parse(page.get(0)?)
+    }
+
+    /// Level: 0 for data nodes.
+    #[inline]
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// Side pointer, or `PageId::INVALID`.
+    #[inline]
+    pub fn side(&self) -> PageId {
+        self.side
+    }
+
+    /// Whether this is a data node.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Inclusive low bound of the directly-contained space.
+    #[inline]
+    pub fn low(&self) -> BoundRef<'a> {
+        self.low
+    }
+
+    /// Exclusive high bound of the directly-contained space.
+    #[inline]
+    pub fn high(&self) -> BoundRef<'a> {
+        self.high
+    }
+
+    /// Whether `key` lies in the directly-contained space.
+    #[inline]
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.low.le_key(key) && self.high.gt_key(key)
+    }
+
+    /// `low ≤ key` in place.
+    #[inline]
+    pub fn low_le(&self, key: &[u8]) -> bool {
+        self.low.le_key(key)
+    }
+
+    /// `key < high` in place.
+    #[inline]
+    pub fn high_gt(&self, key: &[u8]) -> bool {
+        self.high.gt_key(key)
+    }
+
+    /// `key ≤ high` in place (scan termination).
+    #[inline]
+    pub fn high_ge(&self, key: &[u8]) -> bool {
+        self.high.ge_key(key)
+    }
+
+    /// The low bound as an index-term key (`NegInf` → empty key).
+    #[inline]
+    pub fn low_entry_key(&self) -> &'a [u8] {
+        self.low.as_entry_key()
+    }
+
+    /// Materialize the owned header (write paths / SMO scheduling only).
+    pub fn to_header(&self) -> NodeHeader {
+        NodeHeader {
+            level: self.level,
+            side: self.side,
+            low: self.low.to_bound(),
+            high: self.high.to_bound(),
+        }
+    }
+}
+
+/// A node page plus its parsed header view: one validation, then borrowed
+/// access to both the header and the keyed entries.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeRef<'a> {
+    page: &'a Page,
+    hdr: HeaderRef<'a>,
+}
+
+impl<'a> NodeRef<'a> {
+    /// View a latched node page.
+    #[inline]
+    pub fn new(page: &'a Page) -> StoreResult<NodeRef<'a>> {
+        Ok(NodeRef {
+            page,
+            hdr: HeaderRef::read(page)?,
+        })
+    }
+
+    /// The parsed header view.
+    #[inline]
+    pub fn header(&self) -> HeaderRef<'a> {
+        self.hdr
+    }
+
+    /// The underlying page.
+    #[inline]
+    pub fn page(&self) -> &'a Page {
+        self.page
+    }
+
+    /// Borrow the payload for `key`, if present in this node's entries.
+    #[inline]
+    pub fn lookup_payload(&self, key: &[u8]) -> Option<&'a [u8]> {
+        self.page
+            .keyed_lookup(key)
+            .map(|(_, entry)| Page::entry_payload(entry))
+    }
+}
+
 /// A decoded index term (§2.1.2): child pointer plus the key from which the
 /// child is responsible.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -133,6 +383,22 @@ impl IndexTerm {
     /// Decode the index term at `slot` of an index node.
     pub fn read(page: &Page, slot: u16) -> StoreResult<IndexTerm> {
         IndexTerm::from_entry(page.get(slot)?)
+    }
+
+    /// Read just the child pointer of the index term at `slot`, in place —
+    /// the descent hot path needs nothing else from the term.
+    #[inline]
+    pub fn child_at(page: &Page, slot: u16) -> StoreResult<PageId> {
+        let payload = page.entry_payload_at(slot);
+        if payload.len() != 9 {
+            return Err(StoreError::Corrupt(format!(
+                "index term payload has {} bytes, expected 9",
+                payload.len()
+            )));
+        }
+        Ok(PageId(u64::from_le_bytes(
+            payload[0..8].try_into().unwrap(),
+        )))
     }
 }
 
@@ -305,5 +571,98 @@ mod tests {
         ok.push(0xaa);
         assert!(NodeHeader::decode(&ok).is_err());
         assert!(IndexTerm::from_entry(&Page::make_entry(b"k", b"short")).is_err());
+    }
+
+    #[test]
+    fn header_ref_agrees_with_decode() {
+        for h in [
+            NodeHeader::new_root_leaf(),
+            NodeHeader {
+                level: 3,
+                side: PageId(42),
+                low: KeyBound::Key(b"m".to_vec()),
+                high: KeyBound::Key(b"r".to_vec()),
+            },
+            NodeHeader {
+                level: 1,
+                side: PageId::INVALID,
+                low: KeyBound::NegInf,
+                high: KeyBound::Key(b"x".to_vec()),
+            },
+        ] {
+            let bytes = h.encode();
+            let v = HeaderRef::parse(&bytes).unwrap();
+            assert_eq!(v.level(), h.level);
+            assert_eq!(v.side(), h.side);
+            assert_eq!(v.is_leaf(), h.is_leaf());
+            assert_eq!(v.to_header(), h);
+            for key in [&b""[..], b"a", b"m", b"q", b"r", b"zz"] {
+                assert_eq!(v.contains(key), h.contains(key));
+                assert_eq!(v.low_le(key), h.low.le_key(key));
+                assert_eq!(v.high_gt(key), h.high.gt_key(key));
+                assert_eq!(
+                    v.high_ge(key),
+                    h.high.gt_key(key) || h.high == KeyBound::Key(key.to_vec())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn header_ref_rejects_what_decode_rejects() {
+        let corpus: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![1, 2, 3],
+            vec![0; 9],                         // level+side, missing bounds
+            vec![0, 0, 0, 0, 0, 0, 0, 0, 0, 9], // bad bound tag
+            {
+                let mut v = NodeHeader::new_root_leaf().encode();
+                v.push(0xaa); // trailing byte
+                v
+            },
+            {
+                let mut v = vec![0; 9];
+                v.extend_from_slice(&[1, 10, 0, 1, 2]); // truncated bound key
+                v
+            },
+        ];
+        for bytes in &corpus {
+            assert_eq!(
+                HeaderRef::parse(bytes).is_err(),
+                NodeHeader::decode(bytes).is_err(),
+                "parity break on {bytes:02x?}"
+            );
+            assert!(HeaderRef::parse(bytes).is_err());
+        }
+    }
+
+    #[test]
+    fn index_child_at_matches_full_decode() {
+        let mut p = Page::new(PageType::Node);
+        p.insert(0, &NodeHeader::new_root_leaf().encode()).unwrap();
+        let t = IndexTerm {
+            key: b"sep".to_vec(),
+            child: PageId(77),
+            multi_parent: true,
+        };
+        p.keyed_insert(&t.to_entry()).unwrap();
+        assert_eq!(IndexTerm::child_at(&p, 1).unwrap(), PageId(77));
+        assert_eq!(IndexTerm::read(&p, 1).unwrap().child, PageId(77));
+        // Corrupt payload length is rejected in place too.
+        let mut q = Page::new(PageType::Node);
+        q.insert(0, &NodeHeader::new_root_leaf().encode()).unwrap();
+        q.keyed_insert(&Page::make_entry(b"k", b"short")).unwrap();
+        assert!(IndexTerm::child_at(&q, 1).is_err());
+    }
+
+    #[test]
+    fn node_ref_lookup_payload() {
+        let mut p = Page::new(PageType::Node);
+        p.insert(0, &NodeHeader::new_root_leaf().encode()).unwrap();
+        p.keyed_insert(&Page::make_entry(b"k1", b"v1")).unwrap();
+        let n = NodeRef::new(&p).unwrap();
+        assert!(n.header().is_leaf());
+        assert_eq!(n.lookup_payload(b"k1"), Some(&b"v1"[..]));
+        assert_eq!(n.lookup_payload(b"k2"), None);
     }
 }

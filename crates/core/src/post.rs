@@ -59,7 +59,7 @@ fn locate_parent<'a>(
             dealloc: DeallocPolicy::IsAnUpdate,
         } => {
             let mut start = None;
-            for e in path.entries.iter().rev().filter(|e| e.level >= level) {
+            for e in path.entries().iter().rev().filter(|e| e.level >= level) {
                 // Climbing *up* the path violates the latch order, so only
                 // try-latches are permissible here.
                 let ok = match tree.store().pool.fetch(e.pid) {
@@ -93,9 +93,9 @@ fn locate_parent<'a>(
             dealloc: DeallocPolicy::NotAnUpdate,
         } => {
             let d = tree.descend(key, level, true, false)?;
-            for e in &d.path.entries {
+            for e in d.path.entries() {
                 if path
-                    .entries
+                    .entries()
                     .iter()
                     .any(|p| p.pid == e.pid && p.lsn == e.lsn)
                 {
@@ -109,7 +109,7 @@ fn locate_parent<'a>(
     };
     TreeStats::add(
         &stats.posting_nodes_touched,
-        d.path.entries.len() as u64 + 1,
+        d.path.entries().len() as u64 + 1,
     );
     Ok(d)
 }
@@ -150,7 +150,7 @@ pub fn post_index_term(
 
     // ---- Verify Split -----------------------------------------------------------
     // "If the index term has already been posted, the action is terminated."
-    if parent_guard.page().keyed_find(key)?.is_ok() {
+    if parent_guard.page().keyed_probe(key).is_ok() {
         TreeStats::bump(&stats.postings_noop);
         tree.recorder()
             .event(pitree_obs::EventKind::SmoPost, node.0, 1);
@@ -276,7 +276,7 @@ pub fn post_index_term(
                         level: cur_level + 1,
                         key: split_key.clone(),
                         node: new_pid,
-                        path: path.above(cur_level),
+                        path: Box::new(path.above(cur_level)),
                     })
                 {
                     TreeStats::bump(&stats.postings_scheduled);

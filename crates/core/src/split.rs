@@ -275,7 +275,7 @@ pub(crate) fn split_leaf_for_insert<'t>(
     use crate::config::UndoPolicy;
     let leaf_pid = d.page.id();
     let page_name = tree.page_lock(leaf_pid);
-    let leaf_level = d.hdr.level;
+    let leaf_level = d.level;
     let path = d.path.clone();
 
     let in_txn = match tree.config().undo {
@@ -368,7 +368,7 @@ pub(crate) fn split_leaf_for_insert<'t>(
             // and unless T commits" (§4.2.2) — defer via commit hook.
             let q = tree.completions_arc();
             let stats = tree.stats_arc();
-            let path = path.above(leaf_level);
+            let path = Box::new(path.above(leaf_level));
             txn.on_commit(move || {
                 if q.push(Completion::Post {
                     level: leaf_level + 1,
@@ -389,7 +389,7 @@ pub(crate) fn split_leaf_for_insert<'t>(
 /// for every index node, for logical UNDO, and for §4.2.1's "independent of
 /// and before T" leaf splits. Consumes the descent.
 pub(crate) fn independent_split(tree: &PiTree, d: DescentTarget<'_>) -> StoreResult<()> {
-    let level = d.hdr.level;
+    let level = d.level;
     let path = d.path.clone();
     let mut g = d.guard.promote().into_x();
     let mut act = tree.store().txns.begin(tree.config().smo_identity);
@@ -416,7 +416,7 @@ pub(crate) fn independent_split(tree: &PiTree, d: DescentTarget<'_>) -> StoreRes
             level: level + 1,
             key: split_key,
             node: new_pid,
-            path: path.above(level),
+            path: Box::new(path.above(level)),
         }) {
             TreeStats::bump(&tree.stats().postings_scheduled);
         }

@@ -11,9 +11,14 @@
 //! * **CNS** (no consolidation): nodes are immortal; one latch at a time.
 //! * **CP**: latch coupling — the latch on the referenced node is acquired
 //!   before the latch on the referencing node is released.
+//!
+//! The descent itself is allocation-free (DESIGN.md §11): every per-hop
+//! containment/routing decision is made through a borrowed [`HeaderRef`]
+//! view under a scoped latch borrow, the child pointer is read in place via
+//! [`IndexTerm::child_at`], and the saved path is an inline array.
 
 use crate::completion::Completion;
-use crate::node::{Guarded, IndexTerm, NodeHeader};
+use crate::node::{Guarded, HeaderRef, IndexTerm};
 use crate::stats::TreeStats;
 use crate::tree::PiTree;
 use pitree_pagestore::buffer::PinnedPage;
@@ -21,7 +26,7 @@ use pitree_pagestore::{Lsn, PageId, StoreError, StoreResult};
 
 /// One remembered step of a traversal: node, its state identifier at visit
 /// time, and its level.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PathEntry {
     /// The visited node.
     pub pid: PageId,
@@ -31,44 +36,107 @@ pub struct PathEntry {
     pub level: u8,
 }
 
+impl PathEntry {
+    const EMPTY: PathEntry = PathEntry {
+        pid: PageId::INVALID,
+        lsn: Lsn(0),
+        level: 0,
+    };
+}
+
+/// Maximum depth a [`SavedPath`] remembers. Sixteen levels covers any tree
+/// this workspace can build (fanout ≥ 4 → 4^16 nodes); deeper entries are
+/// silently dropped, which only costs a root re-traversal if a completing
+/// action later asks for a level that was not saved (§5.2 fallback).
+pub const SAVED_PATH_MAX: usize = 16;
+
 /// The saved information of §5.2: "search key, nodes traversed on the path
 /// from root to data node, and the location of the relevant index terms."
 /// (We re-find in-node locations by binary search; saving slots buys little
-/// at our node sizes.)
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// at our node sizes.) Stored inline — pushing path entries during a descent
+/// never touches the heap.
+#[derive(Clone)]
 pub struct SavedPath {
-    /// Entries ordered root-first.
-    pub entries: Vec<PathEntry>,
+    entries: [PathEntry; SAVED_PATH_MAX],
+    len: u8,
 }
 
-impl SavedPath {
-    /// The saved entry at `level`, if any.
-    pub fn at_level(&self, level: u8) -> Option<&PathEntry> {
-        self.entries.iter().find(|e| e.level == level)
-    }
-
-    /// Entries strictly above `level` (for scheduling postings one level up).
-    pub fn above(&self, level: u8) -> SavedPath {
+impl Default for SavedPath {
+    fn default() -> SavedPath {
         SavedPath {
-            entries: self
-                .entries
-                .iter()
-                .filter(|e| e.level > level)
-                .cloned()
-                .collect(),
+            entries: [PathEntry::EMPTY; SAVED_PATH_MAX],
+            len: 0,
         }
     }
 }
 
-/// Result of a descent: the target node pinned and latched, its header, and
+impl PartialEq for SavedPath {
+    fn eq(&self, other: &SavedPath) -> bool {
+        self.entries() == other.entries()
+    }
+}
+
+impl Eq for SavedPath {}
+
+impl std::fmt::Debug for SavedPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SavedPath")
+            .field("entries", &self.entries())
+            .finish()
+    }
+}
+
+impl SavedPath {
+    /// Append an entry (root-first order). Entries past [`SAVED_PATH_MAX`]
+    /// are dropped: the path is an optimization, and a missing level just
+    /// means the consumer re-traverses from the root.
+    pub fn push(&mut self, e: PathEntry) {
+        if (self.len as usize) < SAVED_PATH_MAX {
+            self.entries[self.len as usize] = e;
+            self.len += 1;
+        }
+    }
+
+    /// The remembered entries, ordered root-first.
+    pub fn entries(&self) -> &[PathEntry] {
+        &self.entries[..self.len as usize]
+    }
+
+    /// Whether nothing was remembered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The saved entry at `level`, if any.
+    pub fn at_level(&self, level: u8) -> Option<&PathEntry> {
+        self.entries().iter().find(|e| e.level == level)
+    }
+
+    /// Entries strictly above `level` (for scheduling postings one level up).
+    pub fn above(&self, level: u8) -> SavedPath {
+        let mut out = SavedPath::default();
+        for e in self.entries() {
+            if e.level > level {
+                out.push(*e);
+            }
+        }
+        out
+    }
+}
+
+/// Result of a descent: the target node pinned and latched, its level, and
 /// the saved path of the levels above it.
+///
+/// The target's header is *not* materialized here — readers derive a
+/// [`HeaderRef`] view from the guard when they need bounds, and write paths
+/// decode the owned header themselves.
 pub struct DescentTarget<'a> {
     /// Pin on the target node.
     pub page: PinnedPage<'a>,
     /// Latch guard (S, or U when `update_at_target` was requested).
     pub guard: Guarded<'a>,
-    /// Decoded header of the target node.
-    pub hdr: NodeHeader,
+    /// Level of the target node.
+    pub level: u8,
     /// Saved path (levels above the target).
     pub path: SavedPath,
 }
@@ -86,6 +154,20 @@ fn latch<'a>(page: &PinnedPage<'a>, update: bool) -> Guarded<'a> {
     } else {
         Guarded::S(page.s())
     }
+}
+
+/// What a scoped header view told us to do at the current node.
+enum Step {
+    /// The node directly contains the key at the target level: done.
+    Arrived,
+    /// The node directly contains the key but is above the target level:
+    /// descend to the child, noting our LSN for the saved path.
+    Child { child: PageId, lsn: Lsn },
+    /// Delegated to the sibling (key ≥ high).
+    Side(PageId),
+    /// key < low: routing raced far ahead; restart from the root.
+    /// (Possible only transiently under CP consolidation.)
+    Restart,
 }
 
 impl PiTree {
@@ -147,34 +229,72 @@ impl PiTree {
                 schedule,
             );
         }
-        let mut hdr = NodeHeader::read(g.page())?;
-        if hdr.level < target_level {
+        let mut level = HeaderRef::read(g.page())?.level();
+        if level < target_level {
             return Err(StoreError::Corrupt(format!(
-                "descend target level {target_level} above start level {}",
-                hdr.level
+                "descend target level {target_level} above start level {level}"
             )));
         }
         // Re-latch the root in U mode if the root itself is the target of an
         // update descent. (Promotion from S is forbidden.)
-        if hdr.level == target_level && update_at_target {
+        if level == target_level && update_at_target {
             drop(g);
             g = latch(&cur, true);
-            hdr = NodeHeader::read(g.page())?;
         }
 
         loop {
-            // ---- side traversals at the current level -----------------------
-            while !hdr.contains(key) {
-                if !hdr.high.gt_key(key) {
-                    // key ≥ high: delegated to the sibling.
-                    let from = cur.id();
-                    let side = hdr.side;
-                    if !side.is_valid() {
-                        return Err(StoreError::Corrupt(format!(
-                            "node {from} lacks side pointer but does not contain key"
-                        )));
+            // One borrowed header view per node arrival decides the next
+            // step; the view's borrow of the guard ends before any latch
+            // movement below.
+            let step = {
+                let h = HeaderRef::read(g.page())?;
+                level = h.level();
+                if !h.contains(key) {
+                    if !h.high_gt(key) {
+                        // key ≥ high: delegated to the sibling.
+                        let side = h.side();
+                        if !side.is_valid() {
+                            return Err(StoreError::Corrupt(format!(
+                                "node {} lacks side pointer but does not contain key",
+                                cur.id()
+                            )));
+                        }
+                        Step::Side(side)
+                    } else {
+                        Step::Restart
                     }
-                    let want_u = update_at_target && hdr.level == target_level;
+                } else if level == target_level {
+                    Step::Arrived
+                } else {
+                    let slot = g.page().keyed_floor(key)?.ok_or_else(|| {
+                        StoreError::Corrupt(format!(
+                            "index node {} contains {key:02x?} but has no routable term",
+                            cur.id()
+                        ))
+                    })?;
+                    Step::Child {
+                        child: IndexTerm::child_at(g.page(), slot)?,
+                        lsn: g.page().lsn(),
+                    }
+                }
+            };
+
+            match step {
+                Step::Arrived => {
+                    return Ok(DescentTarget {
+                        page: cur,
+                        guard: g,
+                        level,
+                        path,
+                    });
+                }
+                Step::Restart => {
+                    drop(g);
+                    return self.descend(key, target_level, update_at_target, schedule);
+                }
+                Step::Side(side) => {
+                    let from = cur.id();
+                    let want_u = update_at_target && level == target_level;
                     let sib = pool.fetch(side)?;
                     let sg = if coupling {
                         let t = latch(&sib, want_u);
@@ -184,72 +304,55 @@ impl PiTree {
                         drop(g);
                         latch(&sib, want_u)
                     };
-                    let sib_hdr = NodeHeader::read(sg.page())?;
                     TreeStats::bump(&self.stats().side_traversals);
                     if schedule {
-                        self.schedule_posting_for(from, side, &sib_hdr, &path);
+                        let sh = HeaderRef::read(sg.page())?;
+                        self.schedule_posting_for(
+                            from,
+                            side,
+                            sh.level(),
+                            sh.low_entry_key(),
+                            &path,
+                        );
                     }
                     cur = sib;
                     g = sg;
-                    hdr = sib_hdr;
-                } else {
-                    // key < low: routing raced far ahead; restart from root.
-                    // (Possible only transiently under CP consolidation.)
-                    drop(g);
-                    return self.descend(key, target_level, update_at_target, schedule);
+                }
+                Step::Child { child, lsn } => {
+                    path.push(PathEntry {
+                        pid: cur.id(),
+                        lsn,
+                        level,
+                    });
+                    let want_u = update_at_target && level - 1 == target_level;
+                    let cp = pool.fetch(child)?;
+                    let cg = if coupling {
+                        let t = latch(&cp, want_u);
+                        drop(g);
+                        t
+                    } else {
+                        drop(g);
+                        latch(&cp, want_u)
+                    };
+                    cur = cp;
+                    g = cg;
                 }
             }
-
-            if hdr.level == target_level {
-                return Ok(DescentTarget {
-                    page: cur,
-                    guard: g,
-                    hdr,
-                    path,
-                });
-            }
-
-            // ---- descend one level ------------------------------------------
-            let slot = g.page().keyed_floor(key)?.ok_or_else(|| {
-                StoreError::Corrupt(format!(
-                    "index node {} contains {key:02x?} but has no routable term",
-                    cur.id()
-                ))
-            })?;
-            let term = IndexTerm::read(g.page(), slot)?;
-            path.entries.push(PathEntry {
-                pid: cur.id(),
-                lsn: g.page().lsn(),
-                level: hdr.level,
-            });
-
-            let want_u = update_at_target && hdr.level - 1 == target_level;
-            let child = pool.fetch(term.child)?;
-            let cg = if coupling {
-                let t = latch(&child, want_u);
-                drop(g);
-                t
-            } else {
-                drop(g);
-                latch(&child, want_u)
-            };
-            let child_hdr = NodeHeader::read(cg.page())?;
-            cur = child;
-            g = cg;
-            hdr = child_hdr;
         }
     }
 
     /// Schedule the completing index-term posting for a side traversal from
-    /// `from` to the sibling `node` — unless the delegating node is move
-    /// locked, in which case the split's transaction is still in doubt and
-    /// "a transaction encountering a move lock on a sibling traversal does
-    /// not schedule an index posting" (§4.2.2).
+    /// `from` to the sibling `node` (at `node_level`, with low bound
+    /// `node_low_key`) — unless the delegating node is move locked, in which
+    /// case the split's transaction is still in doubt and "a transaction
+    /// encountering a move lock on a sibling traversal does not schedule an
+    /// index posting" (§4.2.2).
     pub(crate) fn schedule_posting_for(
         &self,
         from: PageId,
         node: PageId,
-        node_hdr: &NodeHeader,
+        node_level: u8,
+        node_low_key: &[u8],
         path: &SavedPath,
     ) {
         if self
@@ -261,15 +364,63 @@ impl PiTree {
             TreeStats::bump(&self.stats().postings_move_deferred);
             return;
         }
-        let key = node_hdr.low.as_entry_key().to_vec();
-        let level = node_hdr.level + 1;
+        let key = node_low_key.to_vec();
+        let level = node_level + 1;
         if self.completions().push(Completion::Post {
             level,
             key,
             node,
-            path: path.above(node_hdr.level),
+            path: Box::new(path.above(node_level)),
         }) {
             TreeStats::bump(&self.stats().postings_scheduled);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(pid: u64, level: u8) -> PathEntry {
+        PathEntry {
+            pid: PageId(pid),
+            lsn: Lsn(pid * 10),
+            level,
+        }
+    }
+
+    #[test]
+    fn saved_path_push_and_query() {
+        let mut p = SavedPath::default();
+        assert!(p.is_empty());
+        p.push(entry(3, 2));
+        p.push(entry(7, 1));
+        assert_eq!(p.entries().len(), 2);
+        assert_eq!(p.at_level(1).unwrap().pid, PageId(7));
+        assert!(p.at_level(0).is_none());
+        let above = p.above(1);
+        assert_eq!(above.entries(), &[entry(3, 2)]);
+    }
+
+    #[test]
+    fn saved_path_overflow_drops_silently() {
+        let mut p = SavedPath::default();
+        for i in 0..(SAVED_PATH_MAX as u64 + 4) {
+            p.push(entry(i + 1, i as u8));
+        }
+        assert_eq!(p.entries().len(), SAVED_PATH_MAX);
+        assert_eq!(p.entries()[0], entry(1, 0));
+    }
+
+    #[test]
+    fn saved_path_eq_ignores_spare_capacity() {
+        let mut a = SavedPath::default();
+        let mut b = SavedPath::default();
+        a.push(entry(1, 1));
+        b.push(entry(1, 1));
+        assert_eq!(a, b);
+        b.push(entry(2, 2));
+        assert_ne!(a, b);
+        assert_eq!(SavedPath::default(), SavedPath::default());
     }
 }

@@ -15,7 +15,7 @@
 
 use crate::completion::{Completion, CompletionQueue};
 use crate::config::{ConsolidationPolicy, PiTreeConfig, UndoPolicy};
-use crate::node::{node_full, utilization, Guarded, NodeHeader};
+use crate::node::{node_full, utilization, Guarded, HeaderRef, NodeHeader};
 use crate::stats::TreeStats;
 use crate::store::Store;
 use crate::undo::{TAG_UNDO_DELETE, TAG_UNDO_INSERT, TAG_UNDO_UPDATE};
@@ -223,7 +223,7 @@ impl PiTree {
     pub fn height(&self) -> StoreResult<u8> {
         let page = self.store.pool.fetch(self.root)?;
         let g = page.s();
-        Ok(NodeHeader::read(&g)?.level + 1)
+        Ok(HeaderRef::read(&g)?.level() + 1)
     }
 
     /// Begin a user database transaction on this tree's store.
@@ -260,10 +260,13 @@ impl PiTree {
             let d = self.descend(key, 0, false, true)?;
             match txn.try_lock(&name, LockMode::S) {
                 Ok(()) => {
-                    let out = match d.guard.page().keyed_find(key)? {
-                        Ok(slot) => Some(Page::entry_payload(d.guard.page().get(slot)?).to_vec()),
-                        Err(_) => None,
-                    };
+                    // Single in-place probe; the only allocation is the
+                    // returned value.
+                    let out = d
+                        .guard
+                        .page()
+                        .keyed_lookup(key)
+                        .map(|(_, e)| Page::entry_payload(e).to_vec());
                     drop(d);
                     self.maybe_autocomplete()?;
                     return Ok(out);
@@ -283,42 +286,49 @@ impl PiTree {
     /// internal verification.
     pub fn get_unlocked(&self, key: &[u8]) -> StoreResult<Option<Vec<u8>>> {
         let d = self.descend(key, 0, false, true)?;
-        let out = match d.guard.page().keyed_find(key)? {
-            Ok(slot) => Some(Page::entry_payload(d.guard.page().get(slot)?).to_vec()),
-            Err(_) => None,
-        };
+        let out = d
+            .guard
+            .page()
+            .keyed_lookup(key)
+            .map(|(_, e)| Page::entry_payload(e).to_vec());
         drop(d);
         self.maybe_autocomplete()?;
         Ok(out)
     }
 
     /// Latch-only range scan of `[from, to)`, walking the leaf side chain.
+    /// Allocation amortizes to the emitted pairs: the output is pre-reserved
+    /// from each node's entry count, keys are compared in place, and the
+    /// high-bound test never re-encodes `to`.
     pub fn scan(&self, from: &[u8], to: &[u8]) -> StoreResult<Vec<(Vec<u8>, Vec<u8>)>> {
-        let mut out = Vec::new();
+        let mut out: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
         let coupling = self.cfg.consolidation.couples_latches();
         let pool = &self.store.pool;
         let d = self.descend(from, 0, false, true)?;
         let mut cur = d.page;
         let mut g = d.guard;
-        let mut hdr = d.hdr;
         loop {
-            let page = g.page();
-            for slot in 1..page.slot_count() {
-                let e = page.get(slot)?;
-                let k = Page::entry_key(e);
-                if k >= from && k < to {
-                    out.push((k.to_vec(), Page::entry_payload(e).to_vec()));
+            // Emit this node's entries and read the continuation decision
+            // under one scoped borrow of the guard.
+            let next = {
+                let page = g.page();
+                out.reserve(page.entry_count() as usize);
+                for slot in 1..page.slot_count() {
+                    let k = page.entry_key_at(slot);
+                    if k >= from && k < to {
+                        out.push((k.to_vec(), page.entry_payload_at(slot).to_vec()));
+                    }
                 }
-            }
-            // Continue while the next node's space can still intersect
-            // [from, to): i.e. while high < to.
-            if hdr.high.gt_key(to) || hdr.high == crate::bound::KeyBound::Key(to.to_vec()) {
-                break;
-            }
-            let side = hdr.side;
-            if !side.is_valid() {
-                break;
-            }
+                let h = HeaderRef::read(page)?;
+                // Continue while the next node's space can still intersect
+                // [from, to): i.e. while high < to.
+                if h.high_ge(to) || !h.side().is_valid() {
+                    None
+                } else {
+                    Some(h.side())
+                }
+            };
+            let Some(side) = next else { break };
             let sib = pool.fetch(side)?;
             let sg = if coupling {
                 let t = Guarded::S(sib.s());
@@ -328,7 +338,6 @@ impl PiTree {
                 drop(g);
                 Guarded::S(sib.s())
             };
-            hdr = NodeHeader::read(sg.page())?;
             cur = sib;
             g = sg;
         }
@@ -395,7 +404,7 @@ impl PiTree {
             // Split first if needed, before taking record locks, so an
             // independent split's move lock cannot collide with our own page
             // lock (§4.2.1: the split happens "independent of and before T").
-            let exists = d.guard.page().keyed_find(key)?.is_ok();
+            let exists = d.guard.page().keyed_probe(key).is_ok();
             if !exists && node_full(d.guard.page(), entry.len(), self.cfg.max_leaf_entries) {
                 self.split_for_insert(txn, d, key)?;
                 continue;
@@ -423,7 +432,7 @@ impl PiTree {
             // space check are still valid).
             let mut g = d.guard.promote().into_x();
             let created = if exists {
-                let old = g.get(g.keyed_find(key)?.unwrap())?.to_vec();
+                let old = g.keyed_lookup(key).unwrap().1.to_vec();
                 match self.cfg.undo {
                     UndoPolicy::PageOriented => txn.apply(
                         &d.page,
@@ -493,13 +502,13 @@ impl PiTree {
                 Err(e) => return Err(lock_err(e)),
             }
 
-            if d.guard.page().keyed_find(key)?.is_err() {
+            if d.guard.page().keyed_probe(key).is_err() {
                 drop(d);
                 self.maybe_autocomplete()?;
                 return Ok(false);
             }
             let mut g = d.guard.promote().into_x();
-            let old = g.get(g.keyed_find(key)?.unwrap())?.to_vec();
+            let old = g.keyed_lookup(key).unwrap().1.to_vec();
             match self.cfg.undo {
                 UndoPolicy::PageOriented => {
                     txn.apply(&d.page, &mut g, PageOp::KeyedRemove { key: key.to_vec() })?
@@ -513,7 +522,7 @@ impl PiTree {
                 )?,
             };
             // Consolidation trigger (§3.3): schedule when under-utilized.
-            let low_key = NodeHeader::read(&g)?.low.as_entry_key().to_vec();
+            let low_key = HeaderRef::read(&g)?.low_entry_key().to_vec();
             let underutilized =
                 utilization(&g, self.cfg.max_leaf_entries) < self.cfg.min_utilization;
             drop(g);

@@ -1,0 +1,137 @@
+//! Property: the borrowed [`HeaderRef`] view and the materializing
+//! [`NodeHeader::decode`] agree byte-for-byte — on every well-formed header
+//! the view reports the same fields, and on every corrupted byte string the
+//! two reject or accept identically. The zero-copy read path rides on this
+//! equivalence: a descent that consults `HeaderRef` must route exactly like
+//! one that decoded the full header.
+
+use pitree::node::{HeaderRef, NodeHeader};
+use pitree::KeyBound;
+use pitree_pagestore::PageId;
+use pitree_sim::prop::run;
+use pitree_sim::rng::SimRng;
+
+fn arb_bound(rng: &mut SimRng) -> KeyBound {
+    match rng.below(4) {
+        0 => KeyBound::NegInf,
+        1 => KeyBound::PosInf,
+        // Bias toward short keys (the tree's own keys are 8-32 bytes) but
+        // include empty and long ones.
+        _ => {
+            let len = rng.range_usize(0..48);
+            KeyBound::Key(rng.bytes(len))
+        }
+    }
+}
+
+fn arb_header(rng: &mut SimRng) -> NodeHeader {
+    NodeHeader {
+        level: rng.below(8) as u8,
+        side: if rng.chance(0.5) {
+            PageId::INVALID
+        } else {
+            PageId(rng.next_u64())
+        },
+        low: arb_bound(rng),
+        high: arb_bound(rng),
+    }
+}
+
+/// The two parsers must agree on this byte string: both reject, or both
+/// accept with identical fields.
+fn assert_parity(bytes: &[u8]) {
+    let full = NodeHeader::decode(bytes);
+    let view = HeaderRef::parse(bytes);
+    match (full, view) {
+        (Ok(h), Ok(v)) => {
+            assert_eq!(h, v.to_header(), "parsers disagree on {bytes:02x?}");
+            assert_eq!(h.level, v.level());
+            assert_eq!(h.side, v.side());
+            assert_eq!(h.is_leaf(), v.is_leaf());
+        }
+        (Err(_), Err(_)) => {}
+        (full, view) => panic!(
+            "rejection mismatch on {bytes:02x?}: decode={:?} view={:?}",
+            full.map(|h| h.level),
+            view.map(|v| v.level()),
+        ),
+    }
+}
+
+#[test]
+fn header_view_parity_on_valid_encodings() {
+    run("header-view-parity-valid", |rng| {
+        for _ in 0..64 {
+            let h = arb_header(rng);
+            let bytes = h.encode();
+            let v = HeaderRef::parse(&bytes).expect("view must accept a valid encoding");
+            assert_eq!(h, v.to_header());
+            // Routing predicates agree with the materialized header.
+            for _ in 0..8 {
+                let plen = rng.range_usize(0..40);
+                let probe = rng.bytes(plen);
+                assert_eq!(h.contains(&probe), v.contains(&probe));
+                assert_eq!(h.low.le_key(&probe), v.low_le(&probe));
+                assert_eq!(h.high.gt_key(&probe), v.high_gt(&probe));
+            }
+        }
+    });
+}
+
+#[test]
+fn header_view_parity_on_corrupted_encodings() {
+    run("header-view-parity-corrupt", |rng| {
+        for _ in 0..64 {
+            let mut bytes = arb_header(rng).encode();
+            match rng.below(4) {
+                // Truncate anywhere, including mid-bound.
+                0 => {
+                    let at = rng.range_usize(0..bytes.len());
+                    bytes.truncate(at);
+                }
+                // Append trailing garbage (both parsers must reject).
+                1 => {
+                    let extra = rng.range_usize(1..8);
+                    bytes.extend(rng.bytes(extra));
+                }
+                // Flip a byte — may hit a bound tag, a length, or key data.
+                2 => {
+                    let i = rng.range_usize(0..bytes.len());
+                    bytes[i] ^= rng.byte() | 1;
+                }
+                // Pure noise.
+                _ => {
+                    let len = rng.range_usize(0..24);
+                    bytes = rng.bytes(len);
+                }
+            }
+            assert_parity(&bytes);
+        }
+    });
+}
+
+#[test]
+fn header_view_rejects_known_corruptions() {
+    // Deterministic spot checks for each rejection class, so a regression
+    // names the class instead of a seed.
+    let valid = NodeHeader::new_root_leaf().encode();
+    assert!(HeaderRef::parse(&valid).is_ok());
+    // Too short for level + side.
+    assert!(HeaderRef::parse(&valid[..8]).is_err());
+    // Bad bound tag.
+    let mut bad_tag = valid.clone();
+    bad_tag[9] = 7;
+    assert!(HeaderRef::parse(&bad_tag).is_err());
+    // Trailing bytes after the high bound.
+    let mut trailing = valid.clone();
+    trailing.push(0);
+    assert!(HeaderRef::parse(&trailing).is_err());
+    // Truncated Key bound payload.
+    let keyed = NodeHeader {
+        low: KeyBound::Key(b"abcdef".to_vec()),
+        ..NodeHeader::new_root_leaf()
+    }
+    .encode();
+    assert!(HeaderRef::parse(&keyed[..keyed.len() - 1]).is_err());
+    assert!(NodeHeader::decode(&keyed[..keyed.len() - 1]).is_err());
+}

@@ -148,7 +148,7 @@ fn queued_completions_survive_being_stale_en_masse() {
             level: 1,
             key: key(i),
             node: pitree_pagestore::PageId(2 + i),
-            path: SavedPath::default(),
+            path: Box::new(SavedPath::default()),
         });
     }
     for _ in 0..8 {

@@ -1,0 +1,136 @@
+//! The zero-copy read-path gate: a steady-state point read performs exactly
+//! **one** heap allocation — the returned value — and a range scan stays
+//! within two allocations per returned pair plus a constant.
+//!
+//! The counter is a wrapping [`GlobalAlloc`] that tallies allocations made
+//! by the *measuring thread only* (thread-local flag), so background work —
+//! the group-commit daemon, other test threads — cannot perturb the count.
+//! Steady state means: the buffer pool already caches the touched nodes and
+//! the per-thread observability event ring has grown to capacity (it
+//! allocates amortized until full, then overwrites in place), so the test
+//! warms both before counting.
+
+use pitree::{CrashableStore, PiTree, PiTreeConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Arc;
+
+std::thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+impl CountingAlloc {
+    #[inline]
+    fn tally() {
+        // `try_with`: the allocator runs during TLS teardown too, where the
+        // cells are gone — silently skip counting there.
+        let _ = COUNTING.try_with(|c| {
+            if c.get() {
+                let _ = ALLOCS.try_with(|a| a.set(a.get() + 1));
+            }
+        });
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        Self::tally();
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        Self::tally();
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        Self::tally();
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Run `f` with the thread-local allocation counter on; return the count.
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    ALLOCS.with(|a| a.set(0));
+    COUNTING.with(|c| c.set(true));
+    f();
+    COUNTING.with(|c| c.set(false));
+    ALLOCS.with(|a| a.get())
+}
+
+#[test]
+fn steady_state_reads_are_allocation_free() {
+    // Pool large enough that every node stays resident: steady-state reads
+    // must not evict (a miss re-reads from the backing file and allocates).
+    let store = CrashableStore::create(4096, 1_000_000).expect("create store");
+    let tree =
+        PiTree::create(Arc::clone(&store.store), 1, PiTreeConfig::default()).expect("create tree");
+
+    const KEYS: u64 = 4_000;
+    let mut txn = tree.begin();
+    for i in 0..KEYS {
+        tree.insert(&mut txn, &i.to_be_bytes(), &(i * 7).to_be_bytes())
+            .expect("insert");
+    }
+    txn.commit().expect("commit");
+
+    // Warm: fault every node into the pool and grow this thread's event
+    // ring to capacity (8192 events by default) so neither allocates during
+    // the measured window.
+    for round in 0..6 {
+        for i in 0..KEYS {
+            let v = tree.get_unlocked(&i.to_be_bytes()).expect("get");
+            assert!(v.is_some(), "round {round}: key {i} must be present");
+        }
+    }
+
+    // ---- point reads: exactly one allocation each (the returned value) ----
+    const READS: u64 = 1_000;
+    let n = count_allocs(|| {
+        for i in 0..READS {
+            let key = (i % KEYS).to_be_bytes();
+            let v = tree.get_unlocked(&key).expect("get");
+            std::hint::black_box(&v);
+        }
+    });
+    assert_eq!(
+        n, READS,
+        "steady-state get_unlocked must allocate exactly once per read \
+         (the returned Vec); counted {n} over {READS} reads"
+    );
+
+    // ---- missing keys: zero allocations (nothing to return) ----
+    let n = count_allocs(|| {
+        for i in 0..READS {
+            let v = tree
+                .get_unlocked(&(KEYS + 1 + i).to_be_bytes())
+                .expect("get");
+            assert!(v.is_none());
+        }
+    });
+    assert_eq!(n, 0, "a miss returns None without touching the heap");
+
+    // ---- scans: at most 2 allocations per returned pair plus a constant ----
+    let (lo, hi) = (100u64, 600u64);
+    let mut pairs = 0u64;
+    let n = count_allocs(|| {
+        let out = tree
+            .scan(&lo.to_be_bytes(), &hi.to_be_bytes())
+            .expect("scan");
+        pairs = out.len() as u64;
+        std::hint::black_box(&out);
+    });
+    assert_eq!(pairs, hi - lo, "scan must return the full range");
+    assert!(
+        n <= 2 * pairs + 8,
+        "scan allocated {n} times for {pairs} pairs (budget: 2/pair + 8 \
+         for the output vector's growth)"
+    );
+}

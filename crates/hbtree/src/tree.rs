@@ -343,10 +343,11 @@ impl HbTree {
     pub fn get(&self, p: &Point) -> StoreResult<Option<Vec<u8>>> {
         let d = self.descend(p, false, true)?;
         let key = point_key(p);
-        let out = match d.guard.page().keyed_find(&key)? {
-            Ok(slot) => Some(Page::entry_payload(d.guard.page().get(slot)?).to_vec()),
-            Err(_) => None,
-        };
+        let out = d
+            .guard
+            .page()
+            .keyed_lookup(&key)
+            .map(|(_, e)| Page::entry_payload(e).to_vec());
         drop(d);
         self.maybe_autocomplete()?;
         Ok(out)
@@ -360,10 +361,11 @@ impl HbTree {
             match txn.try_lock(&name, LockMode::S) {
                 Ok(()) => {
                     let key = point_key(p);
-                    let out = match d.guard.page().keyed_find(&key)? {
-                        Ok(slot) => Some(Page::entry_payload(d.guard.page().get(slot)?).to_vec()),
-                        Err(_) => None,
-                    };
+                    let out = d
+                        .guard
+                        .page()
+                        .keyed_lookup(&key)
+                        .map(|(_, e)| Page::entry_payload(e).to_vec());
                     drop(d);
                     self.maybe_autocomplete()?;
                     return Ok(out);

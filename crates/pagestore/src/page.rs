@@ -378,23 +378,69 @@ impl Page {
         self.slot_count().saturating_sub(1)
     }
 
-    /// Binary-search the keyed entries for `key`. `Ok(slot)` when found,
-    /// `Err(slot)` giving the insertion slot otherwise. Slot indexes are
-    /// raw page slots (so ≥ 1).
-    pub fn keyed_find(&self, key: &[u8]) -> StoreResult<Result<u16, u16>> {
+    /// Borrow the full record bytes at `slot` without the bounds-checked
+    /// `Result` of [`Page::get`]. `slot` must be `< slot_count()` — the
+    /// in-place probe helpers below only produce such slots.
+    #[inline]
+    fn record_at(&self, slot: u16) -> &[u8] {
+        debug_assert!(slot < self.slot_count());
+        let (off, len) = self.slot(slot);
+        &self.buf[off as usize..(off + len) as usize]
+    }
+
+    /// Borrow the key of the keyed entry at `slot`, straight out of the
+    /// frame. `slot` must be in `1..slot_count()`.
+    #[inline]
+    pub fn entry_key_at(&self, slot: u16) -> &[u8] {
+        debug_assert!(slot >= 1);
+        Self::entry_key(self.record_at(slot))
+    }
+
+    /// Borrow the payload of the keyed entry at `slot`, straight out of the
+    /// frame. `slot` must be in `1..slot_count()`.
+    #[inline]
+    pub fn entry_payload_at(&self, slot: u16) -> &[u8] {
+        debug_assert!(slot >= 1);
+        Self::entry_payload(self.record_at(slot))
+    }
+
+    /// In-place binary search over the keyed entries: every probe compares
+    /// `key` against the entry bytes where they sit in the frame — no record
+    /// fetch, no per-probe `Result`. `Ok(slot)` when found, `Err(slot)`
+    /// giving the insertion slot otherwise.
+    #[inline]
+    pub fn keyed_probe(&self, key: &[u8]) -> Result<u16, u16> {
         let n = self.slot_count();
         let mut lo = 1u16;
         let mut hi = n;
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
-            let e = self.get(mid)?;
-            match Self::entry_key(e).cmp(key) {
+            match self.entry_key_at(mid).cmp(key) {
                 std::cmp::Ordering::Less => lo = mid + 1,
                 std::cmp::Ordering::Greater => hi = mid,
-                std::cmp::Ordering::Equal => return Ok(Ok(mid)),
+                std::cmp::Ordering::Equal => return Ok(mid),
             }
         }
-        Ok(Err(lo))
+        Err(lo)
+    }
+
+    /// Combined find-and-borrow: locate `key` and return its slot plus the
+    /// full entry bytes from the probe that found it, or `None` when absent.
+    /// The single decode serves point reads that previously paid
+    /// `keyed_find` + `get(slot)`.
+    #[inline]
+    pub fn keyed_lookup(&self, key: &[u8]) -> Option<(u16, &[u8])> {
+        match self.keyed_probe(key) {
+            Ok(slot) => Some((slot, self.record_at(slot))),
+            Err(_) => None,
+        }
+    }
+
+    /// Binary-search the keyed entries for `key`. `Ok(slot)` when found,
+    /// `Err(slot)` giving the insertion slot otherwise. Slot indexes are
+    /// raw page slots (so ≥ 1).
+    pub fn keyed_find(&self, key: &[u8]) -> StoreResult<Result<u16, u16>> {
+        Ok(self.keyed_probe(key))
     }
 
     /// The entry whose key is the greatest ≤ `key` (B-link routing: "the
@@ -705,6 +751,29 @@ mod tests {
         assert_eq!(p.keyed_floor(b"ee").unwrap(), Some(2));
         assert_eq!(p.keyed_floor(b"zz").unwrap(), Some(3));
         assert_eq!(p.keyed_floor(b"a").unwrap(), None);
+    }
+
+    #[test]
+    fn borrowed_accessors_agree_with_get() {
+        let mut p = Page::new(PageType::Node);
+        p.insert(0, b"hdr").unwrap();
+        for (k, v) in [("bb", "v1"), ("dd", "v2"), ("ff", "v3")] {
+            p.keyed_insert(&Page::make_entry(k.as_bytes(), v.as_bytes()))
+                .unwrap();
+        }
+        for slot in 1..p.slot_count() {
+            let e = p.get(slot).unwrap();
+            assert_eq!(p.entry_key_at(slot), Page::entry_key(e));
+            assert_eq!(p.entry_payload_at(slot), Page::entry_payload(e));
+        }
+        assert_eq!(p.keyed_probe(b"dd"), Ok(2));
+        assert_eq!(p.keyed_probe(b"cc"), Err(2));
+        let (slot, entry) = p.keyed_lookup(b"ff").unwrap();
+        assert_eq!(slot, 3);
+        assert_eq!(Page::entry_key(entry), b"ff");
+        assert_eq!(Page::entry_payload(entry), b"v3");
+        assert!(p.keyed_lookup(b"zz").is_none());
+        assert!(p.keyed_lookup(b"a").is_none());
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! versions of one key contiguous and time-ascending.
 
 use pitree::bound::KeyBound;
+use pitree::node::BoundRef;
 use pitree_pagestore::page::Page;
 use pitree_pagestore::{PageId, StoreError, StoreResult};
 
@@ -142,6 +143,131 @@ impl TsbHeader {
     }
 }
 
+/// Borrowed, zero-copy view of a TSB node header: scalars are read at their
+/// fixed offsets, the key bounds stay as slices into the frame. The read
+/// hot path (`descend`, `get_as_of`) makes every rectangle-membership
+/// decision through this view without materializing a [`TsbHeader`]
+/// (DESIGN.md §11). `TsbHeader::{encode,decode}` remain the write-path
+/// representation.
+#[derive(Debug, Clone, Copy)]
+pub struct TsbHeaderRef<'a> {
+    kind: TsbKind,
+    level: u8,
+    key_side: PageId,
+    hist_side: PageId,
+    t_lo: Time,
+    t_hi: Time,
+    key_low: BoundRef<'a>,
+    key_high: BoundRef<'a>,
+}
+
+impl<'a> TsbHeaderRef<'a> {
+    /// Parse slot-0 record bytes; accepts and rejects the same inputs as
+    /// [`TsbHeader::decode`].
+    pub fn parse(bytes: &'a [u8]) -> StoreResult<TsbHeaderRef<'a>> {
+        if bytes.len() < 34 {
+            return Err(StoreError::Corrupt("TSB header too short".into()));
+        }
+        let kind = TsbKind::from_u8(bytes[0])?;
+        let level = bytes[1];
+        let key_side = PageId(u64::from_le_bytes(bytes[2..10].try_into().unwrap()));
+        let hist_side = PageId(u64::from_le_bytes(bytes[10..18].try_into().unwrap()));
+        let t_lo = u64::from_le_bytes(bytes[18..26].try_into().unwrap());
+        let t_hi = u64::from_le_bytes(bytes[26..34].try_into().unwrap());
+        let mut pos = 34;
+        let key_low = BoundRef::parse(bytes, &mut pos)?;
+        let key_high = BoundRef::parse(bytes, &mut pos)?;
+        Ok(TsbHeaderRef {
+            kind,
+            level,
+            key_side,
+            hist_side,
+            t_lo,
+            t_hi,
+            key_low,
+            key_high,
+        })
+    }
+
+    /// View the header of a node page.
+    #[inline]
+    pub fn read(page: &'a Page) -> StoreResult<TsbHeaderRef<'a>> {
+        TsbHeaderRef::parse(page.get(0)?)
+    }
+
+    /// What this node is.
+    #[inline]
+    pub fn kind(&self) -> TsbKind {
+        self.kind
+    }
+
+    /// Level: 0 for data nodes.
+    #[inline]
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// Key sibling (the B-link side pointer), or `PageId::INVALID`.
+    #[inline]
+    pub fn key_side(&self) -> PageId {
+        self.key_side
+    }
+
+    /// History sibling, or `PageId::INVALID`.
+    #[inline]
+    pub fn hist_side(&self) -> PageId {
+        self.hist_side
+    }
+
+    /// Inclusive start of the covered time interval.
+    #[inline]
+    pub fn t_lo(&self) -> Time {
+        self.t_lo
+    }
+
+    /// Exclusive end of the covered time interval.
+    #[inline]
+    pub fn t_hi(&self) -> Time {
+        self.t_hi
+    }
+
+    /// Inclusive low key bound.
+    #[inline]
+    pub fn key_low(&self) -> BoundRef<'a> {
+        self.key_low
+    }
+
+    /// Exclusive high key bound.
+    #[inline]
+    pub fn key_high(&self) -> BoundRef<'a> {
+        self.key_high
+    }
+
+    /// Whether `key` lies in the directly-contained key space.
+    #[inline]
+    pub fn contains_key(&self, key: &[u8]) -> bool {
+        self.key_low.le_key(key) && self.key_high.gt_key(key)
+    }
+
+    /// Whether `t` lies in the covered time interval.
+    #[inline]
+    pub fn contains_time(&self, t: Time) -> bool {
+        self.t_lo <= t && t < self.t_hi
+    }
+
+    /// `key < key_high` in place.
+    #[inline]
+    pub fn key_high_gt(&self, key: &[u8]) -> bool {
+        self.key_high.gt_key(key)
+    }
+
+    /// The low bound as an index-term key (`NegInf` → empty key).
+    #[inline]
+    pub fn low_entry_key(&self) -> &'a [u8] {
+        self.key_low.as_entry_key()
+    }
+}
+
 // ---- version entries --------------------------------------------------------
 
 /// Flag bit marking a deletion tombstone version.
@@ -187,18 +313,73 @@ pub fn version_value(payload: &[u8]) -> Option<&[u8]> {
     }
 }
 
+/// Compare an entry's composite key against the conceptual probe
+/// `key ⧺ t_be` without concatenating the probe: lexicographic byte order,
+/// chaining from the user-key prefix into the big-endian time suffix.
+#[inline]
+fn cmp_version_probe(entry_key: &[u8], key: &[u8], t_be: &[u8; 8]) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    let n = key.len();
+    let split = entry_key.len().min(n);
+    match entry_key[..split].cmp(&key[..split]) {
+        Ordering::Equal => {
+            if entry_key.len() <= n {
+                // The entry key is a (possibly equal-length) prefix of the
+                // user key; the probe continues with 8 time bytes, so the
+                // entry sorts first.
+                Ordering::Less
+            } else {
+                let rest = &entry_key[n..];
+                let m = rest.len().min(8);
+                match rest[..m].cmp(&t_be[..m]) {
+                    Ordering::Equal => rest.len().cmp(&8),
+                    o => o,
+                }
+            }
+        }
+        o => o,
+    }
+}
+
+/// In-place twin of [`find_version_at`]: locate the version of `key` valid
+/// at `t` and borrow its payload from the frame — no probe-key allocation,
+/// no second slot decode.
+pub fn find_version_probe<'a>(page: &'a Page, key: &[u8], t: Time) -> Option<(u16, &'a [u8])> {
+    use std::cmp::Ordering;
+    let t_be = t.to_be_bytes();
+    let count = page.slot_count();
+    let mut lo = 1u16;
+    let mut hi = count;
+    let mut exact = None;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        match cmp_version_probe(page.entry_key_at(mid), key, &t_be) {
+            Ordering::Less => lo = mid + 1,
+            Ordering::Greater => hi = mid,
+            Ordering::Equal => {
+                exact = Some(mid);
+                break;
+            }
+        }
+    }
+    let slot = match exact {
+        Some(s) => s,
+        None if lo > 1 => lo - 1,
+        None => return None,
+    };
+    let ek = page.entry_key_at(slot);
+    if ek.len() >= 8 && &ek[..ek.len() - 8] == key {
+        Some((slot, page.entry_payload_at(slot)))
+    } else {
+        None
+    }
+}
+
 /// Find, within a data node, the slot of the version of `key` valid at `t`
 /// (the greatest start time ≤ `t`). Returns `None` if no version of `key`
 /// starts at or before `t` in this node.
 pub fn find_version_at(page: &Page, key: &[u8], t: Time) -> StoreResult<Option<u16>> {
-    let probe = version_key(key, t);
-    let slot = match page.keyed_find(&probe)? {
-        Ok(s) => s,
-        Err(ins) if ins > 1 => ins - 1,
-        Err(_) => return Ok(None),
-    };
-    let (k, _) = split_version_key(Page::entry_key(page.get(slot)?));
-    Ok(if k == key { Some(slot) } else { None })
+    Ok(find_version_probe(page, key, t).map(|(slot, _)| slot))
 }
 
 #[cfg(test)]
@@ -268,6 +449,100 @@ mod tests {
         assert_eq!(version_value(Page::entry_payload(&live)), Some(&b"val"[..]));
         let dead = version_entry(b"k", 6, None);
         assert_eq!(version_value(Page::entry_payload(&dead)), None);
+    }
+
+    #[test]
+    fn header_ref_agrees_with_decode() {
+        for h in [
+            TsbHeader::new_root_leaf(),
+            TsbHeader {
+                kind: TsbKind::History,
+                level: 0,
+                key_low: KeyBound::Key(b"m".to_vec()),
+                key_high: KeyBound::PosInf,
+                key_side: PageId(7),
+                hist_side: PageId(9),
+                t_lo: 100,
+                t_hi: 200,
+            },
+        ] {
+            let bytes = h.encode();
+            let v = TsbHeaderRef::parse(&bytes).unwrap();
+            assert_eq!(v.kind(), h.kind);
+            assert_eq!(v.level(), h.level);
+            assert_eq!(v.key_side(), h.key_side);
+            assert_eq!(v.hist_side(), h.hist_side);
+            assert_eq!(v.t_lo(), h.t_lo);
+            assert_eq!(v.t_hi(), h.t_hi);
+            for key in [&b""[..], b"a", b"m", b"z"] {
+                assert_eq!(v.contains_key(key), h.contains_key(key));
+                assert_eq!(v.key_high_gt(key), h.key_high.gt_key(key));
+            }
+            for t in [0u64, 99, 100, 199, 200, Time::MAX - 1] {
+                assert_eq!(v.contains_time(t), h.contains_time(t));
+            }
+        }
+        // Rejection parity with decode.
+        for bad in [&[][..], &[0, 0, 1][..], &[9; 40][..]] {
+            assert_eq!(
+                TsbHeaderRef::parse(bad).is_err(),
+                TsbHeader::decode(bad).is_err()
+            );
+        }
+    }
+
+    #[test]
+    fn version_probe_compare_matches_materialized_probe() {
+        let keys: Vec<Vec<u8>> = vec![
+            b"".to_vec(),
+            b"a".to_vec(),
+            b"aa".to_vec(),
+            b"ab".to_vec(),
+            b"b".to_vec(),
+            b"zzz".to_vec(),
+        ];
+        for entry_user in &keys {
+            for entry_t in [0u64, 1, 7, u64::MAX] {
+                let ek = version_key(entry_user, entry_t);
+                for probe_user in &keys {
+                    for probe_t in [0u64, 1, 7, u64::MAX] {
+                        let materialized = version_key(probe_user, probe_t);
+                        assert_eq!(
+                            cmp_version_probe(&ek, probe_user, &probe_t.to_be_bytes()),
+                            ek.as_slice().cmp(&materialized),
+                            "entry ({entry_user:?},{entry_t}) vs probe ({probe_user:?},{probe_t})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn find_version_probe_agrees_with_slot_lookup() {
+        let mut p = Page::new(PageType::Node);
+        p.insert(0, &TsbHeader::new_root_leaf().encode()).unwrap();
+        for t in [10u64, 20, 30] {
+            p.keyed_insert(&version_entry(b"k", t, Some(b"v"))).unwrap();
+        }
+        p.keyed_insert(&version_entry(b"m", 15, None)).unwrap();
+        for (key, t) in [
+            (&b"k"[..], 5u64),
+            (b"k", 10),
+            (b"k", 25),
+            (b"k", 99),
+            (b"m", 14),
+            (b"m", 16),
+            (b"", 50),
+            (b"zz", 50),
+        ] {
+            let via_slot = find_version_at(&p, key, t).unwrap();
+            let via_probe = find_version_probe(&p, key, t);
+            assert_eq!(via_probe.map(|(s, _)| s), via_slot, "key {key:?} t {t}");
+            if let Some((slot, payload)) = via_probe {
+                assert_eq!(payload, Page::entry_payload(p.get(slot).unwrap()));
+            }
+        }
     }
 
     #[test]

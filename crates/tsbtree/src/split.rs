@@ -44,7 +44,7 @@ fn alloc_page<'a>(tree: &'a TsbTree, chain: &mut Txn<'_>) -> StoreResult<PinnedP
 /// split (TSB heuristic: mostly-historical content → time split). One
 /// independent atomic action; the caller retries its insert afterwards.
 pub(crate) fn split_data_node(tree: &TsbTree, d: TsbDescent<'_>) -> StoreResult<()> {
-    let hdr = d.hdr.clone();
+    let hdr = TsbHeader::read(d.guard.page())?;
     debug_assert_eq!(hdr.kind, TsbKind::Current);
     let path = d.path.clone();
     let mut g = d.guard.promote().into_x();
@@ -91,7 +91,7 @@ pub(crate) fn split_data_node(tree: &TsbTree, d: TsbDescent<'_>) -> StoreResult<
             level: 1,
             key: split_key,
             node: new_pid,
-            path: path.above(0),
+            path: Box::new(path.above(0)),
         }) {
             TreeStats::bump(&tree.stats().postings_scheduled);
         }
@@ -528,7 +528,7 @@ pub(crate) fn post_index_term(
             level: cur_level + 1,
             key: split_key.clone(),
             node: new_pid,
-            path: SavedPath::default(),
+            path: Box::new(SavedPath::default()),
         }) {
             TreeStats::bump(&stats.postings_scheduled);
         }

@@ -9,14 +9,14 @@
 //! which per §6 lets every split run as an independent atomic action.
 
 use crate::node::{
-    find_version_at, split_version_key, version_entry, version_key, version_value, Time, TsbHeader,
+    find_version_probe, split_version_key, version_entry, version_key, version_value, Time,
+    TsbHeader, TsbHeaderRef,
 };
-use pitree::bound::KeyBound;
 use pitree::completion::{Completion, CompletionQueue};
-use pitree::node::{Guarded, IndexTerm};
+use pitree::node::{BoundRef, Guarded, IndexTerm};
 use pitree::stats::TreeStats;
 use pitree::store::Store;
-use pitree::traverse::SavedPath;
+use pitree::traverse::{PathEntry, SavedPath};
 use pitree_pagestore::buffer::PinnedPage;
 use pitree_pagestore::page::{Page, PageType};
 use pitree_pagestore::{PageId, PageOp, StoreError, StoreResult};
@@ -80,11 +80,12 @@ impl std::fmt::Debug for TsbTree {
     }
 }
 
-/// Outcome of a descent to a data node.
+/// Outcome of a descent to a data node. The header is not materialized —
+/// consumers derive a [`TsbHeaderRef`] view (or decode [`TsbHeader`] on
+/// write paths) from the guard.
 pub(crate) struct TsbDescent<'a> {
     pub page: PinnedPage<'a>,
     pub guard: Guarded<'a>,
-    pub hdr: TsbHeader,
     pub path: SavedPath,
 }
 
@@ -274,14 +275,25 @@ impl TsbTree {
         update_at_target: bool,
         schedule: bool,
     ) -> StoreResult<TsbDescent<'_>> {
+        // Every per-hop decision reads the header through a borrowed
+        // TsbHeaderRef under a scoped borrow of the latch guard — the
+        // descent itself never allocates (DESIGN.md §11).
+        enum Step {
+            Arrived,
+            Side(PageId),
+            Child {
+                child: PageId,
+                lsn: pitree_pagestore::Lsn,
+            },
+        }
         let pool = &self.store.pool;
         let mut path = SavedPath::default();
         let mut cur = pool.fetch(self.root)?;
         let mut g = if update_at_target {
             // The root might itself be the target.
             let peek = Guarded::S(cur.s());
-            let hdr = TsbHeader::read(peek.page())?;
-            if hdr.level == target_level {
+            let lvl = TsbHeaderRef::read(peek.page())?.level();
+            if lvl == target_level {
                 drop(peek);
                 Guarded::U(cur.u())
             } else {
@@ -290,85 +302,95 @@ impl TsbTree {
         } else {
             Guarded::S(cur.s())
         };
-        let mut hdr = TsbHeader::read(g.page())?;
-        if hdr.level < target_level {
+        let mut level = TsbHeaderRef::read(g.page())?.level();
+        if level < target_level {
             return Err(StoreError::Corrupt(format!(
-                "TSB descend target {target_level} above root level {}",
-                hdr.level
+                "TSB descend target {target_level} above root level {level}"
             )));
         }
         loop {
-            // Key side traversals.
-            while !hdr.contains_key(key) {
-                if !hdr.key_high.gt_key(key) {
-                    let from = cur.id();
-                    let side = hdr.key_side;
-                    if !side.is_valid() {
+            let step = {
+                let h = TsbHeaderRef::read(g.page())?;
+                level = h.level();
+                if !h.contains_key(key) {
+                    if !h.key_high_gt(key) {
+                        let side = h.key_side();
+                        if !side.is_valid() {
+                            return Err(StoreError::Corrupt(format!(
+                                "TSB node {} lacks key side pointer for {key:02x?}",
+                                cur.id()
+                            )));
+                        }
+                        Step::Side(side)
+                    } else {
                         return Err(StoreError::Corrupt(format!(
-                            "TSB node {from} lacks key side pointer for {key:02x?}"
+                            "TSB routing went past key {key:02x?} (low {:?})",
+                            h.key_low()
                         )));
                     }
+                } else if level == target_level {
+                    Step::Arrived
+                } else {
+                    let slot = g.page().keyed_floor(key)?.ok_or_else(|| {
+                        StoreError::Corrupt(format!("TSB index node {} unroutable", cur.id()))
+                    })?;
+                    Step::Child {
+                        child: IndexTerm::child_at(g.page(), slot)?,
+                        lsn: g.page().lsn(),
+                    }
+                }
+            };
+            match step {
+                Step::Arrived => {
+                    return Ok(TsbDescent {
+                        page: cur,
+                        guard: g,
+                        path,
+                    });
+                }
+                Step::Side(side) => {
                     drop(g); // CNS: one latch at a time
                     let sib = pool.fetch(side)?;
-                    let want_u = update_at_target && hdr.level == target_level;
+                    let want_u = update_at_target && level == target_level;
                     let sg = if want_u {
                         Guarded::U(sib.u())
                     } else {
                         Guarded::S(sib.s())
                     };
-                    let sib_hdr = TsbHeader::read(sg.page())?;
                     TreeStats::bump(&self.stats.side_traversals);
-                    let _ = from;
                     if schedule {
-                        let k = sib_hdr.key_low.as_entry_key().to_vec();
+                        let sh = TsbHeaderRef::read(sg.page())?;
+                        let k = sh.low_entry_key().to_vec();
                         if self.completions.push(Completion::Post {
-                            level: sib_hdr.level + 1,
+                            level: sh.level() + 1,
                             key: k,
                             node: side,
-                            path: path.clone(),
+                            path: Box::new(path.clone()),
                         }) {
                             TreeStats::bump(&self.stats.postings_scheduled);
                         }
                     }
                     cur = sib;
                     g = sg;
-                    hdr = sib_hdr;
-                } else {
-                    return Err(StoreError::Corrupt(format!(
-                        "TSB routing went past key {key:02x?} (low {})",
-                        hdr.key_low
-                    )));
+                }
+                Step::Child { child, lsn } => {
+                    path.push(PathEntry {
+                        pid: cur.id(),
+                        lsn,
+                        level,
+                    });
+                    drop(g); // CNS
+                    let cp = pool.fetch(child)?;
+                    let want_u = update_at_target && level - 1 == target_level;
+                    let cg = if want_u {
+                        Guarded::U(cp.u())
+                    } else {
+                        Guarded::S(cp.s())
+                    };
+                    cur = cp;
+                    g = cg;
                 }
             }
-            if hdr.level == target_level {
-                return Ok(TsbDescent {
-                    page: cur,
-                    guard: g,
-                    hdr,
-                    path,
-                });
-            }
-            let slot = g.page().keyed_floor(key)?.ok_or_else(|| {
-                StoreError::Corrupt(format!("TSB index node {} unroutable", cur.id()))
-            })?;
-            let term = IndexTerm::read(g.page(), slot)?;
-            path.entries.push(pitree::traverse::PathEntry {
-                pid: cur.id(),
-                lsn: g.page().lsn(),
-                level: hdr.level,
-            });
-            drop(g); // CNS
-            let child = pool.fetch(term.child)?;
-            let want_u = update_at_target && hdr.level - 1 == target_level;
-            let cg = if want_u {
-                Guarded::U(child.u())
-            } else {
-                Guarded::S(child.s())
-            };
-            let child_hdr = TsbHeader::read(cg.page())?;
-            cur = child;
-            g = cg;
-            hdr = child_hdr;
         }
     }
 
@@ -389,22 +411,26 @@ impl TsbTree {
         let pool = &self.store.pool;
         let mut pin = d.page;
         let mut g = d.guard;
-        let mut hdr = d.hdr;
         let out = loop {
-            if t >= hdr.t_lo {
-                if let Some(slot) = find_version_at(g.page(), key, t)? {
-                    break version_value(Page::entry_payload(g.page().get(slot)?))
-                        .map(|v| v.to_vec());
+            // One borrowed header view per chain hop; the winning version's
+            // payload is borrowed straight from the frame, so the only
+            // allocation is the returned value.
+            let hist = {
+                let page = g.page();
+                let h = TsbHeaderRef::read(page)?;
+                if t >= h.t_lo() {
+                    if let Some((_, payload)) = find_version_probe(page, key, t) {
+                        break version_value(payload).map(|v| v.to_vec());
+                    }
                 }
-            }
-            let hist = hdr.hist_side;
+                h.hist_side()
+            };
             if !hist.is_valid() {
                 break None; // before recorded history
             }
             drop(g); // history nodes are immortal; no coupling needed
             let hpin = pool.fetch(hist)?;
             let hg = Guarded::S(hpin.s());
-            hdr = TsbHeader::read(hg.page())?;
             pin = hpin;
             g = hg;
         };
@@ -433,7 +459,7 @@ impl TsbTree {
                     });
                 }
             }
-            let hist = TsbHeader::read(page)?.hist_side;
+            let hist = TsbHeaderRef::read(page)?.hist_side();
             if !hist.is_valid() {
                 break;
             }
@@ -474,16 +500,22 @@ impl TsbTree {
                 }
                 ks
             };
-            let hdr = d.hdr.clone();
+            let next_low = {
+                let h = TsbHeaderRef::read(d.guard.page())?;
+                match h.key_high() {
+                    BoundRef::Key(hk) if hk < to => Some(hk.to_vec()),
+                    _ => None,
+                }
+            };
             drop(d);
             for k in keys {
                 if let Some(v) = self.get_as_of(&k, t)? {
                     out.push((k, v));
                 }
             }
-            match &hdr.key_high {
-                KeyBound::Key(h) if h.as_slice() < to => cur_key = h.clone(),
-                _ => break,
+            match next_low {
+                Some(h) => cur_key = h,
+                None => break,
             }
         }
         out.sort();

@@ -33,7 +33,7 @@ impl TsbTree {
             let d = self.descend(&key, 0, true, false)?;
             if d.guard.page().keyed_find(vkey)?.is_err() {
                 // Not in the current node; walk the history chain below.
-                let mut hist = d.hdr.hist_side;
+                let mut hist = TsbHeader::read(d.guard.page())?.hist_side;
                 drop(d);
                 while hist.is_valid() {
                     let pin = self.store().pool.fetch(hist)?;

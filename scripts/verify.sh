@@ -58,6 +58,9 @@ fi
 step "cargo test (workspace)"
 cargo test --offline -q
 
+step "alloc gate (steady-state point read allocates exactly once)"
+cargo test --offline --release -q -p pitree-harness --test alloc_gate
+
 step "sim acceptance sweep (64 seeds, crash-recover-verify + shake)"
 cargo test --offline -q -p pitree-sim --test sim_sweep -- --nocapture
 
@@ -149,6 +152,16 @@ for f in "$scen_dir"/BENCH_scenario_*.json; do
     exit 1
   }
 done
+# Zero-copy read-path sanity: the pi-tree's fully-cached smoke p50 for the
+# read-only mix sits at ~2 us; a p50 above 8191 ns means the hot path grew
+# allocations or per-probe decodes back (two full histogram buckets of
+# headroom for slow CI machines).
+ycsbc_p50="$(sed -n 's/.*"name": "pi-tree",[^}]*"p50_ns": \([0-9]*\).*/\1/p' \
+  "$scen_dir"/BENCH_scenario_ycsb_c.json | head -1)"
+if [[ -z "$ycsbc_p50" || "$ycsbc_p50" -gt 8191 ]]; then
+  echo "ycsb-c smoke p50_ns=${ycsbc_p50:-missing} (bound 8191): read hot path regressed" >&2
+  exit 1
+fi
 
 step "ThreadSanitizer suites (skips cleanly without an instrumented nightly)"
 ./scripts/tsan.sh
